@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table or figure: it runs the
+experiment once (``benchmark.pedantic(..., rounds=1)``), prints the
+paper-vs-measured rows with :class:`repro.metrics.Table`, and asserts
+the qualitative shape (who wins, by roughly what factor, where the
+knees fall).
+
+Scale control: set ``REPRO_QUICK=1`` to shrink the two long-running
+experiments (Figure 8's 2 M tasks, Figure 9's 54 K executors) for
+smoke runs; the default regenerates them at full paper scale.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_QUICK", "") != "1"
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so tables appear with -s or on
+    benchmark runs (benchmark output is shown regardless)."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            table.print()
+
+    return _show

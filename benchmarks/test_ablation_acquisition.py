@@ -1,0 +1,42 @@
+"""X1 — Ablation: the five resource acquisition policies (§3.1).
+
+The paper evaluates only all-at-once, predicting that one-at-a-time
+"would have been less close to ideal, as the number of resource
+allocations would have grown significantly" against GRAM4+PBS's
+~0.5 requests/s.  This ablation measures all five on the 18-stage
+workload.
+"""
+
+from repro.experiments.ablations import run_acquisition_ablation
+from repro.metrics import Table
+
+
+def test_ablation_acquisition(benchmark, show):
+    rows = benchmark.pedantic(run_acquisition_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation X1: acquisition policies on the 18-stage workload",
+        ["Policy", "Makespan (s)", "Allocations", "Mean queue (s)"],
+    )
+    for row in rows:
+        table.add_row(row.policy, row.makespan, row.allocations, row.mean_queue_time)
+    show(table)
+
+    by_policy = {row.policy: row for row in rows}
+    # One-at-a-time explodes the allocation count, as predicted.
+    assert by_policy["one-at-a-time"].allocations > 5 * by_policy["all-at-once"].allocations
+    # And is never faster than all-at-once.
+    assert by_policy["one-at-a-time"].makespan >= by_policy["all-at-once"].makespan
+    # Growing-request policies sit between the two extremes.
+    for name in ("additive", "exponential"):
+        row = by_policy[name]
+        assert (
+            by_policy["all-at-once"].allocations
+            <= row.allocations
+            <= by_policy["one-at-a-time"].allocations
+        )
+    # With a lightly-loaded LRM, 'available' behaves like all-at-once.
+    assert by_policy["available"].allocations == by_policy["all-at-once"].allocations
+    # Every policy still finishes the workload in the same ballpark.
+    for row in rows:
+        assert row.makespan < 1.5 * by_policy["all-at-once"].makespan

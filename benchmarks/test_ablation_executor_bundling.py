@@ -1,0 +1,32 @@
+"""X6 — Ablation: dispatcher→executor bundling (§3.4).
+
+The paper enables client→dispatcher bundling but not
+dispatcher→executor bundling, "lacking runtime estimates".  With
+estimates supplied (``TaskSpec.runtime_estimate``), followers in a
+bundle share one notify/pick-up exchange — this bench measures what
+the missing estimates cost.
+"""
+
+from repro.experiments.ablations import run_executor_bundling_ablation
+from repro.metrics import Table
+
+
+def test_ablation_executor_bundling(benchmark, show):
+    rows = benchmark.pedantic(run_executor_bundling_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation X6: dispatcher→executor bundling (8 executors)",
+        ["Task length (s)", "Baseline tasks/s", "Bundled tasks/s", "Improvement"],
+    )
+    for row in rows:
+        table.add_row(row.task_seconds, row.baseline_tasks_per_sec,
+                      row.bundled_tasks_per_sec, f"{row.improvement:.2f}x")
+    show(table)
+
+    by_length = {row.task_seconds: row for row in rows}
+    # Big win for zero-length tasks, vanishing for long ones.
+    assert by_length[0.0].improvement > 1.4
+    assert by_length[5.0].improvement < 1.05
+    improvements = [row.improvement for row in rows]
+    assert all(b <= a + 0.05 for a, b in zip(improvements, improvements[1:]))
+    assert all(row.improvement > 0.97 for row in rows)

@@ -1,0 +1,58 @@
+"""X7 — Ablation: pure-pull polling vs the hybrid push/pull protocol.
+
+§3.3's quantified rejection of the pure pull model: "a cluster with
+500 Executors polling every second keeps Dispatcher CPU utilization at
+100%.  Thus, the polling interval must be increased for larger
+deployments, which reduces responsiveness accordingly."  Both halves
+measured here.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_polling_cpu_ablation,
+    run_polling_responsiveness_ablation,
+)
+from repro.metrics import Table
+
+
+def test_ablation_polling_cpu(benchmark, show):
+    rows = benchmark.pedantic(run_polling_cpu_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation X7a: idle pollers burning dispatcher CPU (1 s interval)",
+        ["Executors", "Dispatcher CPU utilization"],
+    )
+    for row in rows:
+        table.add_row(row.executors, f"{row.dispatcher_cpu_utilization:.0%}")
+    show(table)
+
+    by_count = {row.executors: row for row in rows}
+    # The paper's quote: 500 pollers at 1 s -> 100% CPU.
+    assert by_count[500].dispatcher_cpu_utilization == pytest.approx(1.0, abs=0.02)
+    # Utilization grows with poller count.
+    utils = [row.dispatcher_cpu_utilization for row in rows]
+    assert utils == sorted(utils)
+    assert by_count[50].dispatcher_cpu_utilization < 0.15
+
+
+def test_ablation_polling_responsiveness(benchmark, show):
+    rows = benchmark.pedantic(run_polling_responsiveness_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation X7b: responsiveness under sparse arrivals (32 executors)",
+        ["Mode", "Poll interval (s)", "Mean queue time (s)", "Makespan (s)"],
+    )
+    for row in rows:
+        table.add_row(row.mode, row.poll_interval or "—", row.mean_queue_time,
+                      row.makespan)
+    show(table)
+
+    hybrid = next(row for row in rows if row.mode == "hybrid")
+    polling = [row for row in rows if row.mode == "polling"]
+    # Hybrid push/pull responds in milliseconds.
+    assert hybrid.mean_queue_time < 0.05
+    # Every polling configuration is worse; long intervals much worse.
+    assert all(row.mean_queue_time > hybrid.mean_queue_time for row in polling)
+    longest = max(polling, key=lambda row: row.poll_interval)
+    assert longest.mean_queue_time > 40 * hybrid.mean_queue_time

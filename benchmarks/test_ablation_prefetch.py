@@ -1,0 +1,34 @@
+"""X2 — Ablation: executor task pre-fetching (§6 future work).
+
+Overlapping task pick-up with execution helps exactly where per-task
+communication dominates: short tasks gain the most, long tasks are
+unaffected — which is why the paper lists it as the next optimisation
+after bundling/piggy-backing.
+"""
+
+from repro.experiments.ablations import run_prefetch_ablation
+from repro.metrics import Table
+
+
+def test_ablation_prefetch(benchmark, show):
+    rows = benchmark.pedantic(run_prefetch_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation X2: task pre-fetching (8 executors)",
+        ["Task length (s)", "Baseline tasks/s", "Prefetch tasks/s", "Improvement"],
+    )
+    for row in rows:
+        table.add_row(row.task_seconds, row.baseline_tasks_per_sec,
+                      row.prefetch_tasks_per_sec, f"{row.improvement:.2f}x")
+    show(table)
+
+    by_length = {row.task_seconds: row for row in rows}
+    # Zero-length tasks: communication fully dominates -> big win.
+    assert by_length[0.0].improvement > 1.6
+    # Long tasks: execution dominates -> no meaningful win.
+    assert by_length[1.0].improvement < 1.1
+    # The benefit decreases monotonically with task length.
+    improvements = [row.improvement for row in rows]
+    assert all(b <= a + 0.05 for a, b in zip(improvements, improvements[1:]))
+    # Prefetching never hurts.
+    assert all(row.improvement > 0.97 for row in rows)

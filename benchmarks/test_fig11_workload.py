@@ -1,0 +1,39 @@
+"""F11 — Figure 11: the 18-stage synthetic workload definition.
+
+Paper: 18 stages, 1 000 tasks, 17 820 CPU-seconds, completing in an
+ideal 1 260 s on 32 machines; 60 s tasks except stages 8/9/10 at
+120/6/12 s.
+"""
+
+import pytest
+
+from repro.metrics import Table
+from repro.workloads import (
+    STAGE_DURATIONS,
+    STAGE_TASK_COUNTS,
+    stage18_machines_needed,
+    stage18_summary,
+    stage18_workload,
+)
+
+
+def test_fig11_workload(benchmark, show):
+    workflow = benchmark.pedantic(stage18_workload, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 11: the 18-stage synthetic workload",
+        ["Stage", "Tasks", "Task length (s)", "Machines (cap 32)"],
+    )
+    machines = stage18_machines_needed()
+    for i, (count, duration) in enumerate(zip(STAGE_TASK_COUNTS, STAGE_DURATIONS), start=1):
+        table.add_row(i, count, duration, machines[i - 1])
+    summary = stage18_summary()
+    table.add_row("total", int(summary["tasks"]), summary["cpu_seconds"], "")
+    show(table)
+
+    assert summary["tasks"] == 1000
+    assert summary["cpu_seconds"] == 17820
+    assert summary["stages"] == 18
+    # Ideal makespan within 3% of the paper's 1260 s.
+    assert summary["ideal_makespan_32"] == pytest.approx(1260.0, rel=0.03)
+    assert len(workflow) == 1018  # 1000 tasks + 18 stage barriers

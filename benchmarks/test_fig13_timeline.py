@@ -1,0 +1,40 @@
+"""F13 — Figure 13: Falkon-180 executor timeline.
+
+Paper: with a 180 s idle release, executors dwell between stages
+(more red/idle time than Falkon-15) but far fewer re-acquisitions are
+needed, so the workload completes sooner.
+"""
+
+from benchmarks._shared import provisioning_outcomes
+from repro.metrics import Table
+
+
+def test_fig13_timeline(benchmark, show):
+    outcomes = benchmark.pedantic(provisioning_outcomes, rounds=1, iterations=1)
+    o180 = outcomes["Falkon-180"]
+    o15 = outcomes["Falkon-15"]
+
+    table = Table(
+        "Figure 13: Falkon-180 executor states over time (sampled)",
+        ["t (s)", "allocated", "registered", "active"],
+    )
+    end = o180.registered_series.times[-1] if len(o180.registered_series) else 0.0
+    for i in range(0, 21):
+        t = end * i / 20
+        table.add_row(
+            round(t),
+            o180.allocated_series.value_at(t),
+            o180.registered_series.value_at(t),
+            o180.active_series.value_at(t),
+        )
+    show(table)
+
+    assert o180.registered_series.max() == 32
+    # Fewer allocations than Falkon-15 (paper: 6 vs 11).
+    assert o180.allocations < o15.allocations
+    # But lower utilization (more idle dwell; paper: 59% vs 89%).
+    assert o180.utilization < o15.utilization
+    # And a shorter time-to-complete (paper: 1484 vs 1754).
+    assert o180.makespan < o15.makespan
+    # Idle release still drains the pool eventually.
+    assert o180.registered_series.last == 0

@@ -1,0 +1,43 @@
+"""F14 — Figure 14: execution time for the fMRI workflow.
+
+Paper shape: GRAM4+PBS "performs badly due to the small tasks";
+"clustering reduced execution time by more than four times on eight
+processors; Falkon further reduced the execution time, particularly
+for smaller problems" — with the headline "up to 90 % reduction in
+end-to-end run time" for Swift+Falkon applications.
+"""
+
+import pytest
+
+from repro.experiments import run_fmri
+from repro.metrics import Table
+
+
+def test_fig14_fmri(benchmark, show):
+    rows = benchmark.pedantic(run_fmri, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 14: fMRI workflow execution time (s)",
+        ["Volumes", "Tasks", "GRAM4+PBS", "GRAM4 clustered(8)", "Falkon(8)",
+         "Clustering speedup", "Falkon reduction"],
+    )
+    for row in rows:
+        table.add_row(row.volumes, row.tasks, row.gram4_seconds,
+                      row.clustered_seconds, row.falkon_seconds,
+                      row.clustering_speedup, f"{row.falkon_reduction:.0%}")
+    show(table)
+
+    for row in rows:
+        # Ordering: GRAM4 worst, clustering much better, Falkon best.
+        assert row.gram4_seconds > row.clustered_seconds > row.falkon_seconds
+        # "more than four times" from clustering.
+        assert row.clustering_speedup > 4.0
+        # The ~90% end-to-end reduction headline (>=75% at any size).
+        assert row.falkon_reduction > 0.75
+    # Task counts match the paper's endpoints.
+    assert rows[0].volumes == 120 and rows[0].tasks == 480
+    assert rows[-1].volumes == 480 and rows[-1].tasks == 1960
+    # Falkon's edge over clustering is strongest for smaller problems.
+    edge_small = rows[0].clustered_seconds / rows[0].falkon_seconds
+    edge_large = rows[-1].clustered_seconds / rows[-1].falkon_seconds
+    assert edge_small > edge_large

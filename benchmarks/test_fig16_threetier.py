@@ -1,0 +1,36 @@
+"""F16 — Figure 16: the 3-tier architecture (§6 future work, built).
+
+The paper proposes forwarders to scale Falkon "to two or more orders
+of magnitude more executors".  This bench quantifies the proposal:
+aggregate sleep-0 throughput with 1/2/4/8 second-tier dispatchers
+behind one forwarder.
+"""
+
+import pytest
+
+from repro.experiments import run_threetier
+from repro.metrics import Table
+
+
+def test_fig16_threetier(benchmark, show):
+    rows = benchmark.pedantic(run_threetier, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 16: 3-tier aggregate dispatch throughput",
+        ["Dispatchers", "Executors", "tasks/s", "vs single"],
+    )
+    base = rows[0].throughput
+    for row in rows:
+        table.add_row(row.dispatchers, row.executors, row.throughput,
+                      f"{row.throughput / base:.2f}x")
+    show(table)
+
+    # One dispatcher: the Figure 3 ceiling.
+    assert rows[0].throughput == pytest.approx(487.0, rel=0.06)
+    # Aggregate throughput scales near-linearly with dispatcher count.
+    for row in rows[1:]:
+        assert row.throughput > 0.85 * row.dispatchers * base
+    # The forwarder balances tasks across dispatchers.
+    for row in rows:
+        counts = list(row.per_dispatcher_tasks.values())
+        assert max(counts) - min(counts) < 0.2 * sum(counts)

@@ -1,0 +1,64 @@
+"""F4 — Figure 4: throughput as a function of data size on 64 nodes.
+
+Paper plateaus (Mb/s): GPFS read 3 067, GPFS read+write 326, LOCAL
+read 52 015, LOCAL read+write 32 667; GPFS read+write is capped near
+150 tasks/s even at 1-byte payloads; small payloads sustain the ~487
+tasks/s dispatch ceiling.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+from repro.experiments.fig4_data import PAPER_ANCHORS_FIG4
+from repro.metrics import Table, format_si
+
+
+def test_fig4_data(benchmark, show):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 4: throughput vs data size (128 executors)",
+        ["Config", "Size", "tasks/s", "Mb/s"],
+    )
+    for p in result.points:
+        table.add_row(p.config, format_si(p.data_bytes) + "B", p.tasks_per_sec,
+                      p.megabits_per_sec)
+    show(table)
+
+    summary = Table(
+        "Figure 4 plateaus: paper vs measured (Mb/s)",
+        ["Config", "Paper", "Measured"],
+    )
+    plateaus = {
+        "GPFS read": ("shared", False),
+        "GPFS read+write": ("shared", True),
+        "LOCAL read": ("local", False),
+        "LOCAL read+write": ("local", True),
+    }
+    for label, key in plateaus.items():
+        summary.add_row(label, PAPER_ANCHORS_FIG4[key], result.plateau_mbps(label))
+    show(summary)
+
+    # Bandwidth plateaus within 25% of the paper's.
+    assert result.plateau_mbps("GPFS read") == pytest.approx(3067, rel=0.25)
+    assert result.plateau_mbps("GPFS read+write") == pytest.approx(326, rel=0.25)
+    assert result.plateau_mbps("LOCAL read") == pytest.approx(52015, rel=0.25)
+    assert result.plateau_mbps("LOCAL read+write") == pytest.approx(32667, rel=0.25)
+
+    # Small-payload task rates: near the dispatch ceiling, except GPFS
+    # read+write which is write-op capped near 150 tasks/s.
+    tiny = {p.config: p.tasks_per_sec for p in result.points if p.data_bytes == 1}
+    assert tiny["GPFS read"] > 400
+    assert tiny["LOCAL read"] > 400
+    assert tiny["GPFS read+write"] == pytest.approx(150.0, rel=0.15)
+
+    # Task rate collapses at 1 GB, ordered as in the paper:
+    # GPFS r+w < GPFS read < LOCAL r+w < LOCAL read.
+    giant = {p.config: p.tasks_per_sec for p in result.points if p.data_bytes == 10**9}
+    assert (
+        giant["GPFS read+write"]
+        < giant["GPFS read"]
+        < giant["LOCAL read+write"]
+        < giant["LOCAL read"]
+    )
+    assert giant["GPFS read+write"] < 0.1

@@ -1,0 +1,43 @@
+"""F5 — Figure 5: bundling throughput and cost per task.
+
+Paper: ~20 tasks/s unbundled, peak ~1 500 tasks/s near 300
+tasks/bundle, degradation beyond (Axis grow-able array re-copying).
+"""
+
+import pytest
+
+from repro.experiments import run_fig5
+from repro.experiments.fig5_bundling import PAPER_ANCHORS_FIG5
+from repro.metrics import Table
+
+
+def test_fig5_bundling(benchmark, show):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 5: bundling throughput and per-task cost",
+        ["Bundle size", "Model tasks/s", "Model ms/task", "Simulated tasks/s"],
+    )
+    for row in result.rows:
+        table.add_row(row.bundle_size, row.model_tasks_per_sec,
+                      row.model_cost_per_task_ms, row.simulated_tasks_per_sec)
+    show(table)
+
+    by_size = {r.bundle_size: r for r in result.rows}
+    # Anchors.
+    assert by_size[1].model_tasks_per_sec == pytest.approx(
+        PAPER_ANCHORS_FIG5["unbundled_tasks_per_sec"], rel=0.08
+    )
+    peak = result.peak_row()
+    assert peak.bundle_size == pytest.approx(PAPER_ANCHORS_FIG5["peak_bundle_size"], rel=0.35)
+    assert peak.model_tasks_per_sec == pytest.approx(
+        PAPER_ANCHORS_FIG5["peak_tasks_per_sec"], rel=0.08
+    )
+    # Degradation past the peak.
+    assert by_size[1000].model_tasks_per_sec < peak.model_tasks_per_sec
+    assert by_size[600].model_tasks_per_sec < peak.model_tasks_per_sec
+    # The end-to-end simulation agrees with the model within 10%.
+    for row in result.rows:
+        assert row.simulated_tasks_per_sec == pytest.approx(
+            row.model_tasks_per_sec, rel=0.10
+        )

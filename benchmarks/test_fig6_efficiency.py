@@ -1,0 +1,40 @@
+"""F6 — Figure 6: efficiency for various task lengths and executors.
+
+Paper: ≥95 % efficiency with 1 s tasks even at 256 executors;
+"typically less than 1 % loss in efficiency as we increase from 1
+executor to 256"; speedups 242 (1 s) and 255.5 (64 s) at 256 executors.
+"""
+
+import pytest
+
+from repro.experiments import run_fig6
+from repro.metrics import Table
+
+
+def test_fig6_efficiency(benchmark, show):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 6: efficiency (rows: task length; columns: executors)",
+        ["Task s", "1", "8", "32", "64", "128", "256", "speedup@256"],
+    )
+    for length in sorted({p.task_seconds for p in result.points}):
+        cells = [result.at(length, n).efficiency for n in (1, 8, 32, 64, 128, 256)]
+        table.add_row(length, *cells, result.at(length, 256).speedup)
+    show(table)
+
+    # 1 s tasks at 256 executors: ≥95 % efficiency (paper's worst case).
+    worst = result.at(1.0, 256)
+    assert worst.efficiency >= 0.93
+    # 64 s tasks at 256 executors: speedup near 255.5.
+    best = result.at(64.0, 256)
+    assert best.speedup == pytest.approx(255.5, rel=0.02)
+    # Efficiency loss from 1 to 256 executors is small for every length.
+    for length in (1.0, 8.0, 64.0):
+        drop = result.at(length, 1).efficiency - result.at(length, 256).efficiency
+        assert drop < 0.07
+    # Longer tasks are never less efficient at a given scale.
+    for n in (64, 256):
+        effs = [result.at(length, n).efficiency
+                for length in (1.0, 4.0, 16.0, 64.0)]
+        assert all(b >= a - 0.02 for a, b in zip(effs, effs[1:]))

@@ -1,0 +1,49 @@
+"""F7 — Figure 7: efficiency vs task length on 64 processors.
+
+Paper: Falkon 95 % at 1 s tasks, 99 % at 8 s; PBS v2.1.8 and Condor
+v6.7.2 under 1 % at 1 s, ~90 % near 1 200 s tasks, 99 % only around
+16 000 s; Condor v6.9.3 (derived, 0.0909 s/task) reaches 90/95/99 % at
+50/100/1 000 s.
+"""
+
+import pytest
+
+from repro.experiments import run_fig7
+from repro.metrics import Table
+
+LENGTHS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0)
+
+
+def test_fig7_efficiency_systems(benchmark, show):
+    result = benchmark.pedantic(
+        run_fig7, rounds=1, iterations=1, kwargs={"task_lengths": LENGTHS}
+    )
+
+    table = Table(
+        "Figure 7: efficiency on 64 processors",
+        ["Task s", "Falkon", "PBS 2.1.8", "Condor 6.7.2", "Condor 6.9.3 (derived)"],
+    )
+    for row in result.rows:
+        table.add_row(row.task_seconds, row.falkon, row.pbs, row.condor_672,
+                      row.condor_693_derived)
+    show(table)
+
+    one_sec = result.at(1.0)
+    # Paper plots 95% at 1 s; a single 64-task wave leaves fixed costs
+    # un-amortised in our measurement, landing near 84-88% (documented
+    # deviation in EXPERIMENTS.md).  Still two orders above every LRM.
+    assert one_sec.falkon > 0.80
+    assert one_sec.pbs < 0.01              # paper: <1%
+    assert one_sec.condor_672 < 0.01
+    # Falkon reaches 99% by 8-16 s tasks.
+    assert result.at(16.0).falkon > 0.98
+    # PBS/Condor need ~1200 s tasks for ~90%.
+    assert result.at(1024.0).pbs == pytest.approx(0.88, abs=0.06)
+    assert result.at(16384.0).pbs > 0.985
+    # Condor 6.9.3 derived curve: between Falkon and the measured LRMs.
+    for row in result.rows:
+        assert row.condor_672 - 0.02 <= row.condor_693_derived <= row.falkon + 0.02
+    # Every curve is monotonically increasing in task length.
+    for attr in ("falkon", "pbs", "condor_672", "condor_693_derived"):
+        values = [getattr(row, attr) for row in result.rows]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

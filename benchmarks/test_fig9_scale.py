@@ -1,0 +1,61 @@
+"""F9 — Figure 9: Falkon scalability with 54 K executors.
+
+Paper: 54 000 executors (900 per machine × 60 machines) all became
+busy within 408 s; dispatch rate equalled submit rate; with sleep-480
+tasks the overall throughput including ramp-up/down was ~60 tasks/s.
+
+Set ``REPRO_QUICK=1`` to run with 5 400 executors instead.
+"""
+
+import pytest
+
+from benchmarks._shared import fig9_result
+from benchmarks.conftest import full_scale
+from repro.experiments.fig9_scale import PAPER_ANCHORS_FIG9, RAMP_DISPATCH_RATE
+from repro.metrics import Table, format_si
+
+
+def test_fig9_scale(benchmark, show):
+    executors = 54_000 if full_scale() else 5_400
+    result = benchmark.pedantic(
+        fig9_result, rounds=1, iterations=1, kwargs={"executors": executors}
+    )
+
+    scale = executors / 54_000
+    table = Table("Figure 9: 54K-executor scalability", ["Quantity", "Paper", "Measured"])
+    table.add_row("executors", format_si(54_000), format_si(result.executors))
+    table.add_row("ramp to all-busy (s)", 408.0 * scale, result.ramp_seconds)
+    table.add_row("overall tasks/s", 60.0 if scale == 1 else None, result.overall_throughput)
+    table.add_row("makespan (s)", 900.0 if scale == 1 else None, result.makespan)
+    show(table)
+
+    # All executors became busy (the black line reaches 54K).
+    assert result.busy_series.max() == executors
+    # Ramp time matches the observed dispatch rate.
+    assert result.ramp_seconds == pytest.approx(executors / RAMP_DISPATCH_RATE, rel=0.15)
+    if executors == 54_000:
+        assert result.overall_throughput == pytest.approx(60.0, rel=0.15)
+
+
+def test_fig10_overhead(benchmark, show):
+    """F10 — Figure 10: per-task overhead at 54 K executors.
+
+    Paper: "most overheads were below 200 ms, with just a few higher
+    than that and a maximum of 1300 ms."
+    """
+    executors = 54_000 if full_scale() else 5_400
+    result = benchmark.pedantic(
+        fig9_result, rounds=1, iterations=1, kwargs={"executors": executors}
+    )
+
+    table = Table("Figure 10: task overhead distribution (ms)", ["Quantile", "Measured"])
+    for q in (0.5, 0.9, 0.99, 1.0):
+        table.add_row(f"p{int(q * 100)}", result.overhead_quantile_ms(q))
+    table.add_row("fraction < 200 ms", result.fraction_below_ms(200.0))
+    show(table)
+
+    assert len(result.overheads_ms) == executors  # one task per executor
+    assert result.fraction_below_ms(200.0) > 0.75  # "most below 200 ms"
+    assert result.overhead_quantile_ms(0.99) < 700.0
+    assert result.overhead_max_ms < 2000.0  # paper max 1300 ms
+    assert result.overhead_max_ms > 300.0  # a long tail exists

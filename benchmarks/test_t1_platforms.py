@@ -1,0 +1,26 @@
+"""T1 — Table 1: platform descriptions.
+
+Regenerates the testbed definition table and verifies it instantiates.
+"""
+
+from repro.cluster import PLATFORMS, paper_testbed
+from repro.metrics import Table
+from repro.sim import Environment
+
+
+def test_t1_platforms(benchmark, show):
+    testbed = benchmark.pedantic(
+        lambda: paper_testbed(Environment()), rounds=1, iterations=1
+    )
+    table = Table(
+        "Table 1: platform descriptions",
+        ["Name", "Nodes", "Processors/node", "Memory (GB)", "Network (Mb/s)"],
+    )
+    for name, spec in PLATFORMS.items():
+        table.add_row(
+            name, spec.nodes, spec.node.processors, spec.node.memory_gb,
+            spec.node.network_mbps,
+        )
+    show(table)
+    assert set(testbed) == set(PLATFORMS)
+    assert sum(spec.nodes for spec in PLATFORMS.values()) == 98 + 64 + 122 + 1 + 1

@@ -1,0 +1,53 @@
+"""T3 — Table 3: average per-task queue and execution times (§4.6).
+
+Paper row anchors (queue s / exec s / exec %):
+GRAM4+PBS 611.1 / 56.5 / 8.5 %; Falkon-15 87.3 / 17.9 / 17.0 %;
+Falkon-∞ 43.5 / 17.9 / 29.2 %; Ideal 42.2 / 17.8 / 29.7 %.
+"""
+
+import pytest
+
+from benchmarks._shared import provisioning_outcomes
+from repro.experiments.provisioning import PAPER_TABLE3
+from repro.metrics import Table
+
+
+def test_table3_provisioning(benchmark, show):
+    outcomes = benchmark.pedantic(provisioning_outcomes, rounds=1, iterations=1)
+
+    table = Table(
+        "Table 3: per-task queue and execution times (paper | measured)",
+        ["Config", "Queue s (paper)", "Queue s", "Exec s (paper)", "Exec s",
+         "Exec % (paper)", "Exec %"],
+    )
+    for label, (pq, pe, pf) in PAPER_TABLE3.items():
+        o = outcomes[label]
+        table.add_row(label, pq, o.mean_queue_time, pe, o.mean_execution_time,
+                      pf * 100, o.execution_fraction * 100)
+    show(table)
+
+    # Falkon execution time is duration-dominated (~17.9 s) everywhere.
+    for label in ("Falkon-15", "Falkon-60", "Falkon-120", "Falkon-180", "Falkon-inf"):
+        assert outcomes[label].mean_execution_time == pytest.approx(17.9, abs=0.3)
+    # GRAM4+PBS inflates execution time to ~56.5 s.
+    assert outcomes["GRAM4+PBS"].mean_execution_time == pytest.approx(56.5, abs=1.5)
+    # Queue times: GRAM4+PBS an order of magnitude above every Falkon config.
+    gram_queue = outcomes["GRAM4+PBS"].mean_queue_time
+    for label in PAPER_TABLE3:
+        if label.startswith("Falkon"):
+            assert gram_queue > 4 * outcomes[label].mean_queue_time
+    # Queue time decreases monotonically with longer idle settings.
+    queue_by_idle = [outcomes[f"Falkon-{i}"].mean_queue_time for i in (15, 60, 120, 180)]
+    queue_by_idle.append(outcomes["Falkon-inf"].mean_queue_time)
+    assert all(b <= a + 2.0 for a, b in zip(queue_by_idle, queue_by_idle[1:]))
+    # Falkon-∞ approaches the ideal.
+    assert outcomes["Falkon-inf"].mean_queue_time == pytest.approx(
+        outcomes["Ideal"].mean_queue_time, abs=4.0
+    )
+    # Execution-time fraction improves from Falkon-15 to Falkon-inf,
+    # ending near the ideal (paper: 17.0% -> 29.2% vs 29.7% ideal).
+    assert outcomes["Falkon-15"].execution_fraction < outcomes["Falkon-inf"].execution_fraction
+    assert outcomes["Falkon-inf"].execution_fraction == pytest.approx(
+        outcomes["Ideal"].execution_fraction, abs=0.02
+    )
+    assert outcomes["GRAM4+PBS"].execution_fraction < 0.13

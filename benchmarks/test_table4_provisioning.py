@@ -1,0 +1,56 @@
+"""T4 — Table 4: overall resource utilization and execution efficiency.
+
+Paper anchors: GRAM4+PBS 4 904 s / 30 % util / 26 % eff / 1 000
+allocations; Falkon-15 1 754 s / 89 % / 72 % / 11; Falkon-∞ 1 276 s /
+44 % / 99 % / 0; Ideal 1 260 s.
+"""
+
+import pytest
+
+from benchmarks._shared import provisioning_outcomes
+from repro.experiments.provisioning import PAPER_TABLE4
+from repro.metrics import Table
+
+
+def test_table4_provisioning(benchmark, show):
+    outcomes = benchmark.pedantic(provisioning_outcomes, rounds=1, iterations=1)
+
+    table = Table(
+        "Table 4: utilization & execution efficiency (paper | measured)",
+        ["Config", "Time s (paper)", "Time s", "Util (paper)", "Util",
+         "Eff (paper)", "Eff", "Allocs (paper)", "Allocs"],
+    )
+    for label, (pt, pu, pe, pa) in PAPER_TABLE4.items():
+        o = outcomes[label]
+        table.add_row(label, pt, o.makespan, pu, o.utilization, pe,
+                      o.exec_efficiency, pa, o.allocations)
+    show(table)
+
+    # Time-to-complete ordering: GRAM4+PBS worst; Falkon improves
+    # monotonically as idle time grows; Falkon-∞ near ideal.
+    times = [outcomes[label].makespan for label in
+             ("GRAM4+PBS", "Falkon-15", "Falkon-60", "Falkon-120", "Falkon-180", "Falkon-inf")]
+    assert times[0] > 2 * times[1]
+    assert all(b <= a + 1.0 for a, b in zip(times[1:], times[2:]))
+    assert outcomes["Falkon-inf"].makespan == pytest.approx(
+        outcomes["Ideal"].makespan, rel=0.02
+    )
+    # Utilization: Falkon-15 highest (~89%), decreasing with idle time
+    # to Falkon-∞ (~44%); GRAM4+PBS ~30%.
+    assert outcomes["Falkon-15"].utilization == pytest.approx(0.89, abs=0.05)
+    utils = [outcomes[f"Falkon-{i}"].utilization for i in (15, 60, 120, 180)]
+    utils.append(outcomes["Falkon-inf"].utilization)
+    assert all(b <= a for a, b in zip(utils, utils[1:]))
+    assert outcomes["Falkon-inf"].utilization == pytest.approx(0.44, abs=0.05)
+    assert outcomes["GRAM4+PBS"].utilization == pytest.approx(0.30, abs=0.05)
+    # Execution efficiency: the inverse trade-off (the paper's point).
+    effs = [outcomes[f"Falkon-{i}"].exec_efficiency for i in (15, 60, 120, 180)]
+    effs.append(outcomes["Falkon-inf"].exec_efficiency)
+    assert all(b >= a - 0.01 for a, b in zip(effs, effs[1:]))
+    assert outcomes["Falkon-inf"].exec_efficiency > 0.97
+    assert outcomes["GRAM4+PBS"].exec_efficiency < 0.35
+    # Allocation counts: 1000 for GRAM4+PBS, ~dozen for Falkon, 0 for ∞.
+    assert outcomes["GRAM4+PBS"].allocations == 1000
+    for i in (15, 60, 120, 180):
+        assert 1 <= outcomes[f"Falkon-{i}"].allocations <= 15
+    assert outcomes["Falkon-inf"].allocations == 0

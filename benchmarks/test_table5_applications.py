@@ -1,0 +1,85 @@
+"""T5 — Table 5: the Swift application catalog.
+
+Regenerates the catalog and demonstrates "all could benefit from
+Falkon" by replaying a representative (scaled) application through
+Falkon vs direct PBS submission.
+"""
+
+import pytest
+
+from repro.cluster.node import Cluster, ClusterSpec, NodeSpec
+from repro.config import FalkonConfig
+from repro.core.system import FalkonSystem
+from repro.lrm.pbs import make_pbs
+from repro.metrics import Table
+from repro.sim import Environment
+from repro.workloads import SWIFT_APPLICATIONS
+
+
+def _replay_falkon(stages) -> float:
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(32)
+    env = system.env
+
+    def driver():
+        start = env.now
+        for stage in stages:
+            records = yield from system.client.submit(stage)
+            yield env.all_of([r.completion for r in records])
+        return start
+
+    proc = env.process(driver(), name="t5-falkon")
+    start = env.run(until=proc)
+    return env.now - start
+
+
+def _replay_pbs(stages) -> float:
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(name="t5", nodes=32, node=NodeSpec(processors=1)))
+    sched = make_pbs(env, cluster)
+
+    def body_for(duration):
+        def body(env_, job_, machines):
+            yield env_.timeout(duration)
+
+        return body
+
+    def driver():
+        for stage in stages:
+            jobs = [
+                sched.submit(1, walltime=3600, body=body_for(t.duration)) for t in stage
+            ]
+            yield env.all_of([j.completed for j in jobs])
+
+    proc = env.process(driver(), name="t5-pbs")
+    env.run(until=proc)
+    return env.now
+
+
+def test_table5_applications(benchmark, show):
+    table = Table(
+        "Table 5: Swift applications (all could benefit from Falkon)",
+        ["Application", "#Tasks/workflow", "#Stages"],
+    )
+    for app in SWIFT_APPLICATIONS:
+        table.add_row(app.name, app.tasks_label, app.stages_label)
+    show(table)
+    assert len(SWIFT_APPLICATIONS) == 12
+
+    # Replay the GADU-shaped workload (scaled to 1%) both ways.
+    app = next(a for a in SWIFT_APPLICATIONS if "GADU" in a.name)
+    stages = app.representative_workload(scale=0.01, seconds_per_task=2.0)
+
+    def replay():
+        return _replay_falkon(stages), _replay_pbs(stages)
+
+    falkon_s, pbs_s = benchmark.pedantic(replay, rounds=1, iterations=1)
+    comparison = Table(
+        f"Replay: {app.name} at 1% scale (32 processors)",
+        ["Provider", "Makespan (s)"],
+    )
+    comparison.add_row("Falkon", falkon_s)
+    comparison.add_row("PBS direct", pbs_s)
+    show(comparison)
+    # The benefit claim: an order of magnitude for short-task workloads.
+    assert pbs_s > 10 * falkon_s

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Sky-survey image stacking through Falkon (the AstroPortal workload).
+
+The paper's acknowledgments credit "a sky survey stacking service,
+whose primary requirement was to perform many small tasks in Grid
+environments" as the challenge problem that inspired Falkon; Table 5
+lists it as *SDSS: Stacking, AstroPortal* with 10Ks–100Ks of tasks.
+
+A stacking service co-adds small cutouts of the same sky region from
+many survey images to raise the signal-to-noise of faint sources.
+Each stack is a tiny independent task — exactly the many-small-tasks
+regime Falkon targets.  This example runs real NumPy stacking tasks
+through the live (TCP) Falkon on this machine and verifies the
+signal-to-noise gain.
+
+Run:  python examples/astronomy_stacking.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.live import LocalFalkon
+
+CUTOUT = 32          # pixels per side
+IMAGES_PER_STACK = 64
+N_SOURCES = 200      # sky objects to stack
+SOURCE_FLUX = 0.5    # per-image flux of the faint source
+NOISE_SIGMA = 1.0
+
+
+def stack_source(source_id: str, seed: str) -> str:
+    """One stacking task: co-add noisy cutouts of one source.
+
+    Returns "measured_snr" for the stacked image.  (In AstroPortal the
+    cutouts come from survey storage; here they are synthesised with a
+    per-source seed — same arithmetic, no multi-TB archive.)
+    """
+    rng = np.random.default_rng(int(seed))
+    stack = np.zeros((CUTOUT, CUTOUT))
+    for _ in range(IMAGES_PER_STACK):
+        image = rng.normal(0.0, NOISE_SIGMA, size=(CUTOUT, CUTOUT))
+        image[CUTOUT // 2, CUTOUT // 2] += SOURCE_FLUX  # the faint source
+        stack += image
+    stack /= IMAGES_PER_STACK
+    background = np.delete(stack.ravel(), CUTOUT // 2 * CUTOUT + CUTOUT // 2)
+    snr = stack[CUTOUT // 2, CUTOUT // 2] / background.std()
+    return f"{snr:.3f}"
+
+
+def main() -> None:
+    single_image_snr = SOURCE_FLUX / NOISE_SIGMA
+    expected_stacked_snr = single_image_snr * np.sqrt(IMAGES_PER_STACK)
+    print(f"stacking {N_SOURCES} sources x {IMAGES_PER_STACK} images "
+          f"({CUTOUT}x{CUTOUT} cutouts)")
+    print(f"single-image SNR ~{single_image_snr:.1f}; "
+          f"expected stacked SNR ~{expected_stacked_snr:.1f}")
+
+    registry = {"stack": stack_source}
+    with LocalFalkon(executors=4, python_registry=registry) as falkon:
+        args = [(f"src-{i}", str(i)) for i in range(N_SOURCES)]
+        start = time.monotonic()
+        results = falkon.map_python("stack", args, timeout=300)
+        elapsed = time.monotonic() - start
+
+    snrs = np.array([float(r.stdout) for r in results if r.ok])
+    print(f"\n{len(snrs)} stacks in {elapsed:.2f}s "
+          f"({len(snrs) / elapsed:.0f} stacks/s through the dispatcher)")
+    print(f"median stacked SNR: {np.median(snrs):.2f} "
+          f"(theory {expected_stacked_snr:.2f})")
+    executors_used = {r.executor_id for r in results}
+    print(f"work spread over {len(executors_used)} executors")
+    assert all(r.ok for r in results)
+    assert np.median(snrs) > 0.6 * expected_stacked_snr
+
+
+if __name__ == "__main__":
+    main()

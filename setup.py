@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+All project metadata lives in pyproject.toml; this file only exists so
+that editable installs work on environments whose setuptools predates
+PEP 660 editable-wheel support (no `wheel` package available offline):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,316 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro info                          # what is in here
+    python -m repro throughput --executors 256    # Fig. 3 microbenchmark
+    python -m repro provision --idle 60           # §4.6 dynamic provisioning
+    python -m repro workload 18stage|fmri|montage|trace
+    python -m repro live --executors 4 --tasks 2000
+    python -m repro export --out results/ [--quick]
+
+Every command is a thin wrapper over the public library API; the
+functions return process exit codes and print human-readable tables,
+so they double as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Falkon (SC'07) reproduction: simulation + live task execution",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the reproduction")
+
+    p = sub.add_parser("throughput", help="sleep-0 dispatch throughput (Figure 3 point)")
+    p.add_argument("--executors", type=int, default=256)
+    p.add_argument("--tasks", type=int, default=5000)
+    p.add_argument("--security", action="store_true",
+                   help="enable GSISecureConversation-equivalent security")
+
+    p = sub.add_parser("provision", help="18-stage workload with dynamic provisioning")
+    p.add_argument("--idle", default="60",
+                   help="idle release seconds, or 'inf' for Falkon-∞")
+    p.add_argument("--max-executors", type=int, default=32)
+
+    p = sub.add_parser("workload", help="describe a built-in workload")
+    p.add_argument("name", choices=["18stage", "fmri", "montage", "trace"])
+    p.add_argument("--volumes", type=int, default=120, help="fMRI problem size")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("live", help="real tasks through live TCP Falkon on this host")
+    p.add_argument("--executors", type=int, default=4)
+    p.add_argument("--tasks", type=int, default=2000)
+    p.add_argument("--bundle", type=int, default=300)
+
+    p = sub.add_parser("export", help="regenerate all figures/tables as CSV")
+    p.add_argument("--out", default="results")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced scale for Figures 8 and 9")
+
+    p = sub.add_parser("figure", help="draw a paper figure in the terminal")
+    p.add_argument("name", choices=["fig3", "fig5", "fig7", "fig8", "fig11"])
+    p.add_argument("--quick", action="store_true",
+                   help="reduced scale (Figure 8)")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "throughput": _cmd_throughput,
+        "provision": _cmd_provision,
+        "workload": _cmd_workload,
+        "live": _cmd_live,
+        "export": _cmd_export,
+        "figure": _cmd_figure,
+    }[args.command]
+    return handler(args)
+
+
+# ---------------------------------------------------------------------------
+def _cmd_info(args) -> int:
+    import repro
+    from repro.metrics import Table
+
+    table = Table(f"falkon-repro {repro.__version__}", ["Component", "What it is"])
+    table.add_row("repro.sim", "discrete-event simulation kernel")
+    table.add_row("repro.core", "Falkon: dispatcher, executor, provisioner (sim plane)")
+    table.add_row("repro.live", "real TCP Falkon for this machine")
+    table.add_row("repro.lrm", "PBS/Condor/GRAM4/MyCluster substrates")
+    table.add_row("repro.dag", "mini-Swift workflow engine")
+    table.add_row("repro.workloads", "18-stage, fMRI, Montage, Table 5, grid traces")
+    table.add_row("repro.extensions", "prefetch, data cache, 3-tier, coordinated release")
+    table.add_row("repro.experiments", "one harness per paper table/figure")
+    table.add_row("benchmarks/", "pytest-benchmark: regenerate every artifact")
+    table.print()
+    print("Paper: Raicu et al., 'Falkon: a Fast and Light-weight tasK "
+          "executiON framework', SC 2007.")
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from repro import FalkonConfig, FalkonSystem, SecurityMode
+    from repro.workloads import sleep_workload
+
+    security = (
+        SecurityMode.GSI_SECURE_CONVERSATION if args.security else SecurityMode.NONE
+    )
+    system = FalkonSystem(FalkonConfig.paper_defaults(security=security))
+    system.static_pool(args.executors)
+    started = time.perf_counter()
+    result = system.run_workload(sleep_workload(args.tasks))
+    wall = time.perf_counter() - started
+    print(f"{args.tasks} sleep-0 tasks on {args.executors} simulated executors"
+          f"{' (secure)' if args.security else ''}:")
+    print(f"  simulated throughput: {result.throughput:,.1f} tasks/s "
+          f"(paper: 487 plain / 204 secure)")
+    print(f"  simulated makespan:   {result.makespan:,.2f} s "
+          f"(computed in {wall:.2f} s of wall time)")
+    return 0
+
+
+def _cmd_provision(args) -> int:
+    from repro.config import FalkonConfig
+    from repro.core.system import FalkonSystem
+    from repro.metrics import Table, execution_efficiency, resource_utilization
+    from repro.workloads.stages18 import ideal_makespan_sequential, stage18_stage_lists
+
+    idle = math.inf if args.idle in ("inf", "∞") else float(args.idle)
+    config = FalkonConfig.falkon_idle(idle, max_executors=args.max_executors)
+    config.executors_per_node = 1
+    system = FalkonSystem(config.validate(), cluster_nodes=162,
+                          processors_per_node=1, free_limit=100)
+    env = system.env
+
+    def driver():
+        if math.isinf(idle):
+            yield from system.provisioner.prewarm()
+        start = env.now
+        for stage in stage18_stage_lists():
+            records = yield from system.client.submit(stage)
+            yield env.all_of([r.completion for r in records])
+        return start
+
+    proc = env.process(driver(), name="cli-provision")
+    start = env.run(until=proc)
+    end = env.now
+    used = system.dispatcher.busy_gauge.integrate(start, end)
+    registered = system.dispatcher.registered_gauge.integrate(start, end)
+
+    table = Table(f"18-stage workload, idle={args.idle}s", ["Metric", "Value"])
+    table.add_row("time to complete (s)", end - start)
+    table.add_row("ideal on 32 machines (s)", ideal_makespan_sequential(32))
+    table.add_row("resource utilization",
+                  resource_utilization(used, max(0.0, registered - used)))
+    table.add_row("execution efficiency",
+                  execution_efficiency(ideal_makespan_sequential(32), end - start))
+    table.add_row("resource allocations",
+                  0 if math.isinf(idle) else system.provisioner.stats.allocations_requested)
+    table.print()
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.metrics import Table
+
+    if args.name == "18stage":
+        from repro.workloads import stage18_machines_needed, stage18_summary
+        from repro.workloads.stages18 import STAGE_DURATIONS, STAGE_TASK_COUNTS
+
+        table = Table("18-stage synthetic workload (Figure 11)",
+                      ["Stage", "Tasks", "Seconds/task", "Machines"])
+        machines = stage18_machines_needed()
+        for i, (c, d) in enumerate(zip(STAGE_TASK_COUNTS, STAGE_DURATIONS), 1):
+            table.add_row(i, c, d, machines[i - 1])
+        table.print()
+        summary = stage18_summary()
+        print(f"total: {summary['tasks']:.0f} tasks, {summary['cpu_seconds']:.0f} "
+              f"CPU-s, ideal {summary['ideal_makespan_32']:.0f} s on 32 machines")
+    elif args.name == "fmri":
+        from repro.workloads import fmri_workflow
+
+        workflow = fmri_workflow(args.volumes)
+        table = Table(f"fMRI AIRSN workflow ({args.volumes} volumes)",
+                      ["Stage", "Tasks"])
+        for stage, nodes in workflow.stages().items():
+            table.add_row(stage, len(nodes))
+        table.print()
+        print(f"total: {len(workflow)} tasks, "
+              f"{workflow.total_cpu_seconds():.0f} CPU-s, "
+              f"critical path {workflow.ideal_makespan(10**9):.0f} s")
+    elif args.name == "montage":
+        from repro.workloads import montage_workflow
+
+        workflow = montage_workflow(seed=args.seed)
+        table = Table("Montage M16 mosaic workflow", ["Stage", "Tasks"])
+        for stage, nodes in workflow.stages().items():
+            table.add_row(stage, len(nodes))
+        table.print()
+        print(f"total: {len(workflow)} tasks, "
+              f"{workflow.total_cpu_seconds():.0f} CPU-s")
+    else:  # trace
+        from repro.workloads import generate_trace
+
+        trace = generate_trace(seed=args.seed)
+        table = Table("Synthetic grid trace", ["Quantity", "Value"])
+        table.add_row("tasks", len(trace))
+        table.add_row("batches", len(trace.batches()))
+        table.add_row("mean batch size", trace.mean_batch_size())
+        table.add_row("CPU seconds", trace.total_cpu_seconds())
+        table.add_row("runtime p50 (s)", trace.runtime_percentile(50))
+        table.add_row("runtime p99 (s)", trace.runtime_percentile(99))
+        table.print()
+    return 0
+
+
+def _cmd_live(args) -> int:
+    from repro.live import LocalFalkon
+    from repro.types import TaskSpec
+
+    with LocalFalkon(executors=args.executors, bundle_size=args.bundle) as falkon:
+        tasks = [TaskSpec.sleep(0, task_id=f"cli-{i:06d}") for i in range(args.tasks)]
+        started = time.monotonic()
+        results = falkon.run(tasks, timeout=300)
+        elapsed = time.monotonic() - started
+    ok = sum(1 for r in results if r.ok)
+    print(f"{ok}/{len(results)} tasks ok over real TCP with "
+          f"{args.executors} executors: {len(results) / elapsed:,.0f} tasks/s "
+          f"({elapsed:.2f} s)")
+    return 0 if ok == len(results) else 1
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.export import export_all
+
+    paths = export_all(args.out, quick=args.quick)
+    for path in paths:
+        print(f"wrote {path}")
+    print(f"{len(paths)} artifacts in {args.out}/")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.metrics import AsciiPlot
+
+    if args.name == "fig3":
+        from repro.experiments import run_fig3
+
+        result = run_fig3()
+        plot = AsciiPlot("Figure 3: throughput vs executor count",
+                         x_label="executors", y_label="tasks/s", log_x=True)
+        plot.add_series("Falkon (no security)",
+                        [r.executors for r in result.rows],
+                        [r.throughput_none for r in result.rows])
+        plot.add_series("Falkon (GSI)",
+                        [r.executors for r in result.rows],
+                        [r.throughput_gsi for r in result.rows])
+        plot.print()
+    elif args.name == "fig5":
+        from repro.net.costs import BundlingCostModel
+
+        model = BundlingCostModel()
+        sizes = [1, 2, 5, 10, 20, 50, 100, 200, 300, 450, 600, 800, 1000]
+        plot = AsciiPlot("Figure 5: bundling throughput",
+                         x_label="tasks/bundle", y_label="tasks/s",
+                         log_x=True)
+        plot.add_series("submission throughput", sizes,
+                        [model.throughput(b) for b in sizes])
+        plot.print()
+    elif args.name == "fig7":
+        from repro.experiments import run_fig7
+
+        result = run_fig7()
+        lengths = [row.task_seconds for row in result.rows]
+        plot = AsciiPlot("Figure 7: efficiency on 64 processors",
+                         x_label="task length (s)", y_label="efficiency",
+                         log_x=True)
+        plot.add_series("Falkon", lengths, [r.falkon for r in result.rows])
+        plot.add_series("Condor 6.9.3 (derived)", lengths,
+                        [r.condor_693_derived for r in result.rows])
+        plot.add_series("PBS 2.1.8", lengths, [r.pbs for r in result.rows])
+        plot.print()
+    elif args.name == "fig8":
+        from repro.experiments import run_fig8
+
+        result = run_fig8(n_tasks=100_000 if args.quick else 2_000_000)
+        queue = AsciiPlot("Figure 8: queue length over time",
+                          x_label="time (s)", y_label="queued tasks")
+        queue.add_series("queue", result.queue_series.times,
+                         result.queue_series.values)
+        queue.print()
+        tput = AsciiPlot("Figure 8: throughput (60-sample moving average)",
+                         x_label="time (s)", y_label="tasks/s")
+        step = max(1, len(result.moving_avg) // 400)
+        tput.add_series("moving average",
+                        result.moving_avg.times[::step],
+                        result.moving_avg.values[::step])
+        tput.print()
+        print(f"average {result.average_throughput:.0f} tasks/s over "
+              f"{result.duration_minutes:.0f} minutes (paper: 298 over ~112)")
+    else:  # fig11
+        from repro.workloads.stages18 import STAGE_TASK_COUNTS
+
+        plot = AsciiPlot("Figure 11: tasks per stage (log y)",
+                         x_label="stage", y_label="tasks", log_y=True)
+        plot.add_series("tasks", list(range(1, 19)), list(STAGE_TASK_COUNTS))
+        plot.print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

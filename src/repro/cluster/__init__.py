@@ -1,0 +1,41 @@
+"""Simulated cluster hardware.
+
+Models of the physical substrate the paper ran on: compute nodes with
+processors (:mod:`repro.cluster.node`), the Table 1 testbed platforms
+(:mod:`repro.cluster.testbed`), shared and local filesystems with
+contention (:mod:`repro.cluster.filesystem`, Figure 4), and the
+dispatcher JVM's garbage-collection behaviour
+(:mod:`repro.cluster.jvm`, Figure 8).
+"""
+
+from repro.cluster.node import Machine, NodeSpec, ClusterSpec, Cluster
+from repro.cluster.testbed import (
+    TG_ANL_IA32,
+    TG_ANL_IA64,
+    TP_UC_X64,
+    UC_X64,
+    UC_IA32,
+    PLATFORMS,
+    paper_testbed,
+)
+from repro.cluster.filesystem import SharedFileSystem, LocalDisk, gpfs_model, local_disk_model
+from repro.cluster.jvm import JVMModel
+
+__all__ = [
+    "Machine",
+    "NodeSpec",
+    "ClusterSpec",
+    "Cluster",
+    "TG_ANL_IA32",
+    "TG_ANL_IA64",
+    "TP_UC_X64",
+    "UC_X64",
+    "UC_IA32",
+    "PLATFORMS",
+    "paper_testbed",
+    "SharedFileSystem",
+    "LocalDisk",
+    "gpfs_model",
+    "local_disk_model",
+    "JVMModel",
+]

@@ -1,0 +1,87 @@
+"""The paper's Table 1 testbed platforms.
+
+========== ===== ===================== ====== =========
+Name       Nodes Processors            Memory Network
+========== ===== ===================== ====== =========
+TG_ANL_IA32  98  Dual Xeon 2.4 GHz      4 GB   1 Gb/s
+TG_ANL_IA64  64  Dual Itanium 1.5 GHz   4 GB   1 Gb/s
+TP_UC_x64   122  Dual Opteron 2.2 GHz   4 GB   1 Gb/s
+UC_x64        1  Dual Xeon 3 GHz w/ HT  2 GB  100 Mb/s
+UC_IA32       1  Intel P4 2.4 GHz       1 GB  100 Mb/s
+========== ===== ===================== ====== =========
+
+"Of the 162 nodes on TG_ANL_IA32 and TG_ANL_IA64, 128 were free for
+our experiments." — encoded via :func:`paper_testbed`'s free limits.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Cluster, ClusterSpec, NodeSpec
+from repro.sim import Environment
+
+__all__ = [
+    "TG_ANL_IA32",
+    "TG_ANL_IA64",
+    "TP_UC_X64",
+    "UC_X64",
+    "UC_IA32",
+    "PLATFORMS",
+    "paper_testbed",
+]
+
+TG_ANL_IA32 = ClusterSpec(
+    name="TG_ANL_IA32",
+    nodes=98,
+    node=NodeSpec(processors=2, cpu_ghz=2.4, memory_gb=4.0, network_mbps=1000.0),
+)
+
+TG_ANL_IA64 = ClusterSpec(
+    name="TG_ANL_IA64",
+    nodes=64,
+    node=NodeSpec(processors=2, cpu_ghz=1.5, memory_gb=4.0, network_mbps=1000.0),
+)
+
+TP_UC_X64 = ClusterSpec(
+    name="TP_UC_x64",
+    nodes=122,
+    node=NodeSpec(processors=2, cpu_ghz=2.2, memory_gb=4.0, network_mbps=1000.0),
+)
+
+UC_X64 = ClusterSpec(
+    name="UC_x64",
+    nodes=1,
+    # Dual Xeon with HyperThreading: 2 physical, 4 hardware threads.
+    node=NodeSpec(processors=4, cpu_ghz=3.0, memory_gb=2.0, network_mbps=100.0),
+)
+
+UC_IA32 = ClusterSpec(
+    name="UC_IA32",
+    nodes=1,
+    node=NodeSpec(processors=1, cpu_ghz=2.4, memory_gb=1.0, network_mbps=100.0),
+)
+
+#: All Table 1 rows by name.
+PLATFORMS: dict[str, ClusterSpec] = {
+    spec.name: spec for spec in (TG_ANL_IA32, TG_ANL_IA64, TP_UC_X64, UC_X64, UC_IA32)
+}
+
+#: Combined free-node budget on the two TG_ANL clusters during the
+#: experiments (128 of 162).
+TG_ANL_FREE_NODES = 128
+
+
+def paper_testbed(env: Environment) -> dict[str, Cluster]:
+    """Instantiate the Table 1 platforms as runtime clusters.
+
+    The 128-free-of-162 constraint is applied proportionally across the
+    two TG_ANL clusters (77 + 51 = 128).
+    """
+    ia32_free = round(TG_ANL_FREE_NODES * TG_ANL_IA32.nodes / (TG_ANL_IA32.nodes + TG_ANL_IA64.nodes))
+    ia64_free = TG_ANL_FREE_NODES - ia32_free
+    return {
+        "TG_ANL_IA32": Cluster(env, TG_ANL_IA32, free_limit=ia32_free),
+        "TG_ANL_IA64": Cluster(env, TG_ANL_IA64, free_limit=ia64_free),
+        "TP_UC_x64": Cluster(env, TP_UC_X64),
+        "UC_x64": Cluster(env, UC_X64),
+        "UC_IA32": Cluster(env, UC_IA32),
+    }

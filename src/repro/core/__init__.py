@@ -1,0 +1,67 @@
+"""The Falkon system (simulation plane).
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.policies` — dispatch, resource acquisition (all five
+  §3.1 strategies) and resource release policies.
+* :mod:`repro.core.dispatcher` — the streamlined task dispatcher with
+  client bundling, piggy-backing, the hybrid push/pull executor
+  protocol, replay (retry) handling, and the JVM GC hook.
+* :mod:`repro.core.executor` — the lightweight executor lifecycle:
+  start → register → notified → pull → execute → deliver → idle-release.
+* :mod:`repro.core.provisioner` — dynamic resource provisioning over a
+  GRAM4 gateway.
+* :mod:`repro.core.client` — workload submission with bundling.
+* :mod:`repro.core.system` — the composition root tying dispatcher,
+  provisioner, LRM and cluster together for experiments.
+
+The live (real TCP) implementation with the same protocol lives in
+:mod:`repro.live`.
+"""
+
+from repro.core.policies import (
+    AcquisitionPolicy,
+    AllAtOnce,
+    OneAtATime,
+    Additive,
+    Exponential,
+    Available,
+    make_acquisition_policy,
+    ReleasePolicy,
+    DistributedIdle,
+    CentralizedQueue,
+    NeverRelease,
+    make_release_policy,
+)
+from repro.core.dispatcher import SimDispatcher, TaskRecord
+from repro.core.executor import SimExecutor, ExecutorState
+from repro.core.provisioner import Provisioner, ProvisionerStats
+from repro.core.client import SimClient
+from repro.core.service import ClientInstance, FalkonService
+from repro.core.system import FalkonSystem, WorkloadResult
+
+__all__ = [
+    "AcquisitionPolicy",
+    "AllAtOnce",
+    "OneAtATime",
+    "Additive",
+    "Exponential",
+    "Available",
+    "make_acquisition_policy",
+    "ReleasePolicy",
+    "DistributedIdle",
+    "CentralizedQueue",
+    "NeverRelease",
+    "make_release_policy",
+    "SimDispatcher",
+    "TaskRecord",
+    "SimExecutor",
+    "ExecutorState",
+    "Provisioner",
+    "ProvisionerStats",
+    "SimClient",
+    "ClientInstance",
+    "FalkonService",
+    "FalkonSystem",
+    "WorkloadResult",
+]

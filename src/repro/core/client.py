@@ -1,0 +1,83 @@
+"""The Falkon client (simulation plane).
+
+A client "submits task requests to a dispatcher" (§7); with
+client–dispatcher bundling (§3.4) it packs up to ``bundle_size`` tasks
+into each submit call, paying the Figure 5 call cost (fixed + linear +
+the Axis quadratic term) per call before the dispatcher ingests the
+batch.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.dispatcher import SimDispatcher, TaskRecord
+from repro.net.costs import BundlingCostModel
+from repro.sim import Environment
+from repro.types import TaskSpec
+
+__all__ = ["SimClient"]
+
+
+class SimClient:
+    """Workload-submitting client bound to one dispatcher."""
+
+    def __init__(
+        self,
+        env: Environment,
+        dispatcher: SimDispatcher,
+        bundling: Optional[BundlingCostModel] = None,
+    ) -> None:
+        self.env = env
+        self.dispatcher = dispatcher
+        self.bundling = bundling or BundlingCostModel()
+        self.bundles_sent = 0
+        self.tasks_sent = 0
+
+    def effective_bundle_size(self, override: Optional[int] = None) -> int:
+        """The bundle size in force (1 when bundling is disabled)."""
+        config = self.dispatcher.config
+        if override is not None:
+            if override <= 0:
+                raise ValueError("bundle size must be positive")
+            return override
+        return config.bundle_size if config.client_bundling else 1
+
+    def submit(
+        self, tasks: list[TaskSpec], bundle_size: Optional[int] = None
+    ) -> Generator:
+        """Generator: submit *tasks*, returning their records.
+
+        Each bundle costs ``bundling.call_cost(b)`` of client wall-clock
+        (serialisation, the WS call, the Axis array handling) before
+        the dispatcher accepts it — so submission of a large workload
+        takes real time during which early tasks already execute.
+        """
+        if not tasks:
+            return []
+        size = self.effective_bundle_size(bundle_size)
+        records: list[TaskRecord] = []
+        for start in range(0, len(tasks), size):
+            chunk = tasks[start : start + size]
+            yield self.env.timeout(
+                self.bundling.call_cost(len(chunk))
+                * self.dispatcher.costs.security_factor(self.dispatcher.config.security)
+            )
+            records.extend((yield from self.dispatcher.accept_tasks(chunk)))
+            self.bundles_sent += 1
+            self.tasks_sent += len(chunk)
+        return records
+
+    def submit_and_wait(
+        self, tasks: list[TaskSpec], bundle_size: Optional[int] = None
+    ) -> Generator:
+        """Generator: submit *tasks* and wait for all their results."""
+        records = yield from self.submit(tasks, bundle_size)
+        results = []
+        for record in records:
+            result = yield record.completion
+            results.append(result)
+        return results
+
+    def __repr__(self) -> str:
+        return f"<SimClient sent={self.tasks_sent} bundles={self.bundles_sent}>"

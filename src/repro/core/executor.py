@@ -1,0 +1,298 @@
+"""The Falkon executor (simulation plane).
+
+An executor is "a simple task executor" (§1) living on one processor of
+a compute node.  Lifecycle (§3.2): start up (JVM launch), REGISTER with
+the dispatcher, then loop — wait for work (the hybrid push/pull of
+§3.3), execute it, deliver the result, possibly receive the next task
+piggy-backed on the acknowledgement (§3.4).  Under the distributed
+release policy the executor de-registers itself after sitting idle for
+the configured time (§3.1).
+
+Per-task wall-clock overhead (thread creation, WS pick-up, the Java
+``exec``, result delivery) is calibrated so one executor sustains the
+paper's 28 tasks/s (12 with security); a ``contention_factor`` scales
+it up when many executors share one physical machine, as in the
+54 000-executor experiment (900 per machine, §4.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from enum import Enum
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.core.dispatcher import SimDispatcher, TaskRecord
+from repro.core.policies import ReleasePolicy, NeverRelease
+from repro.core.staging import StagingModel
+from repro.sim import Environment, Interrupt, TimeSeries
+from repro.types import TaskResult
+
+__all__ = ["ExecutorState", "SimExecutor"]
+
+_executor_seq = itertools.count(1)
+
+
+class ExecutorState(Enum):
+    """Lifecycle states, matching Figures 12–13's color coding:
+    STARTING = "allocated" (blue), IDLE = "registered" (red),
+    BUSY = "active" (green)."""
+
+    STARTING = "starting"
+    IDLE = "idle"
+    BUSY = "busy"
+    RELEASED = "released"
+    CRASHED = "crashed"
+
+
+class SimExecutor:
+    """One executor process.
+
+    Parameters
+    ----------
+    env, dispatcher:
+        The simulation environment and the dispatcher to register with.
+    release_policy:
+        Governs idle self-release; default never releases.
+    startup_delay:
+        Seconds from creation to registration ("JVM startup time and
+        registration generally consume less than five secs", §4.6).
+    staging:
+        Optional :class:`StagingModel` for tasks with data refs.
+    node:
+        Name of the hosting machine (local-disk routing, Figures 4/10).
+    contention_factor:
+        Multiplier on per-task overhead when executors oversubscribe a
+        machine (≈1.0 normally; >1 in the 54 K-executor experiment).
+    overhead_jitter:
+        Lognormal sigma for per-task overhead variation (Figure 10's
+        spread); 0 disables jitter.
+    rng:
+        NumPy generator for jitter and failure injection.
+    failure_rate:
+        Probability a task execution reports failure (failure injection
+        for replay-policy tests).
+    on_release:
+        Callback fired when the executor retires (provisioner hook that
+        frees the underlying processor/machine).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        dispatcher: SimDispatcher,
+        release_policy: Optional[ReleasePolicy] = None,
+        startup_delay: float = 3.0,
+        staging: Optional[StagingModel] = None,
+        node: str = "node0",
+        contention_factor: float = 1.0,
+        overhead_jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        failure_rate: float = 0.0,
+        on_release: Optional[Callable[["SimExecutor"], None]] = None,
+        on_register: Optional[Callable[["SimExecutor"], None]] = None,
+        executor_id: Optional[str] = None,
+    ) -> None:
+        if startup_delay < 0:
+            raise ValueError("startup_delay must be >= 0")
+        if contention_factor < 1.0:
+            raise ValueError("contention_factor must be >= 1")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        self.env = env
+        self.dispatcher = dispatcher
+        self.release_policy = release_policy or NeverRelease()
+        self.startup_delay = startup_delay
+        self.staging = staging
+        self.node = node
+        self.contention_factor = contention_factor
+        self.overhead_jitter = overhead_jitter
+        self.rng = rng
+        self.failure_rate = failure_rate
+        self.on_release = on_release
+        self.on_register = on_register
+        self.executor_id = executor_id or f"executor-{next(_executor_seq):06d}"
+
+        self.state = ExecutorState.STARTING
+        self.tasks_executed = 0
+        #: Per-task overhead samples (Figure 10): wall-clock cost minus
+        #: the task's run time.
+        self.overhead_series = TimeSeries(f"{self.executor_id}/overhead")
+        self.registered_at: Optional[float] = None
+        self.released_at: Optional[float] = None
+        #: Simulated time this executor last became idle (None while
+        #: busy or before registration) — input to coordinated release.
+        self.idle_since: Optional[float] = None
+        self._current_record: Optional[TaskRecord] = None
+        self._pending_bundle: list[tuple[TaskRecord, bool]] = []
+        self._proc = env.process(self._lifecycle(), name=self.executor_id)
+
+    # -- public state ------------------------------------------------------
+    @property
+    def is_busy(self) -> bool:
+        return self.state is ExecutorState.BUSY
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state not in (ExecutorState.RELEASED, ExecutorState.CRASHED)
+
+    def crash(self) -> None:
+        """Kill the executor immediately (failure injection).
+
+        The dispatcher replays any in-flight task per the replay policy.
+        """
+        if not self.is_alive:
+            return
+        self._proc.defused = True
+        self._proc.interrupt("crash")
+
+    def release(self) -> None:
+        """Ask the executor to retire as soon as it is idle
+        (centralized release policy / provisioner teardown)."""
+        if self.is_alive and not self.is_busy:
+            self._proc.defused = True
+            self._proc.interrupt("release")
+
+    # -- internals ----------------------------------------------------------
+    def _per_task_overhead(self) -> float:
+        base = (
+            self.dispatcher.costs.executor_overhead(self.dispatcher.config.security)
+            - self.dispatcher.costs.dispatcher_cpu_per_task(self.dispatcher.config.security)
+        )
+        overhead = base * self.contention_factor
+        if self.overhead_jitter > 0 and self.rng is not None:
+            overhead *= float(self.rng.lognormal(mean=0.0, sigma=self.overhead_jitter))
+        return overhead
+
+    def _lifecycle(self) -> Generator:
+        crashed = False
+        try:
+            if self.startup_delay > 0:
+                yield self.env.timeout(self.startup_delay)
+            self.state = ExecutorState.IDLE
+            self.idle_since = self.env.now
+            self.registered_at = self.env.now
+            self.dispatcher.register_executor(self)
+            if self.on_register is not None:
+                self.on_register(self)
+
+            # Pending (record, shared_exchange) pairs: the head of each
+            # dispatcher bundle pays the full exchange, followers share it.
+            pending: list[tuple[TaskRecord, bool]] = []
+            self._pending_bundle = pending
+            while True:
+                if not pending:
+                    record = yield from self._wait_for_work()
+                    if record is None:
+                        break  # idle-released
+                    bundle = self.dispatcher.take_bundle(record)
+                    pending.extend((r, i > 0) for i, r in enumerate(bundle))
+                record, shared = pending.pop(0)
+                next_record = yield from self._run_task(record, shared_exchange=shared)
+                if next_record is not None:
+                    bundle = self.dispatcher.take_bundle(next_record)
+                    pending.extend((r, i > 0) for i, r in enumerate(bundle))
+        except Interrupt as intr:
+            crashed = intr.cause == "crash"
+        finally:
+            self._retire(crashed)
+
+    def _wait_for_work(self) -> Generator:
+        """Blocking pull with the release policy's idle timeout."""
+        idle_limit = self.release_policy.executor_idle_timeout()
+        get = self.dispatcher.request_task(self._task_filter())
+        try:
+            if math.isinf(idle_limit):
+                record = yield get
+                return record
+            deadline = self.env.timeout(idle_limit)
+            yield self.env.any_of([get, deadline])
+            if get.triggered:
+                return get.value
+            get.cancel()
+            return None
+        except Interrupt:
+            # Crash/teardown while parked: never strand a task the get
+            # may already have claimed, nor leave a live getter behind.
+            if get.triggered and get.ok:
+                self.dispatcher.requeue_undispatched(get.value)
+            else:
+                get.cancel()
+            raise
+
+    def _task_filter(self):
+        """Predicate for the dispatch policy; next-available takes any."""
+        return None
+
+    def _run_task(self, record: TaskRecord, shared_exchange: bool = False) -> Generator:
+        """Execute one task; returns the piggy-backed next record.
+
+        *shared_exchange* marks a follower in a dispatcher→executor
+        bundle (§3.4): the notify/pick-up costs were paid by the bundle
+        head, so only execution-side work remains.
+        """
+        self.state = ExecutorState.BUSY
+        self.idle_since = None
+        self._current_record = record
+        attempt = yield from self.dispatcher.dispatch_leg(
+            record, self.executor_id, shared_exchange=shared_exchange
+        )
+        started = self.env.now
+        overhead = self._per_task_overhead()
+        # Thread creation + WS pick-up happen before the exec (shared
+        # across a bundle; followers only fork).
+        yield self.env.timeout((0.15 if shared_exchange else 0.6) * overhead)
+        if self.staging is not None:
+            yield from self.staging.stage_in(self.env, record.spec, self.node)
+        record.timeline.started = self.env.now
+        if record.spec.duration > 0:
+            yield self.env.timeout(record.spec.duration)
+        if self.staging is not None:
+            yield from self.staging.stage_out(self.env, record.spec, self.node)
+        # Result marshalling + delivery WS call.
+        yield self.env.timeout(0.4 * overhead)
+        failed = (
+            self.failure_rate > 0
+            and self.rng is not None
+            and float(self.rng.random()) < self.failure_rate
+        )
+        result = TaskResult(
+            record.task_id,
+            return_code=1 if failed else 0,
+            error="injected failure" if failed else "",
+            executor_id=self.executor_id,
+        )
+        self.overhead_series.record(
+            started, self.env.now - started - record.spec.duration
+        )
+        self.tasks_executed += 1
+        next_record = yield from self.dispatcher.deliver_result(record, result, attempt)
+        self._current_record = None
+        self.state = ExecutorState.IDLE
+        self.idle_since = self.env.now
+        return next_record
+
+    def _retire(self, crashed: bool) -> None:
+        if self.state in (ExecutorState.RELEASED, ExecutorState.CRASHED):
+            return
+        was_busy = self.state is ExecutorState.BUSY
+        registered = self.state in (ExecutorState.IDLE, ExecutorState.BUSY)
+        self.state = ExecutorState.CRASHED if crashed else ExecutorState.RELEASED
+        self.released_at = self.env.now
+        if registered:
+            self.dispatcher.deregister_executor(self)
+        if was_busy:
+            self.dispatcher.executor_lost(self.executor_id, self._current_record)
+            self._current_record = None
+        # Never strand bundled tasks the executor claimed but had not
+        # started (dispatcher→executor bundling, §3.4).
+        pending, self._pending_bundle = self._pending_bundle, []
+        for record, _shared in pending:
+            self.dispatcher.requeue_undispatched(record)
+        if self.on_release is not None:
+            self.on_release(self)
+
+    def __repr__(self) -> str:
+        return f"<SimExecutor {self.executor_id} {self.state.value} ran={self.tasks_executed}>"

@@ -1,0 +1,223 @@
+"""Falkon scheduling policies (§3.1).
+
+Three policy families:
+
+* **Dispatch policy** — which executor gets the next task.  The store
+  discipline in the dispatcher already realises *next-available*; the
+  *data-aware* policy (a §6 future-work item) is provided by
+  :mod:`repro.extensions.datacache`.
+* **Resource acquisition policy** — how many resources to ask the LRM
+  for and in how many requests.  All five strategies the paper lists
+  are implemented: one request for *n* resources, *n* requests for one
+  resource, arithmetically growing requests, exponentially growing
+  requests, and a strategy sized by LRM-reported availability.
+* **Resource release policy** — when resources are given back:
+  distributed (each executor releases itself after an idle timeout),
+  centralized (the dispatcher releases when the queue is short), or
+  never (Falkon-∞).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.config import AcquisitionPolicyName, ReleasePolicyName
+
+__all__ = [
+    "AcquisitionPolicy",
+    "AllAtOnce",
+    "OneAtATime",
+    "Additive",
+    "Exponential",
+    "Available",
+    "make_acquisition_policy",
+    "ReleasePolicy",
+    "DistributedIdle",
+    "CentralizedQueue",
+    "NeverRelease",
+    "make_release_policy",
+]
+
+
+class AcquisitionPolicy:
+    """Splits a resource need into a list of LRM request sizes."""
+
+    name = "abstract"
+
+    def plan(self, needed: int, available: Optional[int] = None) -> list[int]:
+        """Return request sizes summing to at most *needed* (≥ 1 each).
+
+        Parameters
+        ----------
+        needed:
+            Additional resources the provisioner wants.
+        available:
+            LRM-reported free nodes, when known (used by
+            :class:`Available`; others ignore it).
+        """
+        raise NotImplementedError
+
+    def _check(self, needed: int) -> None:
+        if needed < 0:
+            raise ValueError(f"needed must be >= 0, got {needed}")
+
+
+class AllAtOnce(AcquisitionPolicy):
+    """One request for all *n* resources (the paper's experiments)."""
+
+    name = "all-at-once"
+
+    def plan(self, needed: int, available: Optional[int] = None) -> list[int]:
+        self._check(needed)
+        return [needed] if needed > 0 else []
+
+
+class OneAtATime(AcquisitionPolicy):
+    """*n* requests for a single resource each."""
+
+    name = "one-at-a-time"
+
+    def plan(self, needed: int, available: Optional[int] = None) -> list[int]:
+        self._check(needed)
+        return [1] * needed
+
+
+class Additive(AcquisitionPolicy):
+    """Arithmetically growing requests: step, 2·step, 3·step, ..."""
+
+    name = "additive"
+
+    def __init__(self, step: int = 1) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.step = step
+
+    def plan(self, needed: int, available: Optional[int] = None) -> list[int]:
+        self._check(needed)
+        plan: list[int] = []
+        size = self.step
+        remaining = needed
+        while remaining > 0:
+            take = min(size, remaining)
+            plan.append(take)
+            remaining -= take
+            size += self.step
+        return plan
+
+
+class Exponential(AcquisitionPolicy):
+    """Exponentially growing requests: 1, 2, 4, 8, ..."""
+
+    name = "exponential"
+
+    def __init__(self, base: int = 2) -> None:
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        self.base = base
+
+    def plan(self, needed: int, available: Optional[int] = None) -> list[int]:
+        self._check(needed)
+        plan: list[int] = []
+        size = 1
+        remaining = needed
+        while remaining > 0:
+            take = min(size, remaining)
+            plan.append(take)
+            remaining -= take
+            size *= self.base
+        return plan
+
+
+class Available(AcquisitionPolicy):
+    """One request sized by the LRM's reported free resources.
+
+    Falls back to all-at-once when availability is unknown; requests
+    nothing when the LRM reports zero free nodes (retry next poll).
+    """
+
+    name = "available"
+
+    def plan(self, needed: int, available: Optional[int] = None) -> list[int]:
+        self._check(needed)
+        if needed == 0:
+            return []
+        if available is None:
+            return [needed]
+        grant = min(needed, available)
+        return [grant] if grant > 0 else []
+
+
+def make_acquisition_policy(name: AcquisitionPolicyName) -> AcquisitionPolicy:
+    """Instantiate the named §3.1 acquisition strategy."""
+    table = {
+        AcquisitionPolicyName.ALL_AT_ONCE: AllAtOnce,
+        AcquisitionPolicyName.ONE_AT_A_TIME: OneAtATime,
+        AcquisitionPolicyName.ADDITIVE: Additive,
+        AcquisitionPolicyName.EXPONENTIAL: Exponential,
+        AcquisitionPolicyName.AVAILABLE: Available,
+    }
+    return table[name]()
+
+
+class ReleasePolicy:
+    """Decides when resources are returned to the LRM."""
+
+    name = "abstract"
+
+    def executor_idle_timeout(self) -> float:
+        """Seconds an executor may sit idle before releasing itself
+        (``inf`` disables distributed self-release)."""
+        return math.inf
+
+    def dispatcher_should_release(self, queued_tasks: int, idle_executors: int) -> bool:
+        """Centralized check run by the provisioner's poll loop."""
+        return False
+
+
+class DistributedIdle(ReleasePolicy):
+    """§3.1's distributed policy: "if the resource has been idle for
+    time t, the resource should release itself"."""
+
+    name = "distributed-idle"
+
+    def __init__(self, idle_time: float) -> None:
+        if idle_time <= 0:
+            raise ValueError("idle_time must be positive")
+        self.idle_time = float(idle_time)
+
+    def executor_idle_timeout(self) -> float:
+        return self.idle_time
+
+
+class CentralizedQueue(ReleasePolicy):
+    """§3.1's centralized policy: "if the number of queued tasks is
+    less than q, release a resource" (q = 0 → release when no queued
+    tasks and executors sit idle)."""
+
+    name = "centralized-queue"
+
+    def __init__(self, threshold: int = 0) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+
+    def dispatcher_should_release(self, queued_tasks: int, idle_executors: int) -> bool:
+        return idle_executors > 0 and queued_tasks <= self.threshold
+
+
+class NeverRelease(ReleasePolicy):
+    """Falkon-∞: hold all resources until explicit teardown."""
+
+    name = "never"
+
+
+def make_release_policy(
+    name: ReleasePolicyName, idle_time: float = 60.0, threshold: int = 0
+) -> ReleasePolicy:
+    """Instantiate the named release policy with its parameter."""
+    if name is ReleasePolicyName.DISTRIBUTED_IDLE:
+        return DistributedIdle(idle_time)
+    if name is ReleasePolicyName.CENTRALIZED_QUEUE:
+        return CentralizedQueue(threshold)
+    return NeverRelease()

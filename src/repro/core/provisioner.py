@@ -1,0 +1,252 @@
+"""The Falkon provisioner: dynamic resource provisioning (§3.2, §4.6).
+
+The provisioner "periodically monitors dispatcher state {POLL} and,
+based on policy, determines whether to create additional executors,
+and if so, how many, and for how long.  Creation requests are issued
+via GRAM4 to abstract LRM details."
+
+Mechanics reproduced here:
+
+* demand is read from the dispatcher (queued + busy tasks), clamped to
+  ``[min_executors, max_executors]``;
+* the shortfall is converted into LRM requests by the configured
+  acquisition policy (all five §3.1 strategies available);
+* each granted allocation starts ``executors_per_node`` executors per
+  machine, which register with the dispatcher;
+* release is governed by the release policy — distributed idle
+  executors retire themselves and their machine is handed back to the
+  LRM *individually* (the paper's per-resource distributed release),
+  or the provisioner's poll loop releases idle executors under the
+  centralized policy;
+* the Figure 12/13 "allocated" series (executors whose creation and
+  registration are in progress) is tracked in
+  :class:`ProvisionerStats`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.cluster.node import Machine
+from repro.config import FalkonConfig, ReleasePolicyName
+from repro.core.dispatcher import SimDispatcher
+from repro.core.executor import SimExecutor
+from repro.core.policies import (
+    make_acquisition_policy,
+    make_release_policy,
+)
+from repro.core.staging import StagingModel
+from repro.lrm.gram import Gram4Gateway
+from repro.sim import Environment, Gauge, Interrupt
+
+__all__ = ["Provisioner", "ProvisionerStats"]
+
+
+@dataclass
+class ProvisionerStats:
+    """Counters and time series for Tables 3–4 and Figures 12–13."""
+
+    #: GRAM allocation requests issued (Table 4's "resource allocations").
+    allocations_requested: int = 0
+    allocations_granted: int = 0
+    executors_started: int = 0
+    executors_released: int = 0
+    #: Executors whose creation/registration is in progress (blue).
+    allocated_gauge: Gauge = field(default_factory=lambda: Gauge("provisioner/allocated"))
+
+    @property
+    def pending_executors(self) -> int:
+        return int(self.allocated_gauge.current)
+
+
+class Provisioner:
+    """Dynamic resource provisioner over a GRAM4 gateway."""
+
+    def __init__(
+        self,
+        env: Environment,
+        dispatcher: SimDispatcher,
+        gateway: Gram4Gateway,
+        config: Optional[FalkonConfig] = None,
+        staging: Optional[StagingModel] = None,
+        executor_factory: Optional[Callable[..., SimExecutor]] = None,
+    ) -> None:
+        self.env = env
+        self.dispatcher = dispatcher
+        self.gateway = gateway
+        self.config = (config or dispatcher.config).validate()
+        self.staging = staging
+        self.executor_factory = executor_factory or self._default_factory
+        self.acquisition = make_acquisition_policy(self.config.acquisition_policy)
+        self.release_policy = make_release_policy(
+            self.config.release_policy,
+            idle_time=self.config.idle_release_time,
+            threshold=self.config.centralized_queue_threshold,
+        )
+        self.stats = ProvisionerStats()
+        self._stopped = False
+        self._proc = env.process(self._poll_loop(), name="provisioner")
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Cease provisioning (running executors keep draining work)."""
+        self._stopped = True
+        # Only interrupt a process that is parked on an event; one that
+        # has not run yet observes the flag at its first iteration.
+        if self._proc.is_alive and self._proc.target is not None:
+            self._proc.interrupt("stop")
+
+    def prewarm(self) -> Generator:
+        """Generator: allocate ``min_executors`` up front and wait for
+        them all to register (the Falkon-∞ setup, whose provisioning
+        time the paper excludes from the workload measurement)."""
+        needed = self.config.min_executors - self._supply()
+        if needed > 0:
+            yield from self._acquire(needed)
+        while self.dispatcher.registered_executors < self.config.min_executors:
+            yield self.env.timeout(1.0)
+
+    # ------------------------------------------------------------------
+    def _default_factory(self, machine: Machine, **kwargs) -> SimExecutor:
+        return SimExecutor(
+            self.env,
+            self.dispatcher,
+            release_policy=self.release_policy,
+            staging=self.staging,
+            node=machine.name,
+            **kwargs,
+        )
+
+    def _supply(self) -> int:
+        """Executors that exist or are on their way."""
+        return self.dispatcher.registered_executors + self.stats.pending_executors
+
+    def _demand(self) -> int:
+        """Executors the current workload could use."""
+        return self.dispatcher.queued_tasks + self.dispatcher.busy_executors
+
+    def _poll_loop(self) -> Generator:
+        centralized = self.config.release_policy is ReleasePolicyName.CENTRALIZED_QUEUE
+        try:
+            while not self._stopped:
+                demand = self._demand()
+                target = max(self.config.min_executors, min(self.config.max_executors, demand))
+                shortfall = target - self._supply()
+                if shortfall > 0:
+                    yield from self._acquire(shortfall)
+                if centralized and self.release_policy.dispatcher_should_release(
+                    self.dispatcher.queued_tasks, self.dispatcher.idle_executors
+                ):
+                    idle = self.dispatcher.idle_executor_list()
+                    if idle:
+                        idle[0].release()
+                # Sleep: poll while anything is in flight, else wait for
+                # task arrivals so idle simulations can terminate.
+                busy_system = (
+                    self.dispatcher.queued_tasks > 0
+                    or self.dispatcher.busy_executors > 0
+                    or self.stats.pending_executors > 0
+                    or (centralized and self.dispatcher.idle_executors > 0)
+                    or self._supply() < self.config.min_executors
+                )
+                if busy_system:
+                    yield self.env.timeout(self.config.provisioner_poll_interval)
+                else:
+                    yield self.dispatcher.activity()
+        except Interrupt:
+            return
+
+    def _acquire(self, executors_needed: int) -> Generator:
+        """Issue allocation requests covering *executors_needed*."""
+        per_node = self.config.executors_per_node
+        nodes_needed = math.ceil(executors_needed / per_node)
+        plan = self.acquisition.plan(nodes_needed, available=self.gateway.free_nodes())
+        for size in plan:
+            self.stats.allocations_requested += 1
+            self.stats.allocated_gauge.add(self.env.now, size * per_node)
+            job = yield from self.gateway.allocate(
+                nodes=size,
+                walltime=self.config.allocation_lease,
+                body=self._allocation_body,
+                name=f"falkon-alloc-{self.stats.allocations_requested}",
+            )
+            # The job queues at the LRM; executors start when it runs.
+            # If it dies before starting, un-count its pending executors.
+            self.env.process(
+                self._watch_allocation(job, size * per_node),
+                name=f"{job.job_id}-watch",
+            )
+
+    def _watch_allocation(self, job, expected_executors: int) -> Generator:
+        from repro.errors import ProvisioningError
+
+        try:
+            yield job.started
+        except ProvisioningError:
+            self.stats.allocated_gauge.add(self.env.now, -expected_executors)
+
+    def _allocation_body(self, env: Environment, job, machines: list[Machine]) -> Generator:
+        """Runs on the allocated machines: hosts the executors.
+
+        Implements the paper's *distributed* per-resource release: when
+        every executor on a machine has retired, that machine is handed
+        back to the LRM individually rather than waiting for the whole
+        allocation.
+        """
+        self.stats.allocations_granted += 1
+        per_node = self.config.executors_per_node
+        all_done = env.event()
+        live_per_machine: dict[str, int] = {}
+        live_total = 0
+        executors: list[SimExecutor] = []
+        machine_by_name = {m.name: m for m in machines}
+
+        def on_release(executor: SimExecutor) -> None:
+            nonlocal live_total
+            machine = machine_by_name[executor.node]
+            machine.vacate()
+            self.stats.executors_released += 1
+            self.stats.allocated_gauge.add(
+                env.now, -1 if executor.registered_at is None else 0
+            )
+            live_per_machine[machine.name] -= 1
+            live_total -= 1
+            if live_per_machine[machine.name] == 0 and machine in job.machines:
+                # Per-resource distributed release (§3.1).
+                job.machines.remove(machine)
+                self.gateway.lrm.cluster.release([machine])
+            if live_total == 0 and not all_done.triggered:
+                all_done.succeed(None)
+
+        def on_register(executor: SimExecutor) -> None:
+            self.stats.allocated_gauge.add(env.now, -1)
+
+        for machine in machines:
+            live_per_machine[machine.name] = 0
+            for _slot in range(per_node):
+                machine.occupy()
+                live_per_machine[machine.name] += 1
+                live_total += 1
+                self.stats.executors_started += 1
+                executors.append(
+                    self.executor_factory(
+                        machine,
+                        on_release=on_release,
+                        on_register=on_register,
+                    )
+                )
+        try:
+            yield all_done
+        except Interrupt:
+            # Lease expiry or teardown: kill whatever still runs.
+            for executor in executors:
+                if executor.is_alive:
+                    executor.crash()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Provisioner {self.acquisition.name}/{self.release_policy.name} "
+            f"allocations={self.stats.allocations_requested}>"
+        )

@@ -1,0 +1,150 @@
+"""The factory/instance pattern (§3.2) for the simulation plane.
+
+"The dispatcher implements the factory/instance pattern, providing a
+*create instance* operation to allow a clean separation among
+different clients.  To access the dispatcher, a client first requests
+creation of a new instance, for which is returned a unique endpoint
+reference (EPR).  The client then uses that EPR to submit tasks,
+monitor progress, retrieve results, and (finally) destroy the
+instance."
+
+:class:`FalkonService` fronts one shared :class:`SimDispatcher` (all
+instances share the executor pool and the notification engine, as in
+the paper) while giving each client its own task namespace, result
+view and teardown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.core.client import SimClient
+from repro.core.dispatcher import SimDispatcher, TaskRecord
+from repro.errors import DispatchError
+from repro.net.costs import BundlingCostModel
+from repro.sim import Environment
+from repro.types import TaskResult, TaskSpec, TaskState
+
+__all__ = ["ClientInstance", "FalkonService"]
+
+
+class ClientInstance:
+    """One client's endpoint: an EPR-scoped view of the dispatcher."""
+
+    def __init__(self, service: "FalkonService", epr: str) -> None:
+        self._service = service
+        self.epr = epr
+        self._client = SimClient(service.env, service.dispatcher, service.bundling)
+        self._records: dict[str, TaskRecord] = {}
+        self._destroyed = False
+
+    # -- submission ------------------------------------------------------
+    def submit(self, tasks: list[TaskSpec], bundle_size: Optional[int] = None) -> Generator:
+        """Generator: submit through this instance; returns records."""
+        self._check_alive()
+        records = yield from self._client.submit(tasks, bundle_size)
+        for record in records:
+            self._records[record.task_id] = record
+        return records
+
+    def submit_and_wait(
+        self, tasks: list[TaskSpec], bundle_size: Optional[int] = None
+    ) -> Generator:
+        """Generator: submit and wait for this batch's results."""
+        records = yield from self.submit(tasks, bundle_size)
+        results = []
+        for record in records:
+            result = yield record.completion
+            results.append(result)
+        return results
+
+    # -- monitoring (messages {8}-{10}) ------------------------------------
+    def progress(self) -> dict[str, int]:
+        """Per-state counts of this instance's tasks."""
+        counts = {state.value: 0 for state in TaskState}
+        for record in self._records.values():
+            counts[record.state.value] += 1
+        return counts
+
+    def results(self) -> list[TaskResult]:
+        """Results finished so far (the GET_RESULTS view)."""
+        return [
+            record.result
+            for record in self._records.values()
+            if record.result is not None
+        ]
+
+    @property
+    def task_count(self) -> int:
+        return len(self._records)
+
+    # -- teardown ----------------------------------------------------------
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def destroy(self) -> int:
+        """Destroy the instance; still-queued tasks are withdrawn.
+
+        Returns the number of tasks cancelled.  In-flight (dispatched)
+        tasks finish on their executors, but their results are no
+        longer deliverable to anyone.
+        """
+        if self._destroyed:
+            return 0
+        self._destroyed = True
+        cancelled = 0
+        for record in self._records.values():
+            if record.state is TaskState.QUEUED and self._service.dispatcher.withdraw(record):
+                cancelled += 1
+        self._service._instance_destroyed(self.epr)
+        return cancelled
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise DispatchError(f"instance {self.epr} has been destroyed")
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else "active"
+        return f"<ClientInstance {self.epr} {state} tasks={len(self._records)}>"
+
+
+class FalkonService:
+    """The dispatcher factory: hands out client instances."""
+
+    def __init__(
+        self,
+        env: Environment,
+        dispatcher: SimDispatcher,
+        bundling: Optional[BundlingCostModel] = None,
+    ) -> None:
+        self.env = env
+        self.dispatcher = dispatcher
+        self.bundling = bundling or BundlingCostModel()
+        self._seq = itertools.count(1)
+        self._instances: dict[str, ClientInstance] = {}
+
+    def create_instance(self) -> ClientInstance:
+        """The factory operation: a fresh EPR-scoped instance."""
+        epr = f"falkon-epr-{next(self._seq):04d}"
+        instance = ClientInstance(self, epr)
+        self._instances[epr] = instance
+        return instance
+
+    def instance(self, epr: str) -> ClientInstance:
+        """Look an instance up by its EPR."""
+        try:
+            return self._instances[epr]
+        except KeyError:
+            raise DispatchError(f"unknown EPR {epr!r}") from None
+
+    @property
+    def active_instances(self) -> int:
+        return len(self._instances)
+
+    def _instance_destroyed(self, epr: str) -> None:
+        self._instances.pop(epr, None)
+
+    def __repr__(self) -> str:
+        return f"<FalkonService instances={len(self._instances)}>"

@@ -1,0 +1,55 @@
+"""Data staging performed by executors (Figure 4 substrate).
+
+§3.1 assumes "all data needed by a task is available in a shared file
+system"; §4.2 measures what that costs.  A :class:`StagingModel` binds
+the executor to the filesystem models: each :class:`~repro.types.DataRef`
+is read before execution and written after, against the shared
+filesystem or the executor's node-local disk according to the ref's
+``location``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.filesystem import LocalDisk, SharedFileSystem
+from repro.sim import Environment
+from repro.types import DataLocation, TaskSpec
+
+__all__ = ["StagingModel"]
+
+
+class StagingModel:
+    """Routes a task's data refs to the right filesystem model."""
+
+    def __init__(
+        self,
+        shared: Optional[SharedFileSystem] = None,
+        local: Optional[LocalDisk] = None,
+    ) -> None:
+        self.shared = shared
+        self.local = local
+
+    def _require(self, location: DataLocation):
+        fs = self.shared if location is DataLocation.SHARED else self.local
+        if fs is None:
+            raise RuntimeError(f"no filesystem model bound for {location.value} data")
+        return fs
+
+    def stage_in(self, env: Environment, task: TaskSpec, node: str) -> Generator:
+        """Generator: read every input ref (blocking for contention)."""
+        for ref in task.reads:
+            fs = self._require(ref.location)
+            if isinstance(fs, LocalDisk):
+                yield from fs.read(env, ref.size_bytes, node=node)
+            else:
+                yield from fs.read(env, ref.size_bytes)
+
+    def stage_out(self, env: Environment, task: TaskSpec, node: str) -> Generator:
+        """Generator: write every output ref."""
+        for ref in task.writes:
+            fs = self._require(ref.location)
+            if isinstance(fs, LocalDisk):
+                yield from fs.write(env, ref.size_bytes, node=node)
+            else:
+                yield from fs.write(env, ref.size_bytes)

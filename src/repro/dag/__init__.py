@@ -1,0 +1,35 @@
+"""Mini-Swift: a data-driven DAG workflow engine.
+
+§5 runs the fMRI and Montage applications through Swift/Karajan, which
+feeds *ready* tasks (those whose inputs exist) to an execution
+*provider* — Falkon, GRAM4+PBS, or clustered GRAM4 submission.  This
+package reproduces exactly that surface:
+
+* :mod:`repro.dag.graph` — the task DAG with dependency tracking.
+* :mod:`repro.dag.engine` — the ready-task scheduler.
+* :mod:`repro.dag.providers` — execution providers: per-task Falkon
+  dispatch, per-task GRAM4+PBS jobs, and clustered GRAM4 submission
+  (Swift's task clustering, §5.1).
+"""
+
+from repro.dag.graph import Workflow, TaskNode
+from repro.dag.engine import WorkflowEngine, WorkflowRunResult
+from repro.dag.checkpoint import WorkflowCheckpoint
+from repro.dag.providers import (
+    ExecutionProvider,
+    FalkonProvider,
+    GramProvider,
+    ClusteredGramProvider,
+)
+
+__all__ = [
+    "Workflow",
+    "TaskNode",
+    "WorkflowEngine",
+    "WorkflowRunResult",
+    "WorkflowCheckpoint",
+    "ExecutionProvider",
+    "FalkonProvider",
+    "GramProvider",
+    "ClusteredGramProvider",
+]

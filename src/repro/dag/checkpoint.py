@@ -1,0 +1,75 @@
+"""Workflow checkpointing (Swift-style restart logs).
+
+Swift's headline reliability feature is the *restart log*: a workflow
+that dies partway (provider outage, resource loss) can be re-run and
+only the tasks whose outputs are missing execute again.  The paper
+leans on this division of labour — Falkon "can rely on ... clients for
+others (e.g., recovery, ...)" (§2) — so the client-side engine carries
+the recovery mechanism here.
+
+A :class:`WorkflowCheckpoint` records successful task results; passing
+it to :meth:`WorkflowEngine.run` skips recorded tasks.  It serialises
+to/from JSON so live workflows can persist it across process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.types import TaskResult
+
+__all__ = ["WorkflowCheckpoint"]
+
+
+class WorkflowCheckpoint:
+    """Append-only record of completed task results."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, TaskResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._results
+
+    def record(self, result: TaskResult) -> None:
+        """Record a *successful* result (failures must re-run)."""
+        if result.ok:
+            self._results[result.task_id] = result
+
+    def result(self, task_id: str) -> Optional[TaskResult]:
+        return self._results.get(task_id)
+
+    def completed_ids(self) -> set[str]:
+        return set(self._results)
+
+    # -- persistence ---------------------------------------------------------
+    def to_json(self) -> str:
+        from repro.live.protocol import result_to_dict
+
+        return json.dumps(
+            {"results": [result_to_dict(r) for r in self._results.values()]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkflowCheckpoint":
+        from repro.live.protocol import result_from_dict
+
+        checkpoint = cls()
+        for data in json.loads(text).get("results", ()):
+            checkpoint.record(result_from_dict(data))
+        return checkpoint
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "WorkflowCheckpoint":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self) -> str:
+        return f"<WorkflowCheckpoint completed={len(self._results)}>"

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Falkon reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so
+callers can catch the whole family with one clause while standard
+Python errors (``TypeError``/``ValueError`` for misuse) pass through.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "SecurityError",
+    "DispatchError",
+    "TaskFailedError",
+    "RetryExceededError",
+    "ProvisioningError",
+    "WorkflowError",
+    "ExecutorLostError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-sequence message was received."""
+
+
+class SecurityError(ProtocolError):
+    """Message authentication failed (live plane HMAC verification)."""
+
+
+class DispatchError(ReproError):
+    """The dispatcher could not accept or route a task."""
+
+
+class TaskFailedError(ReproError):
+    """A task finished with a failure outcome.
+
+    Attributes
+    ----------
+    result:
+        The :class:`repro.types.TaskResult` describing the failure,
+        when available.
+    """
+
+    def __init__(self, message: str, result=None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+class RetryExceededError(TaskFailedError):
+    """A task failed more times than the replay policy allows."""
+
+
+class ProvisioningError(ReproError):
+    """The provisioner could not acquire resources from the LRM."""
+
+
+class ExecutorLostError(ReproError):
+    """An executor disappeared while holding a task."""
+
+
+class WorkflowError(ReproError):
+    """A DAG workflow is malformed (cycle, unknown dependency, ...)."""

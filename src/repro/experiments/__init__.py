@@ -1,0 +1,37 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function that builds the workload,
+runs the simulation, and returns structured rows; the corresponding
+``benchmarks/test_*`` file prints the paper-vs-measured comparison and
+asserts the qualitative shape.  The experiment-id ↔ module mapping
+lives in DESIGN.md §4; paper-vs-measured numbers in EXPERIMENTS.md.
+"""
+
+from repro.experiments.fig3_throughput import run_fig3
+from repro.experiments.fig4_data import run_fig4
+from repro.experiments.fig5_bundling import run_fig5
+from repro.experiments.fig6_efficiency import run_fig6
+from repro.experiments.fig7_efficiency_systems import run_fig7
+from repro.experiments.fig8_endurance import run_fig8
+from repro.experiments.fig9_scale import run_fig9
+from repro.experiments.provisioning import run_provisioning, PROVISIONING_CONFIGS
+from repro.experiments.table2_systems import run_table2
+from repro.experiments.fmri import run_fmri
+from repro.experiments.montage import run_montage
+from repro.experiments.threetier import run_threetier
+
+__all__ = [
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_provisioning",
+    "PROVISIONING_CONFIGS",
+    "run_table2",
+    "run_fmri",
+    "run_montage",
+    "run_threetier",
+]

@@ -1,0 +1,84 @@
+"""Figure 3: throughput as a function of executor count (§4.1).
+
+Setup mirrored from the paper: sleep-0 tasks, executor counts swept
+1 → 256, client–dispatcher bundling and piggy-backing on, one series
+without security and one with GSISecureConversation, plus the GT4
+bare-WS-call upper bound (500 calls/s on UC_x64).
+
+Paper anchors: Falkon peaks at 487 tasks/s (no security) and
+204 tasks/s (GSI); a single executor handles 28 / 12 tasks/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FalkonConfig, SecurityMode
+from repro.core.system import FalkonSystem
+from repro.net.costs import WSCostModel
+from repro.workloads.synthetic import sleep_workload
+
+__all__ = ["Fig3Row", "Fig3Result", "run_fig3", "PAPER_ANCHORS_FIG3"]
+
+#: (executors → tasks/s) anchors stated in the paper.
+PAPER_ANCHORS_FIG3 = {
+    "falkon_none_peak": 487.0,
+    "falkon_gsi_peak": 204.0,
+    "gt4_bound": 500.0,
+    "single_executor_none": 28.0,
+    "single_executor_gsi": 12.0,
+}
+
+DEFAULT_EXECUTOR_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class Fig3Row:
+    executors: int
+    throughput_none: float
+    throughput_gsi: float
+    gt4_bound: float
+
+
+@dataclass
+class Fig3Result:
+    rows: list[Fig3Row]
+
+    def peak(self, security: str) -> float:
+        attr = "throughput_none" if security == "none" else "throughput_gsi"
+        return max(getattr(row, attr) for row in self.rows)
+
+    def at(self, executors: int) -> Fig3Row:
+        for row in self.rows:
+            if row.executors == executors:
+                return row
+        raise KeyError(executors)
+
+
+def _throughput(n_executors: int, security: SecurityMode, tasks_per_executor: int) -> float:
+    system = FalkonSystem(FalkonConfig.paper_defaults(security=security))
+    system.static_pool(n_executors)
+    n_tasks = max(200, min(6000, tasks_per_executor * n_executors))
+    result = system.run_workload(sleep_workload(n_tasks))
+    return result.throughput
+
+
+def run_fig3(
+    executor_counts: tuple[int, ...] = DEFAULT_EXECUTOR_COUNTS,
+    tasks_per_executor: int = 60,
+) -> Fig3Result:
+    """Sweep executor counts for both security settings."""
+    gt4_bound = 1.0 / WSCostModel().base_call_cpu
+    rows = []
+    for n in executor_counts:
+        rows.append(
+            Fig3Row(
+                executors=n,
+                throughput_none=_throughput(n, SecurityMode.NONE, tasks_per_executor),
+                throughput_gsi=_throughput(
+                    n, SecurityMode.GSI_SECURE_CONVERSATION, tasks_per_executor
+                ),
+                gt4_bound=gt4_bound,
+            )
+        )
+    return Fig3Result(rows=rows)

@@ -1,0 +1,102 @@
+"""Figure 4: throughput as a function of data size (§4.2).
+
+Setup: 128 executors on 64 nodes, no security, tasks that read (or
+read + write) a payload of 1 B → 1 GB against either the GPFS shared
+filesystem or node-local disk.
+
+Paper anchors (plateaus, megabits/s): GPFS read 3 067; GPFS
+read+write 326; LOCAL read 52 015; LOCAL read+write 32 667.  Task-rate
+ceilings: ~487 tasks/s (dispatch bound) down to 0.04–6.81 tasks/s at
+1 GB; GPFS read+write never exceeds ~150 tasks/s (write contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.filesystem import gpfs_model, local_disk_model
+from repro.config import FalkonConfig
+from repro.core.staging import StagingModel
+from repro.core.system import FalkonSystem
+from repro.types import DataLocation
+from repro.workloads.synthetic import data_workload
+
+__all__ = ["Fig4Point", "Fig4Result", "run_fig4", "FIG4_CONFIGS", "PAPER_ANCHORS_FIG4"]
+
+#: (location, write?) → paper plateau in Mb/s.
+PAPER_ANCHORS_FIG4 = {
+    ("shared", False): 3067.0,
+    ("shared", True): 326.0,
+    ("local", False): 52015.0,
+    ("local", True): 32667.0,
+}
+
+FIG4_CONFIGS = (
+    (DataLocation.SHARED, False, "GPFS read"),
+    (DataLocation.SHARED, True, "GPFS read+write"),
+    (DataLocation.LOCAL, False, "LOCAL read"),
+    (DataLocation.LOCAL, True, "LOCAL read+write"),
+)
+
+DEFAULT_SIZES = (1, 10**3, 10**4, 10**5, 10**6, 10**7, 10**8, 10**9)
+
+
+@dataclass
+class Fig4Point:
+    config: str
+    location: DataLocation
+    write: bool
+    data_bytes: int
+    tasks_per_sec: float
+    megabits_per_sec: float
+
+
+@dataclass
+class Fig4Result:
+    points: list[Fig4Point]
+
+    def series(self, config: str) -> list[Fig4Point]:
+        return [p for p in self.points if p.config == config]
+
+    def plateau_mbps(self, config: str) -> float:
+        return max(p.megabits_per_sec for p in self.series(config))
+
+
+def _tasks_for_size(size: int, executors: int) -> int:
+    """Enough tasks to reach steady state without excessive run time."""
+    if size >= 10**8:
+        return 2 * executors
+    if size >= 10**6:
+        return 4 * executors
+    return 8 * executors
+
+
+def run_fig4(
+    sizes: tuple[int, ...] = DEFAULT_SIZES, executors: int = 128
+) -> Fig4Result:
+    """Sweep data sizes for all four location × access configurations."""
+    points = []
+    for location, write, label in FIG4_CONFIGS:
+        for size in sizes:
+            system = FalkonSystem(FalkonConfig.paper_defaults(), cluster_nodes=64)
+            system.staging = StagingModel(
+                shared=gpfs_model(system.env), local=local_disk_model(system.env)
+            )
+            system.static_pool(executors, executors_per_machine=2)
+            n = _tasks_for_size(size, executors)
+            tasks = data_workload(n, size, location, write)
+            result = system.run_workload(tasks)
+            rate = result.throughput
+            points.append(
+                Fig4Point(
+                    config=label,
+                    location=location,
+                    write=write,
+                    data_bytes=size,
+                    tasks_per_sec=rate,
+                    # The paper counts the payload once per task
+                    # (megabits): Mb/s = tasks/s × size_Mb.
+                    megabits_per_sec=rate * size * 8 / 1e6,
+                )
+            )
+    return Fig4Result(points=points)

@@ -1,0 +1,82 @@
+"""Figure 5: bundling throughput and cost per task (§4.3).
+
+The figure measures client→dispatcher *submission* performance for
+sleep-0 tasks as bundle size varies: from ~20 tasks/s without bundling
+to a peak near 1 500 tasks/s around 300 tasks/bundle, degrading beyond
+(the Axis grow-able-array re-copying).
+
+Two views are produced: the calibrated analytic model (the same
+formula the dispatcher's client uses) and an end-to-end simulation of
+a client actually pushing bundles at the dispatcher, which confirms
+the model under real message interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FalkonConfig
+from repro.core.client import SimClient
+from repro.core.dispatcher import SimDispatcher
+from repro.net.costs import BundlingCostModel
+from repro.sim import Environment
+from repro.workloads.synthetic import sleep_workload
+
+__all__ = ["Fig5Row", "Fig5Result", "run_fig5", "PAPER_ANCHORS_FIG5"]
+
+PAPER_ANCHORS_FIG5 = {
+    "unbundled_tasks_per_sec": 20.0,
+    "peak_tasks_per_sec": 1500.0,
+    "peak_bundle_size": 300.0,
+}
+
+DEFAULT_BUNDLE_SIZES = (1, 2, 5, 10, 25, 50, 100, 200, 300, 400, 600, 800, 1000)
+
+
+@dataclass
+class Fig5Row:
+    bundle_size: int
+    model_tasks_per_sec: float
+    model_cost_per_task_ms: float
+    simulated_tasks_per_sec: float
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+
+    def peak_row(self) -> Fig5Row:
+        return max(self.rows, key=lambda r: r.model_tasks_per_sec)
+
+
+def _simulate_submission(bundle_size: int, n_tasks: int) -> float:
+    """Submission-side throughput: time for the client to push the
+    whole workload into the dispatcher queue (no executors)."""
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    client = SimClient(env, dispatcher)
+    proc = env.process(
+        client.submit(sleep_workload(n_tasks, prefix=f"b{bundle_size}"), bundle_size),
+        name="submitter",
+    )
+    env.run(until=proc)
+    return n_tasks / env.now if env.now > 0 else float("inf")
+
+
+def run_fig5(
+    bundle_sizes: tuple[int, ...] = DEFAULT_BUNDLE_SIZES, n_tasks: int = 3000
+) -> Fig5Result:
+    model = BundlingCostModel()
+    rows = []
+    for size in bundle_sizes:
+        rows.append(
+            Fig5Row(
+                bundle_size=size,
+                model_tasks_per_sec=model.throughput(size),
+                model_cost_per_task_ms=model.per_task_cost(size) * 1e3,
+                simulated_tasks_per_sec=_simulate_submission(
+                    size, max(n_tasks, size * 4)
+                ),
+            )
+        )
+    return Fig5Result(rows=rows)

@@ -1,0 +1,81 @@
+"""Figure 6: efficiency for various task lengths and executor counts (§4.4).
+
+``E_P = S_P / P`` with ``S_P = T_1/T_P``; T_1 is *measured* on one
+executor (it includes Falkon's per-task overhead, so E_1 = 1 by
+construction, exactly as in the paper's plot).
+
+Paper anchors: ≥95 % efficiency for 1 s tasks even at 256 executors;
+"typically less than 1 % loss in efficiency as we increase from 1
+executor to 256"; speedup 242 (1 s tasks) and 255.5 (64 s tasks) at
+256 executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FalkonConfig
+from repro.core.system import FalkonSystem
+from repro.workloads.synthetic import sleep_workload
+
+__all__ = ["Fig6Point", "Fig6Result", "run_fig6"]
+
+DEFAULT_TASK_LENGTHS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+DEFAULT_EXECUTOR_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class Fig6Point:
+    task_seconds: float
+    executors: int
+    makespan: float
+    speedup: float
+    efficiency: float
+
+
+@dataclass
+class Fig6Result:
+    points: list[Fig6Point]
+    tasks_per_run: int
+
+    def at(self, task_seconds: float, executors: int) -> Fig6Point:
+        for p in self.points:
+            if p.task_seconds == task_seconds and p.executors == executors:
+                return p
+        raise KeyError((task_seconds, executors))
+
+    def series(self, task_seconds: float) -> list[Fig6Point]:
+        return [p for p in self.points if p.task_seconds == task_seconds]
+
+
+def _makespan(task_seconds: float, executors: int, n_tasks: int) -> float:
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(executors)
+    result = system.run_workload(
+        sleep_workload(n_tasks, task_seconds, prefix=f"l{task_seconds}e{executors}")
+    )
+    return result.makespan
+
+
+def run_fig6(
+    task_lengths: tuple[float, ...] = DEFAULT_TASK_LENGTHS,
+    executor_counts: tuple[int, ...] = DEFAULT_EXECUTOR_COUNTS,
+    tasks_per_run: int = 4096,
+) -> Fig6Result:
+    """Sweep (task length × executor count); measure T_1 per length."""
+    points = []
+    for length in task_lengths:
+        t1 = _makespan(length, 1, tasks_per_run)
+        for executors in executor_counts:
+            tp = t1 if executors == 1 else _makespan(length, executors, tasks_per_run)
+            s = t1 / tp
+            points.append(
+                Fig6Point(
+                    task_seconds=length,
+                    executors=executors,
+                    makespan=tp,
+                    speedup=s,
+                    efficiency=s / executors,
+                )
+            )
+    return Fig6Result(points=points, tasks_per_run=tasks_per_run)

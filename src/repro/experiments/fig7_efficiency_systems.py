@@ -1,0 +1,123 @@
+"""Figure 7: efficiency vs task length on 64 processors, four systems (§4.4).
+
+"We fixed the number of resources to 32 nodes [64 processors] and
+measured the time to complete 64 tasks of various lengths (ranging
+from 1 sec to 16384)."
+
+Series:
+
+* **Falkon** — measured through the simulation (64 executors).
+* **PBS v2.1.8** and **Condor v6.7.2** — measured through the LRM
+  simulation (64 one-node jobs).
+* **Condor v6.9.3** — *derived*, exactly as the paper derives it, from
+  the cited 11 tasks/s (0.0909 s/task overhead).
+
+Paper anchors: Falkon 95 % at 1 s and 99 % at 8 s; PBS/Condor <1 % at
+1 s, ~90 % at 1 200 s, 99 % only near 16 000 s; Condor v6.9.3 reaches
+90/95/99 % at 50/100/1 000 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import Cluster, ClusterSpec, NodeSpec
+from repro.config import FalkonConfig
+from repro.core.system import FalkonSystem
+from repro.lrm.base import BatchScheduler
+from repro.lrm.condor import CONDOR_672_CONFIG
+from repro.lrm.pbs import PBS_CONFIG
+from repro.metrics.accounting import derived_efficiency
+from repro.sim import Environment
+from repro.workloads.synthetic import sleep_workload
+
+__all__ = ["Fig7Row", "Fig7Result", "run_fig7"]
+
+DEFAULT_TASK_LENGTHS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0)
+N_TASKS = 64
+PROCESSORS = 64
+CONDOR_693_OVERHEAD = 0.0909  # §4.4's derived per-task overhead
+
+
+@dataclass
+class Fig7Row:
+    task_seconds: float
+    falkon: float
+    pbs: float
+    condor_672: float
+    condor_693_derived: float
+
+
+@dataclass
+class Fig7Result:
+    rows: list[Fig7Row]
+
+    def at(self, task_seconds: float) -> Fig7Row:
+        for row in self.rows:
+            if row.task_seconds == task_seconds:
+                return row
+        raise KeyError(task_seconds)
+
+
+def _ideal_t1(task_seconds: float) -> float:
+    return N_TASKS * task_seconds
+
+
+def _falkon_efficiency(task_seconds: float) -> float:
+    """Fig. 6's definition: T_1 measured on one executor (it includes
+    Falkon's per-task overhead), T_P on 64.
+
+    Known deviation: a single 64-task wave keeps fixed costs (one
+    submit call, 64 serialized dispatch legs) un-amortised, so Falkon
+    measures ~88 % at 1 s tasks where the paper plots 95 %; from 4 s
+    up the curves agree (see EXPERIMENTS.md).
+    """
+    system1 = FalkonSystem(FalkonConfig.paper_defaults())
+    system1.static_pool(1)
+    t1 = system1.run_workload(
+        sleep_workload(N_TASKS, task_seconds, prefix=f"f7a-{task_seconds}")
+    ).makespan
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(PROCESSORS)
+    result = system.run_workload(
+        sleep_workload(N_TASKS, task_seconds, prefix=f"f7-{task_seconds}")
+    )
+    return t1 / (result.makespan * PROCESSORS)
+
+
+def _lrm_efficiency(task_seconds: float, config) -> float:
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterSpec(name="fig7", nodes=PROCESSORS, node=NodeSpec(processors=1))
+    )
+    sched = BatchScheduler(env, cluster, config)
+
+    def body_factory(duration):
+        def body(env_, job_, machines):
+            yield env_.timeout(duration)
+
+        return body
+
+    jobs = [
+        sched.submit(1, walltime=task_seconds + 3600, body=body_factory(task_seconds))
+        for _ in range(N_TASKS)
+    ]
+    env.run(until=env.all_of([j.completed for j in jobs]))
+    return _ideal_t1(task_seconds) / (env.now * PROCESSORS)
+
+
+def run_fig7(task_lengths: tuple[float, ...] = DEFAULT_TASK_LENGTHS) -> Fig7Result:
+    rows = []
+    for length in task_lengths:
+        rows.append(
+            Fig7Row(
+                task_seconds=length,
+                falkon=_falkon_efficiency(length),
+                pbs=_lrm_efficiency(length, PBS_CONFIG),
+                condor_672=_lrm_efficiency(length, CONDOR_672_CONFIG),
+                condor_693_derived=derived_efficiency(
+                    length, CONDOR_693_OVERHEAD, PROCESSORS
+                ),
+            )
+        )
+    return Fig7Result(rows=rows)

@@ -1,0 +1,61 @@
+"""Figure 16: the 3-tier architecture experiment (§6).
+
+The paper sketches (without evaluating) a forwarder tier that would
+scale Falkon "to two or more orders of magnitude more executors".
+This experiment quantifies the sketch: aggregate sleep-0 dispatch
+throughput with one forwarder over 1/2/4/8 second-tier dispatchers,
+each managing its own executor pool — versus the single-dispatcher
+487 tasks/s ceiling of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FalkonConfig
+from repro.core.dispatcher import SimDispatcher
+from repro.core.executor import SimExecutor
+from repro.extensions.threetier import Forwarder
+from repro.sim import Environment
+from repro.workloads.synthetic import sleep_workload
+
+__all__ = ["ThreeTierRow", "run_threetier"]
+
+DEFAULT_DISPATCHER_COUNTS = (1, 2, 4, 8)
+EXECUTORS_PER_DISPATCHER = 64
+
+
+@dataclass
+class ThreeTierRow:
+    dispatchers: int
+    executors: int
+    throughput: float
+    per_dispatcher_tasks: dict[int, int]
+
+
+def run_threetier(
+    dispatcher_counts: tuple[int, ...] = DEFAULT_DISPATCHER_COUNTS,
+    tasks_per_dispatcher: int = 3000,
+) -> list[ThreeTierRow]:
+    rows = []
+    for count in dispatcher_counts:
+        env = Environment()
+        dispatchers = []
+        for d in range(count):
+            dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+            for e in range(EXECUTORS_PER_DISPATCHER):
+                SimExecutor(env, dispatcher, startup_delay=0.0, node=f"d{d}n{e // 2}")
+            dispatchers.append(dispatcher)
+        forwarder = Forwarder(env, dispatchers)
+        result = forwarder.run_workload(
+            sleep_workload(tasks_per_dispatcher * count, prefix=f"tt{count}")
+        )
+        rows.append(
+            ThreeTierRow(
+                dispatchers=count,
+                executors=EXECUTORS_PER_DISPATCHER * count,
+                throughput=result.throughput,
+                per_dispatcher_tasks=result.per_dispatcher,
+            )
+        )
+    return rows

@@ -1,0 +1,119 @@
+"""X4 — Grid-trace replay: Falkon vs direct PBS on realistic load.
+
+The introduction argues that dispatching many small tasks through a
+batch scheduler suffers in practice: per-job overheads of "30 secs or
+more", throughput of "perhaps two tasks/sec", and wait times "higher
+in practice than the predictions from simulation-based research" [36];
+real grid load arrives in batches [37].
+
+This experiment replays the same synthetic grid trace
+(:mod:`repro.workloads.traces`) through both systems and compares the
+per-task wait-time distribution — the end-user quantity the paper's
+arguments are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import Cluster, ClusterSpec, NodeSpec
+from repro.config import FalkonConfig
+from repro.core.system import FalkonSystem
+from repro.lrm.pbs import make_pbs
+from repro.sim import Environment
+from repro.workloads.traces import GridTrace, TraceConfig, generate_trace
+
+__all__ = ["TraceReplayResult", "run_trace_replay"]
+
+
+@dataclass
+class TraceReplayResult:
+    trace_tasks: int
+    trace_cpu_seconds: float
+    falkon_mean_wait: float
+    falkon_p95_wait: float
+    falkon_makespan: float
+    pbs_mean_wait: float
+    pbs_p95_wait: float
+    pbs_makespan: float
+
+    @property
+    def wait_improvement(self) -> float:
+        return self.pbs_mean_wait / self.falkon_mean_wait if self.falkon_mean_wait else float("inf")
+
+
+def _replay_falkon(trace: GridTrace, nodes: int, max_executors: int) -> tuple[list[float], float]:
+    config = FalkonConfig.falkon_idle(120.0, max_executors=max_executors)
+    config.executors_per_node = 1
+    system = FalkonSystem(
+        config.validate(), cluster_nodes=nodes, processors_per_node=1
+    )
+    env = system.env
+    records = []
+
+    def driver():
+        for batch in trace.batches():
+            delay = batch[0].submit_at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            batch_records = yield from system.client.submit([t.spec for t in batch])
+            records.extend(batch_records)
+
+    proc = env.process(driver(), name="trace-falkon")
+    env.run(until=proc)
+    env.run(until=system.dispatcher.completion_milestone(len(trace)))
+    waits = [r.timeline.queue_time for r in records]
+    return waits, env.now
+
+
+def _replay_pbs(trace: GridTrace, nodes: int) -> tuple[list[float], float]:
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(name="trace", nodes=nodes, node=NodeSpec(processors=1)))
+    sched = make_pbs(env, cluster)
+    jobs = []
+
+    def body_for(duration):
+        def body(env_, job_, machines):
+            yield env_.timeout(duration)
+
+        return body
+
+    def driver():
+        for batch in trace.batches():
+            delay = batch[0].submit_at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            for task in batch:
+                jobs.append(
+                    sched.submit(1, walltime=task.spec.duration + 7200,
+                                 body=body_for(task.spec.duration))
+                )
+
+    proc = env.process(driver(), name="trace-pbs")
+    env.run(until=proc)
+    env.run(until=env.all_of([j.completed for j in jobs]))
+    waits = [j.queue_wait for j in jobs]
+    return waits, env.now
+
+
+def run_trace_replay(
+    config: TraceConfig | None = None,
+    nodes: int = 64,
+    max_executors: int = 64,
+    seed: int = 11,
+) -> TraceReplayResult:
+    trace = generate_trace(config or TraceConfig(horizon=1800.0), seed=seed)
+    falkon_waits, falkon_end = _replay_falkon(trace, nodes, max_executors)
+    pbs_waits, pbs_end = _replay_pbs(trace, nodes)
+    return TraceReplayResult(
+        trace_tasks=len(trace),
+        trace_cpu_seconds=trace.total_cpu_seconds(),
+        falkon_mean_wait=float(np.mean(falkon_waits)),
+        falkon_p95_wait=float(np.percentile(falkon_waits, 95)),
+        falkon_makespan=falkon_end,
+        pbs_mean_wait=float(np.mean(pbs_waits)),
+        pbs_p95_wait=float(np.percentile(pbs_waits, 95)),
+        pbs_makespan=pbs_end,
+    )

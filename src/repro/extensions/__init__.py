@@ -1,0 +1,36 @@
+"""§6 future-work features, implemented.
+
+The paper closes with three planned enhancements; this package builds
+all three so their benefit can be measured (the X-series ablation
+benches):
+
+* :mod:`repro.extensions.prefetch` — executor task pre-fetching:
+  "executors can request new tasks before they complete execution of
+  old tasks, thus overlapping communication and execution."
+* :mod:`repro.extensions.datacache` — executor data caching plus a
+  data-aware dispatch policy: "executors can populate local caches
+  with data that tasks require ... and a data-aware dispatcher."
+* :mod:`repro.extensions.threetier` — the 3-tier architecture of
+  Figure 16: forwarders between clients and per-cluster dispatchers,
+  reaching executors in private IP space and multiplying aggregate
+  dispatch throughput.
+* :mod:`repro.extensions.coordinated` — §3.1's planned improvement to
+  the distributed release policy: all resources of one allocation are
+  de-allocated at the same time, synchronized by a coordinator.
+"""
+
+from repro.extensions.prefetch import PrefetchingExecutor
+from repro.extensions.datacache import DataCache, DataAwareExecutor
+from repro.extensions.threetier import Forwarder, ForwarderResult
+from repro.extensions.coordinated import CoordinatedProvisioner
+from repro.extensions.polling import PollingExecutor
+
+__all__ = [
+    "PrefetchingExecutor",
+    "DataCache",
+    "DataAwareExecutor",
+    "Forwarder",
+    "ForwarderResult",
+    "CoordinatedProvisioner",
+    "PollingExecutor",
+]

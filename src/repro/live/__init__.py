@@ -1,0 +1,49 @@
+"""The live plane: a real Falkon over TCP on this machine.
+
+The same architecture as :mod:`repro.core`, implemented with threads
+and sockets instead of simulated time:
+
+* :mod:`repro.live.protocol` — framed-JSON connections (HMAC-signed in
+  the GSI-stand-in security mode) plus task/result serialisation.
+* :mod:`repro.live.dispatcher` — the dispatcher server: factory/
+  instance client sessions, executor registry, FIFO queue, hybrid
+  push/pull dispatch, piggy-backed acknowledgements, retries.
+* :mod:`repro.live.executor` — an executor that registers, pulls work
+  and runs it as a subprocess or a registered Python callable.
+* :mod:`repro.live.client` — client API with bundled submission and
+  result futures.
+* :mod:`repro.live.provisioner` — spawns/retires local executor
+  threads as queue depth changes (the adaptive provisioner, scaled to
+  one machine).
+* :mod:`repro.live.local` — :class:`LocalFalkon`, a one-line in-process
+  deployment for the examples.
+"""
+
+from repro.live.protocol import (
+    Connection,
+    task_to_dict,
+    task_from_dict,
+    result_to_dict,
+    result_from_dict,
+)
+from repro.live.dispatcher import LiveDispatcher
+from repro.live.executor import LiveExecutor
+from repro.live.client import LiveClient, TaskFuture
+from repro.live.provisioner import LocalProvisioner
+from repro.live.forwarder import LiveForwarder
+from repro.live.local import LocalFalkon
+
+__all__ = [
+    "Connection",
+    "task_to_dict",
+    "task_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "LiveDispatcher",
+    "LiveExecutor",
+    "LiveClient",
+    "TaskFuture",
+    "LocalProvisioner",
+    "LiveForwarder",
+    "LocalFalkon",
+]

@@ -1,0 +1,142 @@
+"""The live client: bundled submission with result futures.
+
+Mirrors the paper's client surface (§3.2): create an instance, submit
+an array of tasks (bundled, §3.4), receive results asynchronously via
+notifications {8}, or poll with GET_RESULTS {9, 10}.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.live.protocol import Connection, result_from_dict, task_to_dict
+from repro.net.message import Message, MessageType
+from repro.types import Bundle, TaskResult, TaskSpec, TaskTimeline
+
+__all__ = ["TaskFuture", "LiveClient"]
+
+
+class TaskFuture:
+    """Completion handle for one submitted task."""
+
+    def __init__(self, task_id: str) -> None:
+        self.task_id = task_id
+        self._event = threading.Event()
+        self._result: Optional[TaskResult] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> TaskResult:
+        """Block until the result arrives.
+
+        Raises ``TimeoutError`` if it does not arrive in *timeout*.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"no result for {self.task_id} within {timeout}s")
+        assert self._result is not None
+        return self._result
+
+    def _fulfill(self, result: TaskResult) -> None:
+        self._result = result
+        self._event.set()
+
+
+class LiveClient:
+    """Client bound to one live dispatcher."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        key: Optional[bytes] = None,
+        bundle_size: int = 300,
+    ) -> None:
+        if bundle_size <= 0:
+            raise ValueError("bundle_size must be positive")
+        self.address = address
+        self.bundle_size = bundle_size
+        self._futures: dict[str, TaskFuture] = {}
+        self._lock = threading.Lock()
+        self._instance_ready = threading.Event()
+        self._submit_ack = threading.Event()
+        self.epr: Optional[str] = None
+
+        sock = socket.create_connection(address, timeout=10.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._conn = Connection(sock, handler=self._handle, key=key, name="client").start()
+        # Factory/instance pattern: obtain our endpoint reference first.
+        self._conn.send(Message(MessageType.CREATE_INSTANCE, sender="client"))
+        if not self._instance_ready.wait(10.0):
+            raise ProtocolError("dispatcher did not answer CREATE_INSTANCE")
+
+    # -- API ------------------------------------------------------------------
+    def submit(self, tasks: list[TaskSpec]) -> list[TaskFuture]:
+        """Submit *tasks* in bundles; returns one future per task."""
+        if not tasks:
+            return []
+        futures = []
+        with self._lock:
+            for spec in tasks:
+                if spec.task_id in self._futures:
+                    raise ValueError(f"task id {spec.task_id!r} already submitted")
+                future = TaskFuture(spec.task_id)
+                self._futures[spec.task_id] = future
+                futures.append(future)
+        for bundle in Bundle.split(list(tasks), self.bundle_size):
+            self._submit_ack.clear()
+            self._conn.send(
+                Message(
+                    MessageType.SUBMIT,
+                    sender=self.epr or "client",
+                    payload={"tasks": [task_to_dict(t) for t in bundle]},
+                )
+            )
+            if not self._submit_ack.wait(30.0):
+                raise ProtocolError("dispatcher did not acknowledge SUBMIT")
+        return futures
+
+    def run(self, tasks: list[TaskSpec], timeout: Optional[float] = None) -> list[TaskResult]:
+        """Submit and wait for every result, in task order."""
+        futures = self.submit(tasks)
+        return [f.result(timeout) for f in futures]
+
+    def close(self) -> None:
+        try:
+            if not self._conn.closed:
+                self._conn.send(Message(MessageType.DESTROY_INSTANCE, sender=self.epr or ""))
+        except Exception:
+            pass
+        self._conn.close()
+
+    def __enter__(self) -> "LiveClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- inbound ---------------------------------------------------------------
+    def _handle(self, msg: Message) -> None:
+        if msg.type is MessageType.INSTANCE_CREATED:
+            self.epr = msg.payload.get("epr")
+            self._instance_ready.set()
+        elif msg.type is MessageType.SUBMIT_ACK:
+            self._submit_ack.set()
+        elif msg.type is MessageType.CLIENT_NOTIFY:
+            payload = dict(msg.payload.get("result", {}))
+            timeline = payload.pop("timeline", {})
+            result = result_from_dict(payload)
+            result.timeline = TaskTimeline(
+                submitted=timeline.get("submitted", float("nan")),
+                dispatched=timeline.get("dispatched", float("nan")),
+                completed=timeline.get("completed", float("nan")),
+            )
+            with self._lock:
+                future = self._futures.get(result.task_id)
+            if future is not None:
+                future._fulfill(result)
+
+    def __repr__(self) -> str:
+        return f"<LiveClient epr={self.epr} outstanding={len(self._futures)}>"

@@ -1,0 +1,461 @@
+"""The live dispatcher: a threaded TCP server.
+
+Implements the full Figure 2 exchange over real sockets:
+
+* clients CREATE_INSTANCE (factory/instance pattern, §3.2), SUBMIT
+  bundles of tasks, and receive CLIENT_NOTIFY messages as results
+  arrive;
+* executors REGISTER, receive NOTIFY pushes, pull with GET_WORK,
+  deliver RESULT and get a RESULT_ACK that piggy-backs the next task
+  when one is queued (§3.4);
+* a STATUS message answers the provisioner's poll {POLL}.
+
+Failed or disconnected executors have their in-flight tasks replayed
+up to ``max_retries`` (§3.1's replay policy).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.live.protocol import Connection, result_from_dict, task_from_dict, task_to_dict
+from repro.net.message import Message, MessageType
+from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
+
+__all__ = ["LiveDispatcher"]
+
+
+@dataclass
+class _LiveRecord:
+    spec: TaskSpec
+    client_id: str
+    state: TaskState = TaskState.QUEUED
+    attempts: int = 0
+    executor_id: str = ""
+    timeline: TaskTimeline = field(default_factory=TaskTimeline)
+    result: Optional[TaskResult] = None
+
+
+class _ExecutorSession:
+    def __init__(self, executor_id: str, conn: Connection) -> None:
+        self.executor_id = executor_id
+        self.conn = conn
+        self.busy_task: Optional[str] = None
+        self.notified = False
+
+
+class _ClientSession:
+    def __init__(self, client_id: str, conn: Connection) -> None:
+        self.client_id = client_id
+        self.conn = conn
+
+
+class LiveDispatcher:
+    """Threaded Falkon dispatcher listening on ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        key: Optional[bytes] = None,
+        max_retries: int = 3,
+        piggyback: bool = True,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.key = key
+        self.max_retries = max_retries
+        self.piggyback = piggyback
+        self._lock = threading.RLock()
+        self._queue: deque[str] = deque()  # task ids
+        self._records: dict[str, _LiveRecord] = {}
+        self._executors: dict[str, _ExecutorSession] = {}
+        self._clients: dict[str, _ClientSession] = {}
+        self._client_seq = itertools.count(1)
+        self._started = time.monotonic()
+        self.tasks_accepted = 0
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.retries = 0
+
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self._closing = threading.Event()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="dispatcher-acceptor", daemon=True
+        )
+        self._acceptor.start()
+
+    # -- public --------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def stats(self) -> dict[str, int]:
+        """Dispatcher state snapshot (the provisioner's poll data)."""
+        with self._lock:
+            busy = sum(1 for e in self._executors.values() if e.busy_task)
+            return {
+                "queued": len(self._queue),
+                "registered": len(self._executors),
+                "busy": busy,
+                "idle": len(self._executors) - busy,
+                "accepted": self.tasks_accepted,
+                "completed": self.tasks_completed,
+                "failed": self.tasks_failed,
+                "retries": self.retries,
+            }
+
+    def close(self) -> None:
+        """Shut the server and every session down."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            sessions = [e.conn for e in self._executors.values()]
+            sessions += [c.conn for c in self._clients.values()]
+        for conn in sessions:
+            conn.close()
+
+    def __enter__(self) -> "LiveDispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accept / demux -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                sock, _addr = self._server.accept()
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # The session's role is unknown until its first message.
+            _Session(self, sock).start()
+
+    # -- client protocol ------------------------------------------------------
+    def _on_create_instance(self, session: "_Session", msg: Message) -> None:
+        client_id = f"client-{next(self._client_seq):04d}"
+        with self._lock:
+            self._clients[client_id] = _ClientSession(client_id, session.conn)
+        session.role = ("client", client_id)
+        session.conn.send(
+            Message(MessageType.INSTANCE_CREATED, sender="dispatcher",
+                    payload={"epr": client_id})
+        )
+
+    def _on_submit(self, session: "_Session", msg: Message) -> None:
+        role = session.role
+        if role is None or role[0] != "client":
+            session.conn.send(Message(MessageType.ERROR, payload={"error": "not a client"}))
+            return
+        client_id = role[1]
+        tasks = [task_from_dict(t) for t in msg.payload.get("tasks", ())]
+        now = time.monotonic() - self._started
+        idle_to_notify: list[_ExecutorSession] = []
+        with self._lock:
+            for spec in tasks:
+                record = _LiveRecord(spec=spec, client_id=client_id)
+                record.timeline.submitted = now
+                self._records[spec.task_id] = record
+                self._queue.append(spec.task_id)
+                self.tasks_accepted += 1
+            idle_to_notify = self._pick_idle_executors(len(tasks))
+        session.conn.send(
+            Message(MessageType.SUBMIT_ACK, sender="dispatcher",
+                    payload={"accepted": len(tasks)})
+        )
+        for executor in idle_to_notify:
+            self._send_notify(executor)
+
+    def _on_get_results(self, session: "_Session", msg: Message) -> None:
+        # Results are pushed via CLIENT_NOTIFY; GET_RESULTS answers with
+        # whatever has finished so far (messages {9, 10}).
+        role = session.role
+        if role is None or role[0] != "client":
+            return
+        client_id = role[1]
+        from repro.live.protocol import result_to_dict
+
+        with self._lock:
+            finished = [
+                result_to_dict(r.result)
+                for r in self._records.values()
+                if r.client_id == client_id and r.result is not None
+            ]
+        session.conn.send(
+            Message(MessageType.RESULTS, sender="dispatcher", payload={"results": finished})
+        )
+
+    def _on_destroy_instance(self, session: "_Session", msg: Message) -> None:
+        role = session.role
+        if role and role[0] == "client":
+            with self._lock:
+                self._clients.pop(role[1], None)
+
+    # -- executor protocol -----------------------------------------------------
+    def _on_register(self, session: "_Session", msg: Message) -> None:
+        executor_id = msg.payload.get("executor_id") or msg.sender
+        if not executor_id:
+            session.conn.send(Message(MessageType.ERROR, payload={"error": "missing id"}))
+            return
+        executor = _ExecutorSession(executor_id, session.conn)
+        notify = False
+        with self._lock:
+            if executor_id in self._executors:
+                session.conn.send(
+                    Message(MessageType.ERROR, payload={"error": "duplicate executor id"})
+                )
+                return
+            self._executors[executor_id] = executor
+            notify = bool(self._queue)
+        session.role = ("executor", executor_id)
+        session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
+        if notify:
+            self._send_notify(executor)
+
+    def _on_deregister(self, session: "_Session", msg: Message) -> None:
+        role = session.role
+        if role and role[0] == "executor":
+            self._drop_executor(role[1])
+            session.role = None
+
+    def _on_get_work(self, session: "_Session", msg: Message) -> None:
+        role = session.role
+        if role is None or role[0] != "executor":
+            return
+        executor_id = role[1]
+        task_payload = None
+        with self._lock:
+            executor = self._executors.get(executor_id)
+            if executor is None:
+                return
+            executor.notified = False
+            record = self._pop_next_record()
+            if record is not None:
+                self._mark_dispatched(record, executor)
+                task_payload = task_to_dict(record.spec)
+        if task_payload is not None:
+            session.conn.send(
+                Message(MessageType.WORK, sender="dispatcher", payload={"task": task_payload})
+            )
+        else:
+            session.conn.send(Message(MessageType.NO_WORK, sender="dispatcher"))
+
+    def _on_result(self, session: "_Session", msg: Message) -> None:
+        role = session.role
+        if role is None or role[0] != "executor":
+            return
+        executor_id = role[1]
+        result = result_from_dict(msg.payload["result"])
+        result.executor_id = executor_id
+        notify_payload = None
+        next_task_payload = None
+        wake: list[_ExecutorSession] = []
+        with self._lock:
+            executor = self._executors.get(executor_id)
+            record = self._records.get(result.task_id)
+            if executor is not None and executor.busy_task == result.task_id:
+                executor.busy_task = None
+                executor.notified = False
+            if record is not None and not record.state.terminal:
+                notify_payload = self._settle(record, result)
+            # Piggy-back the next task on the acknowledgement {7}.
+            if self.piggyback and executor is not None:
+                next_record = self._pop_next_record()
+                if next_record is not None:
+                    self._mark_dispatched(next_record, executor)
+                    next_task_payload = task_to_dict(next_record.spec)
+            if next_task_payload is None and self._queue:
+                # No piggy-back (disabled, or a retry refilled the queue
+                # after the pop): fall back to a NOTIFY push so idle
+                # executors — including this one — pick the work up.
+                wake = self._pick_idle_executors(len(self._queue))
+        ack = Message(MessageType.RESULT_ACK, sender="dispatcher", payload={})
+        if next_task_payload is not None:
+            ack.payload["task"] = next_task_payload
+        session.conn.send(ack)
+        for idle_executor in wake:
+            self._send_notify(idle_executor)
+        if notify_payload is not None:
+            self._notify_client(*notify_payload)
+
+    # -- provisioner protocol ----------------------------------------------------
+    def _on_status(self, session: "_Session", msg: Message) -> None:
+        session.conn.send(
+            Message(MessageType.STATUS_REPLY, sender="dispatcher", payload=self.stats())
+        )
+
+    # -- internals ----------------------------------------------------------------
+    def _pop_next_record(self) -> Optional[_LiveRecord]:
+        """Next runnable record (lock held)."""
+        while self._queue:
+            task_id = self._queue.popleft()
+            record = self._records.get(task_id)
+            if record is not None and record.state is TaskState.QUEUED:
+                return record
+        return None
+
+    def _mark_dispatched(self, record: _LiveRecord, executor: _ExecutorSession) -> None:
+        record.state = TaskState.DISPATCHED
+        record.attempts += 1
+        record.executor_id = executor.executor_id
+        record.timeline.dispatched = time.monotonic() - self._started
+        executor.busy_task = record.spec.task_id
+
+    def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
+        """Idle executors to NOTIFY, at most *limit* (lock held)."""
+        chosen = []
+        for executor in self._executors.values():
+            if len(chosen) >= limit:
+                break
+            if executor.busy_task is None and not executor.notified:
+                executor.notified = True
+                chosen.append(executor)
+        return chosen
+
+    def _send_notify(self, executor: _ExecutorSession) -> None:
+        executor.notified = True
+        try:
+            executor.conn.send(Message(MessageType.NOTIFY, sender="dispatcher"))
+        except Exception:
+            self._drop_executor(executor.executor_id)
+
+    def _settle(self, record: _LiveRecord, result: TaskResult):
+        """Finalize or retry (lock held).  Returns client-notify args."""
+        if result.ok or record.attempts > self.max_retries:
+            record.state = TaskState.COMPLETED if result.ok else TaskState.FAILED
+            record.timeline.completed = time.monotonic() - self._started
+            result.attempts = record.attempts
+            result.timeline = record.timeline
+            record.result = result
+            if result.ok:
+                self.tasks_completed += 1
+            else:
+                self.tasks_failed += 1
+            return (record.client_id, result)
+        # retry
+        self.retries += 1
+        record.state = TaskState.QUEUED
+        record.executor_id = ""
+        self._queue.append(record.spec.task_id)
+        return None
+
+    def _notify_client(self, client_id: str, result: TaskResult) -> None:
+        from repro.live.protocol import result_to_dict
+
+        with self._lock:
+            client = self._clients.get(client_id)
+        if client is None:
+            return
+        payload = result_to_dict(result)
+        payload["timeline"] = {
+            "submitted": result.timeline.submitted,
+            "dispatched": result.timeline.dispatched,
+            "completed": result.timeline.completed,
+        }
+        try:
+            client.conn.send(
+                Message(MessageType.CLIENT_NOTIFY, sender="dispatcher",
+                        payload={"result": payload})
+            )
+        except Exception:
+            pass  # client went away; results remain queryable
+
+    def _drop_executor(self, executor_id: str) -> None:
+        """Remove an executor; replay its in-flight task."""
+        requeued_notify: Optional[tuple[str, TaskResult]] = None
+        wake: Optional[_ExecutorSession] = None
+        with self._lock:
+            executor = self._executors.pop(executor_id, None)
+            if executor is None:
+                return
+            task_id = executor.busy_task
+            if task_id is not None:
+                record = self._records.get(task_id)
+                if record is not None and record.state is TaskState.DISPATCHED:
+                    if record.attempts <= self.max_retries:
+                        self.retries += 1
+                        record.state = TaskState.QUEUED
+                        record.executor_id = ""
+                        self._queue.append(task_id)
+                        picked = self._pick_idle_executors(1)
+                        wake = picked[0] if picked else None
+                    else:
+                        result = TaskResult(
+                            task_id,
+                            return_code=1,
+                            error=f"executor {executor_id} lost",
+                            executor_id=executor_id,
+                        )
+                        requeued_notify = self._settle(record, result)
+        executor.conn.close()
+        if wake is not None:
+            self._send_notify(wake)
+        if requeued_notify is not None:
+            self._notify_client(*requeued_notify)
+
+    def _session_closed(self, session: "_Session") -> None:
+        role = session.role
+        if role is None:
+            return
+        kind, name = role
+        if kind == "executor":
+            self._drop_executor(name)
+        elif kind == "client":
+            with self._lock:
+                self._clients.pop(name, None)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return f"<LiveDispatcher :{self.port} queued={s['queued']} registered={s['registered']}>"
+
+
+class _Session:
+    """One inbound connection, client or executor (decided by traffic)."""
+
+    _HANDLERS = {
+        MessageType.CREATE_INSTANCE: LiveDispatcher._on_create_instance,
+        MessageType.SUBMIT: LiveDispatcher._on_submit,
+        MessageType.GET_RESULTS: LiveDispatcher._on_get_results,
+        MessageType.DESTROY_INSTANCE: LiveDispatcher._on_destroy_instance,
+        MessageType.REGISTER: LiveDispatcher._on_register,
+        MessageType.DEREGISTER: LiveDispatcher._on_deregister,
+        MessageType.GET_WORK: LiveDispatcher._on_get_work,
+        MessageType.RESULT: LiveDispatcher._on_result,
+        MessageType.STATUS: LiveDispatcher._on_status,
+    }
+
+    def __init__(self, dispatcher: LiveDispatcher, sock: socket.socket) -> None:
+        self.dispatcher = dispatcher
+        self.role: Optional[tuple[str, str]] = None
+        self.conn = Connection(
+            sock,
+            handler=self._handle,
+            on_close=lambda: dispatcher._session_closed(self),
+            key=dispatcher.key,
+            name="session",
+        )
+
+    def start(self) -> None:
+        self.conn.start()
+
+    def _handle(self, msg: Message) -> None:
+        handler = self._HANDLERS.get(msg.type)
+        if handler is None:
+            self.conn.send(
+                Message(MessageType.ERROR, payload={"error": f"unexpected {msg.type.value}"})
+            )
+            return
+        handler(self.dispatcher, self, msg)

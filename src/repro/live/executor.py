@@ -1,0 +1,205 @@
+"""The live executor: registers, pulls work, runs it for real.
+
+Tasks execute as subprocesses (``command`` + ``args``) or as registered
+Python callables when the command is ``python:<name>``; ``sleep`` is
+interpreted natively so micro-benchmarks don't fork.  The hybrid
+push/pull protocol of §3.3: the executor blocks on its socket until a
+NOTIFY push arrives, answers with a GET_WORK pull, and after each
+RESULT may find the next task piggy-backed on the RESULT_ACK (§3.4).
+
+A finite ``idle_timeout`` implements the distributed release policy:
+an executor that waits that long without work de-registers and exits
+(§3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import subprocess
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.live.protocol import Connection, result_to_dict, task_from_dict
+from repro.net.message import Message, MessageType
+from repro.types import TaskResult, TaskSpec
+
+__all__ = ["LiveExecutor"]
+
+_executor_seq = itertools.count(1)
+
+#: Registry type: python-task name -> callable(*args) -> str | None.
+PythonRegistry = dict[str, Callable[..., object]]
+
+
+class LiveExecutor:
+    """One executor agent connected to a live dispatcher."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        key: Optional[bytes] = None,
+        executor_id: Optional[str] = None,
+        idle_timeout: Optional[float] = None,
+        python_registry: Optional[PythonRegistry] = None,
+        subprocess_timeout: float = 300.0,
+    ) -> None:
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive when set")
+        self.address = address
+        self.key = key
+        self.executor_id = executor_id or f"live-exec-{next(_executor_seq):05d}"
+        self.idle_timeout = idle_timeout
+        self.python_registry = python_registry or {}
+        self.subprocess_timeout = subprocess_timeout
+        self.tasks_executed = 0
+        self._inbox: "queue.Queue[Message]" = queue.Queue()
+        self._stop = threading.Event()
+        self._registered = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=self.executor_id, daemon=True
+        )
+        self._conn: Optional[Connection] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "LiveExecutor":
+        self._thread.start()
+        return self
+
+    def wait_registered(self, timeout: float = 10.0) -> bool:
+        return self._registered.wait(timeout)
+
+    def stop(self) -> None:
+        """Ask the executor to exit after its current task."""
+        self._stop.set()
+        self._inbox.put(Message(MessageType.SHUTDOWN))
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    # -- main loop -----------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            sock = socket.create_connection(self.address, timeout=10.0)
+        except OSError:
+            return
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._conn = Connection(
+            sock,
+            handler=self._inbox.put,
+            on_close=lambda: self._inbox.put(Message(MessageType.SHUTDOWN)),
+            key=self.key,
+            name=self.executor_id,
+        ).start()
+        try:
+            self._conn.send(
+                Message(
+                    MessageType.REGISTER,
+                    sender=self.executor_id,
+                    payload={"executor_id": self.executor_id},
+                )
+            )
+            self._loop()
+        except Exception:
+            pass
+        finally:
+            conn = self._conn
+            if conn is not None and not conn.closed:
+                try:
+                    conn.send(Message(MessageType.DEREGISTER, sender=self.executor_id))
+                except Exception:
+                    pass
+                conn.close()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                msg = self._inbox.get(timeout=self.idle_timeout)
+            except queue.Empty:
+                return  # distributed idle release
+            if msg.type is MessageType.SHUTDOWN:
+                return
+            if msg.type is MessageType.REGISTER_ACK:
+                self._registered.set()
+            elif msg.type is MessageType.NOTIFY:
+                self._conn.send(Message(MessageType.GET_WORK, sender=self.executor_id))
+            elif msg.type in (MessageType.WORK, MessageType.RESULT_ACK):
+                task_payload = msg.payload.get("task")
+                if task_payload is not None:
+                    self._execute_and_report(task_from_dict(task_payload))
+            elif msg.type in (MessageType.NO_WORK, MessageType.ERROR):
+                continue
+
+    def _execute_and_report(self, spec: TaskSpec) -> None:
+        result = self.execute(spec)
+        self.tasks_executed += 1
+        self._conn.send(
+            Message(
+                MessageType.RESULT,
+                sender=self.executor_id,
+                payload={"result": result_to_dict(result)},
+            )
+        )
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, spec: TaskSpec) -> TaskResult:
+        """Run one task and build its result (no I/O on the socket)."""
+        try:
+            if spec.command == "sleep":
+                seconds = float(spec.args[0]) if spec.args else spec.duration
+                time.sleep(max(0.0, seconds))
+                return TaskResult(spec.task_id, executor_id=self.executor_id)
+            if spec.command.startswith("python:"):
+                return self._execute_python(spec)
+            return self._execute_subprocess(spec)
+        except Exception as exc:  # never let a task kill the executor
+            return TaskResult(
+                spec.task_id,
+                return_code=1,
+                error=f"{type(exc).__name__}: {exc}",
+                executor_id=self.executor_id,
+            )
+
+    def _execute_python(self, spec: TaskSpec) -> TaskResult:
+        name = spec.command.removeprefix("python:")
+        fn = self.python_registry.get(name)
+        if fn is None:
+            return TaskResult(
+                spec.task_id,
+                return_code=1,
+                error=f"unknown python task {name!r}",
+                executor_id=self.executor_id,
+            )
+        value = fn(*spec.args)
+        return TaskResult(
+            spec.task_id,
+            stdout="" if value is None else str(value),
+            executor_id=self.executor_id,
+        )
+
+    def _execute_subprocess(self, spec: TaskSpec) -> TaskResult:
+        env = dict(spec.env) or None
+        completed = subprocess.run(
+            [spec.command, *spec.args],
+            capture_output=True,
+            text=True,
+            cwd=spec.working_dir,
+            env=env,
+            timeout=self.subprocess_timeout,
+        )
+        return TaskResult(
+            spec.task_id,
+            return_code=completed.returncode,
+            stdout=completed.stdout[-65536:],
+            stderr=completed.stderr[-65536:],
+            executor_id=self.executor_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"<LiveExecutor {self.executor_id} ran={self.tasks_executed}>"

@@ -1,0 +1,133 @@
+"""One-line local Falkon deployments.
+
+:class:`LocalFalkon` stands up a dispatcher, an executor pool (fixed or
+provisioned) and a client on this machine — the quickest way to run
+real commands through the Falkon protocol::
+
+    with LocalFalkon(executors=4) as falkon:
+        results = falkon.map_shell(["echo hello", "uname -s"])
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Optional
+
+from repro.config import SecurityMode
+from repro.live.client import LiveClient
+from repro.live.dispatcher import LiveDispatcher
+from repro.live.executor import LiveExecutor, PythonRegistry
+from repro.live.provisioner import LocalProvisioner
+from repro.types import TaskResult, TaskSpec, new_task_id
+
+__all__ = ["LocalFalkon"]
+
+
+class LocalFalkon:
+    """A complete in-process Falkon deployment.
+
+    Parameters
+    ----------
+    executors:
+        Size of the fixed executor pool (ignored when ``provision``).
+    provision:
+        Use a :class:`LocalProvisioner` (adaptive pool) instead of a
+        fixed pool.
+    security:
+        ``GSI_SECURE_CONVERSATION`` signs every frame with a shared key.
+    python_registry:
+        Named Python callables executable as ``python:<name>`` tasks.
+    """
+
+    def __init__(
+        self,
+        executors: int = 2,
+        provision: bool = False,
+        max_executors: int = 8,
+        idle_timeout: float = 60.0,
+        security: SecurityMode = SecurityMode.NONE,
+        python_registry: Optional[PythonRegistry] = None,
+        bundle_size: int = 300,
+        max_retries: int = 3,
+    ) -> None:
+        if executors <= 0:
+            raise ValueError("executors must be positive")
+        key = b"local-falkon-shared-key" if security is SecurityMode.GSI_SECURE_CONVERSATION else None
+        self.dispatcher = LiveDispatcher(key=key, max_retries=max_retries)
+        self.python_registry = python_registry or {}
+        self.executors: list[LiveExecutor] = []
+        self.provisioner: Optional[LocalProvisioner] = None
+        if provision:
+            self.provisioner = LocalProvisioner(
+                self.dispatcher.address,
+                key=key,
+                max_executors=max_executors,
+                idle_timeout=idle_timeout,
+                executor_factory=lambda **kw: LiveExecutor(
+                    self.dispatcher.address,
+                    key=key,
+                    python_registry=self.python_registry,
+                    **kw,
+                ),
+            ).start()
+        else:
+            for _ in range(executors):
+                executor = LiveExecutor(
+                    self.dispatcher.address, key=key, python_registry=self.python_registry
+                ).start()
+                self.executors.append(executor)
+            for executor in self.executors:
+                executor.wait_registered()
+        self.client = LiveClient(self.dispatcher.address, key=key, bundle_size=bundle_size)
+
+    # -- convenience API ------------------------------------------------------
+    def run(self, tasks: list[TaskSpec], timeout: Optional[float] = None) -> list[TaskResult]:
+        """Submit specs and wait for all results."""
+        return self.client.run(tasks, timeout=timeout)
+
+    def map_shell(self, commands: list[str], timeout: Optional[float] = None) -> list[TaskResult]:
+        """Run shell command lines (tokenised with shlex, no shell)."""
+        tasks = []
+        for command in commands:
+            parts = shlex.split(command)
+            if not parts:
+                raise ValueError("empty command line")
+            tasks.append(
+                TaskSpec(task_id=new_task_id("shell"), command=parts[0], args=tuple(parts[1:]))
+            )
+        return self.run(tasks, timeout=timeout)
+
+    def map_python(
+        self, name: str, arg_tuples: list[tuple], timeout: Optional[float] = None
+    ) -> list[TaskResult]:
+        """Run the registered python task *name* over argument tuples."""
+        if name not in self.python_registry:
+            raise KeyError(f"python task {name!r} not registered")
+        tasks = [
+            TaskSpec(
+                task_id=new_task_id(f"py-{name}"),
+                command=f"python:{name}",
+                args=tuple(str(a) for a in args),
+            )
+            for args in arg_tuples
+        ]
+        return self.run(tasks, timeout=timeout)
+
+    def close(self) -> None:
+        if self.provisioner is not None:
+            self.provisioner.stop()
+        for executor in self.executors:
+            executor.stop()
+        self.client.close()
+        for executor in self.executors:
+            executor.join(timeout=5.0)
+        self.dispatcher.close()
+
+    def __enter__(self) -> "LocalFalkon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<LocalFalkon {self.dispatcher!r}>"

@@ -1,0 +1,189 @@
+"""Framed-JSON connections and task serialisation for the live plane.
+
+A :class:`Connection` wraps a TCP socket with the wire codec from
+:mod:`repro.net.wire`: thread-safe framed sends, and a reader loop that
+delivers parsed :class:`~repro.net.message.Message` objects to a
+handler.  With a shared key, every frame is HMAC-signed — the
+reproduction's stand-in for GSISecureConversation (per-message
+authentication treated as per-message overhead, §4.1).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.net.wire import FrameReader, encode_frame
+from repro.types import DataLocation, DataRef, TaskResult, TaskSpec
+
+__all__ = [
+    "Connection",
+    "task_to_dict",
+    "task_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+
+# ---------------------------------------------------------------------------
+# task / result serialisation
+# ---------------------------------------------------------------------------
+def _ref_to_dict(ref: DataRef) -> dict[str, Any]:
+    return {"name": ref.name, "size": ref.size_bytes, "location": ref.location.value}
+
+
+def _ref_from_dict(data: dict[str, Any]) -> DataRef:
+    return DataRef(data["name"], data["size"], DataLocation(data["location"]))
+
+
+def task_to_dict(task: TaskSpec) -> dict[str, Any]:
+    """Serialise a :class:`TaskSpec` for the wire."""
+    return {
+        "task_id": task.task_id,
+        "command": task.command,
+        "args": list(task.args),
+        "working_dir": task.working_dir,
+        "env": [list(pair) for pair in task.env],
+        "duration": task.duration,
+        "reads": [_ref_to_dict(r) for r in task.reads],
+        "writes": [_ref_to_dict(r) for r in task.writes],
+        "runtime_estimate": task.runtime_estimate,
+        "stage": task.stage,
+    }
+
+
+def task_from_dict(data: dict[str, Any]) -> TaskSpec:
+    """Parse a wire dict back into a :class:`TaskSpec`."""
+    return TaskSpec(
+        task_id=data["task_id"],
+        command=data.get("command", "sleep"),
+        args=tuple(data.get("args", ())),
+        working_dir=data.get("working_dir", "."),
+        env=tuple(tuple(pair) for pair in data.get("env", ())),
+        duration=data.get("duration", 0.0),
+        reads=tuple(_ref_from_dict(r) for r in data.get("reads", ())),
+        writes=tuple(_ref_from_dict(r) for r in data.get("writes", ())),
+        runtime_estimate=data.get("runtime_estimate"),
+        stage=data.get("stage", ""),
+    )
+
+
+def result_to_dict(result: TaskResult) -> dict[str, Any]:
+    """Serialise a :class:`TaskResult` (timeline excluded: the
+    dispatcher keeps authoritative timestamps)."""
+    return {
+        "task_id": result.task_id,
+        "return_code": result.return_code,
+        "stdout": result.stdout,
+        "stderr": result.stderr,
+        "executor_id": result.executor_id,
+        "error": result.error,
+        "attempts": result.attempts,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> TaskResult:
+    return TaskResult(
+        task_id=data["task_id"],
+        return_code=data.get("return_code", 0),
+        stdout=data.get("stdout", ""),
+        stderr=data.get("stderr", ""),
+        executor_id=data.get("executor_id", ""),
+        error=data.get("error", ""),
+        attempts=data.get("attempts", 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# connection
+# ---------------------------------------------------------------------------
+class Connection:
+    """A message-oriented wrapper over one TCP socket.
+
+    ``handler(message)`` runs on the reader thread for every inbound
+    message; ``on_close()`` fires once when the peer disconnects or the
+    stream errors out.  Sends are serialized by a lock and safe from
+    any thread.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        handler: Callable[[Message], None],
+        on_close: Optional[Callable[[], None]] = None,
+        key: Optional[bytes] = None,
+        name: str = "conn",
+    ) -> None:
+        self.sock = sock
+        self.handler = handler
+        self.on_close = on_close
+        self.key = key
+        self.name = name
+        self._send_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"reader-{name}", daemon=True
+        )
+
+    def start(self) -> "Connection":
+        self._reader.start()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def send(self, message: Message) -> None:
+        """Frame, sign (if keyed) and transmit *message*."""
+        frame = encode_frame(message.to_dict(), key=self.key)
+        with self._send_lock:
+            try:
+                self.sock.sendall(frame)
+            except OSError as exc:
+                self.close()
+                raise ProtocolError(f"{self.name}: send failed: {exc}") from exc
+
+    def close(self) -> None:
+        """Close the socket; idempotent."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the reader thread to finish (after close)."""
+        self._reader.join(timeout)
+
+    def _read_loop(self) -> None:
+        reader = FrameReader(key=self.key)
+        try:
+            while not self._closed.is_set():
+                try:
+                    chunk = self.sock.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                for payload in reader.feed(chunk):
+                    self.handler(Message.from_dict(payload))
+        except ProtocolError:
+            pass  # tampered/garbled stream: drop the connection
+        finally:
+            self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Connection {self.name} {state}>"

@@ -1,0 +1,123 @@
+"""The live provisioner: adaptive executor pool on one machine.
+
+The §4.6 provisioner, scaled to a single host: it polls the dispatcher
+with STATUS messages {POLL}, and when queued work exceeds the pool's
+capacity it "allocates" more executors — here, local threads standing
+in for GRAM4/PBS-provisioned nodes.  Release is distributed: executors
+carry an ``idle_timeout`` and retire themselves (§3.1).
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import socket
+import threading
+from typing import Callable, Optional
+
+from repro.live.executor import LiveExecutor
+from repro.live.protocol import Connection
+from repro.net.message import Message, MessageType
+
+__all__ = ["LocalProvisioner"]
+
+
+class LocalProvisioner:
+    """Grows/shrinks a pool of :class:`LiveExecutor` threads."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        key: Optional[bytes] = None,
+        min_executors: int = 0,
+        max_executors: int = 4,
+        idle_timeout: float = 60.0,
+        poll_interval: float = 0.5,
+        executor_factory: Optional[Callable[..., LiveExecutor]] = None,
+    ) -> None:
+        if not 0 <= min_executors <= max_executors:
+            raise ValueError("need 0 <= min_executors <= max_executors")
+        if idle_timeout <= 0 or poll_interval <= 0:
+            raise ValueError("timeouts must be positive")
+        self.address = address
+        self.key = key
+        self.min_executors = min_executors
+        self.max_executors = max_executors
+        self.idle_timeout = idle_timeout
+        self.poll_interval = poll_interval
+        self.executor_factory = executor_factory or self._default_factory
+        self.allocations = 0
+        self._pool: list[LiveExecutor] = []
+        self._replies: "queue.Queue[dict]" = queue.Queue()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, name="provisioner", daemon=True)
+        self._conn: Optional[Connection] = None
+
+    def _default_factory(self, **kwargs) -> LiveExecutor:
+        return LiveExecutor(self.address, key=self.key, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "LocalProvisioner":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop provisioning and retire the whole pool."""
+        self._stop.set()
+        if self._conn is not None:
+            self._conn.close()
+        for executor in self._pool:
+            executor.stop()
+        for executor in self._pool:
+            executor.join(timeout=5.0)
+
+    @property
+    def pool_size(self) -> int:
+        """Live executors currently owned by this provisioner."""
+        self._reap()
+        return len(self._pool)
+
+    # -- internals -------------------------------------------------------------
+    def _reap(self) -> None:
+        self._pool = [e for e in self._pool if e.running]
+
+    def _run(self) -> None:
+        try:
+            sock = socket.create_connection(self.address, timeout=10.0)
+        except OSError:
+            return
+        self._conn = Connection(
+            sock, handler=self._on_message, key=self.key, name="provisioner"
+        ).start()
+        self._scale_to(self.min_executors)
+        while not self._stop.is_set():
+            stats = self._poll()
+            if stats is None:
+                break
+            self._reap()
+            demand = stats["queued"] + stats["busy"]
+            target = max(self.min_executors, min(self.max_executors, demand))
+            if target > len(self._pool):
+                self._scale_to(target)
+            self._stop.wait(self.poll_interval)
+
+    def _poll(self) -> Optional[dict]:
+        try:
+            self._conn.send(Message(MessageType.STATUS, sender="provisioner"))
+            return self._replies.get(timeout=5.0)
+        except Exception:
+            return None
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.type is MessageType.STATUS_REPLY:
+            self._replies.put(msg.payload)
+
+    def _scale_to(self, target: int) -> None:
+        while len(self._pool) < target and not self._stop.is_set():
+            executor = self.executor_factory(idle_timeout=self.idle_timeout)
+            executor.start()
+            self._pool.append(executor)
+            self.allocations += 1
+
+    def __repr__(self) -> str:
+        return f"<LocalProvisioner pool={len(self._pool)}/{self.max_executors}>"

@@ -1,0 +1,37 @@
+"""Local Resource Manager (LRM) substrate.
+
+Simulated batch schedulers with the characteristics the paper measured:
+
+* :mod:`repro.lrm.base` — generic batch scheduler: FIFO job queue, a
+  periodic scheduling cycle (poll loop), serialized per-job start
+  overhead, and post-job cleanup before nodes become reusable.
+* :mod:`repro.lrm.pbs` — PBS v2.1.8 calibration (0.45 jobs/s, 60 s
+  poll loop).
+* :mod:`repro.lrm.condor` — Condor v6.7.2 calibration (0.49 jobs/s)
+  plus the derived v6.9.3 profile (11 jobs/s, §4.4).
+* :mod:`repro.lrm.gram` — GRAM4 gateway: per-task state-transition
+  overheads and ~0.5/s allocation-request handling.
+* :mod:`repro.lrm.mycluster` — glide-in virtual clusters (MyCluster):
+  one LRM allocation hosting a dedicated personal scheduler.
+"""
+
+from repro.lrm.base import BatchScheduler, JobState, LRMConfig, LRMJob
+from repro.lrm.pbs import PBS_CONFIG, make_pbs
+from repro.lrm.condor import CONDOR_672_CONFIG, CONDOR_693_CONFIG, make_condor
+from repro.lrm.gram import Gram4Gateway, GramConfig
+from repro.lrm.mycluster import MyCluster
+
+__all__ = [
+    "BatchScheduler",
+    "JobState",
+    "LRMConfig",
+    "LRMJob",
+    "PBS_CONFIG",
+    "make_pbs",
+    "CONDOR_672_CONFIG",
+    "CONDOR_693_CONFIG",
+    "make_condor",
+    "Gram4Gateway",
+    "GramConfig",
+    "MyCluster",
+]

@@ -1,0 +1,312 @@
+"""Generic simulated batch scheduler.
+
+The model captures the three LRM behaviours the paper's comparisons
+hinge on:
+
+1. **Poll-loop latency** — jobs are only considered at periodic
+   scheduling cycles ("the PBS scheduler polling loop, which we believe
+   occurs at 60 second intervals", §4.6), so allocation latency ranges
+   from ``start_overhead`` up to ``poll_interval + start_overhead``.
+2. **Serialized job-start overhead** — within a cycle, job starts cost
+   ``start_overhead`` seconds each, giving PBS's measured 0.45 jobs/s
+   and Condor's 0.49 jobs/s ceilings for `sleep 0` jobs (§4.1).
+3. **Cleanup lag** — after a job finishes, its machines stay
+   unavailable for ``cleanup_delay`` ("PBS takes even longer to make
+   the machine available again", §4.6).
+
+Jobs either carry a *body* (a generator run on the allocated machines;
+the job completes when the body returns — used for real workloads and
+for hosting Falkon executors) or are *lease-style* (no body; they hold
+machines until cancelled or until their walltime expires — not used by
+the paper's experiments but part of a complete LRM surface).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Generator, Optional
+
+from repro.cluster.node import Cluster, Machine
+from repro.errors import ProvisioningError
+from repro.sim import Environment, Event, Gauge, Interrupt
+
+__all__ = ["JobState", "LRMConfig", "LRMJob", "BatchScheduler"]
+
+
+class JobState(Enum):
+    """Lifecycle of an LRM job."""
+
+    QUEUED = "queued"
+    STARTING = "starting"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELED = "canceled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELED)
+
+
+@dataclass(frozen=True)
+class LRMConfig:
+    """Calibration parameters of one batch-scheduler flavour."""
+
+    name: str = "lrm"
+    #: Seconds between scheduling cycles.
+    poll_interval: float = 60.0
+    #: Serialized seconds of scheduler work per job start.
+    start_overhead: float = 2.2
+    #: Seconds a node remains unavailable after its job ends.
+    cleanup_delay: float = 2.3
+    #: Default walltime for lease-style jobs.
+    default_walltime: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.start_overhead < 0 or self.cleanup_delay < 0:
+            raise ValueError("overheads must be >= 0")
+        if self.default_walltime <= 0:
+            raise ValueError("default_walltime must be positive")
+
+
+#: Body signature: ``body(env, job, machines)`` -> generator.
+JobBody = Callable[[Environment, "LRMJob", list[Machine]], Generator]
+
+
+@dataclass
+class LRMJob:
+    """One batch job."""
+
+    job_id: str
+    nodes: int
+    walltime: float
+    body: Optional[JobBody]
+    name: str
+    submit_time: float
+    state: JobState = JobState.QUEUED
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    machines: list[Machine] = field(default_factory=list)
+    #: Set when cancel() arrives before the job's runner process exists.
+    cancel_requested: bool = False
+    #: Succeeds with the machine list when the job starts.
+    started: Event = None  # type: ignore[assignment]
+    #: Succeeds with the final JobState when the job reaches a terminal state.
+    completed: Event = None  # type: ignore[assignment]
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent queued (NaN until started)."""
+        if self.start_time is None:
+            return float("nan")
+        return self.start_time - self.submit_time
+
+
+class BatchScheduler:
+    """FIFO batch scheduler over one :class:`Cluster`.
+
+    Subclass-free by design: PBS/Condor flavours differ only in their
+    :class:`LRMConfig` (see :mod:`repro.lrm.pbs` / :mod:`repro.lrm.condor`).
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster, config: LRMConfig) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.config = config
+        self._queue: list[LRMJob] = []
+        self._running: dict[str, "Any"] = {}  # job_id -> runner Process
+        self._job_seq = itertools.count(1)
+        self._cycle_wakeup: Optional[Event] = None
+        self.queue_gauge = Gauge(f"{config.name}/queued")
+        self.running_gauge = Gauge(f"{config.name}/running")
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        env.process(self._scheduler_loop(), name=f"{config.name}-scheduler")
+
+    # -- public API --------------------------------------------------------
+    def submit(
+        self,
+        nodes: int,
+        walltime: Optional[float] = None,
+        body: Optional[JobBody] = None,
+        name: str = "",
+    ) -> LRMJob:
+        """Queue a job for *nodes* machines.
+
+        Returns immediately; wait on ``job.started`` / ``job.completed``.
+        Jobs wider than the cluster's obtainable node count fail at
+        submission (the LRM would reject them).
+        """
+        if nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if nodes > self.cluster.free_limit:
+            raise ProvisioningError(
+                f"{self.config.name}: job of {nodes} nodes exceeds cluster limit "
+                f"{self.cluster.free_limit}"
+            )
+        job = LRMJob(
+            job_id=f"{self.config.name}-job-{next(self._job_seq):05d}",
+            nodes=nodes,
+            walltime=self.config.default_walltime if walltime is None else float(walltime),
+            body=body,
+            name=name or "job",
+            submit_time=self.env.now,
+            started=self.env.event(),
+            completed=self.env.event(),
+        )
+        if job.walltime <= 0:
+            raise ValueError("walltime must be positive")
+        self._queue.append(job)
+        self.jobs_submitted += 1
+        self.queue_gauge.set(self.env.now, len(self._queue))
+        if self._cycle_wakeup is not None and not self._cycle_wakeup.triggered:
+            self._cycle_wakeup.succeed(None)
+        return job
+
+    def cancel(self, job: LRMJob) -> None:
+        """Cancel a queued or running job.
+
+        Queued jobs leave the queue immediately; running jobs have
+        their body interrupted and machines released (after cleanup).
+        Cancelling a terminal job is a no-op.
+        """
+        if job.state is JobState.QUEUED:
+            self._queue.remove(job)
+            self.queue_gauge.set(self.env.now, len(self._queue))
+            self._finish(job, JobState.CANCELED)
+        elif job.state in (JobState.STARTING, JobState.RUNNING):
+            runner = self._running.get(job.job_id)
+            if runner is not None and runner.is_alive:
+                runner.interrupt("canceled")
+            else:
+                # Mid-start: the runner does not exist yet; it honours
+                # the flag as soon as it begins.
+                job.cancel_requested = True
+        # terminal: no-op
+
+    def free_nodes(self) -> int:
+        """Nodes the scheduler could still allocate (the §3.1
+        'available resources' system function used by the AVAILABLE
+        acquisition policy)."""
+        return self.cluster.free_count()
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._queue)
+
+    # -- internals ----------------------------------------------------------
+    def _finish(self, job: LRMJob, state: JobState) -> None:
+        job.state = state
+        job.end_time = self.env.now
+        self.jobs_completed += 1
+        if not job.started.triggered:
+            # Never started: resolve waiter with an empty machine list so
+            # `yield job.started` does not hang; completed tells the story.
+            job.started.fail(ProvisioningError(f"{job.job_id} {state.value} before start"))
+            job.started.defused = True
+        if not job.completed.triggered:
+            job.completed.succeed(state)
+
+    def _scheduler_loop(self):
+        """Scheduling cycles aligned to absolute poll ticks.
+
+        The loop sleeps while the queue is empty (so simulations end
+        when all work is done) and otherwise only acts at multiples of
+        ``poll_interval`` — giving the paper's 5–65 s allocation
+        latency for a 60 s poll loop.
+        """
+        poll = self.config.poll_interval
+        last_tick = -poll  # the tick the previous cycle ran at
+        while True:
+            if not self._queue:
+                self._cycle_wakeup = self.env.event()
+                yield self._cycle_wakeup
+                self._cycle_wakeup = None
+            # Align to the next absolute poll tick (a submission right
+            # on a tick is processed immediately, but never re-run a
+            # cycle at the tick we already acted on).
+            tick = math.ceil((self.env.now - 1e-9) / poll) * poll
+            if tick <= last_tick + 1e-9:
+                tick = last_tick + poll
+            if tick > self.env.now:
+                yield self.env.timeout(tick - self.env.now)
+            last_tick = tick
+            # Strict FIFO: start queue-head jobs while they fit.
+            while self._queue and self._queue[0].nodes <= self.cluster.free_count():
+                job = self._queue.pop(0)
+                self.queue_gauge.set(self.env.now, len(self._queue))
+                job.state = JobState.STARTING
+                # Serialized scheduler work per start.
+                yield self.env.timeout(self.config.start_overhead)
+                try:
+                    machines = self.cluster.allocate(job.nodes, owner=job.job_id)
+                except RuntimeError:
+                    # Free nodes evaporated while we were starting the
+                    # job (a competing completion/cleanup race); requeue
+                    # at the head for the next cycle.
+                    job.state = JobState.QUEUED
+                    self._queue.insert(0, job)
+                    self.queue_gauge.set(self.env.now, len(self._queue))
+                    break
+                job.machines = machines
+                runner = self.env.process(
+                    self._job_runner(job, machines), name=f"{job.job_id}-runner"
+                )
+                self._running[job.job_id] = runner
+            # Loop: an occupied queue head waits for the next tick via
+            # the alignment above; an empty queue waits for a submit.
+
+    def _job_runner(self, job: LRMJob, machines: list[Machine]):
+        job.state = JobState.RUNNING
+        job.start_time = self.env.now
+        self.running_gauge.add(self.env.now, 1)
+        job.started.succeed(machines)
+        final = JobState.DONE
+        body_proc = None
+        try:
+            if job.cancel_requested:
+                final = JobState.CANCELED
+            elif job.body is not None:
+                body_proc = self.env.process(
+                    job.body(self.env, job, machines), name=f"{job.job_id}-body"
+                )
+                deadline = self.env.timeout(job.walltime)
+                yield self.env.any_of([body_proc, deadline])
+                if body_proc.is_alive:
+                    # Walltime exceeded: the teardown below kills the body.
+                    final = JobState.FAILED
+                elif not body_proc.ok:
+                    final = JobState.FAILED
+            else:
+                # Lease-style job: hold machines until walltime or cancel.
+                yield self.env.timeout(job.walltime)
+        except Interrupt:
+            final = JobState.CANCELED
+        except Exception:
+            # The job body raised: the job fails, machines still clean up.
+            final = JobState.FAILED
+        if body_proc is not None and body_proc.is_alive:
+            # Cancel/walltime tore the job down around a live body.
+            body_proc.defused = True
+            body_proc.interrupt("job teardown")
+        # Cleanup: nodes stay unavailable a little longer.
+        if self.config.cleanup_delay > 0:
+            try:
+                yield self.env.timeout(self.config.cleanup_delay)
+            except Interrupt:
+                pass  # cancel during cleanup changes nothing
+        self.cluster.release(machines)
+        self.running_gauge.add(self.env.now, -1)
+        self._running.pop(job.job_id, None)
+        self._finish(job, final)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchScheduler {self.config.name} queued={len(self._queue)} "
+            f"running={len(self._running)}>"
+        )

@@ -1,0 +1,137 @@
+"""GRAM4 gateway model.
+
+GRAM4 (Globus grid resource allocation manager) fronts an LRM: clients
+submit jobs through it without knowing LRM details.  The paper uses it
+two ways, and so do we:
+
+* **Task submission** (the GRAM4+PBS baseline): each task becomes a
+  separate one-node job.  GRAM4 adds per-task overhead around the
+  actual execution — Table 3 reports a measured execution time of
+  56.5 s for tasks averaging 17.8 s, i.e. ≈38.7 s of per-task
+  preparation/cleanup between the "Active" and "Done" notifications.
+* **Resource allocation** (Falkon's provisioner): "Creation requests
+  are issued via GRAM4 to abstract LRM details" (§3.2).  GRAM4+PBS
+  handles such requests at ~0.5/s (§4.6), which the gateway's
+  serialized request handling reproduces (PBS's own 2.2 s start
+  overhead dominates the budget; the gateway adds its share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.lrm.base import BatchScheduler, JobBody, JobState, LRMJob
+from repro.sim import Environment, Resource
+from repro.types import TaskResult, TaskSpec, TaskTimeline
+
+__all__ = ["GramConfig", "Gram4Gateway"]
+
+
+@dataclass(frozen=True)
+class GramConfig:
+    """GRAM4 gateway overheads."""
+
+    #: Serialized gateway work per request (auth, job description
+    #: translation, state-callback registration).
+    request_overhead: float = 0.2
+    #: Seconds between the LRM starting the job and the task's actual
+    #: execution beginning (staging, jobmanager startup) — counted
+    #: inside GRAM4's reported "execution time".
+    pre_exec_overhead: float = 20.0
+    #: Seconds between the task's exit and GRAM4's "Done" notification
+    #: (cleanup, stdout/err retrieval, state propagation).  Together
+    #: with ``pre_exec_overhead`` and the LRM's 2.3 s node cleanup this
+    #: lands Table 3's 56.5 s measured execution for 17.8 s tasks and
+    #: Table 4's ≈41 s/task of wasted resource time.
+    post_exec_overhead: float = 16.4
+
+    def __post_init__(self) -> None:
+        if self.request_overhead < 0 or self.pre_exec_overhead < 0 or self.post_exec_overhead < 0:
+            raise ValueError("overheads must be >= 0")
+
+
+class Gram4Gateway:
+    """A GRAM4 endpoint in front of one :class:`BatchScheduler`."""
+
+    def __init__(
+        self, env: Environment, lrm: BatchScheduler, config: Optional[GramConfig] = None
+    ) -> None:
+        self.env = env
+        self.lrm = lrm
+        self.config = config or GramConfig()
+        # One gateway processes requests serially.
+        self._gate = Resource(env, capacity=1)
+        self.requests_handled = 0
+        self.tasks_run = 0
+
+    # -- resource allocation (provisioner path) ------------------------------
+    def allocate(
+        self,
+        nodes: int,
+        walltime: float,
+        body: Optional[JobBody] = None,
+        name: str = "allocation",
+    ) -> Generator:
+        """Generator: submit an allocation request; returns the LRMJob.
+
+        Usage: ``job = yield from gateway.allocate(...)``.
+        """
+        with self._gate.request() as slot:
+            yield slot
+            yield self.env.timeout(self.config.request_overhead)
+        self.requests_handled += 1
+        return self.lrm.submit(nodes=nodes, walltime=walltime, body=body, name=name)
+
+    def cancel(self, job: LRMJob) -> None:
+        """Cancel an allocation (forwarded to the LRM)."""
+        self.lrm.cancel(job)
+
+    def free_nodes(self) -> int:
+        """LRM-reported free nodes (the AVAILABLE policy's input)."""
+        return self.lrm.free_nodes()
+
+    # -- per-task submission (GRAM4+PBS baseline path) ------------------------
+    def run_task(self, task: TaskSpec, walltime: Optional[float] = None) -> Generator:
+        """Generator: run *task* as a separate one-node GRAM4 job.
+
+        Returns a :class:`TaskResult` whose timeline uses GRAM4's state
+        notifications: ``dispatched`` is the "Active" transition (PBS
+        placed the job on a machine), ``completed`` is "Done".  The
+        execution time therefore *includes* GRAM4's pre/post overheads,
+        exactly as the paper measures it.
+        """
+        timeline = TaskTimeline(submitted=self.env.now)
+        cfg = self.config
+        job_walltime = walltime if walltime is not None else (
+            cfg.pre_exec_overhead + task.duration + cfg.post_exec_overhead + 3600.0
+        )
+
+        def body(env: Environment, job: LRMJob, machines) -> Generator:
+            yield env.timeout(cfg.pre_exec_overhead)
+            yield env.timeout(task.duration)
+            yield env.timeout(cfg.post_exec_overhead)
+
+        with self._gate.request() as slot:
+            yield slot
+            yield self.env.timeout(cfg.request_overhead)
+        self.requests_handled += 1
+        job = self.lrm.submit(nodes=1, walltime=job_walltime, body=body, name=task.task_id)
+        machines = yield job.started
+        timeline.dispatched = self.env.now  # GRAM4 "Active" notification
+        final = yield job.completed
+        timeline.completed = self.env.now  # GRAM4 "Done" notification
+        self.tasks_run += 1
+        executor = machines[0].name if machines else ""
+        if final is JobState.DONE:
+            return TaskResult(task.task_id, return_code=0, executor_id=executor, timeline=timeline)
+        return TaskResult(
+            task.task_id,
+            return_code=1,
+            executor_id=executor,
+            error=f"job ended {final.value}",
+            timeline=timeline,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Gram4Gateway over {self.lrm.config.name} handled={self.requests_handled}>"

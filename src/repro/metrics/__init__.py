@@ -1,0 +1,32 @@
+"""Metrics: the paper's derived quantities and report rendering.
+
+* :mod:`repro.metrics.accounting` — speedup, efficiency (§4.4),
+  resource utilization and execution efficiency (§4.6), and the
+  overhead-derived efficiency curve used for Condor v6.9.3 (Fig. 7).
+* :mod:`repro.metrics.report` — fixed-width text tables with
+  paper-vs-measured columns for the benchmark harness.
+"""
+
+from repro.metrics.accounting import (
+    speedup,
+    efficiency,
+    derived_efficiency,
+    dispatch_limited_efficiency,
+    resource_utilization,
+    execution_efficiency,
+)
+from repro.metrics.report import Table, format_si
+from repro.metrics.ascii_plot import AsciiPlot, Series
+
+__all__ = [
+    "AsciiPlot",
+    "Series",
+    "speedup",
+    "efficiency",
+    "derived_efficiency",
+    "dispatch_limited_efficiency",
+    "resource_utilization",
+    "execution_efficiency",
+    "Table",
+    "format_si",
+]

@@ -1,0 +1,82 @@
+"""Derived performance quantities, as the paper defines them.
+
+§4.4: "efficiency (E_P = S_P/P) as a function of number of processors
+(P) and task length; speedup is defined as S_P = T_1/T_P, where T_n is
+the execution time on n processors."
+
+§4.6: ``resource_utilization = used/(used+wasted)`` and
+``exec_efficiency = ideal_time/actual_time``.
+
+Figure 7's Condor v6.9.3 curve is *derived*: "we computed the per task
+overhead of 0.0909 seconds, which we could then add to the ideal time
+of each respective task length to get an estimated task execution
+time" — :func:`derived_efficiency` reproduces that arithmetic.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "derived_efficiency",
+    "dispatch_limited_efficiency",
+    "resource_utilization",
+    "execution_efficiency",
+]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """``S_P = T_1 / T_P``."""
+    if t1 <= 0 or tp <= 0:
+        raise ValueError("execution times must be positive")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, processors: int) -> float:
+    """``E_P = S_P / P``."""
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    return speedup(t1, tp) / processors
+
+
+def derived_efficiency(task_seconds: float, per_task_overhead: float, processors: int) -> float:
+    """Efficiency of a serialized dispatcher (the paper's Fig. 7 derivation).
+
+    A dispatcher needing *per_task_overhead* seconds of serialized work
+    per task can keep *processors* machines busy only when
+    ``task_seconds >= overhead · P``; otherwise machines idle waiting
+    for dispatch.  Equivalent to the paper's method of adding the
+    overhead to the ideal time of each task and recomputing speedup.
+    """
+    if task_seconds <= 0:
+        raise ValueError("task_seconds must be positive")
+    if per_task_overhead < 0:
+        raise ValueError("per_task_overhead must be >= 0")
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    return task_seconds / (task_seconds + per_task_overhead * processors)
+
+
+def dispatch_limited_efficiency(
+    task_seconds: float, dispatch_rate: float, processors: int
+) -> float:
+    """:func:`derived_efficiency` parameterised by a dispatch rate
+    (tasks/second) instead of a per-task overhead."""
+    if dispatch_rate <= 0:
+        raise ValueError("dispatch_rate must be positive")
+    return derived_efficiency(task_seconds, 1.0 / dispatch_rate, processors)
+
+
+def resource_utilization(used_cpu_seconds: float, wasted_cpu_seconds: float) -> float:
+    """§4.6: fraction of allocated time machines were executing tasks."""
+    if used_cpu_seconds < 0 or wasted_cpu_seconds < 0:
+        raise ValueError("CPU seconds must be >= 0")
+    total = used_cpu_seconds + wasted_cpu_seconds
+    return used_cpu_seconds / total if total > 0 else 0.0
+
+
+def execution_efficiency(ideal_seconds: float, actual_seconds: float) -> float:
+    """§4.6: ``ideal_time / actual_time``."""
+    if ideal_seconds <= 0 or actual_seconds <= 0:
+        raise ValueError("times must be positive")
+    return ideal_seconds / actual_seconds

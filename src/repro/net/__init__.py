@@ -1,0 +1,29 @@
+"""Communication substrate.
+
+Three pieces:
+
+* :mod:`repro.net.costs` — the calibrated cost model of GT4 Web-Service
+  messaging used by the simulation plane (per-call CPU, security
+  overheads, the Axis grow-able-array bundling term).
+* :mod:`repro.net.message` — protocol message vocabulary shared by both
+  planes (register / notify / get-work / result / piggy-backed ack).
+* :mod:`repro.net.wire` — length-prefixed JSON frame codec with optional
+  HMAC signing, used by the live TCP plane.
+"""
+
+from repro.net.costs import WSCostModel, BundlingCostModel, NetworkModel
+from repro.net.message import Message, MessageType
+from repro.net.wire import FrameReader, encode_frame, decode_frame, sign_payload, verify_payload
+
+__all__ = [
+    "WSCostModel",
+    "BundlingCostModel",
+    "NetworkModel",
+    "Message",
+    "MessageType",
+    "FrameReader",
+    "encode_frame",
+    "decode_frame",
+    "sign_payload",
+    "verify_payload",
+]

@@ -1,0 +1,100 @@
+"""Protocol message vocabulary.
+
+Message types follow Figure 2's exchange sequence:
+
+=================  ====================================================
+{1,2}  SUBMIT      client → dispatcher (bundle of tasks) + SUBMIT_ACK
+{3}    NOTIFY      dispatcher → executor: work available (push half)
+{4}    GET_WORK    executor → dispatcher (pull half)
+{5}    WORK        dispatcher → executor: the task(s)
+{6}    RESULT      executor → dispatcher: return code + outputs
+{7}    RESULT_ACK  dispatcher → executor; may piggy-back the next task
+{8}    CLIENT_NOTIFY  dispatcher → client: results available
+{9,10} GET_RESULTS client → dispatcher + RESULTS reply
+=================  ====================================================
+
+plus executor lifecycle (REGISTER / REGISTER_ACK / DEREGISTER), the
+factory/instance pattern (CREATE_INSTANCE / INSTANCE_CREATED /
+DESTROY_INSTANCE) and the provisioner's state poll (STATUS / STATUS_REPLY).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["MessageType", "Message"]
+
+_msg_counter = itertools.count(1)
+
+
+class MessageType(Enum):
+    """All message kinds exchanged between Falkon components."""
+
+    # factory/instance pattern (§3.2)
+    CREATE_INSTANCE = "create-instance"
+    INSTANCE_CREATED = "instance-created"
+    DESTROY_INSTANCE = "destroy-instance"
+
+    # client <-> dispatcher
+    SUBMIT = "submit"
+    SUBMIT_ACK = "submit-ack"
+    CLIENT_NOTIFY = "client-notify"
+    GET_RESULTS = "get-results"
+    RESULTS = "results"
+
+    # executor lifecycle
+    REGISTER = "register"
+    REGISTER_ACK = "register-ack"
+    DEREGISTER = "deregister"
+
+    # dispatcher <-> executor work cycle
+    NOTIFY = "notify"
+    GET_WORK = "get-work"
+    WORK = "work"
+    NO_WORK = "no-work"
+    RESULT = "result"
+    RESULT_ACK = "result-ack"
+
+    # provisioner poll {POLL}
+    STATUS = "status"
+    STATUS_REPLY = "status-reply"
+
+    # transport control
+    SHUTDOWN = "shutdown"
+    ERROR = "error"
+
+
+@dataclass
+class Message:
+    """One protocol message.
+
+    ``payload`` is a JSON-serialisable dict; the wire codec
+    (:mod:`repro.net.wire`) handles framing and signing.
+    """
+
+    type: MessageType
+    sender: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise for the wire."""
+        return {
+            "type": self.type.value,
+            "sender": self.sender,
+            "payload": self.payload,
+            "msg_id": self.msg_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Message":
+        """Parse a wire dict; raises ``KeyError``/``ValueError`` on junk."""
+        return cls(
+            type=MessageType(data["type"]),
+            sender=data.get("sender", ""),
+            payload=data.get("payload", {}),
+            msg_id=data.get("msg_id", 0),
+        )

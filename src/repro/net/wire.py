@@ -1,0 +1,122 @@
+"""Wire codec for the live TCP plane.
+
+Frames are ``4-byte big-endian length || JSON body``.  When a shared
+key is supplied, the body is an envelope ``{"sig": hex, "body": ...}``
+where ``sig`` is HMAC-SHA256 over the canonical JSON of ``body`` — our
+stand-in for GSISecureConversation's per-message authentication (the
+paper treats security purely as per-message overhead, §4.1).
+
+The codec is deliberately socket-free: :func:`encode_frame` returns
+bytes and :class:`FrameReader` is an incremental push parser, so the
+protocol is unit-testable without I/O and reusable over any byte
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import struct
+from typing import Any, Iterator, Optional
+
+from repro.errors import ProtocolError, SecurityError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "sign_payload",
+    "verify_payload",
+    "FrameReader",
+]
+
+#: Upper bound on a single frame; a 300-task bundle of sleep tasks is
+#: ~60 KB, so 64 MiB leaves ample headroom while bounding memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def _canonical(payload: Any) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def sign_payload(payload: Any, key: bytes) -> str:
+    """HMAC-SHA256 signature (hex) over the canonical JSON of *payload*."""
+    return hmac.new(key, _canonical(payload), hashlib.sha256).hexdigest()
+
+
+def verify_payload(envelope: dict[str, Any], key: bytes) -> Any:
+    """Check an envelope's signature and return the inner body.
+
+    Raises
+    ------
+    SecurityError
+        On a missing or non-matching signature.
+    """
+    if not isinstance(envelope, dict) or "sig" not in envelope or "body" not in envelope:
+        raise SecurityError("secure frame lacks signature envelope")
+    expected = sign_payload(envelope["body"], key)
+    if not hmac.compare_digest(expected, str(envelope["sig"])):
+        raise SecurityError("frame signature mismatch")
+    return envelope["body"]
+
+
+def encode_frame(payload: Any, key: Optional[bytes] = None) -> bytes:
+    """Serialise *payload* into one length-prefixed frame."""
+    if key is not None:
+        payload = {"sig": sign_payload(payload, key), "body": payload}
+    body = _canonical(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes, key: Optional[bytes] = None) -> Any:
+    """Inverse of :func:`encode_frame` for one complete frame."""
+    reader = FrameReader(key=key)
+    messages = list(reader.feed(frame))
+    if len(messages) != 1 or reader.pending_bytes:
+        raise ProtocolError(f"expected exactly one complete frame, got {len(messages)}")
+    return messages[0]
+
+
+class FrameReader:
+    """Incremental frame parser.
+
+    Feed it arbitrary byte chunks; it yields each completed payload.
+    TCP gives no message boundaries, so the dispatcher/executor reader
+    threads push ``recv()`` chunks through one of these.
+    """
+
+    def __init__(self, key: Optional[bytes] = None) -> None:
+        self._key = key
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> Iterator[Any]:
+        """Consume *chunk*; yield every payload completed by it."""
+        self._buffer.extend(chunk)
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return
+            (length,) = _LENGTH.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"advertised frame length {length} exceeds limit")
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_LENGTH.size : end])
+            del self._buffer[:end]
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+            if self._key is not None:
+                payload = verify_payload(payload, self._key)
+            yield payload

@@ -1,0 +1,422 @@
+"""Core event loop of the discrete-event simulation kernel.
+
+The design follows the classic generator-coroutine DES pattern
+popularised by SimPy: simulation *processes* are Python generators that
+``yield`` :class:`Event` objects; the :class:`Environment` maintains a
+time-ordered heap of scheduled events and resumes each waiting process
+when the event it yielded is processed.
+
+Scheduling is deterministic: events scheduled for the same simulated
+time are processed in (priority, insertion-order) order, so repeated
+runs with the same seeds produce identical traces.  This matters for the
+paper's experiments, which we want to be exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Interrupt",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must run before same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+# Internal sentinel distinguishing "not yet set" from a ``None`` value.
+_PENDING = object()
+
+
+class StopSimulation(Exception):
+    """Raised inside :meth:`Environment.run` to end the simulation early.
+
+    A process may ``raise StopSimulation(value)``; :meth:`Environment.run`
+    catches it and returns *value*.
+    """
+
+    @property
+    def value(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process may catch the exception and continue; the
+    ``cause`` attribute carries the value passed to ``interrupt()``.
+    Falkon uses interrupts for e.g. de-allocating an executor that is
+    blocked waiting for a notification.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    Lifecycle::
+
+        untriggered --> triggered (scheduled on the heap) --> processed
+
+    An event carries an outcome: it either *succeeds* with a value or
+    *fails* with an exception.  Processes waiting on a failed event have
+    the exception re-raised inside their generator; if a failed event has
+    no waiters at processing time (and has not been ``defused``), the
+    failure propagates out of :meth:`Environment.run`, so programming
+    errors cannot vanish silently.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked (with this event) when the event is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set True to acknowledge a failure that intentionally has no waiter.
+        self.defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome and is (or was) scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"Value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception*."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of *event* onto this event and schedule it."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    A process is itself an :class:`Event` that triggers when its
+    generator terminates: it succeeds with the generator's return value
+    or fails with an uncaught exception, so processes can wait on each
+    other simply by yielding one another.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if dead or new).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off via an immediately-successful initialisation
+        # event so the first resume happens inside the event loop.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process raises ``RuntimeError``; interrupting
+        a process from itself is also an error (raise the exception
+        directly instead).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        event = Event(self.env)
+        event.defused = True
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks = [self._resume_interrupt]
+        self.env.schedule(event, priority=URGENT)
+
+    # -- internals -------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        # The process may have terminated between interrupt() and now.
+        if self.is_alive:
+            self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of *event*."""
+        if self._value is not _PENDING:
+            # A stale callback (e.g. the start-up event firing after the
+            # process died to an immediate interrupt) must not advance a
+            # terminated generator.
+            return
+        env = self.env
+        env._active_process = self
+        # Detach from the previous target: on interrupt, the old target
+        # must no longer resume us when it eventually triggers.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+                if not self._target.callbacks:
+                    # Nobody is listening any more (we were the only
+                    # waiter and got interrupted away): a later failure
+                    # of this event has no consumer and must not crash
+                    # the simulation.
+                    self._target.defused = True
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except StopSimulation:
+                env._active_process = None
+                raise
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                err = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._ok = False
+                self._value = err
+                env.schedule(self)
+                return
+            if next_event.env is not env:
+                env._active_process = None
+                raise RuntimeError("yielded an event from a different Environment")
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: park and wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                env._active_process = None
+                return
+            # Event already processed: feed its outcome straight back in.
+            event = next_event
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"
+
+
+class Environment:
+    """The simulation environment: clock plus time-ordered event heap.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds by convention
+        throughout this repository).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """Create an event that succeeds *delay* time units from now."""
+        from repro.sim.events import Timeout  # local import avoids a cycle
+
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new :class:`Process` from *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        """Event that succeeds when all *events* have succeeded."""
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        """Event that succeeds when any of *events* has succeeded."""
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling / running ----------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered *event* on the heap *delay* from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        IndexError
+            If no events remain.
+        """
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the heap is empty;
+            a number
+                run until the clock reaches that time (the clock is set to
+                exactly ``until`` on return);
+            an :class:`Event`
+                run until that event has been processed and return its
+                value (re-raising its exception on failure).
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+
+        try:
+            while self._heap:
+                if stop_at is not None and self.peek() > stop_at:
+                    break
+                self.step()
+                if stop_event is not None and stop_event.processed:
+                    if stop_event.ok:
+                        return stop_event.value
+                    stop_event.defused = True
+                    raise stop_event.value
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_at is not None:
+            self._now = max(self._now, stop_at)
+        if stop_event is not None and not stop_event.processed:
+            raise RuntimeError("simulation ended before the awaited event was processed")
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._heap)}>"

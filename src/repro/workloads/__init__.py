@@ -1,0 +1,45 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`repro.workloads.synthetic` — sleep-task batches for the §4
+  microbenchmarks.
+* :mod:`repro.workloads.stages18` — the §4.6 18-stage provisioning
+  workload (Figure 11): 1 000 tasks, 17 820 CPU-seconds.
+* :mod:`repro.workloads.fmri` — the §5.1 fMRI AIRSN four-stage
+  pipeline (120–480 volumes).
+* :mod:`repro.workloads.montage` — the §5.2 Montage 3°×3° M16 mosaic
+  DAG (487 images, ~2 200 overlaps).
+* :mod:`repro.workloads.applications` — the Table 5 Swift application
+  catalog.
+* :mod:`repro.workloads.traces` — synthetic grid traces with the
+  batched-arrival / heavy-tailed characteristics of [36, 37].
+"""
+
+from repro.workloads.synthetic import sleep_workload, uniform_workload
+from repro.workloads.stages18 import (
+    STAGE_TASK_COUNTS,
+    STAGE_DURATIONS,
+    stage18_workload,
+    stage18_machines_needed,
+    stage18_summary,
+)
+from repro.workloads.fmri import fmri_workflow
+from repro.workloads.montage import montage_workflow
+from repro.workloads.applications import SWIFT_APPLICATIONS, SwiftApplication
+from repro.workloads.traces import GridTrace, TraceConfig, generate_trace
+
+__all__ = [
+    "sleep_workload",
+    "uniform_workload",
+    "STAGE_TASK_COUNTS",
+    "STAGE_DURATIONS",
+    "stage18_workload",
+    "stage18_machines_needed",
+    "stage18_summary",
+    "fmri_workflow",
+    "montage_workflow",
+    "SWIFT_APPLICATIONS",
+    "SwiftApplication",
+    "GridTrace",
+    "TraceConfig",
+    "generate_trace",
+]

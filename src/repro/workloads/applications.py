@@ -1,0 +1,82 @@
+"""Table 5: the Swift application catalog.
+
+"Swift has been applied to applications in the physical sciences,
+biological sciences, social sciences, humanities, computer science,
+and science education" — Table 5 characterises them by task count and
+stage count; "all could benefit from Falkon".
+
+The catalog doubles as a workload generator: :meth:`SwiftApplication
+.representative_workload` emits a sleep-task batch of representative
+size per stage, so any Table 5 row can be replayed against Falkon or a
+baseline (see ``benchmarks/test_table5_applications.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import TaskSpec
+
+__all__ = ["SwiftApplication", "SWIFT_APPLICATIONS"]
+
+
+@dataclass(frozen=True)
+class SwiftApplication:
+    """One Table 5 row."""
+
+    name: str
+    #: Task count as printed (e.g. "500K", "100s", "40K, 500K").
+    tasks_label: str
+    #: Stage count as printed (e.g. "1", "3~6").
+    stages_label: str
+    #: Representative numeric task count for replays.
+    typical_tasks: int
+    #: Representative numeric stage count.
+    typical_stages: int
+
+    def __post_init__(self) -> None:
+        if self.typical_tasks <= 0 or self.typical_stages <= 0:
+            raise ValueError("typical counts must be positive")
+
+    def representative_workload(
+        self, scale: float = 1.0, seconds_per_task: float = 1.0
+    ) -> list[list[TaskSpec]]:
+        """A stage-structured sleep workload shaped like this app.
+
+        ``scale`` shrinks the task count (Table 5 rows reach 500 K
+        tasks; replays usually use a fraction).
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        total = max(self.typical_stages, int(self.typical_tasks * scale))
+        per_stage = max(1, total // self.typical_stages)
+        stages = []
+        for s in range(self.typical_stages):
+            stages.append(
+                [
+                    TaskSpec.sleep(
+                        seconds_per_task,
+                        task_id=f"{self.name[:8].replace(' ', '')}-s{s}-t{i:06d}",
+                        stage=f"stage-{s}",
+                    )
+                    for i in range(per_stage)
+                ]
+            )
+        return stages
+
+
+#: Table 5, row for row.
+SWIFT_APPLICATIONS: tuple[SwiftApplication, ...] = (
+    SwiftApplication("ATLAS: High Energy Physics Event Simulation", "500K", "1", 500_000, 1),
+    SwiftApplication("fMRI DBIC: AIRSN Image Processing", "100s", "12", 300, 12),
+    SwiftApplication("FOAM: Ocean/Atmosphere Model", "2000", "3", 2_000, 3),
+    SwiftApplication("GADU: Genomics", "40K", "4", 40_000, 4),
+    SwiftApplication("HNL: fMRI Aphasia Study", "500", "4", 500, 4),
+    SwiftApplication("NVO/NASA: Photorealistic Montage/Morphology", "1000s", "16", 3_000, 16),
+    SwiftApplication("QuarkNet/I2U2: Physics Science Education", "10s", "3~6", 30, 4),
+    SwiftApplication("RadCAD: Radiology Classifier Training", "1000s", "5", 3_000, 5),
+    SwiftApplication("SIDGrid: EEG Wavelet Processing, Gaze Analysis", "100s", "20", 300, 20),
+    SwiftApplication("SDSS: Coadd, Cluster Search", "40K, 500K", "2, 8", 40_000, 2),
+    SwiftApplication("SDSS: Stacking, AstroPortal", "10Ks ~ 100Ks", "2 ~ 4", 50_000, 3),
+    SwiftApplication("MolDyn: Molecular Dynamics", "1Ks ~ 20Ks", "8", 10_000, 8),
+)

@@ -1,0 +1,156 @@
+"""Filesystem model tests against Figure 4's calibration points."""
+
+import pytest
+
+from repro.cluster import LocalDisk, SharedFileSystem, gpfs_model, local_disk_model
+from repro.sim import Environment
+
+MB = 10**6
+
+
+def run_readers(env, fs, n_streams, nbytes, node_per_stream=False):
+    """Run n concurrent readers; return elapsed time."""
+    def reader(i):
+        if node_per_stream:
+            yield from fs.read(env, nbytes, node=f"node{i}")
+        else:
+            yield from fs.read(env, nbytes)
+
+    for i in range(n_streams):
+        env.process(reader(i))
+    env.run()
+    return env.now
+
+
+def test_gpfs_aggregate_read_bandwidth():
+    env = Environment()
+    fs = gpfs_model(env)
+    # 64 concurrent 10 MB reads: limited by aggregate 3067 Mb/s.
+    elapsed = run_readers(env, fs, 64, 10 * MB)
+    achieved_mbps = 64 * 10 * MB * 8 / 1e6 / elapsed
+    assert achieved_mbps == pytest.approx(3067, rel=0.10)
+
+
+def test_gpfs_single_reader_gets_one_server_share():
+    env = Environment()
+    fs = gpfs_model(env)
+    elapsed = run_readers(env, fs, 1, 10 * MB)
+    achieved_mbps = 10 * MB * 8 / 1e6 / elapsed
+    assert achieved_mbps == pytest.approx(3067 / 8, rel=0.10)
+
+
+def test_gpfs_write_op_ceiling_near_150_per_sec():
+    env = Environment()
+    fs = gpfs_model(env)
+
+    def writer():
+        yield from fs.write(env, 1)  # 1-byte write: pure op cost
+
+    for _ in range(300):
+        env.process(writer())
+    env.run()
+    rate = 300 / env.now
+    assert rate == pytest.approx(150.0, rel=0.05)
+
+
+def test_gpfs_read_ops_parallel_across_servers():
+    env = Environment()
+    fs = SharedFileSystem(env, read_op_latency=0.01, io_servers=8)
+    for _ in range(80):
+        env.process(fs.read(env, 0))
+    env.run()
+    # 80 ops, 8 at a time, 10 ms each -> ~0.1 s.
+    assert env.now == pytest.approx(0.1, rel=0.05)
+    assert fs.read_ops == 80
+
+
+def test_local_disk_no_cross_node_contention():
+    env = Environment()
+    disk = local_disk_model(env)
+    # 64 nodes each reading 10 MB concurrently: same time as one node.
+    elapsed_many = run_readers(env, disk, 64, 10 * MB, node_per_stream=True)
+
+    env2 = Environment()
+    disk2 = local_disk_model(env2)
+    elapsed_one = run_readers(env2, disk2, 1, 10 * MB, node_per_stream=True)
+    assert elapsed_many == pytest.approx(elapsed_one, rel=1e-6)
+
+
+def test_local_disk_same_node_serializes():
+    env = Environment()
+    disk = LocalDisk(env, read_bandwidth_mbps=800.0)
+
+    def reader():
+        yield from disk.read(env, 10 * MB, node="shared-node")
+
+    env.process(reader())
+    env.process(reader())
+    env.run()
+    single = 10 * MB * 8 / (800.0 * 1e6)
+    assert env.now == pytest.approx(2 * single, rel=0.05)
+
+
+def test_local_write_bandwidth():
+    env = Environment()
+    disk = local_disk_model(env)
+
+    def writer():
+        yield from disk.write(env, 100 * MB, node="n0")
+
+    env.process(writer())
+    env.run()
+    achieved = 100 * MB * 8 / 1e6 / env.now
+    assert achieved == pytest.approx(1368, rel=0.05)
+    assert disk.bytes_written == 100 * MB
+
+
+def test_gpfs_read_write_combined_rate_matches_fig4():
+    # One task reads s bytes then writes s bytes; combined large-size
+    # plateau (counting s once) should approach ~326 Mb/s aggregate.
+    env = Environment()
+    fs = gpfs_model(env)
+    s = 50 * MB
+    n = 16
+
+    def task(i):
+        yield from fs.read(env, s)
+        yield from fs.write(env, s)
+
+    for i in range(n):
+        env.process(task(i))
+    env.run()
+    data_mbps = n * s * 8 / 1e6 / env.now
+    assert data_mbps == pytest.approx(326, rel=0.15)
+
+
+def test_filesystem_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SharedFileSystem(env, read_bandwidth_mbps=0)
+    with pytest.raises(ValueError):
+        SharedFileSystem(env, io_servers=0)
+    with pytest.raises(ValueError):
+        SharedFileSystem(env, write_op_rate=0)
+    with pytest.raises(ValueError):
+        LocalDisk(env, read_bandwidth_mbps=-1)
+    fs = SharedFileSystem(env)
+    with pytest.raises(ValueError):
+        next(fs.read(env, -1))
+    with pytest.raises(ValueError):
+        next(fs.write(env, -1))
+
+
+def test_counters_accumulate():
+    env = Environment()
+    fs = gpfs_model(env)
+
+    def task():
+        yield from fs.read(env, 100)
+        yield from fs.write(env, 50)
+
+    env.process(task())
+    env.run()
+    assert fs.bytes_read == 100
+    assert fs.bytes_written == 50
+    assert fs.read_ops == 1
+    assert fs.write_ops == 1

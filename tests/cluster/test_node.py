@@ -1,0 +1,88 @@
+"""Unit tests for machines and clusters."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, Machine, NodeSpec
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, ClusterSpec(name="test", nodes=4, node=NodeSpec(processors=2)))
+
+
+def test_nodespec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(processors=0)
+    with pytest.raises(ValueError):
+        NodeSpec(cpu_ghz=-1)
+
+
+def test_clusterspec_total_processors():
+    spec = ClusterSpec(name="c", nodes=10, node=NodeSpec(processors=2))
+    assert spec.total_processors == 20
+    with pytest.raises(ValueError):
+        ClusterSpec(name="c", nodes=0, node=NodeSpec())
+
+
+def test_machine_occupy_vacate():
+    m = Machine("n0", NodeSpec(processors=2))
+    assert m.free_processors == 2
+    m.occupy()
+    m.occupy()
+    assert m.free_processors == 0
+    with pytest.raises(RuntimeError):
+        m.occupy()
+    m.vacate(2)
+    assert m.free_processors == 2
+    with pytest.raises(RuntimeError):
+        m.vacate()
+    with pytest.raises(ValueError):
+        m.occupy(0)
+
+
+def test_cluster_allocate_release(cluster):
+    machines = cluster.allocate(3, owner="job1")
+    assert len(machines) == 3
+    assert cluster.allocated_count() == 3
+    assert cluster.free_count() == 1
+    cluster.release(machines[:1])
+    assert cluster.free_count() == 2
+    cluster.release(machines[1:])
+    assert cluster.free_count() == 4
+
+
+def test_cluster_over_allocation_rejected(cluster):
+    cluster.allocate(4, owner="big")
+    with pytest.raises(RuntimeError):
+        cluster.allocate(1, owner="late")
+
+
+def test_cluster_double_release_rejected(cluster):
+    machines = cluster.allocate(1, owner="j")
+    cluster.release(machines)
+    with pytest.raises(RuntimeError):
+        cluster.release(machines)
+
+
+def test_cluster_free_limit(env):
+    spec = ClusterSpec(name="limited", nodes=10, node=NodeSpec())
+    cluster = Cluster(env, spec, free_limit=3)
+    assert cluster.free_count() == 3
+    cluster.allocate(3, owner="j")
+    assert cluster.free_count() == 0
+    with pytest.raises(RuntimeError):
+        cluster.allocate(1, owner="j2")
+
+
+def test_cluster_free_limit_validation(env):
+    spec = ClusterSpec(name="x", nodes=5, node=NodeSpec())
+    with pytest.raises(ValueError):
+        Cluster(env, spec, free_limit=6)
+    with pytest.raises(ValueError):
+        Cluster(env, spec, free_limit=-1)

@@ -1,0 +1,42 @@
+"""The testbed must match the paper's Table 1."""
+
+from repro.cluster import PLATFORMS, paper_testbed
+from repro.cluster.testbed import TG_ANL_FREE_NODES
+from repro.sim import Environment
+
+
+def test_table1_node_counts():
+    assert PLATFORMS["TG_ANL_IA32"].nodes == 98
+    assert PLATFORMS["TG_ANL_IA64"].nodes == 64
+    assert PLATFORMS["TP_UC_x64"].nodes == 122
+    assert PLATFORMS["UC_x64"].nodes == 1
+    assert PLATFORMS["UC_IA32"].nodes == 1
+
+
+def test_table1_processor_counts():
+    # Dual-processor nodes throughout; UC_x64 has HT (4 hw threads).
+    assert PLATFORMS["TG_ANL_IA32"].node.processors == 2
+    assert PLATFORMS["TG_ANL_IA64"].node.processors == 2
+    assert PLATFORMS["TP_UC_x64"].node.processors == 2
+    assert PLATFORMS["UC_x64"].node.processors == 4
+    assert PLATFORMS["UC_IA32"].node.processors == 1
+
+
+def test_table1_memory_and_network():
+    assert PLATFORMS["TG_ANL_IA32"].node.memory_gb == 4.0
+    assert PLATFORMS["UC_x64"].node.memory_gb == 2.0
+    assert PLATFORMS["UC_IA32"].node.memory_gb == 1.0
+    assert PLATFORMS["TG_ANL_IA32"].node.network_mbps == 1000.0
+    assert PLATFORMS["UC_x64"].node.network_mbps == 100.0
+
+
+def test_paper_testbed_free_limit_totals_128():
+    env = Environment()
+    testbed = paper_testbed(env)
+    free = testbed["TG_ANL_IA32"].free_count() + testbed["TG_ANL_IA64"].free_count()
+    assert free == TG_ANL_FREE_NODES == 128
+
+
+def test_paper_testbed_contains_all_platforms():
+    env = Environment()
+    assert set(paper_testbed(env)) == set(PLATFORMS)

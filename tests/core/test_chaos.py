@@ -1,0 +1,99 @@
+"""Chaos tests: the replay policy under randomized failure schedules.
+
+Property: whatever the crash schedule and task mix, every task reaches
+a terminal state exactly once, no executor double-counts, and the
+busy/registered gauges return to a consistent state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FalkonConfig, FalkonSystem
+from repro.types import TaskSpec, TaskState
+
+
+@given(
+    n_tasks=st.integers(10, 60),
+    n_executors=st.integers(2, 8),
+    crash_times=st.lists(st.floats(0.5, 30.0), min_size=0, max_size=3),
+    durations=st.floats(0.0, 3.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=25, deadline=None)
+def test_all_tasks_terminal_under_crashes(n_tasks, n_executors, crash_times, durations, seed):
+    system = FalkonSystem(FalkonConfig.paper_defaults(max_retries=5), seed=seed)
+    executors = system.static_pool(n_executors)
+    env = system.env
+
+    # Crash schedule: each listed time kills one distinct executor
+    # (never the last one alive, so the workload can finish).
+    def saboteur(index, at):
+        yield env.timeout(at)
+        alive = [e for e in executors if e.is_alive]
+        if len(alive) > 1:
+            alive[index % len(alive)].crash()
+
+    for i, at in enumerate(sorted(crash_times)):
+        env.process(saboteur(i, at))
+
+    tasks = [TaskSpec.sleep(durations, task_id=f"ch{i:04d}") for i in range(n_tasks)]
+    result = system.run_workload(tasks)
+
+    # Every task reached exactly one terminal state.
+    assert len(result.records) == n_tasks
+    assert all(r.state.terminal for r in result.records)
+    assert result.completed + result.failed == n_tasks
+    # Nothing left queued or in flight.
+    assert system.dispatcher.queued_tasks == 0
+    assert system.dispatcher.busy_executors == 0
+    # Gauge consistency: registered equals alive executors.
+    alive = sum(1 for e in executors if e.is_alive)
+    assert system.dispatcher.registered_executors == alive
+    # With generous retries and survivors, everything completes.
+    assert result.completed == n_tasks
+
+
+@given(
+    failure_rate=st.floats(0.0, 0.9),
+    max_retries=st.integers(0, 4),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_retry_accounting_consistent(failure_rate, max_retries, seed):
+    system = FalkonSystem(
+        FalkonConfig.paper_defaults(max_retries=max_retries), seed=seed
+    )
+    system.static_pool(4, failure_rate=failure_rate)
+    n = 40
+    result = system.run_workload(
+        [TaskSpec.sleep(0, task_id=f"rt{i:03d}") for i in range(n)]
+    )
+    assert result.completed + result.failed == n
+    for record in result.records:
+        # Attempts never exceed the policy bound.
+        assert 1 <= record.attempts <= max_retries + 1
+        # Failed tasks exhausted every permitted attempt.
+        if record.state is TaskState.FAILED:
+            assert record.attempts == max_retries + 1
+
+
+def test_mass_extinction_then_recovery():
+    """Kill every executor mid-flight; later arrivals of a fresh pool
+    must drain the replayed queue."""
+    system = FalkonSystem(FalkonConfig.paper_defaults(max_retries=10))
+    first_wave = system.static_pool(4)
+    env = system.env
+
+    def extinction():
+        yield env.timeout(2.0)
+        for executor in first_wave:
+            executor.crash()
+        yield env.timeout(5.0)
+        system.static_pool(4)
+
+    env.process(extinction())
+    tasks = [TaskSpec.sleep(1.0, task_id=f"mx{i:03d}") for i in range(40)]
+    result = system.run_workload(tasks)
+    assert result.completed == 40
+    assert system.dispatcher.retries >= 1

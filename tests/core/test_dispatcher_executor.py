@@ -1,0 +1,228 @@
+"""Dispatcher + executor integration tests (simulation plane)."""
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem, SecurityMode
+from repro.types import TaskSpec, TaskState
+
+
+def sleep_tasks(n, seconds=0.0):
+    return [TaskSpec.sleep(seconds, task_id=f"t{i:05d}") for i in range(n)]
+
+
+def test_single_executor_rate_near_28():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(1)
+    result = system.run_workload(sleep_tasks(200))
+    assert result.throughput == pytest.approx(28.0, rel=0.05)
+
+
+def test_many_executors_saturate_near_487():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(256)
+    result = system.run_workload(sleep_tasks(5000))
+    assert result.throughput == pytest.approx(487.0, rel=0.05)
+
+
+def test_security_lowers_throughput_to_204():
+    system = FalkonSystem(
+        FalkonConfig.paper_defaults(security=SecurityMode.GSI_SECURE_CONVERSATION)
+    )
+    system.static_pool(256)
+    result = system.run_workload(sleep_tasks(3000))
+    assert result.throughput == pytest.approx(204.0, rel=0.05)
+
+
+def test_all_tasks_complete_exactly_once():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(16)
+    result = system.run_workload(sleep_tasks(500))
+    assert result.completed == 500
+    assert result.failed == 0
+    ids = [r.task_id for r in result.results]
+    assert len(set(ids)) == 500
+    assert all(r.attempts == 1 for r in result.results)
+
+
+def test_task_execution_time_within_100ms_of_ideal():
+    """§4.6: Falkon execution time is 'within 100 ms of ideal'."""
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(8)
+    result = system.run_workload(sleep_tasks(64, seconds=10.0))
+    assert result.mean_execution_time() == pytest.approx(10.0, abs=0.1)
+
+
+def test_timeline_ordering_invariant():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(4)
+    result = system.run_workload(sleep_tasks(50, seconds=1.0))
+    for record in result.records:
+        tl = record.timeline
+        assert tl.submitted <= tl.dispatched <= tl.started <= tl.completed
+
+
+def test_executor_never_runs_two_tasks_at_once():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    executors = system.static_pool(3)
+    result = system.run_workload(sleep_tasks(60, seconds=2.0))
+    # Group records per executor and check no overlap.
+    by_executor = {}
+    for record in result.records:
+        by_executor.setdefault(record.executor_id, []).append(record.timeline)
+    assert len(by_executor) <= 3
+    for timelines in by_executor.values():
+        timelines.sort(key=lambda tl: tl.dispatched)
+        for a, b in zip(timelines, timelines[1:]):
+            assert a.completed <= b.dispatched + 1e-9
+
+
+def test_piggybacking_off_costs_more_cpu():
+    fast = FalkonSystem(FalkonConfig.paper_defaults(piggyback=True))
+    fast.static_pool(256)
+    r_fast = fast.run_workload(sleep_tasks(3000))
+    slow = FalkonSystem(FalkonConfig.paper_defaults(piggyback=False))
+    slow.static_pool(256)
+    r_slow = slow.run_workload(sleep_tasks(3000))
+    assert r_slow.throughput < r_fast.throughput
+    # 2.053ms + 2ms extra per task -> ~247 tasks/s.
+    assert r_slow.throughput == pytest.approx(1.0 / (1 / 487 + 1 / 500), rel=0.06)
+
+
+def test_queue_time_includes_wait():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(1)
+    result = system.run_workload(sleep_tasks(10, seconds=1.0))
+    # With one executor the 10th task waits ~9 task durations.
+    queue_times = sorted(r.timeline.queue_time for r in result.records)
+    assert queue_times[0] < 1.0
+    assert queue_times[-1] > 8.0
+
+
+def test_failure_injection_retries_up_to_limit():
+    system = FalkonSystem(FalkonConfig.paper_defaults(max_retries=3), seed=42)
+    system.static_pool(4, failure_rate=0.3)
+    result = system.run_workload(sleep_tasks(200))
+    assert result.completed + result.failed == 200
+    # With 30% failure and 3 retries, nearly everything succeeds.
+    assert result.completed > 190
+    assert system.dispatcher.retries > 0
+    retried = [r for r in result.results if r.attempts > 1]
+    assert retried
+
+
+def test_zero_retries_fails_fast():
+    system = FalkonSystem(FalkonConfig.paper_defaults(max_retries=0), seed=7)
+    system.static_pool(4, failure_rate=1.0)
+    result = system.run_workload(sleep_tasks(20))
+    assert result.failed == 20
+    assert all(r.attempts == 1 for r in result.results)
+
+
+def test_executor_crash_replays_inflight_task():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    executors = system.static_pool(2)
+    env = system.env
+
+    def saboteur():
+        yield env.timeout(5.0)
+        executors[0].crash()
+
+    env.process(saboteur())
+    result = system.run_workload(sleep_tasks(20, seconds=2.0))
+    assert result.completed == 20
+    # The crashed executor's in-flight task ran twice.
+    assert any(r.attempts > 1 for r in result.results)
+    assert system.dispatcher.registered_executors == 1
+
+
+def test_crash_while_idle_is_clean():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    executors = system.static_pool(3)
+    env = system.env
+    result = system.run_workload(sleep_tasks(5))
+    executors[0].crash()
+    env.run(until=env.now + 1.0)
+    assert system.dispatcher.registered_executors == 2
+    # Remaining executors still serve work.
+    result2 = system.run_workload(sleep_tasks(5))
+    assert result2.completed == 5
+
+
+def test_replay_timeout_redispatches():
+    system = FalkonSystem(FalkonConfig.paper_defaults(replay_timeout=5.0, max_retries=2))
+    executors = system.static_pool(2)
+    env = system.env
+
+    # Freeze one executor mid-task by crashing it without dispatcher
+    # notification: monkeypatch its retire to skip executor_lost.
+    def silent_crash():
+        yield env.timeout(1.0)
+        victim = executors[0]
+        victim._proc.defused = True
+        victim.dispatcher = _MuteDispatcher(system.dispatcher)
+        victim._proc.interrupt("crash")
+
+    class _MuteDispatcher:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __getattr__(self, name):
+            if name == "executor_lost":
+                return lambda *a, **k: None
+            return getattr(self._inner, name)
+
+    env.process(silent_crash())
+    result = system.run_workload(sleep_tasks(10, seconds=3.0))
+    assert result.completed == 10
+    assert any(r.attempts > 1 for r in result.results)
+
+
+def test_completion_milestone_fires_in_order():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(4)
+    env = system.env
+    hits = []
+
+    def watcher():
+        m1 = system.dispatcher.completion_milestone(10)
+        yield m1
+        hits.append(("m10", system.dispatcher.tasks_completed))
+        m2 = system.dispatcher.completion_milestone(50)
+        yield m2
+        hits.append(("m50", system.dispatcher.tasks_completed))
+
+    env.process(watcher())
+    system.run_workload(sleep_tasks(50))
+    env.run()  # drain the watcher's own wakeup
+    assert hits[0][0] == "m10" and hits[0][1] >= 10
+    assert hits[1][0] == "m50" and hits[1][1] >= 50
+
+
+def test_milestone_already_met_fires_immediately():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(2)
+    system.run_workload(sleep_tasks(5))
+    event = system.dispatcher.completion_milestone(3)
+    assert event.triggered
+
+
+def test_accept_tasks_validates_empty():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    with pytest.raises(ValueError):
+        next(system.dispatcher.accept_tasks([]))
+
+
+def test_records_track_states():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(2)
+    result = system.run_workload(sleep_tasks(10))
+    assert all(r.state is TaskState.COMPLETED for r in result.records)
+
+
+def test_gauges_return_to_zero():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(8)
+    system.run_workload(sleep_tasks(100, seconds=0.5))
+    assert system.dispatcher.queued_tasks == 0
+    assert system.dispatcher.busy_executors == 0
+    assert system.dispatcher.registered_executors == 8

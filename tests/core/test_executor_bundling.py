@@ -1,0 +1,97 @@
+"""Dispatcher→executor bundling tests (§3.4).
+
+The paper uses client→dispatcher bundling but not dispatcher→executor
+bundling because its tasks lack runtime estimates; ours can carry them
+(``TaskSpec.runtime_estimate``), activating the feature.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem
+from repro.types import TaskSpec
+
+
+def estimated_tasks(n, seconds, prefix="eb"):
+    return [
+        dataclasses.replace(
+            TaskSpec.sleep(seconds, task_id=f"{prefix}{i:04d}"),
+            runtime_estimate=seconds,
+        )
+        for i in range(n)
+    ]
+
+
+def build(executor_bundling, n_executors=1):
+    system = FalkonSystem(
+        FalkonConfig.paper_defaults(executor_bundling=executor_bundling)
+    )
+    system.static_pool(n_executors)
+    return system
+
+
+def test_bundling_improves_short_task_throughput():
+    base = build(False).run_workload(estimated_tasks(300, 0.0))
+    bundled = build(True).run_workload(estimated_tasks(300, 0.0))
+    assert bundled.completed == base.completed == 300
+    # Followers skip most of the per-task exchange: large gain.
+    assert bundled.throughput > 1.5 * base.throughput
+
+
+def test_bundling_requires_estimates():
+    system = build(True)
+    # No runtime estimates -> never bundled -> same behaviour as off.
+    plain = [TaskSpec.sleep(0, task_id=f"ne{i:03d}") for i in range(100)]
+    result = system.run_workload(plain)
+    reference = build(False).run_workload(
+        [TaskSpec.sleep(0, task_id=f"nf{i:03d}") for i in range(100)]
+    )
+    assert result.throughput == pytest.approx(reference.throughput, rel=0.05)
+
+
+def test_bundle_respects_estimate_cap():
+    # Estimates above the 60 s bundle budget are never bundled, so the
+    # makespan with 2 executors stays the fair 2-way split.
+    system = build(True, n_executors=2)
+    tasks = [
+        dataclasses.replace(
+            TaskSpec.sleep(10.0, task_id=f"cap{i}"), runtime_estimate=100.0
+        )
+        for i in range(4)
+    ]
+    result = system.run_workload(tasks)
+    # 4 x 10 s tasks over 2 executors: ~20 s if not over-bundled.
+    assert result.makespan == pytest.approx(20.0, abs=2.0)
+
+
+def test_long_estimates_do_not_starve_parallelism():
+    # With a 60s budget and 30s tasks, at most 2 tasks bundle; the rest
+    # spread across executors instead of piling onto one.
+    system = build(True, n_executors=4)
+    result = system.run_workload(estimated_tasks(8, 30.0, prefix="par"))
+    assert result.makespan == pytest.approx(60.0, abs=5.0)
+
+
+def test_all_complete_exactly_once_with_bundling():
+    system = build(True, n_executors=3)
+    result = system.run_workload(estimated_tasks(200, 0.01))
+    assert result.completed == 200
+    assert len({r.task_id for r in result.results}) == 200
+    assert all(r.attempts == 1 for r in result.results)
+
+
+def test_crash_requeues_claimed_bundle():
+    system = build(True, n_executors=2)
+    executors = system._static_executors
+    env = system.env
+
+    def saboteur():
+        yield env.timeout(0.5)
+        executors[0].crash()
+
+    env.process(saboteur())
+    result = system.run_workload(estimated_tasks(50, 0.2, prefix="cr"))
+    # Nothing lost: the crashed executor's claimed-but-unstarted bundle
+    # followers were requeued.
+    assert result.completed == 50

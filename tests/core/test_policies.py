@@ -1,0 +1,115 @@
+"""Unit tests for acquisition and release policies (§3.1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import AcquisitionPolicyName, ReleasePolicyName
+from repro.core.policies import (
+    Additive,
+    AllAtOnce,
+    Available,
+    CentralizedQueue,
+    DistributedIdle,
+    Exponential,
+    NeverRelease,
+    OneAtATime,
+    make_acquisition_policy,
+    make_release_policy,
+)
+
+
+def test_all_at_once_single_request():
+    assert AllAtOnce().plan(32) == [32]
+    assert AllAtOnce().plan(0) == []
+
+
+def test_one_at_a_time_n_requests():
+    assert OneAtATime().plan(5) == [1, 1, 1, 1, 1]
+    assert OneAtATime().plan(0) == []
+
+
+def test_additive_arithmetic_growth():
+    assert Additive(step=1).plan(10) == [1, 2, 3, 4]
+    assert Additive(step=2).plan(12) == [2, 4, 6]
+    # last request truncated to the remaining need
+    assert Additive(step=3).plan(7) == [3, 4]
+
+
+def test_exponential_growth():
+    assert Exponential().plan(15) == [1, 2, 4, 8]
+    assert Exponential().plan(10) == [1, 2, 4, 3]
+    assert Exponential(base=3).plan(13) == [1, 3, 9]
+
+
+def test_available_policy():
+    assert Available().plan(10, available=4) == [4]
+    assert Available().plan(10, available=100) == [10]
+    assert Available().plan(10, available=0) == []
+    assert Available().plan(10, available=None) == [10]
+
+
+def test_policy_parameter_validation():
+    with pytest.raises(ValueError):
+        Additive(step=0)
+    with pytest.raises(ValueError):
+        Exponential(base=1)
+    with pytest.raises(ValueError):
+        AllAtOnce().plan(-1)
+
+
+@pytest.mark.parametrize("name", list(AcquisitionPolicyName))
+def test_factory_builds_every_policy(name):
+    policy = make_acquisition_policy(name)
+    assert policy.name == name.value
+
+
+@pytest.mark.parametrize("name", list(AcquisitionPolicyName))
+@given(needed=st.integers(0, 500), available=st.none() | st.integers(0, 500))
+def test_plans_cover_need_without_overshoot(name, needed, available):
+    """Every policy's plan sums to exactly the need (or less, only for
+    AVAILABLE when the LRM reports fewer free nodes)."""
+    policy = make_acquisition_policy(name)
+    plan = policy.plan(needed, available=available)
+    assert all(size >= 1 for size in plan)
+    total = sum(plan)
+    if name is AcquisitionPolicyName.AVAILABLE and available is not None:
+        assert total == min(needed, available)
+    else:
+        assert total == needed
+
+
+def test_distributed_idle_release():
+    policy = DistributedIdle(15.0)
+    assert policy.executor_idle_timeout() == 15.0
+    assert not policy.dispatcher_should_release(0, 10)
+    with pytest.raises(ValueError):
+        DistributedIdle(0)
+
+
+def test_centralized_queue_release():
+    policy = CentralizedQueue(threshold=2)
+    assert policy.executor_idle_timeout() == math.inf
+    assert policy.dispatcher_should_release(queued_tasks=1, idle_executors=3)
+    assert not policy.dispatcher_should_release(queued_tasks=5, idle_executors=3)
+    assert not policy.dispatcher_should_release(queued_tasks=0, idle_executors=0)
+    with pytest.raises(ValueError):
+        CentralizedQueue(-1)
+
+
+def test_never_release():
+    policy = NeverRelease()
+    assert math.isinf(policy.executor_idle_timeout())
+    assert not policy.dispatcher_should_release(0, 99)
+
+
+def test_release_factory():
+    assert isinstance(
+        make_release_policy(ReleasePolicyName.DISTRIBUTED_IDLE, idle_time=5), DistributedIdle
+    )
+    assert isinstance(
+        make_release_policy(ReleasePolicyName.CENTRALIZED_QUEUE, threshold=1), CentralizedQueue
+    )
+    assert isinstance(make_release_policy(ReleasePolicyName.NEVER), NeverRelease)

@@ -1,0 +1,134 @@
+"""Provisioner tests: dynamic acquisition, release policies, leases."""
+
+import math
+
+import pytest
+
+from repro import AcquisitionPolicyName, FalkonConfig, FalkonSystem, ReleasePolicyName
+from repro.types import TaskSpec
+
+
+def sleep_tasks(n, seconds):
+    return [TaskSpec.sleep(seconds, task_id=f"p{i:05d}") for i in range(n)]
+
+
+def make_system(idle=60.0, max_executors=8, acquisition=AcquisitionPolicyName.ALL_AT_ONCE,
+                **overrides):
+    cfg = FalkonConfig.falkon_idle(idle, max_executors=max_executors)
+    cfg.acquisition_policy = acquisition
+    cfg.executors_per_node = 1
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return FalkonSystem(cfg.validate(), cluster_nodes=32, processors_per_node=1)
+
+
+def test_all_at_once_uses_single_allocation():
+    system = make_system()
+    result = system.run_workload(sleep_tasks(16, 30.0), bundle_size=16)
+    assert result.completed == 16
+    assert system.provisioner.stats.allocations_requested == 1
+    assert system.provisioner.stats.executors_started == 8
+
+
+def test_one_at_a_time_uses_many_allocations():
+    system = make_system(acquisition=AcquisitionPolicyName.ONE_AT_A_TIME)
+    result = system.run_workload(sleep_tasks(16, 30.0), bundle_size=16)
+    assert result.completed == 16
+    assert system.provisioner.stats.allocations_requested == 8
+
+
+def test_exponential_allocations():
+    system = make_system(acquisition=AcquisitionPolicyName.EXPONENTIAL)
+    result = system.run_workload(sleep_tasks(16, 30.0), bundle_size=16)
+    assert result.completed == 16
+    # 8 executors as 1+2+4+1 -> 4 requests.
+    assert system.provisioner.stats.allocations_requested == 4
+
+
+def test_idle_release_returns_machines():
+    system = make_system(idle=15.0)
+    system.run_workload(sleep_tasks(8, 10.0), bundle_size=8)
+    env = system.env
+    env.run(until=env.now + 120.0)
+    assert system.dispatcher.registered_executors == 0
+    assert system.cluster.free_count() == 32
+    assert system.provisioner.stats.executors_released == system.provisioner.stats.executors_started
+
+
+def test_longer_idle_keeps_executors_for_next_burst():
+    system = make_system(idle=300.0)
+    r1 = system.run_workload(sleep_tasks(8, 5.0), bundle_size=8)
+    allocations_after_first = system.provisioner.stats.allocations_requested
+    # Second burst arrives 60s later: executors still registered.
+    system.env.run(until=system.env.now + 60.0)
+    assert system.dispatcher.registered_executors > 0
+    r2 = system.run_workload(sleep_tasks(8, 5.0), bundle_size=8)
+    assert system.provisioner.stats.allocations_requested == allocations_after_first
+    # Without the allocation wait, the second burst is much faster.
+    assert r2.makespan < r1.makespan
+
+
+def test_never_release_prewarm_excludes_alloc_time():
+    cfg = FalkonConfig.falkon_idle(math.inf, max_executors=8)
+    cfg.executors_per_node = 1
+    system = FalkonSystem(cfg.validate(), cluster_nodes=32, processors_per_node=1)
+    result = system.run_workload(sleep_tasks(8, 10.0), bundle_size=8, prewarm=True)
+    # Executors were up before submission: near-zero queue time.
+    assert result.mean_queue_time() < 1.0
+    assert result.makespan == pytest.approx(10.0, abs=1.0)
+    # Prewarmed pool stays up.
+    system.env.run(until=system.env.now + 300.0)
+    assert system.dispatcher.registered_executors == 8
+
+
+def test_centralized_release_policy_drains_idle_executors():
+    cfg = FalkonConfig(
+        release_policy=ReleasePolicyName.CENTRALIZED_QUEUE,
+        centralized_queue_threshold=0,
+        max_executors=4,
+        executors_per_node=1,
+        provisioner_poll_interval=1.0,
+    ).validate()
+    system = FalkonSystem(cfg, cluster_nodes=8, processors_per_node=1)
+    system.run_workload(sleep_tasks(4, 5.0), bundle_size=4)
+    # One release per poll: all four drain within a few polls.
+    system.env.run(until=system.env.now + 30.0)
+    assert system.dispatcher.registered_executors == 0
+    assert system.cluster.free_count() == 8
+
+
+def test_max_executors_bounds_pool():
+    system = make_system(max_executors=4)
+    system.run_workload(sleep_tasks(40, 5.0), bundle_size=40)
+    assert system.provisioner.stats.executors_started <= 4
+
+
+def test_allocation_lease_expiry_kills_executors():
+    system = make_system(idle=10_000.0, allocation_lease=60.0)
+    result = system.run_workload(sleep_tasks(8, 5.0), bundle_size=8)
+    assert result.completed == 8
+    system.env.run(until=system.env.now + 300.0)
+    # Idle time never fires (10000s) but the lease does.
+    assert system.dispatcher.registered_executors == 0
+    assert system.cluster.free_count() == 32
+
+
+def test_executors_per_node_two():
+    cfg = FalkonConfig.falkon_idle(60.0, max_executors=8)
+    cfg.executors_per_node = 2
+    system = FalkonSystem(cfg.validate(), cluster_nodes=16, processors_per_node=2)
+    result = system.run_workload(sleep_tasks(8, 10.0), bundle_size=8)
+    assert result.completed == 8
+    # 8 executors on 4 nodes.
+    assert system.provisioner.stats.executors_started == 8
+    assert system.cluster.allocated_count() <= 4
+
+
+def test_provisioner_stop_halts_acquisition():
+    system = make_system()
+    system.provisioner.stop()
+    records = system.dispatcher.accept_tasks_now(sleep_tasks(4, 1.0))
+    system.env.run(until=200.0)
+    # No executors ever appear; tasks stay queued.
+    assert system.dispatcher.registered_executors == 0
+    assert system.dispatcher.queued_tasks == 4

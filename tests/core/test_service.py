@@ -1,0 +1,113 @@
+"""Tests for the factory/instance pattern (§3.2, simulation plane)."""
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem
+from repro.core import FalkonService
+from repro.errors import DispatchError
+from repro.types import TaskSpec
+
+
+def make():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(2)
+    service = FalkonService(system.env, system.dispatcher)
+    return system, service
+
+
+def tasks(n, prefix, seconds=0.0):
+    return [TaskSpec.sleep(seconds, task_id=f"{prefix}{i:03d}") for i in range(n)]
+
+
+def test_instances_get_unique_eprs():
+    _system, service = make()
+    a, b = service.create_instance(), service.create_instance()
+    assert a.epr != b.epr
+    assert service.active_instances == 2
+    assert service.instance(a.epr) is a
+
+
+def test_unknown_epr_rejected():
+    _system, service = make()
+    with pytest.raises(DispatchError):
+        service.instance("falkon-epr-9999")
+
+
+def test_instances_share_executors_but_separate_tasks():
+    system, service = make()
+    env = system.env
+    a, b = service.create_instance(), service.create_instance()
+
+    def driver():
+        ra = yield from a.submit(tasks(5, "ia"))
+        rb = yield from b.submit(tasks(7, "ib"))
+        yield env.all_of([r.completion for r in ra + rb])
+
+    proc = env.process(driver())
+    env.run(until=proc)
+    assert a.task_count == 5
+    assert b.task_count == 7
+    assert len(a.results()) == 5
+    assert len(b.results()) == 7
+    assert {r.task_id for r in a.results()}.isdisjoint(
+        r.task_id for r in b.results()
+    )
+
+
+def test_progress_counts_by_state():
+    system, service = make()
+    env = system.env
+    instance = service.create_instance()
+
+    def driver():
+        records = yield from instance.submit(tasks(4, "pg", seconds=5.0))
+        yield env.all_of([r.completion for r in records])
+
+    proc = env.process(driver())
+    env.run(until=1.0)
+    mid = instance.progress()
+    assert mid["queued"] + mid["dispatched"] + mid["completed"] == 4
+    env.run(until=proc)
+    assert instance.progress()["completed"] == 4
+
+
+def test_destroy_withdraws_queued_tasks():
+    system, service = make()
+    env = system.env
+    instance = service.create_instance()
+
+    def driver():
+        # 10 long tasks on 2 executors: 8 stay queued for a while.
+        yield from instance.submit(tasks(10, "dw", seconds=50.0))
+
+    proc = env.process(driver())
+    env.run(until=proc)
+    env.run(until=env.now + 1.0)
+    cancelled = instance.destroy()
+    assert cancelled == 8
+    assert instance.destroyed
+    assert service.active_instances == 0
+    # The two in-flight tasks still finish on their executors.
+    env.run()
+    done = instance.progress()
+    assert done["completed"] == 2
+    assert done["canceled"] == 8
+    assert system.dispatcher.queued_tasks == 0
+
+
+def test_destroyed_instance_rejects_submission():
+    system, service = make()
+    instance = service.create_instance()
+    instance.destroy()
+    with pytest.raises(DispatchError):
+        next(instance.submit(tasks(1, "dead")))
+    assert instance.destroy() == 0  # idempotent
+
+
+def test_submit_and_wait_via_instance():
+    system, service = make()
+    env = system.env
+    instance = service.create_instance()
+    proc = env.process(instance.submit_and_wait(tasks(6, "sw")))
+    results = env.run(until=proc)
+    assert len(results) == 6 and all(r.ok for r in results)

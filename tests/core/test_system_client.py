@@ -1,0 +1,166 @@
+"""Unit tests for FalkonSystem, WorkloadResult, SimClient and staging."""
+
+import math
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem
+from repro.cluster.filesystem import LocalDisk, SharedFileSystem
+from repro.core.client import SimClient
+from repro.core.dispatcher import SimDispatcher
+from repro.core.staging import StagingModel
+from repro.core.system import WorkloadResult
+from repro.sim import Environment
+from repro.types import DataLocation, DataRef, TaskSpec
+
+
+def sleep_tasks(n, seconds=0.0, prefix="sc"):
+    return [TaskSpec.sleep(seconds, task_id=f"{prefix}{i:04d}") for i in range(n)]
+
+
+# ---------------------------------------------------------------- system
+def test_run_workload_rejects_empty():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    with pytest.raises(ValueError):
+        system.run_workload([])
+
+
+def test_static_pool_rejects_nonpositive():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    with pytest.raises(ValueError):
+        system.static_pool(0)
+
+
+def test_static_pool_spreads_over_nodes():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    executors = system.static_pool(8, executors_per_machine=2)
+    nodes = {e.node for e in executors}
+    assert len(nodes) == 4
+
+
+def test_consecutive_workloads_accumulate():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(4)
+    r1 = system.run_workload(sleep_tasks(10, prefix="a"))
+    r2 = system.run_workload(sleep_tasks(10, prefix="b"))
+    assert r1.completed == r2.completed == 10
+    assert system.dispatcher.tasks_completed == 20
+    # Second run's timeline starts after the first.
+    assert r2.started_at >= r1.finished_at
+
+
+def test_workload_result_metrics():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(2)
+    result = system.run_workload(sleep_tasks(20, seconds=1.0))
+    assert result.makespan > 0
+    assert result.throughput == pytest.approx(20 / result.makespan)
+    assert result.failed == 0
+    assert 0 < result.execution_time_fraction() <= 1.0
+    assert result.mean_execution_time() == pytest.approx(1.0, abs=0.1)
+
+
+def test_workload_result_empty_edge():
+    result = WorkloadResult(records=[], started_at=5.0, finished_at=5.0)
+    assert result.completed == 0
+    assert math.isinf(result.throughput)
+    assert math.isnan(result.mean_queue_time())
+
+
+# ---------------------------------------------------------------- client
+def test_client_effective_bundle_size():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults(bundle_size=100))
+    client = SimClient(env, dispatcher)
+    assert client.effective_bundle_size() == 100
+    assert client.effective_bundle_size(7) == 7
+    with pytest.raises(ValueError):
+        client.effective_bundle_size(0)
+
+
+def test_client_bundling_disabled_means_one():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults(client_bundling=False))
+    client = SimClient(env, dispatcher)
+    assert client.effective_bundle_size() == 1
+
+
+def test_client_counts_bundles():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    client = SimClient(env, dispatcher)
+    proc = env.process(client.submit(sleep_tasks(250, prefix="cb"), bundle_size=100))
+    env.run(until=proc)
+    assert client.bundles_sent == 3
+    assert client.tasks_sent == 250
+    assert dispatcher.tasks_accepted == 250
+
+
+def test_client_submit_empty_is_noop():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    client = SimClient(env, dispatcher)
+    proc = env.process(client.submit([]))
+    records = env.run(until=proc)
+    assert records == []
+    assert client.bundles_sent == 0
+
+
+def test_client_submit_and_wait():
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(2)
+    env = system.env
+    proc = env.process(system.client.submit_and_wait(sleep_tasks(5, prefix="sw")))
+    results = env.run(until=proc)
+    assert len(results) == 5
+    assert all(r.ok for r in results)
+
+
+# ---------------------------------------------------------------- staging
+def test_staging_requires_bound_filesystem():
+    env = Environment()
+    staging = StagingModel(shared=None, local=LocalDisk(env))
+    task = TaskSpec(
+        task_id="t", reads=(DataRef("x", 10, DataLocation.SHARED),)
+    )
+    with pytest.raises(RuntimeError, match="no filesystem model"):
+        next(staging.stage_in(env, task, "n0"))
+
+
+def test_staging_routes_by_location():
+    env = Environment()
+    shared = SharedFileSystem(env)
+    local = LocalDisk(env)
+    staging = StagingModel(shared=shared, local=local)
+    task = TaskSpec(
+        task_id="t",
+        reads=(
+            DataRef("s", 1000, DataLocation.SHARED),
+            DataRef("l", 1000, DataLocation.LOCAL),
+        ),
+        writes=(DataRef("o", 500, DataLocation.SHARED),),
+    )
+
+    def runner():
+        yield from staging.stage_in(env, task, "node7")
+        yield from staging.stage_out(env, task, "node7")
+
+    env.process(runner())
+    env.run()
+    assert shared.bytes_read == 1000
+    assert local.bytes_read == 1000
+    assert shared.bytes_written == 500
+
+
+def test_staging_zero_refs_is_fast():
+    env = Environment()
+    staging = StagingModel(shared=SharedFileSystem(env), local=LocalDisk(env))
+    task = TaskSpec(task_id="t")
+
+    def runner():
+        yield from staging.stage_in(env, task, "n")
+        yield from staging.stage_out(env, task, "n")
+
+    env.process(runner())
+    env.run()
+    assert env.now == 0.0

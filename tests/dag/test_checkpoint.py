@@ -1,0 +1,109 @@
+"""Tests for Swift-style workflow checkpoint/restart."""
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem
+from repro.dag import FalkonProvider, Workflow, WorkflowCheckpoint, WorkflowEngine
+from repro.types import TaskResult, TaskSpec
+
+
+def chain_workflow(n=6, duration=1.0):
+    wf = Workflow("chain")
+    prev = []
+    for i in range(n):
+        wf.add_task(TaskSpec(f"c{i}", duration=duration, stage=f"s{i}"), after=prev)
+        prev = [f"c{i}"]
+    return wf
+
+
+def engine_with_pool(executors=2):
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(executors)
+    return system, WorkflowEngine(system.env, FalkonProvider(system.env, system.dispatcher))
+
+
+def test_checkpoint_records_only_successes():
+    cp = WorkflowCheckpoint()
+    cp.record(TaskResult("good"))
+    cp.record(TaskResult("bad", return_code=1))
+    assert "good" in cp and "bad" not in cp
+    assert len(cp) == 1
+    assert cp.result("good").ok
+    assert cp.result("missing") is None
+
+
+def test_checkpoint_json_roundtrip(tmp_path):
+    cp = WorkflowCheckpoint()
+    cp.record(TaskResult("a", stdout="out", executor_id="e1"))
+    cp.record(TaskResult("b"))
+    path = str(tmp_path / "restart.json")
+    cp.save(path)
+    loaded = WorkflowCheckpoint.load(path)
+    assert loaded.completed_ids() == {"a", "b"}
+    assert loaded.result("a").stdout == "out"
+
+
+def test_restart_skips_completed_tasks():
+    # First run populates the checkpoint fully.
+    system1, engine1 = engine_with_pool()
+    cp = WorkflowCheckpoint()
+    r1 = engine1.run_to_completion(chain_workflow(), checkpoint=cp)
+    assert r1.ok
+    assert len(cp) == 6
+
+    # Second run with the full checkpoint executes nothing.
+    system2, engine2 = engine_with_pool()
+    r2 = engine2.run_to_completion(chain_workflow(), checkpoint=cp)
+    assert r2.ok
+    assert r2.makespan == 0.0
+    assert system2.dispatcher.tasks_accepted == 0
+
+
+def test_partial_checkpoint_resumes_midway():
+    # Pre-record the first three chain links.
+    cp = WorkflowCheckpoint()
+    for i in range(3):
+        cp.record(TaskResult(f"c{i}"))
+
+    system, engine = engine_with_pool()
+    result = engine.run_to_completion(chain_workflow(duration=2.0), checkpoint=cp)
+    assert result.ok
+    # Only the remaining three tasks ran: ~3 x 2 s, not ~6 x 2 s.
+    assert result.makespan == pytest.approx(6.0, abs=1.0)
+    assert system.dispatcher.tasks_accepted == 3
+    # The checkpoint now covers everything.
+    assert len(cp) == 6
+
+
+def test_checkpoint_entries_outside_workflow_ignored():
+    cp = WorkflowCheckpoint()
+    cp.record(TaskResult("foreign-task"))
+    system, engine = engine_with_pool()
+    result = engine.run_to_completion(chain_workflow(n=2), checkpoint=cp)
+    assert result.ok
+    assert len(result.results) == 2
+
+
+def test_failure_then_restart_end_to_end():
+    """Simulated outage: the first run fails midway (a chain task dies,
+    retries exhausted, dependents skipped); the restart completes only
+    the remainder."""
+    cp = WorkflowCheckpoint()
+    done_first = 0
+    for seed in range(100):
+        trial = WorkflowCheckpoint()
+        system1 = FalkonSystem(FalkonConfig.paper_defaults(max_retries=0), seed=seed)
+        system1.static_pool(1, failure_rate=0.35)
+        engine1 = WorkflowEngine(
+            system1.env, FalkonProvider(system1.env, system1.dispatcher)
+        )
+        r1 = engine1.run_to_completion(chain_workflow(), checkpoint=trial)
+        if not r1.ok and 1 <= len(trial) < 6:
+            cp, done_first = trial, len(trial)
+            break
+    assert 1 <= done_first < 6, "no seed produced a mid-chain failure"
+
+    system2, engine2 = engine_with_pool()
+    r2 = engine2.run_to_completion(chain_workflow(), checkpoint=cp)
+    assert r2.ok
+    assert system2.dispatcher.tasks_accepted == 6 - done_first

@@ -1,0 +1,86 @@
+"""Property-based tests for the workflow engine on random DAGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FalkonConfig, FalkonSystem
+from repro.dag import FalkonProvider, Workflow, WorkflowEngine
+from repro.types import TaskSpec
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG: each task may depend on any earlier tasks (so the
+    graph is acyclic by construction)."""
+    n = draw(st.integers(1, 25))
+    durations = draw(
+        st.lists(st.floats(0.0, 3.0), min_size=n, max_size=n)
+    )
+    edges = []
+    for i in range(n):
+        if i == 0:
+            edges.append([])
+            continue
+        k = draw(st.integers(0, min(3, i)))
+        deps = draw(
+            st.lists(st.integers(0, i - 1), min_size=k, max_size=k, unique=True)
+        )
+        edges.append(deps)
+    return durations, edges
+
+
+def build_workflow(durations, edges):
+    wf = Workflow("random")
+    for i, (duration, deps) in enumerate(zip(durations, edges)):
+        wf.add_task(
+            TaskSpec(f"r{i}", duration=duration, stage=f"s{i % 3}"),
+            after=[f"r{d}" for d in deps],
+        )
+    return wf
+
+
+@given(random_dags(), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_random_dags_complete_and_respect_dependencies(dag, executors):
+    durations, edges = dag
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(executors)
+    engine = WorkflowEngine(system.env, FalkonProvider(system.env, system.dispatcher))
+    result = engine.run_to_completion(build_workflow(durations, edges))
+
+    assert result.ok
+    assert len(result.results) == len(durations)
+    # Dependency ordering holds in the timelines.
+    for i, deps in enumerate(edges):
+        child = result.results[f"r{i}"].timeline
+        for d in deps:
+            parent = result.results[f"r{d}"].timeline
+            assert parent.completed <= child.started + 1e-9
+    # Makespan bounds: at least the critical path, at most serial total.
+    wf = build_workflow(durations, edges)
+    critical = wf.ideal_makespan(10**9)
+    assert result.makespan >= critical - 1e-6
+    # Generous upper bound: serial execution plus per-task overhead.
+    assert result.makespan <= sum(durations) + 0.2 * len(durations) + 1.0
+
+
+@given(random_dags())
+@settings(max_examples=20, deadline=None)
+def test_checkpointed_rerun_executes_nothing(dag):
+    from repro.dag import WorkflowCheckpoint
+
+    durations, edges = dag
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(4)
+    engine = WorkflowEngine(system.env, FalkonProvider(system.env, system.dispatcher))
+    checkpoint = WorkflowCheckpoint()
+    first = engine.run_to_completion(build_workflow(durations, edges), checkpoint=checkpoint)
+    assert first.ok
+
+    system2 = FalkonSystem(FalkonConfig.paper_defaults())
+    system2.static_pool(4)
+    engine2 = WorkflowEngine(system2.env, FalkonProvider(system2.env, system2.dispatcher))
+    second = engine2.run_to_completion(build_workflow(durations, edges), checkpoint=checkpoint)
+    assert second.ok
+    assert second.makespan == 0.0
+    assert system2.dispatcher.tasks_accepted == 0

@@ -1,0 +1,142 @@
+"""Workflow engine + provider integration tests."""
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.dag import (
+    ClusteredGramProvider,
+    FalkonProvider,
+    GramProvider,
+    Workflow,
+    WorkflowEngine,
+)
+from repro.lrm import Gram4Gateway, make_pbs
+from repro.sim import Environment
+from repro.types import TaskSpec
+
+
+def diamond(durations=(1.0, 2.0, 3.0, 1.0)):
+    wf = Workflow("diamond")
+    wf.add_task(TaskSpec("a", duration=durations[0], stage="s1"))
+    wf.add_task(TaskSpec("b", duration=durations[1], stage="s2"), after=["a"])
+    wf.add_task(TaskSpec("c", duration=durations[2], stage="s2"), after=["a"])
+    wf.add_task(TaskSpec("d", duration=durations[3], stage="s3"), after=["b", "c"])
+    return wf
+
+
+def falkon_engine(executors=4):
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.static_pool(executors)
+    provider = FalkonProvider(system.env, system.dispatcher)
+    return system, WorkflowEngine(system.env, provider)
+
+
+def test_falkon_provider_runs_diamond():
+    system, engine = falkon_engine()
+    result = engine.run_to_completion(diamond())
+    assert result.ok
+    assert len(result.results) == 4
+    # Critical path: a(1) + c(3) + d(1) = 5 plus small overheads.
+    assert result.makespan == pytest.approx(5.0, abs=0.5)
+
+
+def test_dependencies_respected_in_time():
+    system, engine = falkon_engine()
+    result = engine.run_to_completion(diamond())
+    tl = {tid: r.timeline for tid, r in result.results.items()}
+    assert tl["a"].completed <= tl["b"].started
+    assert tl["a"].completed <= tl["c"].started
+    assert tl["b"].completed <= tl["d"].started
+    assert tl["c"].completed <= tl["d"].started
+
+
+def test_parallel_branches_overlap():
+    system, engine = falkon_engine()
+    result = engine.run_to_completion(diamond())
+    tl = {tid: r.timeline for tid, r in result.results.items()}
+    # b and c run concurrently on different executors.
+    assert tl["b"].started < tl["c"].completed
+    assert tl["c"].started < tl["b"].completed
+
+
+def test_stage_elapsed_accounts_whole_makespan():
+    system, engine = falkon_engine()
+    result = engine.run_to_completion(diamond())
+    elapsed = result.stage_elapsed()
+    assert set(elapsed) == {"s1", "s2", "s3"}
+    assert sum(elapsed.values()) == pytest.approx(result.makespan, rel=1e-6)
+
+
+def test_failed_dependency_skips_dependents():
+    system = FalkonSystem(FalkonConfig.paper_defaults(max_retries=0), seed=3)
+    system.static_pool(2, failure_rate=1.0)
+    engine = WorkflowEngine(system.env, FalkonProvider(system.env, system.dispatcher))
+    result = engine.run_to_completion(diamond())
+    assert not result.ok
+    assert not result.results["a"].ok
+    assert "dependency" in result.results["d"].error
+
+
+def test_wide_fanout_through_falkon():
+    wf = Workflow("fanout")
+    wf.add_task(TaskSpec("root", duration=0.5, stage="root"))
+    for i in range(100):
+        wf.add_task(TaskSpec(f"leaf{i}", duration=1.0, stage="leaf"), after=["root"])
+    system, engine = falkon_engine(executors=50)
+    result = engine.run_to_completion(wf)
+    assert result.ok
+    # 100 leaves on 50 executors: two waves.
+    assert result.makespan == pytest.approx(0.5 + 2.0, abs=0.5)
+
+
+def gram_setup(nodes=16):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(name="c", nodes=nodes, node=NodeSpec()))
+    gateway = Gram4Gateway(env, make_pbs(env, cluster))
+    return env, gateway
+
+
+def test_gram_provider_runs_chain_slowly():
+    env, gateway = gram_setup()
+    engine = WorkflowEngine(env, GramProvider(env, gateway))
+    wf = Workflow("pair")
+    wf.add_task(TaskSpec("x", duration=5.0, stage="s"))
+    wf.add_task(TaskSpec("y", duration=5.0, stage="s"), after=["x"])
+    result = engine.run_to_completion(wf)
+    assert result.ok
+    # Each task pays GRAM4 pre/post overhead (~36 s) plus PBS latency.
+    assert result.makespan > 80.0
+
+
+def test_clustered_provider_amortizes_overhead():
+    # Paper-like conditions (§5.1): many small tasks, 8 processors.
+    env1, gw1 = gram_setup(nodes=8)
+    per_task = WorkflowEngine(env1, GramProvider(env1, gw1))
+    wf1 = Workflow("w1")
+    for i in range(64):
+        wf1.add_task(TaskSpec(f"t{i}", duration=2.0, stage="s"))
+    r1 = per_task.run_to_completion(wf1)
+
+    env2, gw2 = gram_setup(nodes=8)
+    clustered = WorkflowEngine(env2, ClusteredGramProvider(env2, gw2, clusters=8))
+    wf2 = Workflow("w2")
+    for i in range(64):
+        wf2.add_task(TaskSpec(f"t{i}", duration=2.0, stage="s"))
+    r2 = clustered.run_to_completion(wf2)
+
+    assert r1.ok and r2.ok
+    assert r2.makespan < r1.makespan / 2  # clustering wins big
+
+
+def test_clustered_provider_validates():
+    env, gw = gram_setup()
+    with pytest.raises(ValueError):
+        ClusteredGramProvider(env, gw, clusters=0)
+
+
+def test_empty_workflow_completes_immediately():
+    system, engine = falkon_engine()
+    result = engine.run_to_completion(Workflow("empty"))
+    assert result.ok
+    assert result.makespan == 0.0

@@ -1,0 +1,100 @@
+"""Unit tests for the workflow DAG."""
+
+import pytest
+
+from repro.dag import Workflow
+from repro.errors import WorkflowError
+from repro.types import TaskSpec
+
+
+def spec(task_id, duration=1.0, stage=""):
+    return TaskSpec(task_id=task_id, duration=duration, stage=stage)
+
+
+def chain(n):
+    wf = Workflow("chain")
+    prev = []
+    for i in range(n):
+        wf.add_task(spec(f"t{i}"), after=prev)
+        prev = [f"t{i}"]
+    return wf
+
+
+def test_add_and_query():
+    wf = Workflow()
+    wf.add_task(spec("a"))
+    wf.add_task(spec("b"), after=["a"])
+    assert len(wf) == 2
+    assert "a" in wf and "c" not in wf
+    assert wf.node("b").deps == ("a",)
+    assert wf.dependents("a") == ["b"]
+    assert [n.task_id for n in wf.roots()] == ["a"]
+
+
+def test_duplicate_id_rejected():
+    wf = Workflow()
+    wf.add_task(spec("a"))
+    with pytest.raises(WorkflowError):
+        wf.add_task(spec("a"))
+
+
+def test_unknown_dependency_caught_by_validate():
+    wf = Workflow()
+    wf.add_task(spec("a"), after=["ghost"])
+    with pytest.raises(WorkflowError, match="unknown"):
+        wf.validate()
+
+
+def test_cycle_detection():
+    wf = Workflow()
+    wf.add_task(spec("a"), after=["b"])
+    wf.add_task(spec("b"), after=["a"])
+    with pytest.raises(WorkflowError, match="cycle"):
+        wf.validate()
+
+
+def test_topological_order_respects_deps():
+    wf = Workflow()
+    wf.add_task(spec("a"))
+    wf.add_task(spec("b"), after=["a"])
+    wf.add_task(spec("c"), after=["a"])
+    wf.add_task(spec("d"), after=["b", "c"])
+    order = [n.task_id for n in wf.topological_order()]
+    assert order.index("a") < order.index("b")
+    assert order.index("a") < order.index("c")
+    assert order.index("b") < order.index("d")
+    assert order.index("c") < order.index("d")
+
+
+def test_stages_grouping():
+    wf = Workflow()
+    wf.add_task(spec("a", stage="one"))
+    wf.add_task(spec("b", stage="two"), after=["a"])
+    wf.add_task(spec("c", stage="one"))
+    stages = wf.stages()
+    assert list(stages) == ["one", "two"]
+    assert [n.task_id for n in stages["one"]] == ["a", "c"]
+
+
+def test_total_cpu_seconds():
+    wf = chain(5)
+    assert wf.total_cpu_seconds() == 5.0
+
+
+def test_ideal_makespan_chain_is_serial():
+    wf = chain(10)
+    assert wf.ideal_makespan(4) == pytest.approx(10.0)
+
+
+def test_ideal_makespan_parallel_divides():
+    wf = Workflow()
+    for i in range(8):
+        wf.add_task(spec(f"p{i}", duration=3.0))
+    assert wf.ideal_makespan(4) == pytest.approx(6.0)
+    assert wf.ideal_makespan(8) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        wf.ideal_makespan(0)
+
+
+def test_ideal_makespan_empty():
+    assert Workflow().ideal_makespan(4) == 0.0

@@ -1,0 +1,128 @@
+"""Reduced-scale sanity tests for the experiment harnesses.
+
+Full-scale paper-vs-measured validation lives in benchmarks/; these
+tests exercise every experiment module quickly so `pytest tests/`
+covers the whole repository.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fmri,
+    run_montage,
+    run_table2,
+    run_threetier,
+)
+from repro.experiments.ablations import (
+    run_datacache_ablation,
+    run_prefetch_ablation,
+)
+from repro.experiments.fig9_scale import RAMP_DISPATCH_RATE
+
+
+def test_fig3_small_sweep():
+    result = run_fig3(executor_counts=(1, 4, 32), tasks_per_executor=30)
+    assert [row.executors for row in result.rows] == [1, 4, 32]
+    assert result.at(1).throughput_none == pytest.approx(28.0, rel=0.1)
+    assert result.at(4).throughput_none == pytest.approx(4 * 28.0, rel=0.1)
+    assert result.at(32).throughput_gsi < result.at(32).throughput_none
+    assert all(row.gt4_bound == 500.0 for row in result.rows)
+
+
+def test_fig4_small_sweep():
+    result = run_fig4(sizes=(1, 10**6), executors=16)
+    assert len(result.points) == 8  # 4 configs x 2 sizes
+    tiny = {p.config: p.tasks_per_sec for p in result.points if p.data_bytes == 1}
+    # Write-op ceiling binds even at 16 executors... it is global.
+    assert tiny["GPFS read+write"] <= 160
+    assert tiny["GPFS read"] > tiny["GPFS read+write"]
+
+
+def test_fig5_model_sim_agreement():
+    result = run_fig5(bundle_sizes=(1, 100, 300), n_tasks=600)
+    for row in result.rows:
+        assert row.simulated_tasks_per_sec == pytest.approx(
+            row.model_tasks_per_sec, rel=0.12
+        )
+    assert result.peak_row().bundle_size == 300
+
+
+def test_fig6_small_sweep():
+    result = run_fig6(task_lengths=(1.0,), executor_counts=(1, 8), tasks_per_run=256)
+    assert result.at(1.0, 1).efficiency == pytest.approx(1.0)
+    assert result.at(1.0, 8).efficiency > 0.9
+
+
+def test_fig7_small_sweep():
+    result = run_fig7(task_lengths=(1.0, 256.0))
+    row1, row256 = result.at(1.0), result.at(256.0)
+    assert row1.falkon > 0.8
+    assert row1.pbs < 0.01
+    assert row256.pbs > row1.pbs
+    assert row1.condor_693_derived == pytest.approx(1 / (1 + 0.0909 * 64), rel=0.01)
+
+
+def test_fig8_reduced_scale():
+    result = run_fig8(n_tasks=30_000)
+    assert result.n_tasks == 30_000
+    assert 250 < result.average_throughput < 460
+    assert result.queue_peak > 10_000
+    assert len(result.raw_samples) > 10
+    with pytest.raises(ValueError):
+        run_fig8(n_tasks=0)
+
+
+def test_fig9_reduced_scale():
+    result = run_fig9(executors=1000)
+    assert result.busy_series.max() == 1000
+    assert result.ramp_seconds == pytest.approx(1000 / RAMP_DISPATCH_RATE, rel=0.25)
+    assert len(result.overheads_ms) == 1000
+    assert result.overhead_quantile_ms(0.5) < 250
+
+
+def test_table2_measured_rows():
+    rows = run_table2()
+    by_name = {r.system: r for r in rows}
+    assert by_name["PBS (v2.1.8)"].measured_tasks_per_sec == pytest.approx(0.45, rel=0.1)
+    assert by_name["BOINC [19,20]"].measured_tasks_per_sec is None
+
+
+def test_fmri_single_size():
+    (row,) = run_fmri(volumes=(120,))
+    assert row.tasks == 480
+    assert row.gram4_seconds > row.clustered_seconds > row.falkon_seconds
+
+
+def test_montage_shape_quick():
+    from repro.workloads.montage import MontageShape
+
+    small = MontageShape(images=40, overlaps=100, tiles=10)
+    result = run_montage(small)
+    falkon = result.total("Falkon")
+    assert falkon > 0
+    assert result.total("GRAM4+PBS clustered") > falkon
+    # MPI parallelises the final co-add; Falkon cannot.
+    assert result.stage_times["Falkon"]["mAdd"] > result.stage_times["MPI"]["mAdd"]
+
+
+def test_threetier_scaling_quick():
+    rows = run_threetier(dispatcher_counts=(1, 2), tasks_per_dispatcher=1500)
+    assert rows[1].throughput > 1.6 * rows[0].throughput
+
+
+def test_prefetch_ablation_quick():
+    rows = run_prefetch_ablation(task_lengths=(0.0, 1.0), n_executors=4, n_tasks=100)
+    assert rows[0].improvement > rows[1].improvement
+
+
+def test_datacache_ablation_quick():
+    result = run_datacache_ablation(n_tasks=48, n_files=4, n_executors=4)
+    assert result.speedup > 1.0
+    assert 0.0 < result.cache_hit_rate <= 1.0

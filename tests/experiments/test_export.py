@@ -1,0 +1,83 @@
+"""Tests for the CSV export harness."""
+
+import csv
+import os
+
+from repro.experiments.export import (
+    export_fig3,
+    export_fig5,
+    export_fmri,
+    export_montage,
+    export_tables34,
+    write_csv,
+    write_series,
+)
+from repro.sim import TimeSeries
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+def test_write_csv_creates_dirs(tmp_path):
+    path = write_csv(str(tmp_path / "a" / "b.csv"), ["x", "y"], [(1, 2), (3, 4)])
+    rows = read_csv(path)
+    assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+
+def test_write_series(tmp_path):
+    series = TimeSeries("s")
+    series.record(0.0, 10.0)
+    series.record(1.0, 20.0)
+    path = write_series(str(tmp_path / "s.csv"), series, "queue")
+    rows = read_csv(path)
+    assert rows[0] == ["time_s", "queue"]
+    assert len(rows) == 3
+
+
+def test_export_fig3_with_precomputed(tmp_path):
+    from repro.experiments import run_fig3
+
+    result = run_fig3(executor_counts=(1, 8), tasks_per_executor=25)
+    path = export_fig3(str(tmp_path), result=result)
+    rows = read_csv(path)
+    assert rows[0][0] == "executors"
+    assert len(rows) == 3  # header + 2 rows
+
+
+def test_export_fig5(tmp_path):
+    from repro.experiments import run_fig5
+
+    result = run_fig5(bundle_sizes=(1, 300), n_tasks=600)
+    path = export_fig5(str(tmp_path), result=result)
+    assert len(read_csv(path)) == 3
+
+
+def test_export_fmri_and_montage(tmp_path):
+    from repro.experiments import run_fmri, run_montage
+    from repro.workloads.montage import MontageShape
+
+    fmri_rows = run_fmri(volumes=(120,))
+    path = export_fmri(str(tmp_path), rows=fmri_rows)
+    assert len(read_csv(path)) == 2
+
+    montage = run_montage(MontageShape(images=30, overlaps=60, tiles=6))
+    path = export_montage(str(tmp_path), result=montage)
+    rows = read_csv(path)
+    assert rows[0][0] == "stage"
+    assert len(rows) == 9  # header + 8 stages
+
+
+def test_export_tables34_with_precomputed(tmp_path):
+    from repro.experiments import run_provisioning
+
+    outcomes = run_provisioning(configs=("Falkon-60",))
+    paths = export_tables34(str(tmp_path), outcomes=outcomes)
+    names = {os.path.basename(p) for p in paths}
+    assert "table3_queue_exec_times.csv" in names
+    assert "table4_utilization.csv" in names
+    table4 = read_csv(os.path.join(str(tmp_path), "table4_utilization.csv"))
+    assert table4[0] == [
+        "config", "time_to_complete_s", "utilization", "exec_efficiency", "allocations"
+    ]

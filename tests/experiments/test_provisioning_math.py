@@ -1,0 +1,61 @@
+"""Unit tests for the §4.6 experiment's derived quantities."""
+
+import pytest
+
+from repro.experiments.provisioning import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PROVISIONING_CONFIGS,
+    USED_CPU_SECONDS,
+    ideal_outcome,
+)
+from repro.workloads.stages18 import ideal_makespan_sequential
+
+
+def test_used_cpu_seconds_is_the_paper_total():
+    assert USED_CPU_SECONDS == 17820.0
+
+
+def test_ideal_outcome_matches_paper_ideal_column():
+    ideal = ideal_outcome()
+    # Paper's ideal column: 42.2 s queue, 17.8 s exec, 29.7 %, 1260 s.
+    assert ideal.mean_queue_time == pytest.approx(42.2, rel=0.07)
+    assert ideal.mean_execution_time == pytest.approx(17.8, abs=0.1)
+    assert ideal.execution_fraction == pytest.approx(0.297, abs=0.02)
+    assert ideal.makespan == pytest.approx(1260.0, rel=0.03)
+    assert ideal.utilization == 1.0
+    assert ideal.allocations == 0
+
+
+def test_ideal_queue_time_comes_from_wave_structure():
+    # With unbounded machines there is no waiting at all.
+    huge = ideal_outcome(machines=1000)
+    assert huge.mean_queue_time == 0.0
+    # Fewer machines wait longer.
+    narrow = ideal_outcome(machines=8)
+    assert narrow.mean_queue_time > ideal_outcome(machines=32).mean_queue_time
+
+
+def test_ideal_makespan_monotone_in_machines():
+    values = [ideal_makespan_sequential(m) for m in (8, 16, 32, 64)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_paper_tables_cover_all_configs():
+    for label in PROVISIONING_CONFIGS:
+        assert label in PAPER_TABLE3
+        assert label in PAPER_TABLE4
+    assert "Ideal" in PAPER_TABLE3 and "Ideal" in PAPER_TABLE4
+
+
+def test_paper_table_values_are_as_printed():
+    assert PAPER_TABLE3["GRAM4+PBS"] == (611.1, 56.5, 0.085)
+    assert PAPER_TABLE4["Falkon-15"] == (1754.0, 0.89, 0.72, 11)
+    assert PAPER_TABLE4["Falkon-inf"][3] == 0
+
+
+def test_unknown_config_rejected():
+    from repro.experiments.provisioning import run_provisioning
+
+    with pytest.raises(ValueError):
+        run_provisioning(configs=("Falkon-bogus-policy",))

@@ -1,0 +1,94 @@
+"""Tests for coordinated all-at-once deallocation."""
+
+import pytest
+
+from repro.config import FalkonConfig
+from repro.core.system import FalkonSystem
+from repro.extensions import CoordinatedProvisioner
+from repro.types import TaskSpec
+
+
+class CapturingProvisioner(CoordinatedProvisioner):
+    """Records every executor it creates (test observability)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.captured = []
+        super().__init__(*args, **kwargs)
+
+    def _default_factory(self, machine, **kwargs):
+        executor = super()._default_factory(machine, **kwargs)
+        self.captured.append(executor)
+        return executor
+
+
+def make_system(idle=20.0, max_executors=8):
+    config = FalkonConfig.falkon_idle(idle, max_executors=max_executors)
+    config.executors_per_node = 1
+    system = FalkonSystem(config.validate(), cluster_nodes=32, processors_per_node=1)
+    system.provisioner.stop()
+    system.provisioner = CapturingProvisioner(
+        system.env, system.dispatcher, system.gateway, config
+    )
+    return system
+
+
+def sleep_tasks(n, seconds):
+    return [TaskSpec.sleep(seconds, task_id=f"co{i:04d}") for i in range(n)]
+
+
+def test_coordinated_completes_workload():
+    system = make_system()
+    result = system.run_workload(sleep_tasks(16, 10.0), bundle_size=16)
+    assert result.completed == 16
+
+
+def test_whole_allocation_released_at_once():
+    system = make_system(idle=20.0)
+    system.run_workload(sleep_tasks(8, 10.0), bundle_size=8)
+    env = system.env
+    env.run(until=env.now + 120.0)
+    # Everything is gone...
+    assert system.dispatcher.registered_executors == 0
+    assert system.cluster.free_count() == 32
+    # ...and the release was synchronized: all executors retired within
+    # one coordinator check interval of each other.
+    released = [e.released_at for e in system.provisioner.captured
+                if e.released_at is not None]
+    assert len(released) == 8
+    assert max(released) - min(released) <= CoordinatedProvisioner.check_interval
+
+
+def test_straggler_defers_whole_release():
+    system = make_system(idle=20.0)
+    env = system.env
+    # Two quick tasks, one long straggler: idle executors must wait for
+    # the straggler before anything is released.
+    tasks = sleep_tasks(2, 5.0) + [TaskSpec.sleep(120.0, task_id="straggler")]
+    result = system.run_workload(tasks, bundle_size=3)
+    assert result.completed == 3
+    env.run(until=env.now + 100.0)
+    released = [e.released_at for e in system.provisioner.captured
+                if e.released_at is not None]
+    assert released, "pool eventually drains"
+    # Nothing was released before the straggler finished (~120 s) plus
+    # the idle window, even though two executors idled from ~5 s.
+    straggler_end = max(r.timeline.completed for r in result.results)
+    assert min(released) >= straggler_end + 20.0 - CoordinatedProvisioner.check_interval
+
+
+def test_no_partial_release_before_idle_window():
+    system = make_system(idle=500.0)
+    env = system.env
+    system.run_workload(sleep_tasks(4, 5.0), bundle_size=4)
+    env.run(until=env.now + 200.0)
+    # Idle window (500 s) not yet reached: the whole pool persists.
+    assert system.dispatcher.registered_executors > 0
+    assert all(e.released_at is None for e in system.provisioner.captured)
+
+
+def test_fewer_or_equal_allocations_than_distributed():
+    from repro.experiments.ablations import run_release_ablation
+
+    rows = {r.mode: r for r in run_release_ablation(idle_seconds=60.0)}
+    assert rows["coordinated"].allocations <= rows["distributed"].allocations
+    assert rows["coordinated"].utilization < rows["distributed"].utilization

@@ -1,0 +1,247 @@
+"""Tests for the §6 future-work extensions."""
+
+import pytest
+
+from repro import FalkonConfig, FalkonSystem
+from repro.cluster.filesystem import LocalDisk, SharedFileSystem
+from repro.core.dispatcher import SimDispatcher
+from repro.core.staging import StagingModel
+from repro.extensions import (
+    DataAwareExecutor,
+    DataCache,
+    Forwarder,
+    PrefetchingExecutor,
+)
+from repro.sim import Environment
+from repro.types import DataLocation, DataRef, TaskSpec
+
+
+def sleep_tasks(n, seconds=0.0, prefix="x"):
+    return [TaskSpec.sleep(seconds, task_id=f"{prefix}{i:05d}") for i in range(n)]
+
+
+# ---------------------------------------------------------------- prefetch
+def prefetch_system(n_executors):
+    system = FalkonSystem(FalkonConfig.paper_defaults())
+    system.provisioner.stop()
+    executors = [
+        PrefetchingExecutor(system.env, system.dispatcher, startup_delay=0.0)
+        for _ in range(n_executors)
+    ]
+    return system, executors
+
+
+def test_prefetch_improves_single_executor_rate():
+    base = FalkonSystem(FalkonConfig.paper_defaults())
+    base.static_pool(1)
+    r_base = base.run_workload(sleep_tasks(200))
+
+    system, _executors = prefetch_system(1)
+    r_pref = system.run_workload(sleep_tasks(200))
+    assert r_pref.completed == 200
+    assert r_pref.throughput > 1.5 * r_base.throughput
+
+
+def test_prefetch_all_tasks_complete_once():
+    system, _ = prefetch_system(4)
+    result = system.run_workload(sleep_tasks(300, seconds=0.05))
+    assert result.completed == 300
+    assert sorted(r.task_id for r in result.results) == sorted(
+        f"x{i:05d}" for i in range(300)
+    )
+    assert all(r.attempts == 1 for r in result.results)
+
+
+def test_prefetch_executor_crash_loses_nothing():
+    system, executors = prefetch_system(2)
+    env = system.env
+
+    def saboteur():
+        yield env.timeout(1.0)
+        executors[0].crash()
+
+    env.process(saboteur())
+    result = system.run_workload(sleep_tasks(40, seconds=0.5))
+    assert result.completed == 40
+
+
+# ---------------------------------------------------------------- data cache
+def test_datacache_lru_eviction():
+    cache = DataCache(100)
+    cache.insert("a", 40)
+    cache.insert("b", 40)
+    assert cache.lookup("a")       # refresh a
+    cache.insert("c", 40)          # evicts b (LRU)
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.used_bytes == 80
+
+
+def test_datacache_oversized_item_not_cached():
+    cache = DataCache(10)
+    cache.insert("huge", 100)
+    assert "huge" not in cache
+    assert cache.used_bytes == 0
+
+
+def test_datacache_hit_rate():
+    cache = DataCache(100)
+    assert not cache.lookup("x")
+    cache.insert("x", 10)
+    assert cache.lookup("x")
+    assert cache.hit_rate == 0.5
+
+
+def test_datacache_validation():
+    with pytest.raises(ValueError):
+        DataCache(0)
+    with pytest.raises(ValueError):
+        DataCache(10).insert("a", -1)
+
+
+def locality_workload(n_tasks, n_files, megabytes=32):
+    """Tasks repeatedly reading a small set of shared files."""
+    size = megabytes * 10**6
+    return [
+        TaskSpec(
+            task_id=f"loc{i:05d}",
+            command="analyze",
+            duration=0.01,
+            reads=(DataRef(f"file-{i % n_files}", size, DataLocation.SHARED),),
+        )
+        for i in range(n_tasks)
+    ]
+
+
+def run_locality(executor_cls, n_exec=4, caches=None, **executor_kwargs):
+    env = Environment()
+    shared = SharedFileSystem(env)
+    local = LocalDisk(env)
+    staging = StagingModel(shared=shared, local=local)
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    executors = []
+    for i in range(n_exec):
+        kwargs = dict(executor_kwargs)
+        if caches is not None:
+            kwargs["cache"] = caches[i]
+        executors.append(
+            executor_cls(
+                env, dispatcher, startup_delay=0.0, staging=staging,
+                node=f"n{i}", **kwargs,
+            )
+        )
+    records = dispatcher.accept_tasks_now(locality_workload(64, 4))
+    env.run(until=dispatcher.completion_milestone(64))
+    return env.now, executors
+
+
+def test_data_aware_caching_speeds_up_locality_workload():
+    from repro.core.executor import SimExecutor
+
+    t_plain, _ = run_locality(SimExecutor)
+    caches = [DataCache(10**9) for _ in range(4)]
+    t_cached, executors = run_locality(
+        DataAwareExecutor, caches=caches, locality_wait=0.05
+    )
+    # Cached reads come off node-local disk instead of contended GPFS;
+    # the win is bounded by the local disk becoming the new bottleneck.
+    assert t_cached < 0.75 * t_plain
+    assert sum(c.hits for c in caches) > 0
+
+
+def test_data_aware_executor_validation():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    with pytest.raises(ValueError):
+        DataAwareExecutor(env, dispatcher, cache=DataCache(10), locality_wait=-1)
+
+
+def test_data_aware_completes_without_staging():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    executor = DataAwareExecutor(
+        env, dispatcher, cache=DataCache(100), startup_delay=0.0, locality_wait=0.01
+    )
+    dispatcher.accept_tasks_now(sleep_tasks(10))
+    env.run(until=dispatcher.completion_milestone(10))
+    assert dispatcher.tasks_completed == 10
+
+
+# ---------------------------------------------------------------- 3-tier
+def build_tier(env, n_dispatchers, executors_each):
+    from repro.core.executor import SimExecutor
+
+    dispatchers = []
+    for d in range(n_dispatchers):
+        dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+        for e in range(executors_each):
+            SimExecutor(env, dispatcher, startup_delay=0.0, node=f"d{d}-n{e}")
+        dispatchers.append(dispatcher)
+    return dispatchers
+
+
+def test_forwarder_balances_and_completes():
+    env = Environment()
+    dispatchers = build_tier(env, 3, 8)
+    forwarder = Forwarder(env, dispatchers)
+    result = forwarder.run_workload(sleep_tasks(600, prefix="f"), bundle_size=100)
+    assert result.completed == 600
+    counts = list(result.per_dispatcher.values())
+    assert min(counts) > 0
+    assert max(counts) - min(counts) <= 300  # roughly balanced
+
+
+def test_forwarder_scales_aggregate_throughput():
+    env1 = Environment()
+    single = Forwarder(env1, build_tier(env1, 1, 64))
+    r1 = single.run_workload(sleep_tasks(3000, prefix="a"))
+
+    env4 = Environment()
+    quad = Forwarder(env4, build_tier(env4, 4, 64))
+    r4 = quad.run_workload(sleep_tasks(3000, prefix="b"))
+    # Four dispatchers push well past the single-dispatcher 487/s cap.
+    assert r4.throughput > 2.5 * r1.throughput
+
+
+def test_forwarder_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Forwarder(env, [])
+    dispatchers = build_tier(env, 1, 1)
+    fwd = Forwarder(env, dispatchers)
+    with pytest.raises(ValueError):
+        next(fwd.route_bundle([]))
+    with pytest.raises(ValueError):
+        fwd.run_workload(sleep_tasks(1), bundle_size=0)
+
+
+def test_producer_consumer_caching():
+    """§4.2: "the importance of using local disk to cache data products
+    written by one task and read by another" — a written product is a
+    cache hit for the consumer on the same node."""
+    env = Environment()
+    shared = SharedFileSystem(env)
+    local = LocalDisk(env)
+    staging = StagingModel(shared=shared, local=local)
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    cache = DataCache(10**9)
+    DataAwareExecutor(
+        env, dispatcher, startup_delay=0.0, staging=staging,
+        node="n0", cache=cache, locality_wait=0.01,
+    )
+    size = 10 * 10**6
+    producer = TaskSpec(
+        task_id="produce", command="make", duration=0.01,
+        writes=(DataRef("product", size, DataLocation.SHARED),),
+    )
+    consumer = TaskSpec(
+        task_id="consume", command="use", duration=0.01,
+        reads=(DataRef("product", size, DataLocation.SHARED),),
+    )
+    dispatcher.accept_tasks_now([producer, consumer])
+    env.run(until=dispatcher.completion_milestone(2))
+    assert dispatcher.tasks_completed == 2
+    # The consumer's read hit the cache (served from local disk).
+    assert cache.hits == 1
+    # The shared filesystem saw the write but never a read of it.
+    assert shared.write_ops == 1
+    assert shared.bytes_read == 0

@@ -1,0 +1,84 @@
+"""Tests for the pure-pull (polling) executor."""
+
+import pytest
+
+from repro.config import FalkonConfig
+from repro.core.dispatcher import SimDispatcher
+from repro.extensions.polling import PollingExecutor
+from repro.sim import Environment
+from repro.types import TaskSpec
+
+
+def make(n_executors=2, poll_interval=1.0, idle=None):
+    from repro.core.policies import DistributedIdle
+
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    release = DistributedIdle(idle) if idle else None
+    executors = [
+        PollingExecutor(
+            env, dispatcher, startup_delay=0.0, poll_interval=poll_interval,
+            node=f"n{i}", release_policy=release,
+        )
+        for i in range(n_executors)
+    ]
+    return env, dispatcher, executors
+
+
+def test_validation():
+    env = Environment()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults())
+    with pytest.raises(ValueError):
+        PollingExecutor(env, dispatcher, poll_interval=0)
+
+
+def test_polling_executes_all_tasks():
+    env, dispatcher, executors = make(n_executors=2, poll_interval=0.5)
+    dispatcher.accept_tasks_now(
+        [TaskSpec.sleep(0.1, task_id=f"pl{i}") for i in range(20)]
+    )
+    env.run(until=dispatcher.completion_milestone(20))
+    assert dispatcher.tasks_completed == 20
+    assert sum(e.tasks_executed for e in executors) == 20
+
+
+def test_poll_counters_track_empty_polls():
+    env, dispatcher, executors = make(n_executors=1, poll_interval=1.0)
+    env.run(until=10.5)
+    (executor,) = executors
+    assert executor.polls >= 10
+    assert executor.empty_polls == executor.polls
+
+
+def test_task_waits_up_to_one_interval():
+    env, dispatcher, executors = make(n_executors=1, poll_interval=5.0)
+    env.run(until=12.6)  # executor last polled at ~t=12.5 or so
+    dispatcher.accept_tasks_now([TaskSpec.sleep(0, task_id="late")])
+    env.run(until=dispatcher.completion_milestone(1))
+    record = dispatcher.records[0]
+    # The task waited for the next poll, not for a notification.
+    assert 0.5 < record.timeline.queue_time <= 5.1
+
+
+def test_idle_release_via_polling():
+    env, dispatcher, executors = make(n_executors=1, poll_interval=1.0, idle=4.0)
+    env.run()
+    (executor,) = executors
+    assert not executor.is_alive
+    assert env.now == pytest.approx(4.0, abs=1.1)
+
+
+def test_crash_during_poll_loop_is_clean():
+    env, dispatcher, executors = make(n_executors=2, poll_interval=0.5)
+    dispatcher.accept_tasks_now(
+        [TaskSpec.sleep(1.0, task_id=f"pc{i}") for i in range(6)]
+    )
+
+    def saboteur():
+        yield env.timeout(1.2)
+        executors[0].crash()
+
+    env.process(saboteur())
+    env.run(until=dispatcher.completion_milestone(6))
+    assert dispatcher.tasks_completed == 6
+    assert dispatcher.registered_executors == 1

@@ -1,0 +1,90 @@
+"""End-to-end tests for the live 3-tier forwarder."""
+
+import pytest
+
+from repro.live import LiveClient, LiveDispatcher, LiveExecutor, LiveForwarder
+from repro.types import TaskSpec
+
+
+def build_tier(n_dispatchers, executors_each, key=None):
+    dispatchers, executors = [], []
+    for _ in range(n_dispatchers):
+        dispatcher = LiveDispatcher(key=key)
+        for _ in range(executors_each):
+            executor = LiveExecutor(dispatcher.address, key=key).start()
+            assert executor.wait_registered()
+            executors.append(executor)
+        dispatchers.append(dispatcher)
+    return dispatchers, executors
+
+
+def teardown_tier(dispatchers, executors, forwarder=None, client=None):
+    if client is not None:
+        client.close()
+    if forwarder is not None:
+        forwarder.close()
+    for executor in executors:
+        executor.stop()
+    for dispatcher in dispatchers:
+        dispatcher.close()
+
+
+def test_forwarder_routes_and_relays_results():
+    dispatchers, executors = build_tier(2, 2)
+    forwarder = LiveForwarder([d.address for d in dispatchers])
+    client = LiveClient(forwarder.address)
+    try:
+        tasks = [TaskSpec.sleep(0, task_id=f"fw{i:04d}") for i in range(60)]
+        results = client.run(tasks, timeout=60)
+        assert len(results) == 60
+        assert all(r.ok for r in results)
+        counts = forwarder.per_dispatcher_counts()
+        assert sum(counts) == 60
+        assert all(c > 0 for c in counts)  # both dispatchers used
+    finally:
+        teardown_tier(dispatchers, executors, forwarder, client)
+
+
+def test_forwarder_balances_by_load():
+    dispatchers, executors = build_tier(2, 1)
+    forwarder = LiveForwarder([d.address for d in dispatchers])
+    client = LiveClient(forwarder.address)
+    try:
+        tasks = [TaskSpec.sleep(0.05, task_id=f"bal{i:03d}") for i in range(20)]
+        results = client.run(tasks, timeout=60)
+        assert all(r.ok for r in results)
+        counts = forwarder.per_dispatcher_counts()
+        # Least-loaded routing keeps the split roughly even.
+        assert abs(counts[0] - counts[1]) <= 8
+    finally:
+        teardown_tier(dispatchers, executors, forwarder, client)
+
+
+def test_forwarder_executor_ids_span_dispatchers():
+    dispatchers, executors = build_tier(3, 1)
+    forwarder = LiveForwarder([d.address for d in dispatchers])
+    client = LiveClient(forwarder.address)
+    try:
+        tasks = [TaskSpec.sleep(0.02, task_id=f"sp{i:03d}") for i in range(30)]
+        results = client.run(tasks, timeout=60)
+        used = {r.executor_id for r in results}
+        assert len(used) >= 2
+    finally:
+        teardown_tier(dispatchers, executors, forwarder, client)
+
+
+def test_forwarder_with_signed_frames():
+    key = b"tier-key"
+    dispatchers, executors = build_tier(1, 1, key=key)
+    forwarder = LiveForwarder([d.address for d in dispatchers], key=key)
+    client = LiveClient(forwarder.address, key=key)
+    try:
+        results = client.run([TaskSpec.sleep(0, task_id="sec1")], timeout=30)
+        assert results[0].ok
+    finally:
+        teardown_tier(dispatchers, executors, forwarder, client)
+
+
+def test_forwarder_validation():
+    with pytest.raises(ValueError):
+        LiveForwarder([])

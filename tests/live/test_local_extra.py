@@ -1,0 +1,63 @@
+"""Additional live-plane coverage: LocalFalkon surface details."""
+
+import pytest
+
+from repro.live import LocalFalkon
+from repro.types import TaskSpec
+
+
+def test_map_shell_rejects_empty_command():
+    with LocalFalkon(executors=1) as falkon:
+        with pytest.raises(ValueError):
+            falkon.map_shell([""])
+
+
+def test_shell_tokenization_no_shell_expansion():
+    # shlex splits; no shell means no glob/variable expansion.
+    with LocalFalkon(executors=1) as falkon:
+        result = falkon.map_shell(["echo $HOME *"])[0]
+    assert result.stdout.strip() == "$HOME *"
+
+
+def test_env_and_working_dir_forwarded(tmp_path):
+    with LocalFalkon(executors=1) as falkon:
+        spec = TaskSpec(
+            task_id="envtest",
+            command="python3",
+            args=("-c", "import os; print(os.environ['MARKER'], os.getcwd())"),
+            working_dir=str(tmp_path),
+            env=(("MARKER", "falkon-env"), ("PATH", "/usr/bin:/bin")),
+        )
+        result = falkon.run([spec], timeout=30)[0]
+    assert result.ok, result.error or result.stderr
+    assert "falkon-env" in result.stdout
+    assert str(tmp_path) in result.stdout
+
+
+def test_results_preserve_submission_order():
+    with LocalFalkon(executors=4) as falkon:
+        registry_tasks = [TaskSpec.sleep(0, task_id=f"ord{i:03d}") for i in range(30)]
+        results = falkon.run(registry_tasks, timeout=30)
+    assert [r.task_id for r in results] == [f"ord{i:03d}" for i in range(30)]
+
+
+def test_stdout_truncation_guard():
+    # A 1 MB stdout is truncated to the last 64 KiB, not shipped whole.
+    with LocalFalkon(executors=1) as falkon:
+        spec = TaskSpec(
+            task_id="big-out",
+            command="python3",
+            args=("-c", "print('x' * 1_000_000)"),
+        )
+        result = falkon.run([spec], timeout=60)[0]
+    assert result.ok
+    assert len(result.stdout) <= 65536
+
+
+def test_context_manager_closes_everything():
+    falkon = LocalFalkon(executors=2)
+    falkon.run([TaskSpec.sleep(0, task_id="cm")], timeout=20)
+    falkon.close()
+    # Idempotent close; dispatcher socket gone.
+    falkon.dispatcher.close()
+    assert all(not e.running for e in falkon.executors)

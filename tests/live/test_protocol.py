@@ -1,0 +1,117 @@
+"""Unit tests for live-plane serialisation and connections."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.live import (
+    Connection,
+    result_from_dict,
+    result_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.net.message import Message, MessageType
+from repro.types import DataLocation, DataRef, TaskResult, TaskSpec
+
+
+def test_task_roundtrip_full():
+    task = TaskSpec(
+        task_id="t1",
+        command="convert",
+        args=("-size", "10"),
+        working_dir="/tmp",
+        env=(("A", "1"), ("B", "2")),
+        duration=2.5,
+        reads=(DataRef("in", 100, DataLocation.LOCAL),),
+        writes=(DataRef("out", 50),),
+        runtime_estimate=3.0,
+        stage="project",
+    )
+    assert task_from_dict(task_to_dict(task)) == task
+
+
+def test_task_roundtrip_defaults():
+    task = TaskSpec.sleep(0, task_id="s")
+    assert task_from_dict(task_to_dict(task)) == task
+
+
+def test_result_roundtrip():
+    result = TaskResult(
+        "t1", return_code=3, stdout="out", stderr="err",
+        executor_id="e9", error="boom", attempts=2,
+    )
+    parsed = result_from_dict(result_to_dict(result))
+    assert parsed.task_id == "t1"
+    assert parsed.return_code == 3
+    assert parsed.stdout == "out" and parsed.stderr == "err"
+    assert parsed.executor_id == "e9"
+    assert parsed.error == "boom"
+    assert parsed.attempts == 2
+
+
+def _socket_pair():
+    server = socket.create_server(("127.0.0.1", 0))
+    port = server.getsockname()[1]
+    left = socket.create_connection(("127.0.0.1", port))
+    right, _ = server.accept()
+    server.close()
+    return left, right
+
+
+@pytest.mark.parametrize("key", [None, b"secret"])
+def test_connection_roundtrip(key):
+    left_sock, right_sock = _socket_pair()
+    received = []
+    got = threading.Event()
+
+    def handler(msg):
+        received.append(msg)
+        got.set()
+
+    left = Connection(left_sock, handler=lambda m: None, key=key, name="L").start()
+    right = Connection(right_sock, handler=handler, key=key, name="R").start()
+    left.send(Message(MessageType.NOTIFY, sender="test", payload={"n": 1}))
+    assert got.wait(5.0)
+    assert received[0].type is MessageType.NOTIFY
+    assert received[0].payload == {"n": 1}
+    left.close()
+    right.join(5.0)
+    assert right.closed
+
+
+def test_connection_key_mismatch_drops_stream():
+    left_sock, right_sock = _socket_pair()
+    received = []
+    left = Connection(left_sock, handler=lambda m: None, key=b"k1", name="L").start()
+    right = Connection(right_sock, handler=received.append, key=b"k2", name="R").start()
+    left.send(Message(MessageType.NOTIFY))
+    right.join(5.0)
+    assert right.closed
+    assert received == []
+
+
+def test_connection_on_close_fires_once():
+    left_sock, right_sock = _socket_pair()
+    closes = []
+    left = Connection(left_sock, handler=lambda m: None, name="L").start()
+    right = Connection(
+        right_sock, handler=lambda m: None, on_close=lambda: closes.append(1), name="R"
+    ).start()
+    right.close()
+    right.close()
+    right.join(5.0)
+    assert closes == [1]
+    left.close()
+
+
+def test_send_after_close_raises():
+    from repro.errors import ProtocolError
+
+    left_sock, right_sock = _socket_pair()
+    left = Connection(left_sock, handler=lambda m: None, name="L").start()
+    left.close()
+    with pytest.raises(ProtocolError):
+        left.send(Message(MessageType.NOTIFY))
+    right_sock.close()

@@ -1,0 +1,232 @@
+"""Unit tests for the generic batch scheduler."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.errors import ProvisioningError
+from repro.lrm import BatchScheduler, JobState, LRMConfig
+from repro.sim import Environment, Interrupt
+
+
+def make_sched(nodes=4, poll=10.0, start=1.0, cleanup=0.5, free_limit=None):
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterSpec(name="c", nodes=nodes, node=NodeSpec()), free_limit=free_limit
+    )
+    sched = BatchScheduler(
+        env,
+        cluster,
+        LRMConfig(name="test", poll_interval=poll, start_overhead=start, cleanup_delay=cleanup),
+    )
+    return env, cluster, sched
+
+
+def test_submit_validation():
+    env, _, sched = make_sched(nodes=4)
+    with pytest.raises(ValueError):
+        sched.submit(0)
+    with pytest.raises(ProvisioningError):
+        sched.submit(5)
+    with pytest.raises(ValueError):
+        sched.submit(1, walltime=0)
+
+
+def test_job_runs_body_and_completes():
+    env, cluster, sched = make_sched()
+    trace = []
+
+    def body(env_, job_, machines):
+        trace.append(("start", env_.now, len(machines)))
+        yield env_.timeout(5.0)
+        trace.append(("end", env_.now))
+
+    job = sched.submit(nodes=2, walltime=100.0, body=body)
+    env.run(until=job.completed)
+    assert job.state is JobState.DONE
+    assert trace[0] == ("start", 1.0, 2)  # start_overhead=1.0
+    assert trace[1] == ("end", 6.0)
+    assert job.queue_wait == pytest.approx(1.0)
+
+
+def test_machines_release_after_cleanup():
+    env, cluster, sched = make_sched(cleanup=0.5)
+
+    def body(env_, job_, machines):
+        yield env_.timeout(2.0)
+
+    job = sched.submit(nodes=4, walltime=100.0, body=body)
+    env.run(until=job.completed)
+    assert cluster.free_count() == 4
+    # completed at start(1.0) + body(2.0) + cleanup(0.5)
+    assert env.now == pytest.approx(3.5)
+
+
+def test_fifo_and_poll_latency():
+    # Two 3-node jobs on a 4-node cluster: second waits for the first
+    # to finish and is only picked up at the next poll tick.
+    env, cluster, sched = make_sched(nodes=4, poll=10.0, start=1.0, cleanup=0.5)
+    starts = []
+
+    def body(env_, job_, machines):
+        starts.append(env_.now)
+        yield env_.timeout(2.0)
+
+    j1 = sched.submit(3, walltime=100, body=body)
+    j2 = sched.submit(3, walltime=100, body=body)
+    env.run(until=j2.completed)
+    assert starts[0] == pytest.approx(1.0)
+    # j1 ends 3.0, cleanup to 3.5; next poll at 10.0 (cycle 0 began at 0),
+    # plus 1.0 start overhead -> j2 starts at 11.0.
+    assert starts[1] == pytest.approx(11.0)
+
+
+def test_serialized_start_overhead_sets_throughput():
+    # 20 one-node sleep-0 jobs, plenty of nodes: completion rate is
+    # bounded by the serialized start overhead.
+    env, cluster, sched = make_sched(nodes=30, start=2.0, cleanup=0.1)
+
+    def body(env_, job_, machines):
+        yield env_.timeout(0.0)
+
+    jobs = [sched.submit(1, walltime=50, body=body) for _ in range(20)]
+    env.run(until=jobs[-1].completed)
+    assert env.now == pytest.approx(20 * 2.0 + 0.1, rel=0.02)
+
+
+def test_lease_job_holds_until_walltime():
+    env, cluster, sched = make_sched()
+    job = sched.submit(2, walltime=30.0)
+    env.run(until=job.started)
+    assert cluster.free_count() == 2
+    env.run(until=job.completed)
+    assert job.state is JobState.DONE
+    assert env.now == pytest.approx(1.0 + 30.0 + 0.5)
+    assert cluster.free_count() == 4
+
+
+def test_cancel_queued_job():
+    env, cluster, sched = make_sched(nodes=2)
+    blocker = sched.submit(2, walltime=100.0)
+    victim = sched.submit(2, walltime=100.0)
+    env.run(until=blocker.started)
+    assert victim.state is JobState.QUEUED
+    sched.cancel(victim)
+    assert victim.state is JobState.CANCELED
+    env.run(until=victim.completed)
+    assert victim.completed.value is JobState.CANCELED
+
+
+def test_cancel_running_lease_releases_machines():
+    env, cluster, sched = make_sched()
+    job = sched.submit(3, walltime=1000.0)
+    env.run(until=job.started)
+
+    def canceller():
+        yield env.timeout(5.0)
+        sched.cancel(job)
+
+    env.process(canceller())
+    env.run(until=job.completed)
+    assert job.state is JobState.CANCELED
+    assert cluster.free_count() == 4
+    assert env.now < 100  # well before walltime
+
+
+def test_cancel_running_body_interrupts_it():
+    env, cluster, sched = make_sched()
+    interrupted = []
+
+    def body(env_, job_, machines):
+        try:
+            yield env_.timeout(1000.0)
+        except Interrupt:
+            interrupted.append(env_.now)
+
+    job = sched.submit(1, walltime=2000.0, body=body)
+    env.run(until=job.started)
+
+    def canceller():
+        yield env.timeout(3.0)
+        sched.cancel(job)
+
+    env.process(canceller())
+    env.run(until=job.completed)
+    assert job.state is JobState.CANCELED
+    assert interrupted and interrupted[0] == pytest.approx(4.0)
+    assert cluster.free_count() == 4
+
+
+def test_cancel_terminal_job_is_noop():
+    env, cluster, sched = make_sched()
+
+    def body(env_, job_, machines):
+        yield env_.timeout(1.0)
+
+    job = sched.submit(1, walltime=10, body=body)
+    env.run(until=job.completed)
+    sched.cancel(job)  # no exception
+    assert job.state is JobState.DONE
+
+
+def test_walltime_kills_body():
+    env, cluster, sched = make_sched()
+
+    def runaway(env_, job_, machines):
+        yield env_.timeout(1e9)
+
+    job = sched.submit(1, walltime=5.0, body=runaway)
+    env.run(until=job.completed)
+    assert job.state is JobState.FAILED
+    assert env.now == pytest.approx(1.0 + 5.0 + 0.5)
+    assert cluster.free_count() == 4
+
+
+def test_body_exception_fails_job_but_releases_nodes():
+    env, cluster, sched = make_sched()
+
+    def bad(env_, job_, machines):
+        yield env_.timeout(1.0)
+        raise ValueError("app crash")
+
+    job = sched.submit(2, walltime=50, body=bad)
+    env.run(until=job.completed)
+    assert job.state is JobState.FAILED
+    assert cluster.free_count() == 4
+
+
+def test_cancel_before_start_via_flag():
+    # Cancel arriving while the job is mid-start (STARTING window).
+    env, cluster, sched = make_sched(start=5.0)
+    job = sched.submit(1, walltime=100.0)
+
+    def canceller():
+        yield env.timeout(2.0)  # inside the 5 s start window
+        assert job.state is JobState.STARTING
+        sched.cancel(job)
+
+    env.process(canceller())
+    env.run(until=job.completed)
+    assert job.state is JobState.CANCELED
+    assert cluster.free_count() == 4
+
+
+def test_free_nodes_reflects_allocations():
+    env, cluster, sched = make_sched()
+    job = sched.submit(3, walltime=100.0)
+    assert sched.free_nodes() == 4
+    env.run(until=job.started)
+    assert sched.free_nodes() == 1
+
+
+def test_gauges_and_counters():
+    env, cluster, sched = make_sched()
+
+    def body(env_, job_, machines):
+        yield env_.timeout(1.0)
+
+    jobs = [sched.submit(1, walltime=10, body=body) for _ in range(3)]
+    env.run(until=jobs[-1].completed)
+    assert sched.jobs_submitted == 3
+    assert sched.jobs_completed == 3
+    assert sched.queue_gauge.max() == 3
+    assert sched.running_gauge.current == 0

@@ -1,0 +1,176 @@
+"""PBS / Condor calibration tests against Table 2, plus GRAM4 and MyCluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.lrm import (
+    CONDOR_672_CONFIG,
+    Gram4Gateway,
+    GramConfig,
+    MyCluster,
+    make_condor,
+    make_pbs,
+)
+from repro.sim import Environment
+from repro.types import TaskSpec
+
+
+def cluster_of(env, nodes):
+    return Cluster(env, ClusterSpec(name="tg", nodes=nodes, node=NodeSpec()))
+
+
+def run_sleep0_jobs(env, sched, n_jobs):
+    def body(env_, job_, machines):
+        yield env_.timeout(0.0)
+
+    jobs = [sched.submit(1, walltime=600, body=body) for _ in range(n_jobs)]
+    env.run(until=env.all_of([j.completed for j in jobs]))
+    return env.now
+
+
+def test_pbs_throughput_near_045_tasks_per_sec():
+    """§4.1: 100 sleep-0 jobs on 64 nodes took ~224 s (0.45 tasks/s)."""
+    env = Environment()
+    sched = make_pbs(env, cluster_of(env, 64))
+    elapsed = run_sleep0_jobs(env, sched, 100)
+    rate = 100 / elapsed
+    assert rate == pytest.approx(0.45, rel=0.10)
+
+
+def test_condor_672_throughput_near_049_tasks_per_sec():
+    """§4.1: 100 sleep-0 jobs over Condor took ~203 s (0.49 tasks/s)."""
+    env = Environment()
+    sched = make_condor(env, cluster_of(env, 64), version="6.7.2")
+    elapsed = run_sleep0_jobs(env, sched, 100)
+    rate = 100 / elapsed
+    assert rate == pytest.approx(0.49, rel=0.10)
+
+
+def test_condor_693_throughput_near_11_tasks_per_sec():
+    """§4.4 cites 11 tasks/s for Condor v6.9.3."""
+    env = Environment()
+    sched = make_condor(env, cluster_of(env, 64), version="6.9.3")
+    elapsed = run_sleep0_jobs(env, sched, 300)
+    rate = 300 / elapsed
+    assert rate == pytest.approx(11.0, rel=0.15)
+
+
+def test_unknown_condor_version_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        make_condor(env, cluster_of(env, 4), version="9.9")
+
+
+def test_pbs_allocation_latency_in_5_to_65s_band():
+    """§4.6: creation latency varies 5–65 s with the 60 s poll loop."""
+    latencies = []
+    for submit_at in (0.5, 15.0, 30.0, 59.0):
+        env = Environment()
+        sched = make_pbs(env, cluster_of(env, 8))
+        job_box = {}
+
+        def submitter(at=submit_at):
+            yield env.timeout(at)
+            job_box["job"] = sched.submit(1, walltime=100)
+
+        env.process(submitter())
+        env.run(until=200.0)
+        job = job_box["job"]
+        latencies.append(job.start_time - job.submit_time)
+    assert all(0 < lat <= 65.0 for lat in latencies)
+    assert max(latencies) > 30.0  # just-missed-the-poll case
+
+
+def test_gram4_task_execution_time_inflated_by_38s():
+    """Table 3: 17.8 s tasks measure ~56.5 s under GRAM4+PBS."""
+    env = Environment()
+    gateway = Gram4Gateway(env, make_pbs(env, cluster_of(env, 4)))
+    results = []
+
+    def runner():
+        result = yield from gateway.run_task(TaskSpec.sleep(17.8, task_id="t1"))
+        results.append(result)
+
+    env.process(runner())
+    env.run()
+    (result,) = results
+    assert result.ok
+    assert result.timeline.execution_time == pytest.approx(56.5, abs=0.5)
+    assert gateway.tasks_run == 1
+
+
+def test_gram4_request_serialization():
+    env = Environment()
+    gateway = Gram4Gateway(
+        env, make_pbs(env, cluster_of(env, 8)), GramConfig(request_overhead=1.0)
+    )
+    submit_times = []
+
+    def allocator():
+        job = yield from gateway.allocate(nodes=1, walltime=50)
+        submit_times.append((env.now, job.job_id))
+
+    for _ in range(3):
+        env.process(allocator())
+    env.run(until=10.0)
+    times = [t for t, _ in submit_times]
+    assert times == pytest.approx([1.0, 2.0, 3.0])
+    assert gateway.requests_handled == 3
+
+
+def test_gram4_allocate_cancel_roundtrip():
+    env = Environment()
+    gateway = Gram4Gateway(env, make_pbs(env, cluster_of(env, 4)))
+    boxes = {}
+
+    def flow():
+        job = yield from gateway.allocate(nodes=2, walltime=1000)
+        boxes["job"] = job
+        yield job.started
+        gateway.cancel(job)
+        yield job.completed
+
+    env.process(flow())
+    env.run()
+    assert boxes["job"].state.terminal
+    assert gateway.free_nodes() == 4
+
+
+def test_mycluster_builds_personal_pool():
+    env = Environment()
+    host = make_pbs(env, cluster_of(env, 64))
+    mc = MyCluster(env, host, nodes=64, personal_config=CONDOR_672_CONFIG)
+    env.run(until=mc.ready)
+    assert mc.scheduler is not None
+    # The host cluster's machines are all bound to the glide-in.
+    assert host.free_nodes() == 0
+    # The personal pool exposes 64 nodes of its own.
+    assert mc.scheduler.free_nodes() == 64
+
+
+def test_mycluster_runs_jobs_at_personal_rate():
+    env = Environment()
+    host = make_pbs(env, cluster_of(env, 64))
+    mc = MyCluster(env, host, nodes=64, personal_config=CONDOR_672_CONFIG)
+    env.run(until=mc.ready)
+    t0 = env.now
+    elapsed = run_sleep0_jobs(env, mc.scheduler, 100) - t0
+    rate = 100 / elapsed
+    assert rate == pytest.approx(0.49, rel=0.10)
+
+
+def test_mycluster_shutdown_releases_host_nodes():
+    env = Environment()
+    host = make_pbs(env, cluster_of(env, 16))
+    mc = MyCluster(env, host, nodes=16, personal_config=CONDOR_672_CONFIG)
+    env.run(until=mc.ready)
+    mc.shutdown()
+    env.run(until=env.now + 200.0)
+    assert host.free_nodes() == 16
+
+
+def test_mycluster_validation():
+    env = Environment()
+    host = make_pbs(env, cluster_of(env, 4))
+    with pytest.raises(ValueError):
+        MyCluster(env, host, nodes=0, personal_config=CONDOR_672_CONFIG)

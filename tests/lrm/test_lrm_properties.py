@@ -1,0 +1,118 @@
+"""Property-based tests for the batch-scheduler substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.lrm import BatchScheduler, JobState, LRMConfig
+from repro.sim import Environment
+
+
+job_strategy = st.tuples(
+    st.integers(1, 6),                      # nodes
+    st.floats(0.0, 50.0),                   # body duration
+    st.floats(0.0, 120.0),                  # submit delay
+)
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=15), cluster_nodes=st.integers(6, 12))
+@settings(max_examples=30, deadline=None)
+def test_all_jobs_terminate_and_nodes_balance(jobs, cluster_nodes):
+    env = Environment()
+    cluster = Cluster(
+        env, ClusterSpec(name="p", nodes=cluster_nodes, node=NodeSpec(processors=1))
+    )
+    sched = BatchScheduler(
+        env, cluster,
+        LRMConfig(name="prop", poll_interval=10.0, start_overhead=0.5, cleanup_delay=0.2),
+    )
+    submitted = []
+    over_allocated = []
+
+    def body_for(duration):
+        def body(env_, job_, machines):
+            # Invariant probe: allocation never exceeds the cluster.
+            if cluster.allocated_count() > cluster.spec.nodes:
+                over_allocated.append(env_.now)
+            yield env_.timeout(duration)
+
+        return body
+
+    def submitter(nodes, duration, delay):
+        yield env.timeout(delay)
+        submitted.append(sched.submit(nodes, walltime=duration + 100, body=body_for(duration)))
+
+    for nodes, duration, delay in jobs:
+        env.process(submitter(min(nodes, cluster_nodes), duration, delay))
+    env.run()
+
+    assert not over_allocated
+    assert len(submitted) == len(jobs)
+    # Every job reached DONE and released its machines.
+    assert all(job.state is JobState.DONE for job in submitted)
+    assert cluster.free_count() == cluster_nodes
+    assert sched.jobs_completed == len(jobs)
+
+
+@given(
+    jobs=st.lists(st.floats(0.0, 20.0), min_size=2, max_size=10),
+    cancel_index=st.integers(0, 9),
+)
+@settings(max_examples=30, deadline=None)
+def test_cancellation_never_leaks_machines(jobs, cancel_index):
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(name="c", nodes=4, node=NodeSpec(processors=1)))
+    sched = BatchScheduler(
+        env, cluster,
+        LRMConfig(name="cx", poll_interval=5.0, start_overhead=0.3, cleanup_delay=0.1),
+    )
+
+    def body_for(duration):
+        def body(env_, job_, machines):
+            yield env_.timeout(duration)
+
+        return body
+
+    handles = [
+        sched.submit(1, walltime=500, body=body_for(duration)) for duration in jobs
+    ]
+    victim = handles[cancel_index % len(handles)]
+
+    def canceller():
+        yield env.timeout(2.0)
+        sched.cancel(victim)
+
+    env.process(canceller())
+    env.run()
+    assert all(job.state.terminal for job in handles)
+    assert cluster.free_count() == 4
+    # The victim either finished before the cancel or was cancelled.
+    assert victim.state in (JobState.DONE, JobState.CANCELED)
+
+
+@given(widths=st.lists(st.integers(1, 3), min_size=2, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_fifo_start_order(widths):
+    """Jobs submitted together start in submission order (strict FIFO)."""
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(name="f", nodes=3, node=NodeSpec(processors=1)))
+    sched = BatchScheduler(
+        env, cluster,
+        LRMConfig(name="fifo", poll_interval=5.0, start_overhead=0.2, cleanup_delay=0.1),
+    )
+    order = []
+
+    def body_factory(index):
+        def body(env_, job_, machines):
+            order.append(index)
+            yield env_.timeout(1.0)
+
+        return body
+
+    jobs = [
+        sched.submit(width, walltime=100, body=body_factory(i))
+        for i, width in enumerate(widths)
+    ]
+    env.run()
+    assert order == sorted(order)
+    assert all(job.state is JobState.DONE for job in jobs)

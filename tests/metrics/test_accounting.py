@@ -1,0 +1,78 @@
+"""Metric definitions must reproduce the paper's quoted data points."""
+
+import pytest
+
+from repro.metrics import (
+    derived_efficiency,
+    dispatch_limited_efficiency,
+    efficiency,
+    execution_efficiency,
+    resource_utilization,
+    speedup,
+)
+
+
+def test_speedup_and_efficiency_definitions():
+    # 64 tasks x 64s on 256 executors, paper: speedup 255.5.
+    t1 = 16384 * 64.0  # arbitrary consistent units
+    tp = t1 / 255.5
+    assert speedup(t1, tp) == pytest.approx(255.5)
+    assert efficiency(t1, tp, 256) == pytest.approx(255.5 / 256)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        speedup(0, 1)
+    with pytest.raises(ValueError):
+        efficiency(1, 1, 0)
+    with pytest.raises(ValueError):
+        derived_efficiency(0, 1, 1)
+    with pytest.raises(ValueError):
+        derived_efficiency(1, -1, 1)
+    with pytest.raises(ValueError):
+        dispatch_limited_efficiency(1, 0, 1)
+    with pytest.raises(ValueError):
+        resource_utilization(-1, 0)
+    with pytest.raises(ValueError):
+        execution_efficiency(0, 1)
+
+
+def test_condor_693_derived_curve_matches_fig7():
+    """§4.4: Condor v6.9.3 (0.0909 s/task) reaches 90/95/99 % efficiency
+    at task lengths of 50/100/1000 s on 64 processors."""
+    assert derived_efficiency(50, 0.0909, 64) == pytest.approx(0.90, abs=0.01)
+    assert derived_efficiency(100, 0.0909, 64) == pytest.approx(0.95, abs=0.01)
+    assert derived_efficiency(1000, 0.0909, 64) == pytest.approx(0.99, abs=0.005)
+
+
+def test_pbs_derived_curve_matches_fig7():
+    """§4.4: PBS (~0.45 tasks/s) needs ~1200 s tasks for 90 % efficiency
+    and reaches 99 % only around 16000 s."""
+    e_1sec = dispatch_limited_efficiency(1, 0.45, 64)
+    assert e_1sec < 0.01  # "less than 1% for 1 sec tasks"
+    assert dispatch_limited_efficiency(1280, 0.45, 64) == pytest.approx(0.90, abs=0.01)
+    assert dispatch_limited_efficiency(16000, 0.45, 64) == pytest.approx(0.99, abs=0.005)
+
+
+def test_falkon_efficiency_high_for_short_tasks():
+    """§4.4: Falkon achieves ~95 % efficiency with 1 s tasks on 64 procs."""
+    # Falkon's dispatch is parallel across executors; the serialized
+    # component is the dispatcher CPU at 487 tasks/s.
+    e = dispatch_limited_efficiency(1, 487, 64)
+    assert e > 0.85
+
+
+def test_resource_utilization_table4_points():
+    # GRAM4+PBS: used 17820, wasted 41040 -> 30%.
+    assert resource_utilization(17820, 41040) == pytest.approx(0.30, abs=0.005)
+    # Falkon-15: wasted 2032 -> 89.8%.
+    assert resource_utilization(17820, 2032) == pytest.approx(0.90, abs=0.01)
+    # Falkon-inf: wasted 22940 -> 44%.
+    assert resource_utilization(17820, 22940) == pytest.approx(0.44, abs=0.01)
+    assert resource_utilization(0, 0) == 0.0
+
+
+def test_execution_efficiency_table4_points():
+    assert execution_efficiency(1260, 4904) == pytest.approx(0.26, abs=0.01)
+    assert execution_efficiency(1260, 1754) == pytest.approx(0.72, abs=0.01)
+    assert execution_efficiency(1260, 1276) == pytest.approx(0.99, abs=0.01)

@@ -1,0 +1,76 @@
+"""Unit tests for the ASCII plotter."""
+
+import pytest
+
+from repro.metrics import AsciiPlot, Series
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        Series("s", [1, 2], [1])
+    with pytest.raises(ValueError):
+        Series("s", [1], [1], glyph="ab")
+
+
+def test_canvas_validation():
+    with pytest.raises(ValueError):
+        AsciiPlot("t", width=5)
+    with pytest.raises(ValueError):
+        AsciiPlot("t", height=2)
+
+
+def test_empty_plot_rejected():
+    with pytest.raises(ValueError):
+        AsciiPlot("empty").render()
+
+
+def test_basic_render_contains_points_and_legend():
+    plot = AsciiPlot("Demo", width=40, height=10, x_label="n", y_label="rate")
+    plot.add_series("up", [0, 1, 2, 3], [0, 10, 20, 30])
+    text = plot.render()
+    assert "== Demo ==" in text
+    assert "* = up" in text
+    assert "n vs rate" in text
+    assert "30" in text and "0" in text  # axis labels
+
+
+def test_multiple_series_get_distinct_glyphs():
+    plot = AsciiPlot("multi")
+    plot.add_series("a", [1], [1])
+    plot.add_series("b", [2], [2])
+    assert plot.series[0].glyph != plot.series[1].glyph
+    text = plot.render()
+    assert "* = a" in text and "o = b" in text
+
+
+def test_log_axes():
+    plot = AsciiPlot("loglog", log_x=True, log_y=True)
+    plot.add_series("s", [1, 10, 100, 1000], [1, 10, 100, 1000])
+    text = plot.render()
+    assert "[log x, log y]" in text
+    # Equal log-spacing: the points form a diagonal.
+    rows = [line for line in text.splitlines() if "|" in line]
+    cols = [row.index("*") for row in rows if "*" in row]
+    assert len(cols) == 4
+    # Rows render top (max y) first, so columns descend left-to-right.
+    assert cols == sorted(cols, reverse=True)
+
+
+def test_log_axis_rejects_nonpositive():
+    plot = AsciiPlot("bad", log_y=True)
+    plot.add_series("s", [1, 2], [0, 5])
+    with pytest.raises(ValueError):
+        plot.render()
+
+
+def test_flat_series_does_not_crash():
+    plot = AsciiPlot("flat")
+    plot.add_series("c", [1, 2, 3], [5, 5, 5])
+    assert "c" in plot.render()
+
+
+def test_large_values_formatted():
+    plot = AsciiPlot("big")
+    plot.add_series("s", [0, 1], [0.001, 2_000_000])
+    text = plot.render()
+    assert "e" in text.lower()  # scientific notation somewhere

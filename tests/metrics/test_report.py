@@ -1,0 +1,55 @@
+"""Unit tests for the text-table renderer."""
+
+import math
+
+import pytest
+
+from repro.metrics import Table, format_si
+
+
+def test_format_si():
+    assert format_si(2_000_000) == "2M"
+    assert format_si(54_000) == "54K"
+    assert format_si(487.0) == "487"
+    assert format_si(0.45) == "0.45"
+    assert format_si(1.5e9) == "1.5G"
+    assert format_si(float("nan")) == "—"
+    assert format_si(None) == "—"
+
+
+def test_table_renders_aligned_columns():
+    table = Table("Demo", ["system", "throughput"])
+    table.add_row("Falkon", 487.0)
+    table.add_row("PBS", 0.45)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "== Demo =="
+    assert "system" in lines[1] and "throughput" in lines[1]
+    assert "Falkon" in lines[3]
+    # Columns align: 'throughput' starts at the same offset everywhere.
+    offset = lines[1].index("throughput")
+    assert lines[3][offset:].startswith("487")
+
+
+def test_table_cell_formatting():
+    table = Table("T", ["a", "b", "c"])
+    table.add_row(None, float("nan"), 0.123456)
+    row = table.render().splitlines()[-1]
+    assert row.count("—") == 2
+    assert "0.1235" in row
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        Table("x", [])
+    table = Table("x", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_print(capsys):
+    table = Table("P", ["col"])
+    table.add_row("val")
+    table.print()
+    out = capsys.readouterr().out
+    assert "== P ==" in out and "val" in out

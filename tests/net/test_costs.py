@@ -1,0 +1,86 @@
+"""The cost models must match the paper's measured anchor points."""
+
+import pytest
+
+from repro.config import SecurityMode
+from repro.net import BundlingCostModel, NetworkModel, WSCostModel
+
+
+@pytest.fixture
+def ws():
+    return WSCostModel()
+
+
+@pytest.fixture
+def bundling():
+    return BundlingCostModel()
+
+
+def test_peak_dispatch_rate_matches_487(ws):
+    assert ws.peak_dispatch_rate(SecurityMode.NONE) == pytest.approx(487.0)
+
+
+def test_secure_dispatch_rate_matches_204(ws):
+    assert ws.peak_dispatch_rate(SecurityMode.GSI_SECURE_CONVERSATION) == pytest.approx(204.0)
+
+
+def test_single_executor_rates_match_28_and_12(ws):
+    assert ws.executor_rate(SecurityMode.NONE) == pytest.approx(28.0)
+    assert ws.executor_rate(SecurityMode.GSI_SECURE_CONVERSATION) == pytest.approx(12.0)
+
+
+def test_gt4_bare_ws_bound_is_500(ws):
+    assert 1.0 / ws.base_call_cpu == pytest.approx(500.0)
+
+
+def test_security_factor(ws):
+    assert ws.security_factor(SecurityMode.NONE) == 1.0
+    assert ws.security_factor(SecurityMode.GSI_SECURE_CONVERSATION) > 2.0
+
+
+def test_unbundled_throughput_near_20(bundling):
+    assert bundling.throughput(1) == pytest.approx(20.0, rel=0.05)
+
+
+def test_peak_bundle_size_near_300(bundling):
+    assert bundling.peak_bundle_size == pytest.approx(300.0, rel=0.01)
+
+
+def test_peak_throughput_near_1500(bundling):
+    assert bundling.throughput(300) == pytest.approx(1500.0, rel=0.02)
+
+
+def test_throughput_degrades_past_peak(bundling):
+    assert bundling.throughput(1000) < bundling.throughput(300)
+    assert bundling.throughput(600) < bundling.throughput(300)
+
+
+def test_throughput_increases_up_to_peak(bundling):
+    rates = [bundling.throughput(b) for b in (1, 10, 50, 100, 200, 300)]
+    assert rates == sorted(rates)
+
+
+def test_call_cost_positive_and_monotonic(bundling):
+    costs = [bundling.call_cost(b) for b in range(1, 500, 50)]
+    assert all(c > 0 for c in costs)
+    assert costs == sorted(costs)
+
+
+def test_call_cost_rejects_nonpositive(bundling):
+    with pytest.raises(ValueError):
+        bundling.call_cost(0)
+
+
+def test_network_transfer_time():
+    net = NetworkModel(latency=0.001, bandwidth_bps=1e9)
+    assert net.transfer_time(0) == pytest.approx(0.001)
+    # 1 MB over 1 Gb/s = 8 ms + 1 ms latency.
+    assert net.transfer_time(10**6) == pytest.approx(0.009)
+    assert net.round_trip(0) == pytest.approx(0.002)
+    with pytest.raises(ValueError):
+        net.transfer_time(-1)
+
+
+def test_default_network_latency_in_paper_range():
+    net = NetworkModel()
+    assert 0.001 <= net.latency <= 0.002

@@ -1,0 +1,149 @@
+"""Unit and property tests for the wire codec and message vocabulary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError, SecurityError
+from repro.net import (
+    FrameReader,
+    Message,
+    MessageType,
+    decode_frame,
+    encode_frame,
+    sign_payload,
+    verify_payload,
+)
+
+KEY = b"shared-secret"
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-(2**31), 2**31) | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+
+
+def test_roundtrip_plain():
+    payload = {"type": "submit", "tasks": [1, 2, 3]}
+    assert decode_frame(encode_frame(payload)) == payload
+
+
+def test_roundtrip_signed():
+    payload = {"hello": "world"}
+    frame = encode_frame(payload, key=KEY)
+    assert decode_frame(frame, key=KEY) == payload
+
+
+def test_tampered_signed_frame_rejected():
+    frame = bytearray(encode_frame({"amount": 1}, key=KEY))
+    # Flip a byte inside the JSON body (after the 4-byte length prefix).
+    frame[-2] ^= 0x01
+    with pytest.raises((SecurityError, ProtocolError)):
+        decode_frame(bytes(frame), key=KEY)
+
+
+def test_signed_frame_read_without_key_exposes_envelope():
+    frame = encode_frame({"x": 1}, key=KEY)
+    envelope = decode_frame(frame)  # no key: envelope visible, body intact
+    assert verify_payload(envelope, KEY) == {"x": 1}
+
+
+def test_wrong_key_rejected():
+    frame = encode_frame({"x": 1}, key=KEY)
+    with pytest.raises(SecurityError):
+        decode_frame(frame, key=b"other-key")
+
+
+def test_missing_envelope_rejected():
+    with pytest.raises(SecurityError):
+        verify_payload({"body": 1}, KEY)
+    with pytest.raises(SecurityError):
+        verify_payload("not-a-dict", KEY)
+
+
+def test_sign_payload_is_deterministic_and_order_insensitive():
+    assert sign_payload({"a": 1, "b": 2}, KEY) == sign_payload({"b": 2, "a": 1}, KEY)
+
+
+def test_frame_reader_handles_fragmentation():
+    payloads = [{"n": i} for i in range(5)]
+    stream = b"".join(encode_frame(p) for p in payloads)
+    reader = FrameReader()
+    got = []
+    # Feed one byte at a time: worst-case TCP fragmentation.
+    for i in range(len(stream)):
+        got.extend(reader.feed(stream[i : i + 1]))
+    assert got == payloads
+    assert reader.pending_bytes == 0
+
+
+def test_frame_reader_handles_coalescing():
+    payloads = [{"n": i} for i in range(10)]
+    stream = b"".join(encode_frame(p) for p in payloads)
+    reader = FrameReader()
+    assert list(reader.feed(stream)) == payloads
+
+
+def test_frame_reader_rejects_oversized_header():
+    import struct
+
+    reader = FrameReader()
+    with pytest.raises(ProtocolError):
+        list(reader.feed(struct.pack(">I", 2**31)))
+
+
+def test_frame_reader_rejects_bad_json():
+    import struct
+
+    body = b"{not json"
+    with pytest.raises(ProtocolError):
+        list(FrameReader().feed(struct.pack(">I", len(body)) + body))
+
+
+def test_decode_frame_rejects_partial():
+    frame = encode_frame({"a": 1})
+    with pytest.raises(ProtocolError):
+        decode_frame(frame[:-1])
+    with pytest.raises(ProtocolError):
+        decode_frame(frame + frame)
+
+
+@given(json_values)
+def test_roundtrip_property_plain(payload):
+    assert decode_frame(encode_frame(payload)) == payload
+
+
+@given(json_values)
+def test_roundtrip_property_signed(payload):
+    assert decode_frame(encode_frame(payload, key=KEY), key=KEY) == payload
+
+
+@given(st.lists(json_values, min_size=1, max_size=8), st.integers(1, 64))
+def test_fragmented_stream_property(payloads, chunk):
+    stream = b"".join(encode_frame(p) for p in payloads)
+    reader = FrameReader()
+    got = []
+    for i in range(0, len(stream), chunk):
+        got.extend(reader.feed(stream[i : i + chunk]))
+    assert got == payloads
+
+
+def test_message_roundtrip():
+    msg = Message(MessageType.SUBMIT, sender="client-1", payload={"tasks": []})
+    parsed = Message.from_dict(msg.to_dict())
+    assert parsed.type is MessageType.SUBMIT
+    assert parsed.sender == "client-1"
+    assert parsed.msg_id == msg.msg_id
+
+
+def test_message_ids_increase():
+    a = Message(MessageType.NOTIFY)
+    b = Message(MessageType.NOTIFY)
+    assert b.msg_id > a.msg_id
+
+
+def test_message_from_dict_rejects_unknown_type():
+    with pytest.raises(ValueError):
+        Message.from_dict({"type": "bogus"})

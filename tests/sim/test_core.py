@@ -1,0 +1,429 @@
+"""Unit tests for the DES event loop (Environment, Event, Process)."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, StopSimulation
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(3.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [3.0]
+    assert env.now == 3.0
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker():
+        while True:
+            yield env.timeout(10.0)
+
+    env.process(ticker())
+    env.run(until=25.0)
+    assert env.now == 25.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "result"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "result"
+    assert env.now == 2.0
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    trace = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        trace.append((name, env.now))
+
+    env.process(proc("slow", 5))
+    env.process(proc("fast", 1))
+    env.process(proc("mid", 3))
+    env.run()
+    assert trace == [("fast", 1), ("mid", 3), ("slow", 5)]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    trace = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        trace.append(name)
+
+    for name in "abc":
+        env.process(proc(name))
+    env.run()
+    assert trace == ["a", "b", "c"]
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    trace = []
+
+    def child():
+        yield env.timeout(4.0)
+        return 99
+
+    def parent():
+        value = yield env.process(child())
+        trace.append((env.now, value))
+
+    env.process(parent())
+    env.run()
+    assert trace == [(4.0, 99)]
+
+
+def test_waiting_on_already_dead_process_returns_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "early"
+
+    def parent(c):
+        yield env.timeout(10.0)
+        value = yield c
+        return value
+
+    c = env.process(child())
+    p = env.process(parent(c))
+    assert env.run(until=p) == "early"
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+    trace = []
+
+    def waiter():
+        value = yield gate
+        trace.append((env.now, value))
+
+    def opener():
+        yield env.timeout(7.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert trace == [(7.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_event_value_unavailable_until_triggered():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_failed_event_raises_inside_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    env.process(bad())
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_unwaited_failed_event_propagates_unless_defused():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("lost failure"))
+    with pytest.raises(RuntimeError, match="lost failure"):
+        env.run()
+
+    env2 = Environment()
+    ev2 = env2.event()
+    ev2.defused = True
+    ev2.fail(RuntimeError("acknowledged"))
+    env2.run()  # does not raise
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    p = env.process(bad())
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run(until=p)
+
+
+def test_stop_simulation_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3.0)
+        raise StopSimulation("stopped")
+
+    env.process(proc())
+    assert env.run() == "stopped"
+    assert env.now == 3.0
+
+
+def test_interrupt_wakes_blocked_process():
+    env = Environment()
+    trace = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            trace.append((env.now, intr.cause))
+
+    def interrupter(victim):
+        yield env.timeout(5.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert trace == [(5.0, "wake up")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        trace.append(env.now)
+
+    def interrupter(victim):
+        yield env.timeout(5.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert trace == [6.0]
+
+
+def test_interrupt_does_not_leave_stale_resume():
+    # After an interrupt, the original timeout firing must not resume
+    # the process a second time.
+    env = Environment()
+    resumed = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            resumed.append("interrupted")
+        yield env.timeout(50.0)
+        resumed.append("finished")
+
+    def interrupter(victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert resumed == ["interrupted", "finished"]
+    assert env.now == 51.0
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    errors = []
+
+    def selfish():
+        yield env.timeout(0)
+        try:
+            env.active_process.interrupt()
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    env.process(selfish())
+    env.run()
+    assert len(errors) == 1
+
+
+def test_interrupt_unstarted_process():
+    env = Environment()
+    outcome = []
+
+    def victim_gen():
+        outcome.append("started")
+        yield env.timeout(1.0)
+
+    def immediate_interrupter(victim):
+        victim.interrupt("too soon")
+        return
+        yield  # pragma: no cover
+
+    victim = env.process(victim_gen())
+    # Interrupt scheduled before the victim's start-up event runs.  The
+    # generator never gets to run its body, so the Interrupt is uncaught
+    # and the process fails with it.
+    victim.interrupt("before start")
+    with pytest.raises(Interrupt):
+        env.run()
+    assert outcome == []
+    assert not victim.is_alive
+    assert isinstance(victim.value, Interrupt)
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def stoic():
+        yield env.timeout(100.0)
+
+    def interrupter(victim):
+        yield env.timeout(1.0)
+        victim.interrupt("fatal")
+
+    victim = env.process(stoic())
+    env.process(interrupter(victim))
+    with pytest.raises(Interrupt):
+        env.run(until=victim)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.process(iter_timeout(env, 5.0))
+    assert env.peek() == 0.0  # process start-up event
+    env.step()
+    assert env.peek() == 5.0
+    env.step()
+    assert env.now == 5.0
+    env.step()  # the process-termination event itself
+    assert env.peek() == float("inf")
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_foreign_event_rejected():
+    env1, env2 = Environment(), Environment()
+
+    def proc():
+        yield env2.timeout(1.0)
+
+    env1.process(proc())
+    with pytest.raises(RuntimeError, match="different Environment"):
+        env1.run()
+
+
+def test_active_process_visible_during_resume():
+    env = Environment()
+    seen = []
+
+    def proc():
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+        seen.append(env.active_process)
+
+    p = env.process(proc())
+    env.run()
+    assert seen == [p, p]
+    assert env.active_process is None

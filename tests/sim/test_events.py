@@ -1,0 +1,163 @@
+"""Unit tests for composite events (AllOf / AnyOf)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    trace = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        result = yield env.all_of([t1, t2])
+        trace.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert trace == [(5.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    trace = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        trace.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert trace == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+    trace = []
+
+    def proc():
+        result = yield env.all_of([])
+        trace.append((env.now, result))
+
+    env.process(proc())
+    env.run()
+    assert trace == [(0.0, {})]
+
+
+def test_any_of_empty_succeeds_immediately():
+    env = Environment()
+    trace = []
+
+    def proc():
+        yield env.any_of([])
+        trace.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert trace == [0.0]
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    trace = []
+
+    def proc():
+        t1 = env.timeout(1.0, value=1)
+        yield env.timeout(2.0)  # t1 is processed by now
+        t2 = env.timeout(1.0, value=2)
+        result = yield env.all_of([t1, t2])
+        trace.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert trace == [(3.0, [1, 2])]
+
+
+def test_all_of_fails_fast_on_failure():
+    env = Environment()
+    caught = []
+
+    def proc():
+        gate = env.event()
+        slow = env.timeout(100.0)
+
+        def failer():
+            yield env.timeout(1.0)
+            gate.fail(ValueError("bad"))
+
+        env.process(failer())
+        try:
+            yield env.all_of([gate, slow])
+        except ValueError:
+            caught.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert caught == [1.0]
+
+
+def test_any_of_propagates_failure():
+    env = Environment()
+    caught = []
+
+    def proc():
+        gate = env.event()
+
+        def failer():
+            yield env.timeout(2.0)
+            gate.fail(KeyError("nope"))
+
+        env.process(failer())
+        try:
+            yield env.any_of([gate, env.timeout(100.0)])
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert caught == [2.0]
+
+
+def test_condition_rejects_mixed_environments():
+    env1, env2 = Environment(), Environment()
+    t1 = env1.timeout(1.0)
+    t2 = env2.timeout(1.0)
+    with pytest.raises(RuntimeError):
+        AllOf(env1, [t1, t2])
+
+
+def test_all_of_with_processes():
+    env = Environment()
+
+    def worker(delay, tag):
+        yield env.timeout(delay)
+        return tag
+
+    def coordinator():
+        procs = [env.process(worker(d, f"w{d}")) for d in (3, 1, 2)]
+        result = yield AllOf(env, procs)
+        return sorted(result.values())
+
+    p = env.process(coordinator())
+    assert env.run(until=p) == ["w1", "w2", "w3"]
+    assert env.now == 3.0
+
+
+def test_any_of_result_contains_only_completed():
+    env = Environment()
+
+    def proc():
+        fast = env.timeout(1.0, value="f")
+        slow = env.timeout(9.0, value="s")
+        result = yield AnyOf(env, [fast, slow])
+        assert list(result.values()) == ["f"]
+        # The slow event still completes later without error.
+        yield slow
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == 9.0

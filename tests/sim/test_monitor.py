@@ -1,0 +1,125 @@
+"""Unit tests for TimeSeries, Gauge, Counter and moving_average."""
+
+import pytest
+
+from repro.sim import Counter, Gauge, TimeSeries, moving_average
+
+
+def test_timeseries_records_in_order():
+    ts = TimeSeries("q")
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 2.0)
+    assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+    assert len(ts) == 2
+    assert ts.last == 2.0
+
+
+def test_timeseries_rejects_time_regression():
+    ts = TimeSeries()
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 1.0)
+
+
+def test_timeseries_value_at_step_semantics():
+    ts = TimeSeries()
+    ts.record(1.0, 10.0)
+    ts.record(3.0, 20.0)
+    assert ts.value_at(0.5) == 0.0
+    assert ts.value_at(1.0) == 10.0
+    assert ts.value_at(2.9) == 10.0
+    assert ts.value_at(3.0) == 20.0
+    assert ts.value_at(99.0) == 20.0
+
+
+def test_timeseries_integrate_rectangles():
+    ts = TimeSeries()
+    ts.record(0.0, 2.0)
+    ts.record(10.0, 4.0)
+    ts.record(20.0, 0.0)
+    assert ts.integrate(0.0, 20.0) == pytest.approx(2.0 * 10 + 4.0 * 10)
+    assert ts.integrate(5.0, 15.0) == pytest.approx(2.0 * 5 + 4.0 * 5)
+    assert ts.integrate() == pytest.approx(60.0)
+    assert ts.integrate(20.0, 20.0) == 0.0
+
+
+def test_timeseries_mean_is_time_weighted():
+    ts = TimeSeries()
+    ts.record(0.0, 0.0)
+    ts.record(9.0, 100.0)  # value 0 for 9s
+    ts.record(10.0, 0.0)   # value 100 for 1s
+    assert ts.mean() == pytest.approx(10.0)
+
+
+def test_timeseries_empty_defaults():
+    ts = TimeSeries()
+    assert ts.last == 0.0
+    assert ts.max() == 0.0
+    assert ts.integrate() == 0.0
+    assert ts.mean() == 0.0
+
+
+def test_gauge_add_and_set():
+    g = Gauge("busy")
+    g.add(0.0, 3)
+    g.add(1.0, -1)
+    g.set(2.0, 10)
+    assert g.current == 10
+    assert list(g) == [(0.0, 3), (1.0, 2), (2.0, 10)]
+
+
+def test_gauge_initial_value():
+    g = Gauge(initial=5)
+    g.add(1.0, 1)
+    assert g.current == 6
+
+
+def test_counter_rate():
+    c = Counter()
+    for t in range(11):
+        c.tick(float(t))
+    assert c.count == 11
+    assert c.rate() == pytest.approx(1.0)
+
+
+def test_counter_tick_order_enforced():
+    c = Counter()
+    c.tick(5.0)
+    with pytest.raises(ValueError):
+        c.tick(4.0)
+
+
+def test_counter_throughput_samples():
+    c = Counter()
+    # 3 events in [0,1), 0 in [1,2), 1 in [2,3)
+    for t in (0.1, 0.5, 0.9, 2.5):
+        c.tick(t)
+    samples = c.throughput_samples(interval=1.0, start=0.0, end=3.0)
+    assert samples.values == [3.0, 0.0, 1.0]
+    assert samples.times == [0.0, 1.0, 2.0]
+
+
+def test_counter_throughput_samples_empty():
+    c = Counter()
+    assert len(c.throughput_samples()) == 0
+
+
+def test_moving_average_window():
+    ts = TimeSeries()
+    for i, v in enumerate([0.0, 10.0, 20.0, 30.0]):
+        ts.record(float(i), v)
+    ma = moving_average(ts, window=2)
+    assert ma.values == [0.0, 5.0, 15.0, 25.0]
+
+
+def test_moving_average_window_larger_than_series():
+    ts = TimeSeries()
+    ts.record(0.0, 4.0)
+    ts.record(1.0, 8.0)
+    ma = moving_average(ts, window=100)
+    assert ma.values == [4.0, 6.0]
+
+
+def test_moving_average_validation():
+    with pytest.raises(ValueError):
+        moving_average(TimeSeries(), 0)

@@ -1,0 +1,236 @@
+"""Unit tests for Resource, PriorityResource and Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    holders = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            holders.append((name, env.now))
+            yield env.timeout(10.0)
+
+    for name in "abc":
+        env.process(user(name))
+    env.run()
+    # a and b get in at t=0; c waits until one releases at t=10.
+    assert holders == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(name, arrive):
+        yield env.timeout(arrive)
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(5.0)
+
+    env.process(user("first", 0.0))
+    env.process(user("second", 1.0))
+    env.process(user("third", 2.0))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            assert res.in_use == 1
+            yield env.timeout(5.0)
+
+    def waiter():
+        yield env.timeout(1.0)
+        with res.request() as req:
+            assert res.queue_length == 1
+            yield req
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+
+def test_release_requires_held_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_context_manager_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def crasher():
+        with res.request() as req:
+            yield req
+            raise ValueError("boom")
+
+    def follower():
+        yield env.timeout(1.0)
+        with res.request() as req:
+            yield req
+            return env.now
+
+    env.process(crasher())
+    p = env.process(follower())
+    with pytest.raises(ValueError):
+        env.run()
+    assert env.run(until=p) == 1.0
+
+
+def test_cancel_ungranted_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grabbed = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient():
+        yield env.timeout(1.0)
+        req = res.request()
+        yield env.timeout(2.0)  # still queued
+        req.cancel()
+
+    def patient():
+        yield env.timeout(2.0)
+        with res.request() as req:
+            yield req
+            grabbed.append(env.now)
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    # The cancelled request must not absorb the freed slot.
+    assert grabbed == [10.0]
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_priority_resource_orders_waiters():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def user(name, priority, arrive):
+        yield env.timeout(arrive)
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder())
+    env.process(user("low", 5, 1.0))
+    env.process(user("high", 0, 2.0))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=0.0)
+    got = []
+
+    def consumer():
+        yield tank.get(30.0)
+        got.append(env.now)
+
+    def producer():
+        yield env.timeout(2.0)
+        yield tank.put(10.0)
+        yield env.timeout(2.0)
+        yield tank.put(25.0)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [4.0]
+    assert tank.level == 5.0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=10.0)
+    done = []
+
+    def producer():
+        yield tank.put(5.0)
+        done.append(env.now)
+
+    def consumer():
+        yield env.timeout(3.0)
+        yield tank.get(6.0)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert done == [3.0]
+    assert tank.level == 9.0
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=9)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+    with pytest.raises(ValueError):
+        tank.put(6)
+
+
+def test_container_gets_fifo():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    order = []
+
+    def consumer(name, amount):
+        yield tank.get(amount)
+        order.append(name)
+
+    def producer():
+        yield env.timeout(1.0)
+        yield tank.put(5.0)   # covers the first (big) get?  No: 5 < 10.
+        yield env.timeout(1.0)
+        yield tank.put(10.0)  # now 15 >= 10 -> big gets served first.
+
+    env.process(consumer("big", 10.0))
+    env.process(consumer("small", 1.0))
+    env.process(producer())
+    env.run()
+    assert order == ["big", "small"]

@@ -1,0 +1,201 @@
+"""Unit tests for Store, FilterStore and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, PriorityStore, Store
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in received] == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5.0)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put(1)
+        times.append(env.now)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [0.0, 4.0]
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+    store.get()
+    env.run()
+    assert len(store) == 1
+
+
+def test_store_getters_waiting():
+    env = Environment()
+    store = Store(env)
+
+    def consumer():
+        yield store.get()
+
+    env.process(consumer())
+    env.run()
+    assert store.getters_waiting == 1
+    store.put("x")
+    env.run()
+    assert store.getters_waiting == 0
+
+
+def test_store_get_cancel():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def fickle():
+        get = store.get()
+        yield env.timeout(1.0)
+        get.cancel()
+
+    def steady():
+        item = yield store.get()
+        received.append(item)
+
+    def producer():
+        yield env.timeout(2.0)
+        yield store.put("only")
+
+    env.process(fickle())
+    env.process(steady())
+    env.process(producer())
+    env.run()
+    # The cancelled getter must not swallow the item.
+    assert received == ["only"]
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    env.process(consumer())
+    store.put(1)
+    store.put(3)
+    store.put(4)
+    env.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3]
+
+
+def test_filter_store_unmatched_getter_does_not_block_others():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def picky():
+        item = yield store.get(lambda x: x == "never")
+        got.append(("picky", item))
+
+    def easy():
+        item = yield store.get()
+        got.append(("easy", item))
+
+    env.process(picky())
+    env.process(easy())
+    store.put("plain")
+    env.run(until=20.0)
+    assert got == [("easy", "plain")]
+
+
+def test_filter_store_blocked_getter_wakes_on_matching_put():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x > 10)
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield store.put(5)
+        yield env.timeout(1.0)
+        yield store.put(50)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(2.0, 50)]
+
+
+def test_priority_store_yields_smallest():
+    env = Environment()
+    store = PriorityStore(env)
+    for value in (5, 1, 3):
+        store.put(value)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(consumer())
+    env.run()
+    assert got == [1, 3, 5]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)

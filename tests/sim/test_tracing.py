@@ -1,0 +1,118 @@
+"""Tests for the trace ring buffer and dispatcher trace emission."""
+
+import pytest
+
+from repro import FalkonConfig
+from repro.core.dispatcher import SimDispatcher
+from repro.core.executor import SimExecutor
+from repro.sim import Environment, TraceEvent, Tracer
+from repro.types import TaskSpec
+
+
+def test_tracer_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_emit_and_query():
+    tracer = Tracer()
+    tracer.emit(1.0, "submit", task="t1")
+    tracer.emit(2.0, "dispatch", task="t1", executor="e1")
+    assert len(tracer) == 2
+    assert tracer.count("submit") == 1
+    assert tracer.events("dispatch")[0].get("executor") == "e1"
+    assert tracer.events("dispatch")[0].get("missing", "x") == "x"
+    assert tracer.kinds() == {"submit": 1, "dispatch": 1}
+
+
+def test_ring_buffer_bounds_memory():
+    tracer = Tracer(capacity=10)
+    for i in range(100):
+        tracer.emit(float(i), "tick", n=i)
+    assert len(tracer) == 10
+    assert tracer.total_emitted == 100
+    assert tracer.count("tick") == 100  # tallies survive eviction
+    assert tracer.events("tick")[0].get("n") == 90
+
+
+def test_predicate_filter():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.emit(float(i), "e", n=i)
+    evens = tracer.events(predicate=lambda e: e.get("n") % 2 == 0)
+    assert [e.get("n") for e in evens] == [0, 2, 4]
+
+
+def test_format_and_str():
+    tracer = Tracer()
+    tracer.emit(1.5, "gc", pause=0.8)
+    text = tracer.format()
+    assert "gc" in text and "pause=0.8" in text
+    assert str(TraceEvent(0.0, "x")) .startswith("[")
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.emit(0.0, "a")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.count("a") == 1  # all-time tally preserved
+
+
+def test_dispatcher_emits_protocol_trace():
+    env = Environment()
+    tracer = Tracer()
+    dispatcher = SimDispatcher(env, FalkonConfig.paper_defaults(), tracer=tracer)
+    SimExecutor(env, dispatcher, startup_delay=0.0)
+    dispatcher.accept_tasks_now(
+        [TaskSpec.sleep(0, task_id=f"tr{i}") for i in range(5)]
+    )
+    env.run(until=dispatcher.completion_milestone(5))
+    assert tracer.count("submit") == 5
+    assert tracer.count("dispatch") == 5
+    assert tracer.count("complete") == 5
+    # Protocol ordering per task: submit <= dispatch <= complete.
+    for tid in (f"tr{i}" for i in range(5)):
+        times = {
+            kind: [e.time for e in tracer.events(kind) if e.get("task") == tid]
+            for kind in ("submit", "dispatch", "complete")
+        }
+        assert times["submit"][0] <= times["dispatch"][0] <= times["complete"][0]
+
+
+def test_dispatcher_traces_retries_and_failures():
+    env = Environment()
+    tracer = Tracer()
+    dispatcher = SimDispatcher(
+        env, FalkonConfig.paper_defaults(max_retries=2), tracer=tracer
+    )
+    import numpy as np
+
+    SimExecutor(
+        env, dispatcher, startup_delay=0.0,
+        failure_rate=1.0, rng=np.random.default_rng(0),
+    )
+    dispatcher.accept_tasks_now([TaskSpec.sleep(0, task_id="doomed")])
+    env.run(until=dispatcher.completion_milestone(1))
+    assert tracer.count("retry") == 2
+    assert tracer.count("fail") == 1
+    assert tracer.count("complete") == 0
+
+
+def test_dispatcher_traces_gc():
+    from repro.cluster.jvm import JVMModel
+
+    env = Environment()
+    tracer = Tracer()
+    dispatcher = SimDispatcher(
+        env, FalkonConfig.paper_defaults(),
+        jvm=JVMModel(tasks_per_gc=5), tracer=tracer,
+    )
+    SimExecutor(env, dispatcher, startup_delay=0.0)
+    dispatcher.accept_tasks_now(
+        [TaskSpec.sleep(0, task_id=f"g{i}") for i in range(20)]
+    )
+    env.run(until=dispatcher.completion_milestone(20))
+    assert tracer.count("gc") >= 2
+    pause = tracer.events("gc")[0].get("pause")
+    assert pause > 0

@@ -1,0 +1,109 @@
+"""Unit tests for the shared task model."""
+
+import math
+
+import pytest
+
+from repro.types import (
+    Bundle,
+    DataLocation,
+    DataRef,
+    TaskResult,
+    TaskSpec,
+    TaskState,
+    TaskTimeline,
+    new_task_id,
+    reset_task_ids,
+)
+
+
+def test_new_task_id_unique_and_prefixed():
+    a, b = new_task_id(), new_task_id("job")
+    assert a != b
+    assert b.startswith("job-")
+
+
+def test_reset_task_ids():
+    reset_task_ids()
+    assert new_task_id() == "task-000001"
+
+
+def test_task_state_terminal():
+    assert TaskState.COMPLETED.terminal
+    assert TaskState.FAILED.terminal
+    assert TaskState.CANCELED.terminal
+    assert not TaskState.QUEUED.terminal
+    assert not TaskState.DISPATCHED.terminal
+
+
+def test_dataref_validation():
+    DataRef("f", 0)
+    with pytest.raises(ValueError):
+        DataRef("f", -1)
+
+
+def test_taskspec_sleep_factory():
+    t = TaskSpec.sleep(480.0)
+    assert t.command == "sleep"
+    assert t.args == ("480.0",)
+    assert t.duration == 480.0
+
+
+def test_taskspec_validation():
+    with pytest.raises(ValueError):
+        TaskSpec(task_id="")
+    with pytest.raises(ValueError):
+        TaskSpec(task_id="x", duration=-1)
+    with pytest.raises(ValueError):
+        TaskSpec(task_id="x", duration=math.inf)
+
+
+def test_taskspec_with_id_copies():
+    t = TaskSpec.sleep(1.0, task_id="a")
+    t2 = t.with_id("b")
+    assert t2.task_id == "b" and t.task_id == "a"
+    assert t2.duration == t.duration
+
+
+def test_taskspec_data_totals():
+    t = TaskSpec(
+        task_id="x",
+        reads=(DataRef("in1", 100), DataRef("in2", 50, DataLocation.LOCAL)),
+        writes=(DataRef("out", 25),),
+    )
+    assert t.total_read_bytes == 150
+    assert t.total_write_bytes == 25
+
+
+def test_timeline_derived_quantities():
+    tl = TaskTimeline(submitted=10.0, dispatched=15.0, completed=18.0)
+    assert tl.queue_time == 5.0
+    assert tl.execution_time == 3.0
+    assert tl.total_time == 8.0
+
+
+def test_taskresult_ok():
+    assert TaskResult("t").ok
+    assert not TaskResult("t", return_code=1).ok
+    assert not TaskResult("t", error="lost").ok
+
+
+def test_bundle_rejects_empty_and_duplicates():
+    t = TaskSpec.sleep(0, task_id="a")
+    with pytest.raises(ValueError):
+        Bundle(())
+    with pytest.raises(ValueError):
+        Bundle((t, t))
+
+
+def test_bundle_split_partitions_in_order():
+    tasks = [TaskSpec.sleep(0, task_id=f"t{i}") for i in range(7)]
+    bundles = Bundle.split(tasks, 3)
+    assert [len(b) for b in bundles] == [3, 3, 1]
+    flat = [t.task_id for b in bundles for t in b]
+    assert flat == [f"t{i}" for i in range(7)]
+
+
+def test_bundle_split_validates_size():
+    with pytest.raises(ValueError):
+        Bundle.split([TaskSpec.sleep(0, task_id="a")], 0)

@@ -1,0 +1,105 @@
+"""Tests for the synthetic grid-trace generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.traces import GridTrace, TraceConfig, generate_trace
+
+
+def test_trace_is_reproducible():
+    a = generate_trace(seed=3)
+    b = generate_trace(seed=3)
+    assert len(a) == len(b)
+    assert [t.submit_at for t in a.tasks] == [t.submit_at for t in b.tasks]
+    assert [t.spec.duration for t in a.tasks] == [t.spec.duration for t in b.tasks]
+
+
+def test_different_seeds_differ():
+    a = generate_trace(seed=1)
+    b = generate_trace(seed=2)
+    assert [t.submit_at for t in a.tasks] != [t.submit_at for t in b.tasks]
+
+
+def test_trace_respects_horizon():
+    config = TraceConfig(horizon=600.0)
+    trace = generate_trace(config)
+    assert all(t.submit_at < 600.0 for t in trace.tasks)
+
+
+def test_batched_arrivals():
+    """[37]: grid workloads arrive as batches of tasks."""
+    trace = generate_trace(TraceConfig(horizon=3600.0, mean_batch_size=30.0), seed=5)
+    assert trace.mean_batch_size() > 5.0
+    batches = trace.batches()
+    assert len(batches) > 10
+    # Within a batch, all tasks share one submission instant.
+    for batch in batches:
+        assert len({t.submit_at for t in batch}) == 1
+
+
+def test_heavy_tailed_runtimes():
+    trace = generate_trace(TraceConfig(horizon=7200.0), seed=9)
+    median = trace.runtime_percentile(50)
+    p99 = trace.runtime_percentile(99)
+    assert p99 > 5 * median  # heavy tail
+    cfg = trace.config
+    durations = [t.spec.duration for t in trace.tasks]
+    assert all(cfg.min_runtime <= d <= cfg.max_runtime for d in durations)
+
+
+def test_runtime_clipping():
+    config = TraceConfig(min_runtime=1.0, max_runtime=10.0)
+    trace = generate_trace(config, seed=4)
+    assert trace.runtime_percentile(0) >= 1.0
+    assert trace.runtime_percentile(100) <= 10.0
+
+
+def test_diurnal_modulation_changes_density():
+    flat = generate_trace(
+        TraceConfig(horizon=86400.0, mean_batch_interarrival=300.0), seed=6
+    )
+    wavy = generate_trace(
+        TraceConfig(
+            horizon=86400.0,
+            mean_batch_interarrival=300.0,
+            diurnal_amplitude=6.0,
+        ),
+        seed=6,
+    )
+    # Both produce plausible traces; the modulated one is valid too.
+    assert len(flat) > 0 and len(wavy) > 0
+
+
+def test_total_cpu_seconds():
+    trace = generate_trace(seed=0)
+    assert trace.total_cpu_seconds() == pytest.approx(
+        sum(t.spec.duration for t in trace.tasks)
+    )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(horizon=0),
+        dict(mean_batch_interarrival=0),
+        dict(mean_batch_size=0.5),
+        dict(min_runtime=0),
+        dict(min_runtime=5, max_runtime=1),
+        dict(diurnal_amplitude=0.5),
+        dict(diurnal_period=0),
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        TraceConfig(**kwargs)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_trace_invariants_any_seed(seed):
+    trace = generate_trace(TraceConfig(horizon=900.0), seed=seed)
+    times = [t.submit_at for t in trace.tasks]
+    assert times == sorted(times)
+    ids = [t.spec.task_id for t in trace.tasks]
+    assert len(set(ids)) == len(ids)

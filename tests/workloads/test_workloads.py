@@ -1,0 +1,200 @@
+"""Workload generators must match the paper's stated characteristics."""
+
+import pytest
+
+from repro.types import DataLocation
+from repro.workloads import (
+    STAGE_DURATIONS,
+    STAGE_TASK_COUNTS,
+    SWIFT_APPLICATIONS,
+    fmri_workflow,
+    montage_workflow,
+    sleep_workload,
+    stage18_machines_needed,
+    stage18_summary,
+    stage18_workload,
+    uniform_workload,
+)
+from repro.workloads.fmri import fmri_task_count
+from repro.workloads.montage import MONTAGE_STAGE_ORDER, MontageShape
+from repro.workloads.stages18 import ideal_makespan_sequential, stage18_stage_lists
+from repro.workloads.synthetic import data_workload
+
+
+# ---------------------------------------------------------------- sleep
+def test_sleep_workload_basic():
+    tasks = sleep_workload(10, 0.0)
+    assert len(tasks) == 10
+    assert len({t.task_id for t in tasks}) == 10
+    assert all(t.duration == 0.0 for t in tasks)
+    with pytest.raises(ValueError):
+        sleep_workload(0)
+
+
+def test_uniform_workload_stage_tag():
+    tasks = uniform_workload(5, 2.0, stage="s9")
+    assert all(t.stage == "s9" and t.duration == 2.0 for t in tasks)
+
+
+def test_data_workload_refs():
+    read_only = data_workload(3, 1024, DataLocation.SHARED, write=False)
+    assert all(t.total_read_bytes == 1024 and t.total_write_bytes == 0 for t in read_only)
+    rw = data_workload(3, 1024, DataLocation.LOCAL, write=True)
+    assert all(t.total_write_bytes == 1024 for t in rw)
+    assert all(r.location is DataLocation.LOCAL for t in rw for r in t.reads)
+
+
+# ---------------------------------------------------------------- 18-stage
+def test_stage18_totals_match_paper():
+    assert sum(STAGE_TASK_COUNTS) == 1000
+    cpu = sum(c * d for c, d in zip(STAGE_TASK_COUNTS, STAGE_DURATIONS))
+    assert cpu == 17820
+
+
+def test_stage18_durations_match_paper():
+    # All 60s except stages 8, 9, 10 = 120, 6, 12.
+    for index, duration in enumerate(STAGE_DURATIONS, start=1):
+        if index == 8:
+            assert duration == 120
+        elif index == 9:
+            assert duration == 6
+        elif index == 10:
+            assert duration == 12
+        else:
+            assert duration == 60
+
+
+def test_stage18_shape_narrative():
+    c = STAGE_TASK_COUNTS
+    # exponential ramp-up over the first 7 stages
+    assert list(c[:7]) == [1, 2, 4, 8, 16, 32, 64]
+    assert c[7] < c[6]            # sudden drop at stage 8
+    assert c[8] > 100 and c[9] > 100  # surge at stages 9 and 10
+    assert c[10] < c[9]           # drop at stage 11
+    assert c[11] > c[10]          # modest increase at stage 12
+    assert c[11] > c[12] > c[13]  # linear decrease 13, 14
+    assert list(c[14:]) == [8, 4, 2, 1]  # exponential decrease to one
+
+
+def test_stage18_machines_needed_capped_at_32():
+    machines = stage18_machines_needed()
+    assert max(machines) == 32
+    assert machines[0] == 1 and machines[-1] == 1
+    assert len(machines) == 18
+
+
+def test_stage18_workflow_structure():
+    wf = stage18_workload()
+    # 1000 tasks + 18 barrier tasks.
+    assert len(wf) == 1018
+    assert wf.total_cpu_seconds() == 17820
+    # Stage k tasks depend (via barrier) on stage k-1.
+    node = wf.node("s02-t0000")
+    assert node.deps == ("s01-barrier",)
+
+
+def test_stage18_ideal_makespan_close_to_paper():
+    ideal = ideal_makespan_sequential(32)
+    assert ideal == pytest.approx(1260, rel=0.03)  # paper: 1260 s
+    assert stage18_summary()["ideal_makespan_32"] == ideal
+
+
+def test_stage18_stage_lists_align():
+    stages = stage18_stage_lists()
+    assert [len(s) for s in stages] == list(STAGE_TASK_COUNTS)
+    assert stages[7][0].duration == 120
+
+
+# ---------------------------------------------------------------- fMRI
+def test_fmri_task_counts_match_paper_endpoints():
+    # "from 120 volumes (480 tasks ...) to 480 volumes (1960 tasks)"
+    assert fmri_task_count(120) == 480
+    assert fmri_task_count(480) == 1960
+
+
+def test_fmri_workflow_counts_and_chain():
+    wf = fmri_workflow(120)
+    assert len(wf) == 480
+    # Each volume is a 4-chain.
+    assert wf.node("fmri-v0000-realign").deps == ("fmri-v0000-reorient",)
+    assert wf.node("fmri-v0000-smooth").deps == ("fmri-v0000-reslice",)
+    wf.validate()
+
+
+def test_fmri_group_stage_only_above_base():
+    small = fmri_workflow(120)
+    assert "group" not in small.stages()
+    large = fmri_workflow(480)
+    assert len(large.stages()["group"]) == 40
+
+
+def test_fmri_durations_are_a_few_seconds():
+    wf = fmri_workflow(24)
+    assert all(0 < node.spec.duration <= 10 for node in wf.tasks())
+
+
+def test_fmri_validation():
+    with pytest.raises(ValueError):
+        fmri_workflow(0)
+
+
+# ---------------------------------------------------------------- Montage
+def test_montage_counts_match_paper():
+    wf = montage_workflow()
+    stages = wf.stages()
+    assert len(stages["mProject"]) == 487     # "about 487 input images"
+    assert len(stages["mDiff"]) == 2200       # "2,200 overlapping sections"
+    assert len(stages["mFit"]) == 2200
+    assert len(stages["mBackground"]) == 487
+    assert len(stages["mAdd"]) == 1           # serial final co-add
+    assert list(stages) == list(MONTAGE_STAGE_ORDER)
+
+
+def test_montage_dag_valid_and_deterministic():
+    wf1 = montage_workflow(seed=5)
+    wf2 = montage_workflow(seed=5)
+    deps1 = {n.task_id: n.deps for n in wf1.tasks()}
+    deps2 = {n.task_id: n.deps for n in wf2.tasks()}
+    assert deps1 == deps2
+    wf1.validate()
+
+
+def test_montage_diff_depends_on_two_projections():
+    wf = montage_workflow()
+    node = wf.node("mDiff-00000")
+    projections = [d for d in node.deps if d.startswith("mProject")]
+    assert len(projections) == 2
+    assert projections[0] != projections[1]
+
+
+def test_montage_shape_validation():
+    with pytest.raises(ValueError):
+        MontageShape(images=0)
+
+
+def test_montage_final_add_is_single_long_task():
+    wf = montage_workflow()
+    final = wf.node("mAdd-0000")
+    durations = [n.spec.duration for n in wf.tasks()]
+    assert final.spec.duration == max(durations)
+
+
+# ---------------------------------------------------------------- Table 5
+def test_table5_has_twelve_rows():
+    assert len(SWIFT_APPLICATIONS) == 12
+    names = [app.name for app in SWIFT_APPLICATIONS]
+    assert any("ATLAS" in n for n in names)
+    assert any("MolDyn" in n for n in names)
+
+
+def test_table5_representative_workload_shape():
+    app = next(a for a in SWIFT_APPLICATIONS if "GADU" in a.name)
+    stages = app.representative_workload(scale=0.01)
+    assert len(stages) == 4  # GADU: 4 stages
+    total = sum(len(s) for s in stages)
+    assert total == pytest.approx(400, rel=0.1)
+
+
+def test_table5_scale_validation():
+    with pytest.raises(ValueError):
+        SWIFT_APPLICATIONS[0].representative_workload(scale=0)
