@@ -82,6 +82,13 @@ class FalkonConfig:
     max_retries: int = 3
     replay_timeout: Optional[float] = None  # None: no re-dispatch timer
 
+    # --- liveness & reconnect (live plane fault tolerance) ---
+    heartbeat_interval: Optional[float] = None  # None: no liveness protocol
+    heartbeat_miss_budget: int = 3              # misses before eviction
+    max_reconnects: int = 5                     # reconnect attempts per peer
+    reconnect_backoff_base: float = 0.05        # first retry delay (s)
+    reconnect_backoff_cap: float = 2.0          # exponential backoff ceiling (s)
+
     # --- communication optimisations (§3.4) ---
     client_bundling: bool = True
     bundle_size: int = 300  # peak of Figure 5
@@ -116,6 +123,14 @@ class FalkonConfig:
             raise ConfigError("max_retries must be >= 0")
         if self.replay_timeout is not None and self.replay_timeout <= 0:
             raise ConfigError("replay_timeout must be positive when set")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be positive when set")
+        if self.heartbeat_miss_budget < 1:
+            raise ConfigError("heartbeat_miss_budget must be >= 1")
+        if self.max_reconnects < 0:
+            raise ConfigError("max_reconnects must be >= 0")
+        if not 0 < self.reconnect_backoff_base <= self.reconnect_backoff_cap:
+            raise ConfigError("need 0 < reconnect_backoff_base <= reconnect_backoff_cap")
         if self.bundle_size <= 0:
             raise ConfigError("bundle_size must be positive")
         if not 0 <= self.min_executors <= self.max_executors:

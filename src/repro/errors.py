@@ -18,6 +18,7 @@ __all__ = [
     "ProvisioningError",
     "WorkflowError",
     "ExecutorLostError",
+    "ReconnectError",
 ]
 
 
@@ -66,6 +67,11 @@ class ProvisioningError(ReproError):
 
 class ExecutorLostError(ReproError):
     """An executor disappeared while holding a task."""
+
+
+class ReconnectError(ReproError):
+    """A peer exhausted its reconnect budget without re-establishing
+    a connection; outstanding work on that link is failed with this."""
 
 
 class WorkflowError(ReproError):

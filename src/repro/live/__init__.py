@@ -17,6 +17,8 @@ and sockets instead of simulated time:
   one machine).
 * :mod:`repro.live.local` — :class:`LocalFalkon`, a one-line in-process
   deployment for the examples.
+* :mod:`repro.live.faults` — seeded fault injection (drop/delay/
+  duplicate/corrupt/kill) for deterministic failure-path testing.
 """
 
 from repro.live.protocol import (
@@ -26,6 +28,7 @@ from repro.live.protocol import (
     result_to_dict,
     result_from_dict,
 )
+from repro.live.faults import FaultAction, FaultPlan, FaultyConnection
 from repro.live.dispatcher import LiveDispatcher
 from repro.live.executor import LiveExecutor
 from repro.live.client import LiveClient, TaskFuture
@@ -39,6 +42,9 @@ __all__ = [
     "task_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "FaultAction",
+    "FaultPlan",
+    "FaultyConnection",
     "LiveDispatcher",
     "LiveExecutor",
     "LiveClient",

@@ -3,15 +3,23 @@
 Mirrors the paper's client surface (§3.2): create an instance, submit
 an array of tasks (bundled, §3.4), receive results asynchronously via
 notifications {8}, or poll with GET_RESULTS {9, 10}.
+
+When the dispatcher connection drops unexpectedly the client
+reconnects with capped exponential backoff, resumes its instance (the
+``epr`` rides along on CREATE_INSTANCE), and backfills results that
+were settled while it was away via GET_RESULTS.  If the reconnect
+budget is exhausted, every outstanding future fails with
+:class:`repro.errors.ReconnectError` instead of hanging.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReconnectError
 from repro.live.protocol import Connection, result_from_dict, task_to_dict
 from repro.net.message import Message, MessageType
 from repro.types import Bundle, TaskResult, TaskSpec, TaskTimeline
@@ -26,6 +34,7 @@ class TaskFuture:
         self.task_id = task_id
         self._event = threading.Event()
         self._result: Optional[TaskResult] = None
+        self._error: Optional[BaseException] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -33,15 +42,26 @@ class TaskFuture:
     def result(self, timeout: Optional[float] = None) -> TaskResult:
         """Block until the result arrives.
 
-        Raises ``TimeoutError`` if it does not arrive in *timeout*.
+        Raises ``TimeoutError`` if it does not arrive in *timeout*, or
+        the stored exception if the connection was lost for good.
         """
         if not self._event.wait(timeout):
             raise TimeoutError(f"no result for {self.task_id} within {timeout}s")
+        if self._error is not None:
+            raise self._error
         assert self._result is not None
         return self._result
 
     def _fulfill(self, result: TaskResult) -> None:
+        if self._event.is_set():
+            return  # a replayed task can complete twice; first wins
         self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
+        self._error = error
         self._event.set()
 
 
@@ -53,24 +73,96 @@ class LiveClient:
         address: tuple[str, int],
         key: Optional[bytes] = None,
         bundle_size: int = 300,
+        max_reconnects: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         if bundle_size <= 0:
             raise ValueError("bundle_size must be positive")
+        if max_reconnects < 0:
+            raise ValueError("max_reconnects must be >= 0")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
         self.address = address
+        self.key = key
         self.bundle_size = bundle_size
+        self.max_reconnects = max_reconnects
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.reconnects = 0
         self._futures: dict[str, TaskFuture] = {}
         self._lock = threading.Lock()
         self._instance_ready = threading.Event()
         self._submit_ack = threading.Event()
+        self._results_reply = threading.Event()
+        self._user_closed = False
+        self._reconnecting = threading.Lock()
         self.epr: Optional[str] = None
+        self._conn = self._connect()
 
-        sock = socket.create_connection(address, timeout=10.0)
+    # -- connection management -------------------------------------------------
+    def _connect(self) -> Connection:
+        """Dial the dispatcher and (re-)establish our instance."""
+        sock = socket.create_connection(self.address, timeout=10.0)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._conn = Connection(sock, handler=self._handle, key=key, name="client").start()
-        # Factory/instance pattern: obtain our endpoint reference first.
-        self._conn.send(Message(MessageType.CREATE_INSTANCE, sender="client"))
+        conn = Connection(
+            sock,
+            handler=self._handle,
+            on_close=self._conn_closed,
+            key=self.key,
+            name="client",
+        ).start()
+        # Factory/instance pattern: obtain our endpoint reference first;
+        # a reconnect resumes the existing instance by sending it back.
+        self._instance_ready.clear()
+        payload = {"epr": self.epr} if self.epr else {}
+        try:
+            conn.send(Message(MessageType.CREATE_INSTANCE, sender="client", payload=payload))
+        except ProtocolError:
+            conn.close()
+            raise
         if not self._instance_ready.wait(10.0):
+            conn.close()
             raise ProtocolError("dispatcher did not answer CREATE_INSTANCE")
+        return conn
+
+    def _conn_closed(self) -> None:
+        if self._user_closed or self.epr is None or self.max_reconnects == 0:
+            return
+        threading.Thread(
+            target=self._reconnect_loop, name="client-reconnect", daemon=True
+        ).start()
+
+    def _reconnect_loop(self) -> None:
+        if not self._reconnecting.acquire(blocking=False):
+            return  # another reconnect attempt is already running
+        try:
+            delay = self.backoff_base
+            for _attempt in range(self.max_reconnects):
+                if self._user_closed:
+                    return
+                time.sleep(delay)
+                delay = min(delay * 2, self.backoff_cap)
+                try:
+                    self._conn = self._connect()
+                except Exception:
+                    continue
+                self.reconnects += 1
+                try:
+                    # Backfill anything settled while we were away.
+                    self._conn.send(Message(MessageType.GET_RESULTS, sender=self.epr))
+                except ProtocolError:
+                    continue
+                return
+            error = ReconnectError(
+                f"lost dispatcher {self.address} after {self.max_reconnects} reconnect attempts"
+            )
+            with self._lock:
+                pending = [f for f in self._futures.values() if not f.done()]
+            for future in pending:
+                future._fail(error)
+        finally:
+            self._reconnecting.release()
 
     # -- API ------------------------------------------------------------------
     def submit(self, tasks: list[TaskSpec]) -> list[TaskFuture]:
@@ -104,6 +196,7 @@ class LiveClient:
         return [f.result(timeout) for f in futures]
 
     def close(self) -> None:
+        self._user_closed = True
         try:
             if not self._conn.closed:
                 self._conn.send(Message(MessageType.DESTROY_INSTANCE, sender=self.epr or ""))
@@ -125,18 +218,25 @@ class LiveClient:
         elif msg.type is MessageType.SUBMIT_ACK:
             self._submit_ack.set()
         elif msg.type is MessageType.CLIENT_NOTIFY:
-            payload = dict(msg.payload.get("result", {}))
-            timeline = payload.pop("timeline", {})
-            result = result_from_dict(payload)
-            result.timeline = TaskTimeline(
-                submitted=timeline.get("submitted", float("nan")),
-                dispatched=timeline.get("dispatched", float("nan")),
-                completed=timeline.get("completed", float("nan")),
-            )
-            with self._lock:
-                future = self._futures.get(result.task_id)
-            if future is not None:
-                future._fulfill(result)
+            self._fulfill_from_payload(dict(msg.payload.get("result", {})))
+        elif msg.type is MessageType.RESULTS:
+            # Poll/backfill reply {10}: everything finished so far.
+            for payload in msg.payload.get("results", ()):
+                self._fulfill_from_payload(dict(payload))
+            self._results_reply.set()
+
+    def _fulfill_from_payload(self, payload: dict) -> None:
+        timeline = payload.pop("timeline", {})
+        result = result_from_dict(payload)
+        result.timeline = TaskTimeline(
+            submitted=timeline.get("submitted", float("nan")),
+            dispatched=timeline.get("dispatched", float("nan")),
+            completed=timeline.get("completed", float("nan")),
+        )
+        with self._lock:
+            future = self._futures.get(result.task_id)
+        if future is not None:
+            future._fulfill(result)
 
     def __repr__(self) -> str:
         return f"<LiveClient epr={self.epr} outstanding={len(self._futures)}>"

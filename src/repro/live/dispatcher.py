@@ -12,6 +12,15 @@ Implements the full Figure 2 exchange over real sockets:
 
 Failed or disconnected executors have their in-flight tasks replayed
 up to ``max_retries`` (§3.1's replay policy).
+
+Liveness (the fault-tolerance leg): executors HEARTBEAT on an agreed
+interval; a monitor thread declares an executor dead once it has been
+silent for ``heartbeat_interval * heartbeat_miss_budget`` seconds —
+catching the half-open sockets that a TCP close never reports — and
+requeues its in-flight task through the same replay path.  An optional
+``replay_timeout`` re-dispatches tasks whose response never arrives
+(e.g. the WORK frame was lost); stale deliveries from superseded
+attempts are detected by attempt number and dropped.
 """
 
 from __future__ import annotations
@@ -22,11 +31,15 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
+from repro.errors import ProtocolError
 from repro.live.protocol import Connection, result_from_dict, task_from_dict, task_to_dict
 from repro.net.message import Message, MessageType
 from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.faults import FaultPlan
 
 __all__ = ["LiveDispatcher"]
 
@@ -38,6 +51,10 @@ class _LiveRecord:
     state: TaskState = TaskState.QUEUED
     attempts: int = 0
     executor_id: str = ""
+    #: Whether the current dispatch actually left this process.  A task
+    #: whose WORK/ack transmission failed is *undelivered*: requeueing
+    #: it must not burn an attempt or count as a retry.
+    delivered: bool = False
     timeline: TaskTimeline = field(default_factory=TaskTimeline)
     result: Optional[TaskResult] = None
 
@@ -48,6 +65,7 @@ class _ExecutorSession:
         self.conn = conn
         self.busy_task: Optional[str] = None
         self.notified = False
+        self.last_seen = time.monotonic()
 
 
 class _ClientSession:
@@ -57,7 +75,27 @@ class _ClientSession:
 
 
 class LiveDispatcher:
-    """Threaded Falkon dispatcher listening on ``host:port``."""
+    """Threaded Falkon dispatcher listening on ``host:port``.
+
+    Parameters (beyond the seed ones)
+    ---------------------------------
+    heartbeat_interval:
+        Expected executor heartbeat period in seconds; ``None``
+        disables liveness eviction (socket-close detection still
+        applies).
+    heartbeat_miss_budget:
+        Consecutive missed heartbeats tolerated before an executor is
+        declared dead.
+    replay_timeout:
+        Re-dispatch a task whose result has not arrived this many
+        seconds after dispatch; ``None`` disables the timer.
+    monitor_interval:
+        Liveness/replay sweep period; defaults to a fraction of the
+        tightest configured deadline.
+    fault_plan:
+        A :class:`repro.live.faults.FaultPlan`; when set, every inbound
+        session speaks through a fault-injecting connection.
+    """
 
     def __init__(
         self,
@@ -66,23 +104,46 @@ class LiveDispatcher:
         key: Optional[bytes] = None,
         max_retries: int = 3,
         piggyback: bool = True,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_miss_budget: int = 3,
+        replay_timeout: Optional[float] = None,
+        monitor_interval: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive when set")
+        if heartbeat_miss_budget < 1:
+            raise ValueError("heartbeat_miss_budget must be >= 1")
+        if replay_timeout is not None and replay_timeout <= 0:
+            raise ValueError("replay_timeout must be positive when set")
         self.key = key
         self.max_retries = max_retries
         self.piggyback = piggyback
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_miss_budget = heartbeat_miss_budget
+        self.replay_timeout = replay_timeout
+        self.fault_plan = fault_plan
+        if monitor_interval is None:
+            deadlines = [d for d in (heartbeat_interval, replay_timeout) if d]
+            monitor_interval = min([0.25] + [d / 2 for d in deadlines])
+        self.monitor_interval = monitor_interval
         self._lock = threading.RLock()
         self._queue: deque[str] = deque()  # task ids
         self._records: dict[str, _LiveRecord] = {}
         self._executors: dict[str, _ExecutorSession] = {}
         self._clients: dict[str, _ClientSession] = {}
         self._client_seq = itertools.count(1)
+        self._session_seq = itertools.count(1)
         self._started = time.monotonic()
         self.tasks_accepted = 0
         self.tasks_completed = 0
         self.tasks_failed = 0
         self.retries = 0
+        self.executors_declared_dead = 0
+        self.reconnects = 0
+        self.stale_results = 0
 
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
@@ -91,6 +152,10 @@ class LiveDispatcher:
             target=self._accept_loop, name="dispatcher-acceptor", daemon=True
         )
         self._acceptor.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="dispatcher-monitor", daemon=True
+        )
+        self._monitor.start()
 
     # -- public --------------------------------------------------------------
     @property
@@ -99,6 +164,9 @@ class LiveDispatcher:
 
     def stats(self) -> dict[str, int]:
         """Dispatcher state snapshot (the provisioner's poll data)."""
+        frames_dropped = (
+            self.fault_plan.snapshot()["frames_dropped"] if self.fault_plan else 0
+        )
         with self._lock:
             busy = sum(1 for e in self._executors.values() if e.busy_task)
             return {
@@ -110,6 +178,10 @@ class LiveDispatcher:
                 "completed": self.tasks_completed,
                 "failed": self.tasks_failed,
                 "retries": self.retries,
+                "executors_declared_dead": self.executors_declared_dead,
+                "reconnects": self.reconnects,
+                "stale_results": self.stale_results,
+                "frames_dropped": frames_dropped,
             }
 
     def close(self) -> None:
@@ -144,12 +216,80 @@ class LiveDispatcher:
             # The session's role is unknown until its first message.
             _Session(self, sock).start()
 
+    # -- liveness monitor ------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._closing.wait(self.monitor_interval):
+            try:
+                self._sweep()
+            except Exception:  # a sweep must never kill the monitor
+                pass
+
+    def _sweep(self) -> None:
+        now = time.monotonic()
+        dead: list[str] = []
+        overdue_notifies: list[tuple[str, TaskResult]] = []
+        wake: list[_ExecutorSession] = []
+        with self._lock:
+            if self.heartbeat_interval is not None:
+                deadline = self.heartbeat_interval * self.heartbeat_miss_budget
+                dead = [
+                    e.executor_id
+                    for e in self._executors.values()
+                    if now - e.last_seen > deadline
+                ]
+            if self.replay_timeout is not None:
+                now_rel = now - self._started
+                for record in self._records.values():
+                    if (
+                        record.state is TaskState.DISPATCHED
+                        and now_rel - record.timeline.dispatched > self.replay_timeout
+                    ):
+                        notify = self._requeue_dispatched(
+                            record, f"no response within replay_timeout={self.replay_timeout}s"
+                        )
+                        if notify is not None:
+                            overdue_notifies.append(notify)
+            if self._queue:
+                # Anti-starvation: a lost NOTIFY frame must not strand
+                # queued work next to idle executors forever.
+                for executor in self._executors.values():
+                    if executor.busy_task is None:
+                        executor.notified = False
+                wake = self._pick_idle_executors(len(self._queue))
+        for executor_id in dead:
+            if self._drop_executor(executor_id):
+                self.executors_declared_dead += 1
+        for executor in wake:
+            self._send_notify(executor)
+        for notify in overdue_notifies:
+            self._notify_client(*notify)
+
+    def _touch(self, executor_id: str) -> None:
+        with self._lock:
+            executor = self._executors.get(executor_id)
+            if executor is not None:
+                executor.last_seen = time.monotonic()
+
     # -- client protocol ------------------------------------------------------
     def _on_create_instance(self, session: "_Session", msg: Message) -> None:
-        client_id = f"client-{next(self._client_seq):04d}"
+        requested = msg.payload.get("epr")
+        stale_conn: Optional[Connection] = None
         with self._lock:
+            if requested:
+                # A reconnecting client resumes its instance: results
+                # settled while it was away stay queryable under the
+                # same endpoint reference.
+                client_id = str(requested)
+                old = self._clients.get(client_id)
+                if old is not None and old.conn is not session.conn:
+                    stale_conn = old.conn
+                self.reconnects += 1
+            else:
+                client_id = f"client-{next(self._client_seq):04d}"
             self._clients[client_id] = _ClientSession(client_id, session.conn)
         session.role = ("client", client_id)
+        if stale_conn is not None:
+            stale_conn.close()
         session.conn.send(
             Message(MessageType.INSTANCE_CREATED, sender="dispatcher",
                     payload={"epr": client_id})
@@ -202,7 +342,9 @@ class LiveDispatcher:
         role = session.role
         if role and role[0] == "client":
             with self._lock:
-                self._clients.pop(role[1], None)
+                current = self._clients.get(role[1])
+                if current is not None and current.conn is session.conn:
+                    self._clients.pop(role[1], None)
 
     # -- executor protocol -----------------------------------------------------
     def _on_register(self, session: "_Session", msg: Message) -> None:
@@ -210,6 +352,18 @@ class LiveDispatcher:
         if not executor_id:
             session.conn.send(Message(MessageType.ERROR, payload={"error": "missing id"}))
             return
+        reconnect = bool(msg.payload.get("reconnect"))
+        with self._lock:
+            existing = executor_id in self._executors
+        if existing:
+            if not reconnect:
+                session.conn.send(
+                    Message(MessageType.ERROR, payload={"error": "duplicate executor id"})
+                )
+                return
+            # A reconnecting executor supersedes its old (likely
+            # half-open) session; the old in-flight task replays.
+            self._drop_executor(executor_id)
         executor = _ExecutorSession(executor_id, session.conn)
         notify = False
         with self._lock:
@@ -219,6 +373,8 @@ class LiveDispatcher:
                 )
                 return
             self._executors[executor_id] = executor
+            if reconnect:
+                self.reconnects += 1
             notify = bool(self._queue)
         session.role = ("executor", executor_id)
         session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
@@ -228,15 +384,21 @@ class LiveDispatcher:
     def _on_deregister(self, session: "_Session", msg: Message) -> None:
         role = session.role
         if role and role[0] == "executor":
-            self._drop_executor(role[1])
+            self._drop_executor(role[1], only_conn=session.conn)
             session.role = None
+
+    def _on_heartbeat(self, session: "_Session", msg: Message) -> None:
+        # Receipt alone refreshes ``last_seen`` (see _Session._handle);
+        # the heartbeat carries no other state.
+        return
 
     def _on_get_work(self, session: "_Session", msg: Message) -> None:
         role = session.role
         if role is None or role[0] != "executor":
             return
         executor_id = role[1]
-        task_payload = None
+        work: Optional[Message] = None
+        record: Optional[_LiveRecord] = None
         with self._lock:
             executor = self._executors.get(executor_id)
             if executor is None:
@@ -245,11 +407,14 @@ class LiveDispatcher:
             record = self._pop_next_record()
             if record is not None:
                 self._mark_dispatched(record, executor)
-                task_payload = task_to_dict(record.spec)
-        if task_payload is not None:
-            session.conn.send(
-                Message(MessageType.WORK, sender="dispatcher", payload={"task": task_payload})
-            )
+                work = Message(
+                    MessageType.WORK,
+                    sender="dispatcher",
+                    payload={"task": task_to_dict(record.spec), "attempt": record.attempts},
+                )
+        if work is not None:
+            session.conn.send(work)
+            self._mark_delivered(record, executor_id)
         else:
             session.conn.send(Message(MessageType.NO_WORK, sender="dispatcher"))
 
@@ -260,7 +425,9 @@ class LiveDispatcher:
         executor_id = role[1]
         result = result_from_dict(msg.payload["result"])
         result.executor_id = executor_id
+        echoed_attempt = msg.payload.get("attempt")
         notify_payload = None
+        next_record: Optional[_LiveRecord] = None
         next_task_payload = None
         wake: list[_ExecutorSession] = []
         with self._lock:
@@ -270,7 +437,12 @@ class LiveDispatcher:
                 executor.busy_task = None
                 executor.notified = False
             if record is not None and not record.state.terminal:
-                notify_payload = self._settle(record, result)
+                if echoed_attempt is not None and echoed_attempt != record.attempts:
+                    # A superseded attempt (the replay timer already
+                    # re-dispatched this task): drop the stale result.
+                    self.stale_results += 1
+                else:
+                    notify_payload = self._settle(record, result)
             # Piggy-back the next task on the acknowledgement {7}.
             if self.piggyback and executor is not None:
                 next_record = self._pop_next_record()
@@ -285,7 +457,19 @@ class LiveDispatcher:
         ack = Message(MessageType.RESULT_ACK, sender="dispatcher", payload={})
         if next_task_payload is not None:
             ack.payload["task"] = next_task_payload
-        session.conn.send(ack)
+            ack.payload["attempt"] = next_record.attempts
+        try:
+            session.conn.send(ack)
+        except ProtocolError:
+            # The connection died between the completion frame and the
+            # piggy-backed ack.  The close callback has already requeued
+            # the undelivered piggy-back without charging an attempt or
+            # a retry (see _drop_executor); the settled result below
+            # must still reach the client.
+            pass
+        else:
+            if next_record is not None:
+                self._mark_delivered(next_record, executor_id)
         for idle_executor in wake:
             self._send_notify(idle_executor)
         if notify_payload is not None:
@@ -311,8 +495,15 @@ class LiveDispatcher:
         record.state = TaskState.DISPATCHED
         record.attempts += 1
         record.executor_id = executor.executor_id
+        record.delivered = False
         record.timeline.dispatched = time.monotonic() - self._started
         executor.busy_task = record.spec.task_id
+
+    def _mark_delivered(self, record: _LiveRecord, executor_id: str) -> None:
+        """The WORK/ack frame carrying *record* left this process."""
+        with self._lock:
+            if record.state is TaskState.DISPATCHED and record.executor_id == executor_id:
+                record.delivered = True
 
     def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
         """Idle executors to NOTIFY, at most *limit* (lock held)."""
@@ -330,7 +521,7 @@ class LiveDispatcher:
         try:
             executor.conn.send(Message(MessageType.NOTIFY, sender="dispatcher"))
         except Exception:
-            self._drop_executor(executor.executor_id)
+            self._drop_executor(executor.executor_id, only_conn=executor.conn)
 
     def _settle(self, record: _LiveRecord, result: TaskResult):
         """Finalize or retry (lock held).  Returns client-notify args."""
@@ -349,8 +540,32 @@ class LiveDispatcher:
         self.retries += 1
         record.state = TaskState.QUEUED
         record.executor_id = ""
+        record.delivered = False
         self._queue.append(record.spec.task_id)
         return None
+
+    def _requeue_dispatched(self, record: _LiveRecord, reason: str):
+        """Replay a dispatched task whose executor/response is gone
+        (lock held).  Returns client-notify args when retries are
+        exhausted and the task fails instead."""
+        executor = self._executors.get(record.executor_id)
+        if executor is not None and executor.busy_task == record.spec.task_id:
+            executor.busy_task = None
+            executor.notified = False
+        if record.attempts <= self.max_retries:
+            self.retries += 1
+            record.state = TaskState.QUEUED
+            record.executor_id = ""
+            record.delivered = False
+            self._queue.append(record.spec.task_id)
+            return None
+        result = TaskResult(
+            record.spec.task_id,
+            return_code=1,
+            error=reason,
+            executor_id=record.executor_id,
+        )
+        return self._settle(record, result)
 
     def _notify_client(self, client_id: str, result: TaskResult) -> None:
         from repro.live.protocol import result_to_dict
@@ -373,38 +588,48 @@ class LiveDispatcher:
         except Exception:
             pass  # client went away; results remain queryable
 
-    def _drop_executor(self, executor_id: str) -> None:
-        """Remove an executor; replay its in-flight task."""
+    def _drop_executor(self, executor_id: str, only_conn: Optional[Connection] = None) -> bool:
+        """Remove an executor; replay its in-flight task.
+
+        ``only_conn`` guards against a superseded session's late close
+        tearing down the executor's replacement registration.  Returns
+        whether an executor was actually removed.
+        """
         requeued_notify: Optional[tuple[str, TaskResult]] = None
         wake: Optional[_ExecutorSession] = None
         with self._lock:
-            executor = self._executors.pop(executor_id, None)
+            executor = self._executors.get(executor_id)
             if executor is None:
-                return
+                return False
+            if only_conn is not None and executor.conn is not only_conn:
+                return False
+            del self._executors[executor_id]
             task_id = executor.busy_task
             if task_id is not None:
                 record = self._records.get(task_id)
                 if record is not None and record.state is TaskState.DISPATCHED:
-                    if record.attempts <= self.max_retries:
-                        self.retries += 1
+                    if not record.delivered:
+                        # The dispatch never left this process (the
+                        # WORK/ack transmission failed): restore the
+                        # task unscathed — charging an attempt and a
+                        # retry here is the double-count bug.
+                        record.attempts -= 1
                         record.state = TaskState.QUEUED
                         record.executor_id = ""
-                        self._queue.append(task_id)
-                        picked = self._pick_idle_executors(1)
-                        wake = picked[0] if picked else None
+                        self._queue.appendleft(task_id)
                     else:
-                        result = TaskResult(
-                            task_id,
-                            return_code=1,
-                            error=f"executor {executor_id} lost",
-                            executor_id=executor_id,
+                        requeued_notify = self._requeue_dispatched(
+                            record, f"executor {executor_id} lost"
                         )
-                        requeued_notify = self._settle(record, result)
+                if self._queue:
+                    picked = self._pick_idle_executors(1)
+                    wake = picked[0] if picked else None
         executor.conn.close()
         if wake is not None:
             self._send_notify(wake)
         if requeued_notify is not None:
             self._notify_client(*requeued_notify)
+        return True
 
     def _session_closed(self, session: "_Session") -> None:
         role = session.role
@@ -412,10 +637,12 @@ class LiveDispatcher:
             return
         kind, name = role
         if kind == "executor":
-            self._drop_executor(name)
+            self._drop_executor(name, only_conn=session.conn)
         elif kind == "client":
             with self._lock:
-                self._clients.pop(name, None)
+                current = self._clients.get(name)
+                if current is not None and current.conn is session.conn:
+                    self._clients.pop(name, None)
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -432,6 +659,7 @@ class _Session:
         MessageType.DESTROY_INSTANCE: LiveDispatcher._on_destroy_instance,
         MessageType.REGISTER: LiveDispatcher._on_register,
         MessageType.DEREGISTER: LiveDispatcher._on_deregister,
+        MessageType.HEARTBEAT: LiveDispatcher._on_heartbeat,
         MessageType.GET_WORK: LiveDispatcher._on_get_work,
         MessageType.RESULT: LiveDispatcher._on_result,
         MessageType.STATUS: LiveDispatcher._on_status,
@@ -440,18 +668,34 @@ class _Session:
     def __init__(self, dispatcher: LiveDispatcher, sock: socket.socket) -> None:
         self.dispatcher = dispatcher
         self.role: Optional[tuple[str, str]] = None
-        self.conn = Connection(
-            sock,
-            handler=self._handle,
-            on_close=lambda: dispatcher._session_closed(self),
-            key=dispatcher.key,
-            name="session",
-        )
+        name = f"session-{next(dispatcher._session_seq)}"
+        if dispatcher.fault_plan is not None:
+            from repro.live.faults import FaultyConnection
+
+            self.conn: Connection = FaultyConnection(
+                sock,
+                handler=self._handle,
+                on_close=lambda: dispatcher._session_closed(self),
+                key=dispatcher.key,
+                name=name,
+                plan=dispatcher.fault_plan,
+            )
+        else:
+            self.conn = Connection(
+                sock,
+                handler=self._handle,
+                on_close=lambda: dispatcher._session_closed(self),
+                key=dispatcher.key,
+                name=name,
+            )
 
     def start(self) -> None:
         self.conn.start()
 
     def _handle(self, msg: Message) -> None:
+        if self.role is not None and self.role[0] == "executor":
+            # Any traffic proves liveness, not just heartbeats.
+            self.dispatcher._touch(self.role[1])
         handler = self._HANDLERS.get(msg.type)
         if handler is None:
             self.conn.send(
@@ -459,3 +703,7 @@ class _Session:
             )
             return
         handler(self.dispatcher, self, msg)
+        if self.role is not None and getattr(self.conn, "fault_role", None) is None:
+            # Tag the connection for role-scoped fault plans once the
+            # first message reveals what this session is.
+            self.conn.fault_role = self.role[0]

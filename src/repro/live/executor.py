@@ -10,6 +10,12 @@ RESULT may find the next task piggy-backed on the RESULT_ACK (§3.4).
 A finite ``idle_timeout`` implements the distributed release policy:
 an executor that waits that long without work de-registers and exits
 (§3.1).
+
+Fault tolerance: with a ``heartbeat_interval`` the executor emits
+HEARTBEAT frames from a side thread so the dispatcher can tell a slow
+task from a dead agent; when the connection drops unexpectedly it
+reconnects with capped exponential backoff and re-registers (the
+``reconnect`` flag lets the dispatcher supersede the stale session).
 """
 
 from __future__ import annotations
@@ -20,11 +26,14 @@ import socket
 import subprocess
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.live.protocol import Connection, result_to_dict, task_from_dict
 from repro.net.message import Message, MessageType
 from repro.types import TaskResult, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.faults import FaultPlan
 
 __all__ = ["LiveExecutor"]
 
@@ -32,6 +41,9 @@ _executor_seq = itertools.count(1)
 
 #: Registry type: python-task name -> callable(*args) -> str | None.
 PythonRegistry = dict[str, Callable[..., object]]
+
+#: Payload marker distinguishing "our socket died" from a user stop().
+_CONN_CLOSED = "connection-closed"
 
 
 class LiveExecutor:
@@ -45,23 +57,44 @@ class LiveExecutor:
         idle_timeout: Optional[float] = None,
         python_registry: Optional[PythonRegistry] = None,
         subprocess_timeout: float = 300.0,
+        heartbeat_interval: Optional[float] = None,
+        max_reconnects: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive when set")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive when set")
+        if max_reconnects < 0:
+            raise ValueError("max_reconnects must be >= 0")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
         self.address = address
         self.key = key
         self.executor_id = executor_id or f"live-exec-{next(_executor_seq):05d}"
         self.idle_timeout = idle_timeout
         self.python_registry = python_registry or {}
         self.subprocess_timeout = subprocess_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.max_reconnects = max_reconnects
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.fault_plan = fault_plan
         self.tasks_executed = 0
+        self.reconnects = 0
         self._inbox: "queue.Queue[Message]" = queue.Queue()
         self._stop = threading.Event()
         self._registered = threading.Event()
+        self._rejected = threading.Event()
+        self._acked_this_conn = False
+        self._current_attempt: Optional[int] = None
         self._thread = threading.Thread(
             target=self._run, name=self.executor_id, daemon=True
         )
         self._conn: Optional[Connection] = None
+        self._hb_thread: Optional[threading.Thread] = None
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "LiveExecutor":
@@ -70,6 +103,10 @@ class LiveExecutor:
 
     def wait_registered(self, timeout: float = 10.0) -> bool:
         return self._registered.wait(timeout)
+
+    def wait_rejected(self, timeout: float = 10.0) -> bool:
+        """Wait for the dispatcher to refuse this executor's REGISTER."""
+        return self._rejected.wait(timeout)
 
     def stop(self) -> None:
         """Ask the executor to exit after its current task."""
@@ -84,67 +121,169 @@ class LiveExecutor:
         return self._thread.is_alive()
 
     # -- main loop -----------------------------------------------------------
-    def _run(self) -> None:
+    def _open_connection(self) -> Optional[Connection]:
         try:
             sock = socket.create_connection(self.address, timeout=10.0)
         except OSError:
-            return
+            return None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._conn = Connection(
-            sock,
-            handler=self._inbox.put,
-            on_close=lambda: self._inbox.put(Message(MessageType.SHUTDOWN)),
-            key=self.key,
-            name=self.executor_id,
-        ).start()
-        try:
-            self._conn.send(
-                Message(
-                    MessageType.REGISTER,
-                    sender=self.executor_id,
-                    payload={"executor_id": self.executor_id},
-                )
+        on_close = lambda: self._inbox.put(
+            Message(MessageType.SHUTDOWN, payload={"reason": _CONN_CLOSED})
+        )
+        if self.fault_plan is not None:
+            from repro.live.faults import FaultyConnection
+
+            conn: Connection = FaultyConnection(
+                sock,
+                handler=self._inbox.put,
+                on_close=on_close,
+                key=self.key,
+                name=self.executor_id,
+                plan=self.fault_plan,
+                fault_role="executor",
             )
-            self._loop()
-        except Exception:
-            pass
+        else:
+            conn = Connection(
+                sock,
+                handler=self._inbox.put,
+                on_close=on_close,
+                key=self.key,
+                name=self.executor_id,
+            )
+        return conn.start()
+
+    def _drain_inbox(self) -> None:
+        """Discard messages left over from a previous connection."""
+        while True:
+            try:
+                self._inbox.get_nowait()
+            except queue.Empty:
+                return
+
+    def _run(self) -> None:
+        registered_once = False
+        failures = 0
+        backoff = self.backoff_base
+        reason = "stop"
+        try:
+            while not self._stop.is_set():
+                conn = self._open_connection()
+                if conn is None:
+                    failures += 1
+                    if failures > self.max_reconnects or self._stop.wait(backoff):
+                        return
+                    backoff = min(backoff * 2, self.backoff_cap)
+                    continue
+                self._drain_inbox()
+                self._conn = conn
+                self._acked_this_conn = False
+                try:
+                    conn.send(
+                        Message(
+                            MessageType.REGISTER,
+                            sender=self.executor_id,
+                            payload={
+                                "executor_id": self.executor_id,
+                                "reconnect": registered_once,
+                            },
+                        )
+                    )
+                except Exception:
+                    conn.close()
+                    failures += 1
+                    if failures > self.max_reconnects or self._stop.wait(backoff):
+                        return
+                    backoff = min(backoff * 2, self.backoff_cap)
+                    continue
+                if registered_once:
+                    self.reconnects += 1
+                if self.heartbeat_interval is not None and self._hb_thread is None:
+                    self._hb_thread = threading.Thread(
+                        target=self._heartbeat_loop,
+                        name=f"hb-{self.executor_id}",
+                        daemon=True,
+                    )
+                    self._hb_thread.start()
+                reason = self._loop()
+                if self._acked_this_conn:
+                    registered_once = True
+                    failures = 0
+                    backoff = self.backoff_base
+                if reason in ("stop", "idle"):
+                    return
+                # The dispatcher went away mid-session: back off, retry.
+                conn.close()
+                failures += 1
+                if failures > self.max_reconnects or self._stop.wait(backoff):
+                    return
+                backoff = min(backoff * 2, self.backoff_cap)
         finally:
             conn = self._conn
             if conn is not None and not conn.closed:
-                try:
-                    conn.send(Message(MessageType.DEREGISTER, sender=self.executor_id))
-                except Exception:
-                    pass
+                if reason in ("stop", "idle"):
+                    try:
+                        conn.send(Message(MessageType.DEREGISTER, sender=self.executor_id))
+                    except Exception:
+                        pass
                 conn.close()
 
-    def _loop(self) -> None:
-        while not self._stop.is_set():
+    def _loop(self) -> str:
+        """Serve one connection; returns why it ended:
+        ``stop`` / ``idle`` / ``closed``."""
+        while True:
+            if self._stop.is_set():
+                return "stop"
             try:
                 msg = self._inbox.get(timeout=self.idle_timeout)
             except queue.Empty:
-                return  # distributed idle release
+                return "idle"  # distributed idle release
             if msg.type is MessageType.SHUTDOWN:
-                return
+                if self._stop.is_set() or msg.payload.get("reason") != _CONN_CLOSED:
+                    return "stop"
+                return "closed"
             if msg.type is MessageType.REGISTER_ACK:
+                self._acked_this_conn = True
                 self._registered.set()
             elif msg.type is MessageType.NOTIFY:
-                self._conn.send(Message(MessageType.GET_WORK, sender=self.executor_id))
+                try:
+                    self._conn.send(Message(MessageType.GET_WORK, sender=self.executor_id))
+                except Exception:
+                    pass  # the close callback queues the shutdown marker
             elif msg.type in (MessageType.WORK, MessageType.RESULT_ACK):
                 task_payload = msg.payload.get("task")
                 if task_payload is not None:
-                    self._execute_and_report(task_from_dict(task_payload))
-            elif msg.type in (MessageType.NO_WORK, MessageType.ERROR):
+                    self._current_attempt = msg.payload.get("attempt")
+                    try:
+                        self._execute_and_report(task_from_dict(task_payload))
+                    except Exception:
+                        pass  # result lost with the connection; replay covers it
+            elif msg.type is MessageType.ERROR:
+                if "duplicate executor id" in msg.payload.get("error", ""):
+                    self._rejected.set()
                 continue
+            elif msg.type is MessageType.NO_WORK:
+                continue
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            conn = self._conn
+            if conn is None or conn.closed:
+                continue
+            try:
+                conn.send(Message(MessageType.HEARTBEAT, sender=self.executor_id))
+            except Exception:
+                pass  # the main loop handles the dead connection
 
     def _execute_and_report(self, spec: TaskSpec) -> None:
         result = self.execute(spec)
         self.tasks_executed += 1
+        payload = {"result": result_to_dict(result)}
+        if self._current_attempt is not None:
+            # Echo the dispatcher's attempt number so late results from
+            # superseded attempts can be recognised and dropped.
+            payload["attempt"] = self._current_attempt
         self._conn.send(
-            Message(
-                MessageType.RESULT,
-                sender=self.executor_id,
-                payload={"result": result_to_dict(result)},
-            )
+            Message(MessageType.RESULT, sender=self.executor_id, payload=payload)
         )
 
     # -- execution -----------------------------------------------------------

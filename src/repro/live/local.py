@@ -11,7 +11,7 @@ real commands through the Falkon protocol::
 from __future__ import annotations
 
 import shlex
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.config import SecurityMode
 from repro.live.client import LiveClient
@@ -19,6 +19,9 @@ from repro.live.dispatcher import LiveDispatcher
 from repro.live.executor import LiveExecutor, PythonRegistry
 from repro.live.provisioner import LocalProvisioner
 from repro.types import TaskResult, TaskSpec, new_task_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.faults import FaultPlan
 
 __all__ = ["LocalFalkon"]
 
@@ -37,6 +40,15 @@ class LocalFalkon:
         ``GSI_SECURE_CONVERSATION`` signs every frame with a shared key.
     python_registry:
         Named Python callables executable as ``python:<name>`` tasks.
+    heartbeat_interval:
+        Enable the liveness protocol: executors heartbeat on this
+        period and the dispatcher evicts agents silent for
+        ``heartbeat_interval * heartbeat_miss_budget`` seconds.
+    replay_timeout:
+        Re-dispatch tasks whose response never arrives (lost frames).
+    fault_plan:
+        A :class:`repro.live.faults.FaultPlan` installed on the
+        dispatcher's executor-facing connections for chaos runs.
     """
 
     def __init__(
@@ -49,11 +61,22 @@ class LocalFalkon:
         python_registry: Optional[PythonRegistry] = None,
         bundle_size: int = 300,
         max_retries: int = 3,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_miss_budget: int = 3,
+        replay_timeout: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
         key = b"local-falkon-shared-key" if security is SecurityMode.GSI_SECURE_CONVERSATION else None
-        self.dispatcher = LiveDispatcher(key=key, max_retries=max_retries)
+        self.dispatcher = LiveDispatcher(
+            key=key,
+            max_retries=max_retries,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_miss_budget=heartbeat_miss_budget,
+            replay_timeout=replay_timeout,
+            fault_plan=fault_plan,
+        )
         self.python_registry = python_registry or {}
         self.executors: list[LiveExecutor] = []
         self.provisioner: Optional[LocalProvisioner] = None
@@ -67,13 +90,17 @@ class LocalFalkon:
                     self.dispatcher.address,
                     key=key,
                     python_registry=self.python_registry,
+                    heartbeat_interval=heartbeat_interval,
                     **kw,
                 ),
             ).start()
         else:
             for _ in range(executors):
                 executor = LiveExecutor(
-                    self.dispatcher.address, key=key, python_registry=self.python_registry
+                    self.dispatcher.address,
+                    key=key,
+                    python_registry=self.python_registry,
+                    heartbeat_interval=heartbeat_interval,
                 ).start()
                 self.executors.append(executor)
             for executor in self.executors:

@@ -138,7 +138,14 @@ class Connection:
 
     def send(self, message: Message) -> None:
         """Frame, sign (if keyed) and transmit *message*."""
-        frame = encode_frame(message.to_dict(), key=self.key)
+        self._transmit(encode_frame(message.to_dict(), key=self.key))
+
+    def _transmit(self, frame: bytes) -> None:
+        """Write one already-encoded frame to the socket.
+
+        Subclasses (e.g. :class:`repro.live.faults.FaultyConnection`)
+        intercept :meth:`send`; this is the raw byte path they share.
+        """
         with self._send_lock:
             try:
                 self.sock.sendall(frame)

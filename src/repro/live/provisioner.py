@@ -34,11 +34,16 @@ class LocalProvisioner:
         idle_timeout: float = 60.0,
         poll_interval: float = 0.5,
         executor_factory: Optional[Callable[..., LiveExecutor]] = None,
+        max_reconnects: int = 3,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
     ) -> None:
         if not 0 <= min_executors <= max_executors:
             raise ValueError("need 0 <= min_executors <= max_executors")
         if idle_timeout <= 0 or poll_interval <= 0:
             raise ValueError("timeouts must be positive")
+        if max_reconnects < 0:
+            raise ValueError("max_reconnects must be >= 0")
         self.address = address
         self.key = key
         self.min_executors = min_executors
@@ -46,7 +51,11 @@ class LocalProvisioner:
         self.idle_timeout = idle_timeout
         self.poll_interval = poll_interval
         self.executor_factory = executor_factory or self._default_factory
+        self.max_reconnects = max_reconnects
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.allocations = 0
+        self.reconnects = 0
         self._pool: list[LiveExecutor] = []
         self._replies: "queue.Queue[dict]" = queue.Queue()
         self._stop = threading.Event()
@@ -81,19 +90,42 @@ class LocalProvisioner:
     def _reap(self) -> None:
         self._pool = [e for e in self._pool if e.running]
 
-    def _run(self) -> None:
+    def _dial(self) -> Optional[Connection]:
         try:
             sock = socket.create_connection(self.address, timeout=10.0)
         except OSError:
-            return
-        self._conn = Connection(
+            return None
+        return Connection(
             sock, handler=self._on_message, key=self.key, name="provisioner"
         ).start()
+
+    def _reconnect(self) -> bool:
+        """Re-dial the dispatcher with capped exponential backoff."""
+        delay = self.backoff_base
+        for _attempt in range(self.max_reconnects):
+            if self._stop.wait(delay):
+                return False
+            delay = min(delay * 2, self.backoff_cap)
+            conn = self._dial()
+            if conn is not None:
+                self._conn = conn
+                self.reconnects += 1
+                return True
+        return False
+
+    def _run(self) -> None:
+        self._conn = self._dial()
+        if self._conn is None:
+            return
         self._scale_to(self.min_executors)
         while not self._stop.is_set():
             stats = self._poll()
             if stats is None:
-                break
+                if self._conn is not None:
+                    self._conn.close()
+                if not self._reconnect():
+                    break
+                continue
             self._reap()
             demand = stats["queued"] + stats["busy"]
             target = max(self.min_executors, min(self.max_executors, demand))

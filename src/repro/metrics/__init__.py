@@ -5,6 +5,8 @@
   overhead-derived efficiency curve used for Condor v6.9.3 (Fig. 7).
 * :mod:`repro.metrics.report` — fixed-width text tables with
   paper-vs-measured columns for the benchmark harness.
+* :mod:`repro.metrics.liveness` — failure-path accounting for the live
+  plane: task loss, delivery ratio, fault-injection rates.
 """
 
 from repro.metrics.accounting import (
@@ -17,6 +19,12 @@ from repro.metrics.accounting import (
 )
 from repro.metrics.report import Table, format_si
 from repro.metrics.ascii_plot import AsciiPlot, Series
+from repro.metrics.liveness import (
+    tasks_lost,
+    delivery_ratio,
+    fault_rates,
+    liveness_summary,
+)
 
 __all__ = [
     "AsciiPlot",
@@ -29,4 +37,8 @@ __all__ = [
     "execution_efficiency",
     "Table",
     "format_si",
+    "tasks_lost",
+    "delivery_ratio",
+    "fault_rates",
+    "liveness_summary",
 ]

@@ -1,0 +1,64 @@
+"""Failure-path accounting for the live plane.
+
+The fault-injection subsystem (:mod:`repro.live.faults`) and the
+dispatcher's liveness protocol expose raw counters; these helpers turn
+them into the derived quantities a chaos run reports: task-loss and
+delivery ratios, per-fault-type injection rates, and a rendered
+summary table next to the paper-metric tables in
+:mod:`repro.metrics.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.metrics.report import Table
+
+__all__ = ["tasks_lost", "delivery_ratio", "fault_rates", "liveness_summary"]
+
+
+def tasks_lost(stats: Mapping[str, int]) -> int:
+    """Accepted tasks that neither completed nor failed nor remain
+    queued/dispatched — must be zero for a correct dispatcher."""
+    in_flight = stats.get("queued", 0) + stats.get("busy", 0)
+    return stats["accepted"] - stats["completed"] - stats["failed"] - in_flight
+
+
+def delivery_ratio(stats: Mapping[str, int]) -> float:
+    """Fraction of accepted tasks that completed successfully."""
+    accepted = stats.get("accepted", 0)
+    if accepted == 0:
+        return 1.0
+    return stats.get("completed", 0) / accepted
+
+
+def fault_rates(counters: Mapping[str, int]) -> dict[str, float]:
+    """Observed per-frame fault fractions from a fault-plan snapshot."""
+    seen = counters.get("frames_seen", 0)
+    if seen == 0:
+        return {key: 0.0 for key in counters if key != "frames_seen"}
+    return {
+        key: value / seen
+        for key, value in counters.items()
+        if key != "frames_seen"
+    }
+
+
+def liveness_summary(stats: Mapping[str, int], title: str = "Liveness & failure counters") -> Table:
+    """Render a dispatcher :meth:`stats` snapshot as a fixed-width table."""
+    table = Table(title, ["counter", "value"])
+    for key in (
+        "accepted",
+        "completed",
+        "failed",
+        "retries",
+        "executors_declared_dead",
+        "reconnects",
+        "stale_results",
+        "frames_dropped",
+    ):
+        if key in stats:
+            table.add_row(key, stats[key])
+    table.add_row("tasks_lost", tasks_lost(stats))
+    table.add_row("delivery_ratio", delivery_ratio(stats))
+    return table

@@ -49,6 +49,7 @@ class MessageType(Enum):
     REGISTER = "register"
     REGISTER_ACK = "register-ack"
     DEREGISTER = "deregister"
+    HEARTBEAT = "heartbeat"
 
     # dispatcher <-> executor work cycle
     NOTIFY = "notify"

@@ -115,7 +115,10 @@ class FrameReader:
             del self._buffer[:end]
             try:
                 payload = json.loads(body)
-            except json.JSONDecodeError as exc:
+            except ValueError as exc:
+                # JSONDecodeError and UnicodeDecodeError both subclass
+                # ValueError; a fuzzed frame must never escape the
+                # ProtocolError contract and kill a reader thread.
                 raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
             if self._key is not None:
                 payload = verify_payload(payload, self._key)

@@ -8,6 +8,8 @@ from repro.config import SecurityMode
 from repro.live import LiveClient, LiveDispatcher, LiveExecutor, LocalFalkon
 from repro.types import TaskSpec
 
+from tests.live.util import wait_until
+
 
 def sleep_specs(n, seconds=0.0, prefix="lt"):
     return [TaskSpec.sleep(seconds, task_id=f"{prefix}-{i:05d}") for i in range(n)]
@@ -109,7 +111,8 @@ def test_executor_crash_replays_task():
         futures = client.submit(
             [TaskSpec(task_id=f"c{i}", command="python:slow") for i in range(4)]
         )
-        time.sleep(0.15)  # let tasks start
+        # Wait until work is actually in flight, not a fixed grace period.
+        assert wait_until(lambda: dispatcher.stats()["busy"] >= 1, timeout=10.0)
         # Kill the victim's socket abruptly: its in-flight task replays.
         victim._conn.close()
         results = [f.result(timeout=30) for f in futures]
@@ -128,10 +131,7 @@ def test_idle_timeout_releases_executor():
     assert executor.wait_registered()
     executor.join(timeout=5.0)
     assert not executor.running
-    deadline = time.time() + 5.0
-    while dispatcher.stats()["registered"] > 0 and time.time() < deadline:
-        time.sleep(0.05)
-    assert dispatcher.stats()["registered"] == 0
+    assert wait_until(lambda: dispatcher.stats()["registered"] == 0, timeout=5.0)
     dispatcher.close()
 
 
@@ -143,10 +143,7 @@ def test_provisioner_scales_up_and_drains():
         assert falkon.provisioner.allocations >= 1
         assert falkon.provisioner.allocations <= 3
         # After idle_timeout, the pool drains.
-        deadline = time.time() + 10.0
-        while falkon.provisioner.pool_size > 0 and time.time() < deadline:
-            time.sleep(0.1)
-        assert falkon.provisioner.pool_size == 0
+        assert wait_until(lambda: falkon.provisioner.pool_size == 0, timeout=10.0)
 
 
 # ---------------------------------------------------------------- dispatcher
@@ -164,7 +161,7 @@ def test_duplicate_executor_id_rejected():
     a = LiveExecutor(dispatcher.address, executor_id="dup").start()
     assert a.wait_registered()
     b = LiveExecutor(dispatcher.address, executor_id="dup").start()
-    time.sleep(0.3)
+    assert b.wait_rejected()
     assert dispatcher.stats()["registered"] == 1
     a.stop()
     b.stop()
@@ -183,13 +180,12 @@ def test_get_results_polling_path():
 
     with LocalFalkon(executors=1) as falkon:
         falkon.run(sleep_specs(3, prefix="poll"), timeout=30)
-        # Issue an explicit GET_RESULTS {9,10} on the client connection.
-        import queue as q
-
-        falkon.client._conn.send(Message(MessageType.GET_RESULTS, sender=falkon.client.epr))
-        time.sleep(0.3)
-        # The reply is handled by the raw handler; just assert the
-        # dispatcher kept the finished results queryable.
+        # Issue an explicit GET_RESULTS {9,10} on the client connection
+        # and wait for the RESULTS reply to be handled.
+        client = falkon.client
+        client._results_reply.clear()
+        client._conn.send(Message(MessageType.GET_RESULTS, sender=client.epr))
+        assert client._results_reply.wait(10.0)
         assert falkon.dispatcher.stats()["completed"] == 3
 
 

@@ -1,18 +1,27 @@
-"""Unit tests for live-plane serialisation and connections."""
+"""Unit tests for live-plane serialisation and connections, plus
+seeded fuzzing of the frame parser: truncated, corrupted, oversized and
+garbage frames must surface as :class:`ProtocolError` — never as a
+hang, another exception type, or a dead server thread."""
 
+import random
 import socket
+import struct
 import threading
 
 import pytest
 
+from repro.errors import ProtocolError, SecurityError
 from repro.live import (
     Connection,
+    LiveClient,
+    LiveDispatcher,
     result_from_dict,
     result_to_dict,
     task_from_dict,
     task_to_dict,
 )
 from repro.net.message import Message, MessageType
+from repro.net.wire import MAX_FRAME_BYTES, FrameReader, encode_frame
 from repro.types import DataLocation, DataRef, TaskResult, TaskSpec
 
 
@@ -107,11 +116,109 @@ def test_connection_on_close_fires_once():
 
 
 def test_send_after_close_raises():
-    from repro.errors import ProtocolError
-
     left_sock, right_sock = _socket_pair()
     left = Connection(left_sock, handler=lambda m: None, name="L").start()
     left.close()
     with pytest.raises(ProtocolError):
         left.send(Message(MessageType.NOTIFY))
     right_sock.close()
+
+
+# ---------------------------------------------------------------------------
+# parser fuzzing
+# ---------------------------------------------------------------------------
+def _sample_frame(key=None) -> bytes:
+    msg = Message(MessageType.NOTIFY, sender="fuzz", payload={"n": 17, "s": "abc"})
+    return encode_frame(msg.to_dict(), key=key)
+
+
+def test_fuzz_mutated_signed_frames_always_raise_protocol_error():
+    # Any single-byte mutation of a signed frame body changes content
+    # under the signature: the reader must reject every one of them.
+    rng = random.Random(0xFA1C07)
+    frame = _sample_frame(key=b"secret")
+    for _ in range(300):
+        mutated = bytearray(frame)
+        index = rng.randrange(4, len(frame))
+        mutated[index] ^= rng.randrange(1, 256)
+        reader = FrameReader(key=b"secret")
+        with pytest.raises(ProtocolError):
+            list(reader.feed(bytes(mutated)))
+
+
+def test_fuzz_mutations_never_escape_the_protocol_error_contract():
+    # Unsigned frames: a mutation may survive as different-but-valid
+    # JSON, but the only exception the parser is ever allowed to raise
+    # is ProtocolError (UnicodeDecodeError from non-UTF-8 bytes was a
+    # real escape here).
+    rng = random.Random(0xB0DE)
+    frame = _sample_frame()
+    for _ in range(300):
+        mutated = bytearray(frame)
+        index = rng.randrange(4, len(frame))
+        mutated[index] ^= rng.randrange(1, 256)
+        reader = FrameReader()
+        try:
+            list(reader.feed(bytes(mutated)))
+        except ProtocolError:
+            pass
+
+
+def test_truncated_frames_are_inert_and_resumable():
+    frame = _sample_frame(key=b"secret")
+    for cut in range(len(frame)):
+        reader = FrameReader(key=b"secret")
+        assert list(reader.feed(frame[:cut])) == []
+        assert reader.pending_bytes == cut
+        # The rest of the bytes arriving later completes the frame.
+        assert len(list(reader.feed(frame[cut:]))) == 1
+        assert reader.pending_bytes == 0
+
+
+def test_corrupted_hmac_signature_raises_security_error():
+    import json
+
+    envelope = json.loads(_sample_frame(key=b"secret")[4:])
+    envelope["sig"] = "0" * 64
+    body = json.dumps(envelope).encode()
+    reader = FrameReader(key=b"secret")
+    with pytest.raises(SecurityError):
+        list(reader.feed(struct.pack(">I", len(body)) + body))
+
+
+def test_oversized_advertised_length_rejected():
+    reader = FrameReader()
+    with pytest.raises(ProtocolError):
+        list(reader.feed(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"junk"))
+
+
+def _assert_dispatcher_still_serves(dispatcher: LiveDispatcher) -> None:
+    client = LiveClient(dispatcher.address)
+    try:
+        assert client.epr is not None
+    finally:
+        client.close()
+
+
+@pytest.mark.parametrize(
+    "hostile_bytes",
+    [
+        struct.pack(">I", MAX_FRAME_BYTES + 1) + b"junk",  # oversized header
+        struct.pack(">I", 8) + b"\xff" * 8,  # invalid UTF-8 body
+        struct.pack(">I", 4) + b"}{!(",  # invalid JSON body
+    ],
+    ids=["oversized", "non-utf8", "bad-json"],
+)
+def test_hostile_frames_drop_session_but_not_server(hostile_bytes):
+    # A garbage stream must cost its own session only: the reader
+    # thread drops the connection and the dispatcher keeps serving.
+    dispatcher = LiveDispatcher()
+    try:
+        hostile = socket.create_connection(dispatcher.address, timeout=5.0)
+        hostile.sendall(hostile_bytes)
+        hostile.settimeout(10.0)
+        assert hostile.recv(1) == b""  # server closed us, didn't hang
+        hostile.close()
+        _assert_dispatcher_still_serves(dispatcher)
+    finally:
+        dispatcher.close()
