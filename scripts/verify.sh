@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo verify gate: lint, tier-1 tests, and a live-plane throughput smoke.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick  skip the benchmark smoke run (lint + tier-1 only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== compileall (syntax gate) =="
+python -m compileall -q src tests benchmarks
+
+# Lint with ruff when the container has it; the image does not ship
+# it by default and the gate must not fail on a missing tool.
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff check (module) =="
+    python -m ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "== Figure 3 throughput smoke =="
+    python -m pytest benchmarks/test_fig3_throughput.py -q
+fi
+
+echo "verify OK"

@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--executors", type=int, default=4)
     p.add_argument("--tasks", type=int, default=2000)
     p.add_argument("--bundle", type=int, default=300)
+    p.add_argument("--metrics-out", metavar="DIR", default=None,
+                   help="export metrics (Prometheus + JSONL) and span traces here")
+
+    p = sub.add_parser("trace", help="print one task's span chain from a live run export")
+    p.add_argument("task_id", help="task id, e.g. cli-000042")
+    p.add_argument("--metrics", metavar="PATH", default="metrics",
+                   help="spans.jsonl file, or the --metrics-out directory holding it")
 
     p = sub.add_parser("export", help="regenerate all figures/tables as CSV")
     p.add_argument("--out", default="results")
@@ -76,6 +83,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "provision": _cmd_provision,
         "workload": _cmd_workload,
         "live": _cmd_live,
+        "trace": _cmd_trace,
         "export": _cmd_export,
         "figure": _cmd_figure,
     }[args.command]
@@ -220,6 +228,7 @@ def _cmd_workload(args) -> int:
 
 def _cmd_live(args) -> int:
     from repro.live import LocalFalkon
+    from repro.metrics import timeline_summary
     from repro.types import TaskSpec
 
     with LocalFalkon(executors=args.executors, bundle_size=args.bundle) as falkon:
@@ -227,11 +236,43 @@ def _cmd_live(args) -> int:
         started = time.monotonic()
         results = falkon.run(tasks, timeout=300)
         elapsed = time.monotonic() - started
+        if args.metrics_out:
+            for path in falkon.dump_observability(args.metrics_out):
+                print(f"wrote {path}")
     ok = sum(1 for r in results if r.ok)
     print(f"{ok}/{len(results)} tasks ok over real TCP with "
           f"{args.executors} executors: {len(results) / elapsed:,.0f} tasks/s "
           f"({elapsed:.2f} s)")
+    if args.metrics_out:
+        timeline_summary(results, title="Live run latencies").print()
     return 0 if ok == len(results) else 1
+
+
+def _cmd_trace(args) -> int:
+    import os
+
+    from repro.obs import SPAN_ORDER, read_spans_jsonl
+
+    path = args.metrics
+    if os.path.isdir(path):
+        path = os.path.join(path, "spans.jsonl")
+    if not os.path.exists(path):
+        print(f"no span export at {path} (run `repro live --metrics-out DIR` first)",
+              file=sys.stderr)
+        return 2
+    spans = [s for s in read_spans_jsonl(path) if s.task_id == args.task_id]
+    if not spans:
+        print(f"no trace recorded for task {args.task_id!r} in {path}", file=sys.stderr)
+        return 1
+    print(f"trace {spans[0].trace_id} ({len(spans)} spans)")
+    for span in spans:
+        print(f"  {span}")
+    names = [s.name for s in spans]
+    missing = [n for n in SPAN_ORDER if n not in names]
+    if missing:
+        print(f"incomplete chain: missing {', '.join(missing)}")
+        return 1
+    return 0
 
 
 def _cmd_export(args) -> int:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import Optional
+from typing import Callable, Iterable, Optional, Sequence, Union, overload
 
 from repro.errors import ProtocolError, ReconnectError
 from repro.live.protocol import Connection, result_from_dict, task_to_dict
@@ -28,17 +28,38 @@ __all__ = ["TaskFuture", "LiveClient"]
 
 
 class TaskFuture:
-    """Completion handle for one submitted task."""
+    """Completion handle for one submitted task.
+
+    Quacks like :class:`concurrent.futures.Future`: ``result`` /
+    ``exception`` block with an optional timeout, ``add_done_callback``
+    fires on settlement (immediately if already settled), and the
+    cancellation surface exists but always answers "no" — a task handed
+    to the dispatcher is replayed until it settles, never cancelled.
+    """
 
     def __init__(self, task_id: str) -> None:
         self.task_id = task_id
         self._event = threading.Event()
         self._result: Optional[TaskResult] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: list[Callable[["TaskFuture"], None]] = []
+        self._cb_lock = threading.Lock()
 
+    # -- state ----------------------------------------------------------------
     def done(self) -> bool:
         return self._event.is_set()
 
+    def running(self) -> bool:
+        return not self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Always ``False``: dispatched tasks cannot be recalled."""
+        return False
+
+    def cancelled(self) -> bool:
+        return False
+
+    # -- blocking reads --------------------------------------------------------
     def result(self, timeout: Optional[float] = None) -> TaskResult:
         """Block until the result arrives.
 
@@ -52,21 +73,64 @@ class TaskFuture:
         assert self._result is not None
         return self._result
 
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block until settled; the stored exception, or ``None`` on success."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"no result for {self.task_id} within {timeout}s")
+        return self._error
+
+    # -- callbacks -------------------------------------------------------------
+    def add_done_callback(self, fn: Callable[["TaskFuture"], None]) -> None:
+        """Call ``fn(self)`` once the future settles.
+
+        Fires immediately (in the caller's thread) if already settled;
+        otherwise from whichever thread settles the future.  Exceptions
+        raised by *fn* are swallowed, as in :mod:`concurrent.futures`.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        self._invoke(fn)
+
+    def _invoke(self, fn: Callable[["TaskFuture"], None]) -> None:
+        try:
+            fn(self)
+        except Exception:
+            pass
+
+    def _settle(self) -> None:
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._invoke(fn)
+
     def _fulfill(self, result: TaskResult) -> None:
         if self._event.is_set():
             return  # a replayed task can complete twice; first wins
         self._result = result
-        self._event.set()
+        self._settle()
 
     def _fail(self, error: BaseException) -> None:
         if self._event.is_set():
             return
         self._error = error
-        self._event.set()
+        self._settle()
+
+
+#: What ``submit`` accepts: one spec, any sequence of specs, or a
+#: pre-built :class:`Bundle` (legacy shim — bundling is internal now).
+Submittable = Union[TaskSpec, Sequence[TaskSpec], Bundle]
 
 
 class LiveClient:
-    """Client bound to one live dispatcher."""
+    """Client bound to one live dispatcher.
+
+    Use as a context manager (``with LiveClient.connect(host, port) as
+    client:``) so the instance is destroyed and the socket closed even
+    when a run dies half-way.
+    """
 
     def __init__(
         self,
@@ -99,6 +163,16 @@ class LiveClient:
         self._reconnecting = threading.Lock()
         self.epr: Optional[str] = None
         self._conn = self._connect()
+
+    @classmethod
+    def connect(cls, host: str, port: int, **kwargs) -> "LiveClient":
+        """Dial ``host:port`` and return a connected client.
+
+        Equivalent to ``LiveClient((host, port), **kwargs)`` — the
+        named constructor reads better at call sites and keeps the
+        address tuple an implementation detail.
+        """
+        return cls((host, port), **kwargs)
 
     # -- connection management -------------------------------------------------
     def _connect(self) -> Connection:
@@ -165,8 +239,24 @@ class LiveClient:
             self._reconnecting.release()
 
     # -- API ------------------------------------------------------------------
-    def submit(self, tasks: list[TaskSpec]) -> list[TaskFuture]:
-        """Submit *tasks* in bundles; returns one future per task."""
+    @overload
+    def submit(self, tasks: TaskSpec) -> TaskFuture: ...
+    @overload
+    def submit(self, tasks: Union[Sequence[TaskSpec], Bundle]) -> list[TaskFuture]: ...
+
+    def submit(self, tasks: Submittable):
+        """Submit work; returns one future per task.
+
+        Accepts a single :class:`TaskSpec` (returns its one future), a
+        sequence of specs (returns a list of futures, same order), or a
+        legacy :class:`Bundle` (treated as its task sequence — the
+        client re-bundles to ``bundle_size`` internally anyway).
+        """
+        if isinstance(tasks, TaskSpec):
+            return self._submit_many([tasks])[0]
+        return self._submit_many(list(tasks))
+
+    def _submit_many(self, tasks: list[TaskSpec]) -> list[TaskFuture]:
         if not tasks:
             return []
         futures = []
@@ -190,9 +280,11 @@ class LiveClient:
                 raise ProtocolError("dispatcher did not acknowledge SUBMIT")
         return futures
 
-    def run(self, tasks: list[TaskSpec], timeout: Optional[float] = None) -> list[TaskResult]:
+    def run(
+        self, tasks: Iterable[TaskSpec], timeout: Optional[float] = None
+    ) -> list[TaskResult]:
         """Submit and wait for every result, in task order."""
-        futures = self.submit(tasks)
+        futures = self._submit_many(list(tasks))
         return [f.result(timeout) for f in futures]
 
     def close(self) -> None:

@@ -21,6 +21,16 @@ requeues its in-flight task through the same replay path.  An optional
 ``replay_timeout`` re-dispatches tasks whose response never arrives
 (e.g. the WORK frame was lost); stale deliveries from superseded
 attempts are detected by attempt number and dropped.
+
+Observability (the unified plane, see ``docs/OBSERVABILITY.md``): every
+counter lives in a typed :class:`repro.obs.MetricsRegistry`, dispatch/
+exec/end-to-end latencies feed fixed-bucket histograms (p50/p90/p99),
+and each task accumulates an ordered span chain ``submit → enqueue →
+notify → pull → exec → result → ack`` in a :class:`repro.obs.SpanCollector`,
+queryable with :meth:`LiveDispatcher.trace`.  A compact trace context
+rides the WORK/RESULT_ACK frames and is echoed back on RESULT (wire
+protocol v2), so executor-side execution timing lands in the right
+task's chain even across replays.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.errors import ProtocolError
 from repro.live.protocol import Connection, result_from_dict, task_from_dict, task_to_dict
 from repro.net.message import Message, MessageType
+from repro.obs import DispatcherStats, MetricsRegistry, Span, SpanCollector
 from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,6 +66,10 @@ class _LiveRecord:
     #: whose WORK/ack transmission failed is *undelivered*: requeueing
     #: it must not burn an attempt or count as a retry.
     delivered: bool = False
+    #: How the current attempt was handed over ("get-work"/"piggyback").
+    dispatch_mode: str = ""
+    #: Wire form of the trace context riding this attempt's WORK frame.
+    trace_wire: Optional[dict] = None
     timeline: TaskTimeline = field(default_factory=TaskTimeline)
     result: Optional[TaskResult] = None
 
@@ -137,13 +152,41 @@ class LiveDispatcher:
         self._client_seq = itertools.count(1)
         self._session_seq = itertools.count(1)
         self._started = time.monotonic()
-        self.tasks_accepted = 0
-        self.tasks_completed = 0
-        self.tasks_failed = 0
-        self.retries = 0
-        self.executors_declared_dead = 0
-        self.reconnects = 0
-        self.stale_results = 0
+        # The observability plane: typed instruments replace the old
+        # hand-rolled integer attributes (kept readable via properties),
+        # and every task grows an ordered span chain in the collector.
+        self.metrics = MetricsRegistry(prefix="dispatcher")
+        self.spans = SpanCollector()
+        self._m_accepted = self.metrics.counter(
+            "tasks_accepted", help="Tasks accepted from clients")
+        self._m_completed = self.metrics.counter(
+            "tasks_completed", help="Tasks settled with return code 0")
+        self._m_failed = self.metrics.counter(
+            "tasks_failed", help="Tasks settled as failed")
+        self._m_retries = self.metrics.counter(
+            "retries", help="Replay/retry re-enqueues")
+        self._m_dead = self.metrics.counter(
+            "executors_declared_dead", help="Liveness evictions")
+        self._m_reconnects = self.metrics.counter(
+            "reconnects", help="Client/executor session resumptions")
+        self._m_stale = self.metrics.counter(
+            "stale_results", help="Late deliveries from superseded attempts")
+        self.metrics.gauge("queued", help="Tasks in the wait queue",
+                           fn=lambda: len(self._queue))
+        self.metrics.gauge("registered", help="Registered executors",
+                           fn=lambda: len(self._executors))
+        self.metrics.gauge(
+            "busy", help="Executors with a task in flight",
+            fn=lambda: sum(1 for e in list(self._executors.values()) if e.busy_task))
+        self._h_dispatch = self.metrics.histogram(
+            "dispatch_latency_seconds",
+            help="Submit -> WORK-frame-delivered latency per dispatch")
+        self._h_exec = self.metrics.histogram(
+            "exec_latency_seconds",
+            help="Executor-reported task execution wall time")
+        self._h_e2e = self.metrics.histogram(
+            "e2e_latency_seconds",
+            help="Submit -> settle latency per task")
 
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
@@ -162,27 +205,67 @@ class LiveDispatcher:
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
-    def stats(self) -> dict[str, int]:
-        """Dispatcher state snapshot (the provisioner's poll data)."""
+    def _now(self) -> float:
+        """Seconds since dispatcher start (the span/timeline clock)."""
+        return time.monotonic() - self._started
+
+    # Back-compat read views over the registry counters.
+    @property
+    def tasks_accepted(self) -> int:
+        return self._m_accepted.value
+
+    @property
+    def tasks_completed(self) -> int:
+        return self._m_completed.value
+
+    @property
+    def tasks_failed(self) -> int:
+        return self._m_failed.value
+
+    @property
+    def retries(self) -> int:
+        return self._m_retries.value
+
+    @property
+    def executors_declared_dead(self) -> int:
+        return self._m_dead.value
+
+    @property
+    def reconnects(self) -> int:
+        return self._m_reconnects.value
+
+    @property
+    def stale_results(self) -> int:
+        return self._m_stale.value
+
+    def stats(self) -> DispatcherStats:
+        """One consistent typed snapshot (the provisioner's poll data)."""
         frames_dropped = (
             self.fault_plan.snapshot()["frames_dropped"] if self.fault_plan else 0
         )
         with self._lock:
             busy = sum(1 for e in self._executors.values() if e.busy_task)
-            return {
-                "queued": len(self._queue),
-                "registered": len(self._executors),
-                "busy": busy,
-                "idle": len(self._executors) - busy,
-                "accepted": self.tasks_accepted,
-                "completed": self.tasks_completed,
-                "failed": self.tasks_failed,
-                "retries": self.retries,
-                "executors_declared_dead": self.executors_declared_dead,
-                "reconnects": self.reconnects,
-                "stale_results": self.stale_results,
-                "frames_dropped": frames_dropped,
-            }
+            return DispatcherStats(
+                queued=len(self._queue),
+                registered=len(self._executors),
+                busy=busy,
+                idle=len(self._executors) - busy,
+                accepted=self._m_accepted.value,
+                completed=self._m_completed.value,
+                failed=self._m_failed.value,
+                retries=self._m_retries.value,
+                executors_declared_dead=self._m_dead.value,
+                reconnects=self._m_reconnects.value,
+                stale_results=self._m_stale.value,
+                frames_dropped=frames_dropped,
+                dispatch_latency_p50=self._h_dispatch.p50,
+                dispatch_latency_p90=self._h_dispatch.p90,
+                dispatch_latency_p99=self._h_dispatch.p99,
+            )
+
+    def trace(self, task_id: str) -> list[Span]:
+        """The ordered span chain recorded for *task_id*."""
+        return self.spans.chain(task_id)
 
     def close(self) -> None:
         """Shut the server and every session down."""
@@ -258,7 +341,7 @@ class LiveDispatcher:
                 wake = self._pick_idle_executors(len(self._queue))
         for executor_id in dead:
             if self._drop_executor(executor_id):
-                self.executors_declared_dead += 1
+                self._m_dead.inc()
         for executor in wake:
             self._send_notify(executor)
         for notify in overdue_notifies:
@@ -283,7 +366,7 @@ class LiveDispatcher:
                 old = self._clients.get(client_id)
                 if old is not None and old.conn is not session.conn:
                     stale_conn = old.conn
-                self.reconnects += 1
+                self._m_reconnects.inc()
             else:
                 client_id = f"client-{next(self._client_seq):04d}"
             self._clients[client_id] = _ClientSession(client_id, session.conn)
@@ -302,15 +385,21 @@ class LiveDispatcher:
             return
         client_id = role[1]
         tasks = [task_from_dict(t) for t in msg.payload.get("tasks", ())]
-        now = time.monotonic() - self._started
+        now = self._now()
+        bundle = len(tasks)
         idle_to_notify: list[_ExecutorSession] = []
         with self._lock:
             for spec in tasks:
                 record = _LiveRecord(spec=spec, client_id=client_id)
                 record.timeline.submitted = now
                 self._records[spec.task_id] = record
+                self.spans.begin(spec.task_id)
+                self.spans.record(spec.task_id, "submit", now,
+                                  client=client_id, bundle=bundle)
+                self.spans.record(spec.task_id, "enqueue", now, attempt=1,
+                                  reason="submit")
                 self._queue.append(spec.task_id)
-                self.tasks_accepted += 1
+                self._m_accepted.inc()
             idle_to_notify = self._pick_idle_executors(len(tasks))
         session.conn.send(
             Message(MessageType.SUBMIT_ACK, sender="dispatcher",
@@ -374,7 +463,7 @@ class LiveDispatcher:
                 return
             self._executors[executor_id] = executor
             if reconnect:
-                self.reconnects += 1
+                self._m_reconnects.inc()
             notify = bool(self._queue)
         session.role = ("executor", executor_id)
         session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
@@ -406,11 +495,12 @@ class LiveDispatcher:
             executor.notified = False
             record = self._pop_next_record()
             if record is not None:
-                self._mark_dispatched(record, executor)
+                self._mark_dispatched(record, executor, mode="get-work")
                 work = Message(
                     MessageType.WORK,
                     sender="dispatcher",
                     payload={"task": task_to_dict(record.spec), "attempt": record.attempts},
+                    trace=record.trace_wire,
                 )
         if work is not None:
             session.conn.send(work)
@@ -426,7 +516,9 @@ class LiveDispatcher:
         result = result_from_dict(msg.payload["result"])
         result.executor_id = executor_id
         echoed_attempt = msg.payload.get("attempt")
+        exec_info = msg.payload.get("exec") or {}
         notify_payload = None
+        settled_record: Optional[_LiveRecord] = None
         next_record: Optional[_LiveRecord] = None
         next_task_payload = None
         wake: list[_ExecutorSession] = []
@@ -440,14 +532,35 @@ class LiveDispatcher:
                 if echoed_attempt is not None and echoed_attempt != record.attempts:
                     # A superseded attempt (the replay timer already
                     # re-dispatched this task): drop the stale result.
-                    self.stale_results += 1
+                    self._m_stale.inc()
                 else:
+                    now = self._now()
+                    # The executor measured execution on its own clock;
+                    # anchor the exec span at result arrival (the
+                    # collector clamps it to stay monotonic).
+                    exec_seconds = float(exec_info.get("seconds", 0.0))
+                    self._h_exec.observe(exec_seconds)
+                    self.spans.record(
+                        result.task_id, "exec", now - exec_seconds, end=now,
+                        attempt=record.attempts, executor=executor_id,
+                        seconds=exec_seconds,
+                    )
+                    outcome = ("ok" if result.ok else
+                               "fail" if record.attempts > self.max_retries
+                               else "retry")
+                    self.spans.record(
+                        result.task_id, "result", self._now(),
+                        attempt=record.attempts, executor=executor_id,
+                        outcome=outcome,
+                    )
                     notify_payload = self._settle(record, result)
+                    if notify_payload is not None:
+                        settled_record = record
             # Piggy-back the next task on the acknowledgement {7}.
             if self.piggyback and executor is not None:
                 next_record = self._pop_next_record()
                 if next_record is not None:
-                    self._mark_dispatched(next_record, executor)
+                    self._mark_dispatched(next_record, executor, mode="piggyback")
                     next_task_payload = task_to_dict(next_record.spec)
             if next_task_payload is None and self._queue:
                 # No piggy-back (disabled, or a retry refilled the queue
@@ -458,6 +571,8 @@ class LiveDispatcher:
         if next_task_payload is not None:
             ack.payload["task"] = next_task_payload
             ack.payload["attempt"] = next_record.attempts
+            ack.trace = next_record.trace_wire
+        ack_delivered = True
         try:
             session.conn.send(ack)
         except ProtocolError:
@@ -466,10 +581,16 @@ class LiveDispatcher:
             # the undelivered piggy-back without charging an attempt or
             # a retry (see _drop_executor); the settled result below
             # must still reach the client.
-            pass
+            ack_delivered = False
         else:
             if next_record is not None:
                 self._mark_delivered(next_record, executor_id)
+        if settled_record is not None:
+            self.spans.record(
+                settled_record.spec.task_id, "ack", self._now(),
+                attempt=settled_record.attempts, executor=executor_id,
+                delivered=ack_delivered,
+            )
         for idle_executor in wake:
             self._send_notify(idle_executor)
         if notify_payload is not None:
@@ -478,7 +599,8 @@ class LiveDispatcher:
     # -- provisioner protocol ----------------------------------------------------
     def _on_status(self, session: "_Session", msg: Message) -> None:
         session.conn.send(
-            Message(MessageType.STATUS_REPLY, sender="dispatcher", payload=self.stats())
+            Message(MessageType.STATUS_REPLY, sender="dispatcher",
+                    payload=self.stats().as_dict())
         )
 
     # -- internals ----------------------------------------------------------------
@@ -491,19 +613,34 @@ class LiveDispatcher:
                 return record
         return None
 
-    def _mark_dispatched(self, record: _LiveRecord, executor: _ExecutorSession) -> None:
+    def _mark_dispatched(
+        self, record: _LiveRecord, executor: _ExecutorSession, mode: str = "get-work"
+    ) -> None:
         record.state = TaskState.DISPATCHED
         record.attempts += 1
         record.executor_id = executor.executor_id
         record.delivered = False
-        record.timeline.dispatched = time.monotonic() - self._started
+        record.dispatch_mode = mode
+        record.timeline.dispatched = self._now()
         executor.busy_task = record.spec.task_id
+        ctx = self.spans.record(
+            record.spec.task_id, "notify", record.timeline.dispatched,
+            attempt=record.attempts, executor=executor.executor_id, mode=mode,
+        )
+        record.trace_wire = ctx.to_wire() if ctx is not None else None
 
     def _mark_delivered(self, record: _LiveRecord, executor_id: str) -> None:
         """The WORK/ack frame carrying *record* left this process."""
         with self._lock:
             if record.state is TaskState.DISPATCHED and record.executor_id == executor_id:
                 record.delivered = True
+                now = self._now()
+                self.spans.record(
+                    record.spec.task_id, "pull", now,
+                    attempt=record.attempts, executor=executor_id,
+                    mode=record.dispatch_mode,
+                )
+                self._h_dispatch.observe(now - record.timeline.submitted)
 
     def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
         """Idle executors to NOTIFY, at most *limit* (lock held)."""
@@ -527,20 +664,25 @@ class LiveDispatcher:
         """Finalize or retry (lock held).  Returns client-notify args."""
         if result.ok or record.attempts > self.max_retries:
             record.state = TaskState.COMPLETED if result.ok else TaskState.FAILED
-            record.timeline.completed = time.monotonic() - self._started
+            record.timeline.completed = self._now()
             result.attempts = record.attempts
             result.timeline = record.timeline
             record.result = result
             if result.ok:
-                self.tasks_completed += 1
+                self._m_completed.inc()
             else:
-                self.tasks_failed += 1
+                self._m_failed.inc()
+            self._h_e2e.observe(record.timeline.completed - record.timeline.submitted)
             return (record.client_id, result)
         # retry
-        self.retries += 1
+        self._m_retries.inc()
         record.state = TaskState.QUEUED
         record.executor_id = ""
         record.delivered = False
+        self.spans.record(
+            record.spec.task_id, "enqueue", self._now(),
+            attempt=record.attempts + 1, reason="retry",
+        )
         self._queue.append(record.spec.task_id)
         return None
 
@@ -553,10 +695,14 @@ class LiveDispatcher:
             executor.busy_task = None
             executor.notified = False
         if record.attempts <= self.max_retries:
-            self.retries += 1
+            self._m_retries.inc()
             record.state = TaskState.QUEUED
             record.executor_id = ""
             record.delivered = False
+            self.spans.record(
+                record.spec.task_id, "enqueue", self._now(),
+                attempt=record.attempts + 1, reason=reason,
+            )
             self._queue.append(record.spec.task_id)
             return None
         result = TaskResult(
@@ -565,7 +711,21 @@ class LiveDispatcher:
             error=reason,
             executor_id=record.executor_id,
         )
-        return self._settle(record, result)
+        # No executor frame will ever close this attempt: the dispatcher
+        # is the observer of record, so it closes the chain itself with
+        # synthetic exec/result/ack spans before settling as failed.
+        now = self._now()
+        task_id = record.spec.task_id
+        self.spans.record(task_id, "exec", now, attempt=record.attempts,
+                          executor=record.executor_id, synthetic=True, seconds=0.0)
+        self.spans.record(task_id, "result", now, attempt=record.attempts,
+                          executor=record.executor_id, synthetic=True,
+                          outcome="fail", reason=reason)
+        notify = self._settle(record, result)
+        self.spans.record(task_id, "ack", self._now(), attempt=record.attempts,
+                          executor=record.executor_id, synthetic=True,
+                          delivered=False)
+        return notify
 
     def _notify_client(self, client_id: str, result: TaskResult) -> None:
         from repro.live.protocol import result_to_dict
@@ -616,6 +776,10 @@ class LiveDispatcher:
                         record.attempts -= 1
                         record.state = TaskState.QUEUED
                         record.executor_id = ""
+                        self.spans.record(
+                            task_id, "enqueue", self._now(),
+                            attempt=record.attempts + 1, reason="undelivered",
+                        )
                         self._queue.appendleft(task_id)
                     else:
                         requeued_notify = self._requeue_dispatched(
@@ -646,7 +810,7 @@ class LiveDispatcher:
 
     def __repr__(self) -> str:
         s = self.stats()
-        return f"<LiveDispatcher :{self.port} queued={s['queued']} registered={s['registered']}>"
+        return f"<LiveDispatcher :{self.port} queued={s.queued} registered={s.registered}>"
 
 
 class _Session:

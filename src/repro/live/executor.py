@@ -30,6 +30,7 @@ from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.live.protocol import Connection, result_to_dict, task_from_dict
 from repro.net.message import Message, MessageType
+from repro.obs import ExecutorStats, MetricsRegistry
 from repro.types import TaskResult, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,14 +83,20 @@ class LiveExecutor:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.fault_plan = fault_plan
-        self.tasks_executed = 0
-        self.reconnects = 0
+        self.metrics = MetricsRegistry(prefix="executor")
+        self._m_executed = self.metrics.counter(
+            "tasks_executed", help="Tasks run to a result on this agent")
+        self._m_reconnects = self.metrics.counter(
+            "reconnects", help="Dispatcher sessions re-established")
+        self._h_exec = self.metrics.histogram(
+            "exec_seconds", help="Task execution wall time on this agent")
         self._inbox: "queue.Queue[Message]" = queue.Queue()
         self._stop = threading.Event()
         self._registered = threading.Event()
         self._rejected = threading.Event()
         self._acked_this_conn = False
         self._current_attempt: Optional[int] = None
+        self._current_trace: Optional[dict] = None
         self._thread = threading.Thread(
             target=self._run, name=self.executor_id, daemon=True
         )
@@ -119,6 +126,25 @@ class LiveExecutor:
     @property
     def running(self) -> bool:
         return self._thread.is_alive()
+
+    # Back-compat read views over the registry counters.
+    @property
+    def tasks_executed(self) -> int:
+        return self._m_executed.value
+
+    @property
+    def reconnects(self) -> int:
+        return self._m_reconnects.value
+
+    def stats(self) -> ExecutorStats:
+        """Typed snapshot of this agent."""
+        return ExecutorStats(
+            executor_id=self.executor_id,
+            tasks_executed=self._m_executed.value,
+            reconnects=self._m_reconnects.value,
+            exec_seconds_p50=self._h_exec.p50,
+            exec_seconds_p99=self._h_exec.p99,
+        )
 
     # -- main loop -----------------------------------------------------------
     def _open_connection(self) -> Optional[Connection]:
@@ -196,7 +222,7 @@ class LiveExecutor:
                     backoff = min(backoff * 2, self.backoff_cap)
                     continue
                 if registered_once:
-                    self.reconnects += 1
+                    self._m_reconnects.inc()
                 if self.heartbeat_interval is not None and self._hb_thread is None:
                     self._hb_thread = threading.Thread(
                         target=self._heartbeat_loop,
@@ -253,6 +279,7 @@ class LiveExecutor:
                 task_payload = msg.payload.get("task")
                 if task_payload is not None:
                     self._current_attempt = msg.payload.get("attempt")
+                    self._current_trace = msg.trace
                     try:
                         self._execute_and_report(task_from_dict(task_payload))
                     except Exception:
@@ -275,15 +302,25 @@ class LiveExecutor:
                 pass  # the main loop handles the dead connection
 
     def _execute_and_report(self, spec: TaskSpec) -> None:
+        exec_started = time.monotonic()
         result = self.execute(spec)
-        self.tasks_executed += 1
-        payload = {"result": result_to_dict(result)}
+        exec_seconds = time.monotonic() - exec_started
+        self._m_executed.inc()
+        self._h_exec.observe(exec_seconds)
+        payload = {
+            "result": result_to_dict(result),
+            # Locally measured execution window: the dispatcher anchors
+            # the task's "exec" span on it (clocks differ; only the
+            # duration crosses the wire).
+            "exec": {"seconds": exec_seconds},
+        }
         if self._current_attempt is not None:
             # Echo the dispatcher's attempt number so late results from
             # superseded attempts can be recognised and dropped.
             payload["attempt"] = self._current_attempt
         self._conn.send(
-            Message(MessageType.RESULT, sender=self.executor_id, payload=payload)
+            Message(MessageType.RESULT, sender=self.executor_id,
+                    payload=payload, trace=self._current_trace)
         )
 
     # -- execution -----------------------------------------------------------

@@ -140,6 +140,27 @@ class LocalFalkon:
         ]
         return self.run(tasks, timeout=timeout)
 
+    # -- observability --------------------------------------------------------
+    def trace(self, task_id: str):
+        """The dispatcher's span chain for *task_id* (see :mod:`repro.obs`)."""
+        return self.dispatcher.trace(task_id)
+
+    def metrics_registries(self):
+        """Every metrics registry in this deployment, dispatcher first."""
+        registries = [self.dispatcher.metrics]
+        registries.extend(e.metrics for e in self.executors)
+        if self.provisioner is not None:
+            registries.append(self.provisioner.metrics)
+        return registries
+
+    def dump_observability(self, out_dir) -> list:
+        """Export metrics + spans under *out_dir*; returns written paths."""
+        from repro.obs import dump_observability
+
+        return dump_observability(
+            out_dir, self.metrics_registries(), self.dispatcher.spans
+        )
+
     def close(self) -> None:
         if self.provisioner is not None:
             self.provisioner.stop()

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from repro.live.executor import LiveExecutor
 from repro.live.protocol import Connection
 from repro.net.message import Message, MessageType
+from repro.obs import DispatcherStats, MetricsRegistry, ProvisionerStats
 
 __all__ = ["LocalProvisioner"]
 
@@ -54,8 +55,15 @@ class LocalProvisioner:
         self.max_reconnects = max_reconnects
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
-        self.allocations = 0
-        self.reconnects = 0
+        self.metrics = MetricsRegistry(prefix="provisioner")
+        self._m_allocations = self.metrics.counter(
+            "allocations", help="Executors allocated into the pool")
+        self._m_reconnects = self.metrics.counter(
+            "reconnects", help="Dispatcher poll connections re-established")
+        self._m_polls = self.metrics.counter(
+            "polls", help="STATUS polls answered by the dispatcher")
+        self.metrics.gauge("pool_size", help="Live executors owned",
+                           fn=lambda: len(self._pool))
         self._pool: list[LiveExecutor] = []
         self._replies: "queue.Queue[dict]" = queue.Queue()
         self._stop = threading.Event()
@@ -86,6 +94,25 @@ class LocalProvisioner:
         self._reap()
         return len(self._pool)
 
+    # Back-compat read views over the registry counters.
+    @property
+    def allocations(self) -> int:
+        return self._m_allocations.value
+
+    @property
+    def reconnects(self) -> int:
+        return self._m_reconnects.value
+
+    def stats(self) -> ProvisionerStats:
+        """Typed snapshot of the adaptive pool."""
+        return ProvisionerStats(
+            pool_size=self.pool_size,
+            max_executors=self.max_executors,
+            allocations=self._m_allocations.value,
+            reconnects=self._m_reconnects.value,
+            polls=self._m_polls.value,
+        )
+
     # -- internals -------------------------------------------------------------
     def _reap(self) -> None:
         self._pool = [e for e in self._pool if e.running]
@@ -109,7 +136,7 @@ class LocalProvisioner:
             conn = self._dial()
             if conn is not None:
                 self._conn = conn
-                self.reconnects += 1
+                self._m_reconnects.inc()
                 return True
         return False
 
@@ -127,18 +154,20 @@ class LocalProvisioner:
                     break
                 continue
             self._reap()
-            demand = stats["queued"] + stats["busy"]
+            demand = stats.queued + stats.busy
             target = max(self.min_executors, min(self.max_executors, demand))
             if target > len(self._pool):
                 self._scale_to(target)
             self._stop.wait(self.poll_interval)
 
-    def _poll(self) -> Optional[dict]:
+    def _poll(self) -> Optional[DispatcherStats]:
         try:
             self._conn.send(Message(MessageType.STATUS, sender="provisioner"))
-            return self._replies.get(timeout=5.0)
+            payload = self._replies.get(timeout=5.0)
         except Exception:
             return None
+        self._m_polls.inc()
+        return DispatcherStats.from_dict(payload)
 
     def _on_message(self, msg: Message) -> None:
         if msg.type is MessageType.STATUS_REPLY:
@@ -149,7 +178,7 @@ class LocalProvisioner:
             executor = self.executor_factory(idle_timeout=self.idle_timeout)
             executor.start()
             self._pool.append(executor)
-            self.allocations += 1
+            self._m_allocations.inc()
 
     def __repr__(self) -> str:
         return f"<LocalProvisioner pool={len(self._pool)}/{self.max_executors}>"

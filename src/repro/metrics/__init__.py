@@ -17,7 +17,7 @@ from repro.metrics.accounting import (
     resource_utilization,
     execution_efficiency,
 )
-from repro.metrics.report import Table, format_si
+from repro.metrics.report import Table, format_si, timeline_summary
 from repro.metrics.ascii_plot import AsciiPlot, Series
 from repro.metrics.liveness import (
     tasks_lost,
@@ -37,6 +37,7 @@ __all__ = [
     "execution_efficiency",
     "Table",
     "format_si",
+    "timeline_summary",
     "tasks_lost",
     "delivery_ratio",
     "fault_rates",

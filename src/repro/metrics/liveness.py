@@ -10,22 +10,34 @@ summary table next to the paper-metric tables in
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Union
 
 from repro.metrics.report import Table
+from repro.obs import DispatcherStats
+
+#: What these helpers accept: a typed dispatcher snapshot or any plain
+#: mapping of counter names (e.g. a STATUS_REPLY payload off the wire).
+StatsLike = Union[DispatcherStats, Mapping[str, int]]
 
 __all__ = ["tasks_lost", "delivery_ratio", "fault_rates", "liveness_summary"]
 
 
-def tasks_lost(stats: Mapping[str, int]) -> int:
+def _as_mapping(stats: StatsLike) -> Mapping[str, int]:
+    as_dict = getattr(stats, "as_dict", None)
+    return as_dict() if callable(as_dict) else stats
+
+
+def tasks_lost(stats: StatsLike) -> int:
     """Accepted tasks that neither completed nor failed nor remain
     queued/dispatched — must be zero for a correct dispatcher."""
+    stats = _as_mapping(stats)
     in_flight = stats.get("queued", 0) + stats.get("busy", 0)
     return stats["accepted"] - stats["completed"] - stats["failed"] - in_flight
 
 
-def delivery_ratio(stats: Mapping[str, int]) -> float:
+def delivery_ratio(stats: StatsLike) -> float:
     """Fraction of accepted tasks that completed successfully."""
+    stats = _as_mapping(stats)
     accepted = stats.get("accepted", 0)
     if accepted == 0:
         return 1.0
@@ -44,8 +56,9 @@ def fault_rates(counters: Mapping[str, int]) -> dict[str, float]:
     }
 
 
-def liveness_summary(stats: Mapping[str, int], title: str = "Liveness & failure counters") -> Table:
+def liveness_summary(stats: StatsLike, title: str = "Liveness & failure counters") -> Table:
     """Render a dispatcher :meth:`stats` snapshot as a fixed-width table."""
+    stats = _as_mapping(stats)
     table = Table(title, ["counter", "value"])
     for key in (
         "accepted",

@@ -8,9 +8,11 @@ The renderer is dependency-free and aligns on plain monospace.
 from __future__ import annotations
 
 import math
-from typing import Any, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
-__all__ = ["Table", "format_si"]
+from repro.obs import quantile_from_values
+
+__all__ = ["Table", "format_si", "timeline_summary"]
 
 
 def format_si(value: float, digits: int = 3) -> str:
@@ -70,3 +72,35 @@ class Table:
     def print(self) -> None:
         """Print with surrounding blank lines (bench output hygiene)."""
         print("\n" + self.render() + "\n")
+
+
+def timeline_summary(results: Iterable[Any], title: str = "Task latency summary") -> Table:
+    """Percentile table over settled task timelines.
+
+    *results* is any iterable of objects with a ``timeline`` attribute
+    (``TaskResult`` from either plane).  Quantiles come from
+    :func:`repro.obs.quantile_from_values`, the same definition the
+    live registries report, so sim and live tables agree.
+    """
+    waits: list[float] = []
+    e2es: list[float] = []
+    for result in results:
+        timeline = getattr(result, "timeline", None)
+        if timeline is None:
+            continue
+        wait = timeline.dispatched - timeline.submitted
+        e2e = timeline.completed - timeline.submitted
+        if not math.isnan(wait):
+            waits.append(wait)
+        if not math.isnan(e2e):
+            e2es.append(e2e)
+    table = Table(title, ["latency (s)", "p50", "p90", "p99", "n"])
+    for label, values in (("dispatch wait", waits), ("end-to-end", e2es)):
+        table.add_row(
+            label,
+            quantile_from_values(values, 0.50),
+            quantile_from_values(values, 0.90),
+            quantile_from_values(values, 0.99),
+            len(values),
+        )
+    return table

@@ -23,9 +23,15 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any
+from typing import Any, Optional
 
-__all__ = ["MessageType", "Message"]
+__all__ = ["PROTOCOL_VERSION", "MessageType", "Message"]
+
+#: Wire protocol version.  v2 adds the optional compact trace-context
+#: field (``trace: {tid, sid}``) that rides WORK / RESULT_ACK / RESULT
+#: frames for end-to-end task tracing; v1 peers simply ignore it and
+#: omit it, which v2 ends tolerate (spans degrade, nothing breaks).
+PROTOCOL_VERSION = 2
 
 _msg_counter = itertools.count(1)
 
@@ -80,22 +86,31 @@ class Message:
     sender: str = ""
     payload: dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    #: Optional compact trace context ``{"tid": str, "sid": int}``
+    #: (protocol v2); ``None`` on untraced frames and v1 peers.
+    trace: Optional[dict[str, Any]] = None
 
     def to_dict(self) -> dict[str, Any]:
         """Serialise for the wire."""
-        return {
+        data = {
+            "v": PROTOCOL_VERSION,
             "type": self.type.value,
             "sender": self.sender,
             "payload": self.payload,
             "msg_id": self.msg_id,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Message":
         """Parse a wire dict; raises ``KeyError``/``ValueError`` on junk."""
+        trace = data.get("trace")
         return cls(
             type=MessageType(data["type"]),
             sender=data.get("sender", ""),
             payload=data.get("payload", {}),
             msg_id=data.get("msg_id", 0),
+            trace=trace if isinstance(trace, dict) else None,
         )

@@ -1,0 +1,64 @@
+"""The unified observability plane.
+
+One layer shared by the simulation and live planes:
+
+* :mod:`repro.obs.registry` — typed, thread-safe metrics (counters,
+  gauges, fixed-bucket histograms with p50/p90/p99).
+* :mod:`repro.obs.trace` — end-to-end task tracing: a compact
+  :class:`TraceContext` rides the wire frames; the dispatcher collects
+  an ordered span chain ``submit → enqueue → notify → pull → exec →
+  result → ack`` per task attempt.
+* :mod:`repro.obs.stats` — frozen typed snapshots replacing the old
+  stringly-keyed ``stats()`` dicts.
+* :mod:`repro.obs.exporters` — Prometheus-style text and JSON-lines
+  dumps consumed by ``repro live --metrics-out`` / ``repro trace``.
+
+See ``docs/OBSERVABILITY.md`` for the span schema and metric names.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    quantile_from_values,
+)
+from repro.obs.trace import SPAN_ORDER, Span, SpanCollector, TraceContext
+from repro.obs.stats import (
+    StatsSnapshot,
+    DispatcherStats,
+    ExecutorStats,
+    ProvisionerStats,
+)
+from repro.obs.exporters import (
+    render_prometheus,
+    write_prometheus,
+    write_spans_jsonl,
+    write_metrics_jsonl,
+    read_spans_jsonl,
+    dump_observability,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "quantile_from_values",
+    "SPAN_ORDER",
+    "Span",
+    "SpanCollector",
+    "TraceContext",
+    "StatsSnapshot",
+    "DispatcherStats",
+    "ExecutorStats",
+    "ProvisionerStats",
+    "render_prometheus",
+    "write_prometheus",
+    "write_spans_jsonl",
+    "write_metrics_jsonl",
+    "read_spans_jsonl",
+    "dump_observability",
+]

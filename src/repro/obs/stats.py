@@ -1,0 +1,98 @@
+"""Frozen, typed stats snapshots for the live plane.
+
+These replace the stringly-keyed ``stats()`` dicts: every component
+returns a frozen dataclass whose fields are the contract.  For
+back-compat (wire payloads, the metrics helpers that predate this
+layer, and external scripts holding ``stats["queued"]``) each snapshot
+also quacks like a read-only mapping and exposes :meth:`as_dict`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Iterator
+
+__all__ = ["StatsSnapshot", "DispatcherStats", "ExecutorStats", "ProvisionerStats"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Base class: dataclass fields + read-only mapping duck-typing."""
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (the wire/back-compat representation)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StatsSnapshot":
+        """Build from a (possibly older-protocol) dict, ignoring
+        unknown keys and defaulting missing ones."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    # -- mapping shim --------------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return getattr(self, key, default)
+
+    def keys(self):
+        return self.as_dict().keys()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_dict())
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and hasattr(self, key)
+
+
+@dataclass(frozen=True)
+class DispatcherStats(StatsSnapshot):
+    """One consistent snapshot of a live dispatcher.
+
+    The provisioner's {POLL} reply is ``as_dict()`` of this; the
+    latency fields are registry-derived percentiles in seconds.
+    """
+
+    queued: int = 0
+    registered: int = 0
+    busy: int = 0
+    idle: int = 0
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    executors_declared_dead: int = 0
+    reconnects: int = 0
+    stale_results: int = 0
+    frames_dropped: int = 0
+    dispatch_latency_p50: float = math.nan
+    dispatch_latency_p90: float = math.nan
+    dispatch_latency_p99: float = math.nan
+
+
+@dataclass(frozen=True)
+class ExecutorStats(StatsSnapshot):
+    """Snapshot of one live executor agent."""
+
+    executor_id: str = ""
+    tasks_executed: int = 0
+    reconnects: int = 0
+    exec_seconds_p50: float = math.nan
+    exec_seconds_p99: float = math.nan
+
+
+@dataclass(frozen=True)
+class ProvisionerStats(StatsSnapshot):
+    """Snapshot of the local adaptive provisioner."""
+
+    pool_size: int = 0
+    max_executors: int = 0
+    allocations: int = 0
+    reconnects: int = 0
+    polls: int = 0

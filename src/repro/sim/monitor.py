@@ -12,6 +12,8 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Optional, Sequence
 
+from repro.obs import Histogram, quantile_from_values
+
 __all__ = ["TimeSeries", "Gauge", "Counter", "moving_average"]
 
 
@@ -87,6 +89,27 @@ class TimeSeries:
         if span <= 0:
             return self.last
         return self.integrate() / span
+
+    def percentile(self, p: float) -> float:
+        """Sample percentile of the recorded values (``p`` in [0, 100]).
+
+        Exact (every sample is kept), but computed with the shared
+        quantile definition from :mod:`repro.obs` so sim-plane tables
+        agree with the live plane's histogram estimates.
+        """
+        return quantile_from_values(self.values, p / 100.0)
+
+    def to_histogram(self, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Bridge this series into an obs-plane fixed-bucket histogram.
+
+        Useful to export sim probes through the same Prometheus/JSONL
+        exporters the live plane uses.
+        """
+        name = self.name or "timeseries"
+        histogram = Histogram(name) if buckets is None else Histogram(name, buckets=buckets)
+        for value in self.values:
+            histogram.observe(value)
+        return histogram
 
 
 class Gauge(TimeSeries):

@@ -40,7 +40,7 @@ def run_chaos(seed: int):
         specs = [TaskSpec.sleep(0.0, task_id=f"chaos-{i:04d}") for i in range(TASKS)]
         futures = falkon.client.submit(specs)
         assert wait_until(
-            lambda: falkon.dispatcher.stats()["completed"] >= TASKS // 4, timeout=60.0
+            lambda: falkon.dispatcher.stats().completed >= TASKS // 4, timeout=60.0
         )
         victim = falkon.executors[0]
         victim._stop.set()  # no clean deregister:
@@ -58,9 +58,9 @@ def test_chaos_run_completes_everything_and_reproduces():
     stats_b, faults_b = run_chaos(SEED)
 
     for stats in (stats_a, stats_b):
-        assert stats["accepted"] == TASKS
-        assert stats["completed"] == TASKS
-        assert stats["failed"] == 0
+        assert stats.accepted == TASKS
+        assert stats.completed == TASKS
+        assert stats.failed == 0
         assert tasks_lost(stats) == 0
 
     # The faults really fired (this was not a clean run) and the
@@ -86,3 +86,42 @@ def test_fault_schedule_is_identical_across_fresh_plans():
         b = FaultPlan(seed=SEED, drop_rate=DROP_RATE).schedule(name, 256)
         assert a == b
         assert a.count(FaultAction.DROP) > 0
+
+
+def test_trace_propagation_survives_fault_injection():
+    """Satellite acceptance: under seeded frame loss plus replays,
+    every settled task still yields a complete, monotonically ordered
+    span chain, and no span belongs to an unknown task (no orphans —
+    stale deliveries must not open traces)."""
+    plan = FaultPlan(seed=SEED + 1, drop_rate=DROP_RATE)
+    falkon = LocalFalkon(
+        executors=EXECUTORS,
+        heartbeat_interval=0.2,
+        heartbeat_miss_budget=3,
+        replay_timeout=0.75,
+        max_retries=12,
+        fault_plan=plan,
+    )
+    with falkon:
+        specs = [TaskSpec.sleep(0.0, task_id=f"trace-{i:04d}") for i in range(TASKS)]
+        futures = falkon.client.submit(specs)
+        results = [f.result(timeout=120.0) for f in futures]
+        assert all(r.ok for r in results)
+
+        collector = falkon.dispatcher.spans
+        submitted = {spec.task_id for spec in specs}
+        for spec in specs:
+            errors = collector.chain_errors(spec.task_id)
+            assert not errors, errors
+            chain = collector.chain(spec.task_id)
+            starts = [s.start for s in chain]
+            assert starts == sorted(starts)
+        # No orphan spans: every buffered span maps back to a task we
+        # submitted and to that task's own trace id.
+        by_task = {spec.task_id: collector.chain(spec.task_id)[0].trace_id
+                   for spec in specs}
+        for span in collector.all_spans():
+            assert span.task_id in submitted
+            assert span.trace_id == by_task[span.task_id]
+        # The run was not clean: the fault plan really dropped frames.
+        assert plan.snapshot()["frames_dropped"] > 0

@@ -135,11 +135,11 @@ def test_heartbeat_misses_evict_half_open_executor():
     try:
         zombie = RawPeer(dispatcher.address)
         zombie.register("zombie")
-        assert dispatcher.stats()["registered"] == 1
+        assert dispatcher.stats().registered == 1
         # The socket stays open but the peer goes silent: only the
         # liveness protocol can catch this.
-        assert wait_until(lambda: dispatcher.stats()["registered"] == 0, timeout=5.0)
-        assert dispatcher.stats()["executors_declared_dead"] == 1
+        assert wait_until(lambda: dispatcher.stats().registered == 0, timeout=5.0)
+        assert dispatcher.stats().executors_declared_dead == 1
         zombie.close()
     finally:
         dispatcher.close()
@@ -162,8 +162,8 @@ def test_heartbeats_keep_slow_executor_alive():
         result = client.run([TaskSpec(task_id="slow-1", command="python:slow")], timeout=15)[0]
         assert result.ok
         stats = dispatcher.stats()
-        assert stats["executors_declared_dead"] == 0
-        assert stats["retries"] == 0
+        assert stats.executors_declared_dead == 0
+        assert stats.retries == 0
     finally:
         if client is not None:
             client.close()
@@ -186,13 +186,13 @@ def test_executor_killed_mid_task_is_redispatched_and_completes():
         work = victim.recv_until(MessageType.WORK)
         assert work.payload["task"]["task_id"] == "redispatch-1"
         victim.close()
-        assert wait_until(lambda: dispatcher.stats()["registered"] == 0, timeout=5.0)
+        assert wait_until(lambda: dispatcher.stats().registered == 0, timeout=5.0)
         backup = LiveExecutor(dispatcher.address).start()
         result = futures[0].result(timeout=15)
         assert result.ok
         assert result.attempts == 2
         assert result.executor_id == backup.executor_id
-        assert dispatcher.stats()["retries"] == 1
+        assert dispatcher.stats().retries == 1
     finally:
         if client is not None:
             client.close()
@@ -211,8 +211,8 @@ def test_permanent_fault_exhausts_retries_and_preserves_error():
     assert result.attempts == 3  # 1 try + max_retries replays
     assert "kaboom-original-error" in result.error
     stats = falkon.dispatcher.stats()
-    assert stats["failed"] == 1
-    assert stats["retries"] == 2
+    assert stats.failed == 1
+    assert stats.retries == 2
 
 
 def test_replay_timeout_redispatches_lost_work():
@@ -231,13 +231,13 @@ def test_replay_timeout_redispatches_lost_work():
         # Pull explicitly (the NOTIFY was dropped too): the dispatcher
         # marks the task dispatched, but the WORK frame never arrives.
         lossy.send(Message(MessageType.GET_WORK, sender="lossy"))
-        assert wait_until(lambda: dispatcher.stats()["retries"] >= 1, timeout=10.0)
+        assert wait_until(lambda: dispatcher.stats().retries >= 1, timeout=10.0)
         lossy.close()
         plan.drop_rate = 0.0  # the rescuer's frames get through
         rescuer = LiveExecutor(dispatcher.address).start()
         result = futures[0].result(timeout=20)
         assert result.ok
-        assert dispatcher.stats()["frames_dropped"] >= 1
+        assert dispatcher.stats().frames_dropped >= 1
     finally:
         if client is not None:
             client.close()
@@ -258,10 +258,10 @@ def test_executor_reconnects_with_backoff_and_supersedes():
         # The network "drops": the executor's socket dies under it.
         executor._conn.close()
         assert wait_until(
-            lambda: executor.reconnects >= 1 and dispatcher.stats()["registered"] == 1,
+            lambda: executor.reconnects >= 1 and dispatcher.stats().registered == 1,
             timeout=10.0,
         )
-        assert dispatcher.stats()["reconnects"] >= 1
+        assert dispatcher.stats().reconnects >= 1
         client = LiveClient(dispatcher.address)
         result = client.run([TaskSpec.sleep(0.0, task_id="post-reconnect")], timeout=15)[0]
         assert result.ok
@@ -285,7 +285,7 @@ def test_client_reconnects_resumes_instance_and_backfills():
             assert client.epr == epr_before  # instance resumed, not recreated
             futures = client.submit([TaskSpec.sleep(0.0, task_id="post-drop")])
             assert futures[0].result(timeout=15).ok
-            assert falkon.dispatcher.stats()["reconnects"] >= 1
+            assert falkon.dispatcher.stats().reconnects >= 1
         finally:
             client.close()
 
@@ -347,19 +347,19 @@ def test_ack_send_failure_does_not_charge_retry_or_attempt():
         )
         # The completed task's notification must still reach the client.
         assert futures[0].result(timeout=10).ok
-        assert wait_until(lambda: dispatcher.stats()["registered"] == 0, timeout=5.0)
+        assert wait_until(lambda: dispatcher.stats().registered == 0, timeout=5.0)
         worker.close()
 
         # The piggy-backed task never left the process: no retry, no
         # attempt, no failure — it completes cleanly elsewhere.
         stats = dispatcher.stats()
-        assert stats["failed"] == 0
-        assert stats["retries"] == 0
+        assert stats.failed == 0
+        assert stats.retries == 0
         rescuer = LiveExecutor(dispatcher.address).start()
         result = futures[1].result(timeout=15)
         assert result.ok
         assert result.attempts == 1
-        assert dispatcher.stats()["retries"] == 0
+        assert dispatcher.stats().retries == 0
     finally:
         if client is not None:
             client.close()
@@ -396,5 +396,7 @@ def test_dispatcher_stats_include_failure_counters():
     with LocalFalkon(executors=1) as falkon:
         stats = falkon.dispatcher.stats()
     for key in ("executors_declared_dead", "reconnects", "stale_results", "frames_dropped"):
+        assert getattr(stats, key) == 0
+        # the mapping shim keeps wire payloads and legacy callers working
         assert key in stats
         assert stats[key] == 0

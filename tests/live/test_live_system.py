@@ -112,12 +112,12 @@ def test_executor_crash_replays_task():
             [TaskSpec(task_id=f"c{i}", command="python:slow") for i in range(4)]
         )
         # Wait until work is actually in flight, not a fixed grace period.
-        assert wait_until(lambda: dispatcher.stats()["busy"] >= 1, timeout=10.0)
+        assert wait_until(lambda: dispatcher.stats().busy >= 1, timeout=10.0)
         # Kill the victim's socket abruptly: its in-flight task replays.
         victim._conn.close()
         results = [f.result(timeout=30) for f in futures]
         assert all(r.ok for r in results)
-        assert dispatcher.stats()["retries"] >= 1
+        assert dispatcher.stats().retries >= 1
     finally:
         client.close()
         backup.stop()
@@ -131,7 +131,7 @@ def test_idle_timeout_releases_executor():
     assert executor.wait_registered()
     executor.join(timeout=5.0)
     assert not executor.running
-    assert wait_until(lambda: dispatcher.stats()["registered"] == 0, timeout=5.0)
+    assert wait_until(lambda: dispatcher.stats().registered == 0, timeout=5.0)
     dispatcher.close()
 
 
@@ -151,9 +151,9 @@ def test_dispatcher_stats_shape():
     with LocalFalkon(executors=2) as falkon:
         falkon.run(sleep_specs(10, prefix="st"), timeout=30)
         stats = falkon.dispatcher.stats()
-    assert stats["completed"] == 10
-    assert stats["accepted"] == 10
-    assert stats["queued"] == 0
+    assert stats.completed == 10
+    assert stats.accepted == 10
+    assert stats.queued == 0
 
 
 def test_duplicate_executor_id_rejected():
@@ -162,7 +162,7 @@ def test_duplicate_executor_id_rejected():
     assert a.wait_registered()
     b = LiveExecutor(dispatcher.address, executor_id="dup").start()
     assert b.wait_rejected()
-    assert dispatcher.stats()["registered"] == 1
+    assert dispatcher.stats().registered == 1
     a.stop()
     b.stop()
     dispatcher.close()
@@ -186,7 +186,7 @@ def test_get_results_polling_path():
         client._results_reply.clear()
         client._conn.send(Message(MessageType.GET_RESULTS, sender=client.epr))
         assert client._results_reply.wait(10.0)
-        assert falkon.dispatcher.stats()["completed"] == 3
+        assert falkon.dispatcher.stats().completed == 3
 
 
 def test_validation():

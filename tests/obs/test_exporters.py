@@ -1,0 +1,106 @@
+"""Exporter tests: Prometheus text and JSONL round-trips."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanCollector,
+    dump_observability,
+    read_spans_jsonl,
+    render_prometheus,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.stats import DispatcherStats, ExecutorStats, ProvisionerStats
+
+
+def make_registry():
+    r = MetricsRegistry(prefix="disp")
+    r.counter("accepted", help="Tasks accepted").inc(7)
+    r.gauge("queued").set(3)
+    h = r.histogram("lat", buckets=[0.1, 1.0])
+    h.observe(0.05)
+    h.observe(0.5)
+    return r
+
+
+def make_collector():
+    c = SpanCollector()
+    c.begin("t1")
+    c.record("t1", "submit", 0.0, client="c1")
+    c.record("t1", "enqueue", 0.01, attempt=1)
+    return c
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_exposition(self):
+        text = render_prometheus(make_registry())
+        assert "# HELP falkon_disp_accepted Tasks accepted" in text
+        assert "# TYPE falkon_disp_accepted counter" in text
+        assert "falkon_disp_accepted 7" in text
+        assert "# TYPE falkon_disp_queued gauge" in text
+        assert "# TYPE falkon_disp_lat histogram" in text
+        assert 'falkon_disp_lat_bucket{le="0.1"} 1' in text
+        assert 'falkon_disp_lat_bucket{le="1.0"} 2' in text
+        assert 'falkon_disp_lat_bucket{le="+Inf"} 2' in text
+        assert "falkon_disp_lat_count 2" in text
+
+    def test_multiple_registries_keep_distinct_prefixes(self):
+        a = MetricsRegistry(prefix="dispatcher")
+        a.counter("n").inc()
+        b = MetricsRegistry(prefix="executor")
+        b.counter("n").inc(2)
+        text = render_prometheus(a, b)
+        assert "falkon_dispatcher_n 1" in text
+        assert "falkon_executor_n 2" in text
+
+
+class TestJsonl:
+    def test_span_round_trip(self, tmp_path):
+        collector = make_collector()
+        path = tmp_path / "spans.jsonl"
+        written = write_spans_jsonl(path, collector)
+        assert written == 2
+        spans = read_spans_jsonl(path)
+        assert spans == collector.all_spans()
+        assert spans[0].get("client") == "c1"
+
+    def test_metrics_jsonl_nan_becomes_null(self, tmp_path):
+        r = MetricsRegistry(prefix="disp")
+        r.histogram("lat")  # empty: p50 is NaN
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(path, r)
+        rows = {row["name"]: row["value"]
+                for row in map(json.loads, path.read_text().splitlines())}
+        assert rows["disp_lat_p50"] is None
+        assert rows["disp_lat_count"] == 0
+
+    def test_dump_observability_writes_all_three(self, tmp_path):
+        out = tmp_path / "obs"
+        paths = dump_observability(out, [make_registry()], make_collector())
+        names = sorted(p.rsplit("/", 1)[-1] for p in paths)
+        assert names == ["metrics.jsonl", "metrics.prom", "spans.jsonl"]
+        for p in paths:
+            assert (tmp_path / "obs" / p.rsplit("/", 1)[-1]).exists()
+
+
+class TestTypedStats:
+    def test_dispatcher_stats_round_trip_ignores_unknown_keys(self):
+        stats = DispatcherStats(queued=2, accepted=5, completed=3)
+        data = dict(stats.as_dict(), future_field=1)
+        parsed = DispatcherStats.from_dict(data)
+        assert parsed.queued == 2
+        assert parsed.accepted == 5
+
+    def test_mapping_shim(self):
+        stats = DispatcherStats(queued=4)
+        assert stats["queued"] == 4
+        assert stats.get("missing", -1) == -1
+        assert "queued" in stats
+        assert set(stats.keys()) == set(stats.as_dict())
+
+    def test_executor_and_provisioner_snapshots(self):
+        e = ExecutorStats(executor_id="x1", tasks_executed=9)
+        assert e.as_dict()["tasks_executed"] == 9
+        p = ProvisionerStats(pool_size=2, allocations=5)
+        assert p["allocations"] == 5
