@@ -26,6 +26,11 @@ fi
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+# Dispatch-throughput gate: fails loudly on a >20% regression against
+# the recorded baseline (BENCH_baseline.json; created on first run).
+echo "== dispatch bench gate =="
+python -m repro bench --quick
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== Figure 3 throughput smoke =="
     python -m pytest benchmarks/test_fig3_throughput.py -q

@@ -6,7 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro throughput --executors 256    # Fig. 3 microbenchmark
     python -m repro provision --idle 60           # §4.6 dynamic provisioning
     python -m repro workload 18stage|fmri|montage|trace
-    python -m repro live --executors 4 --tasks 2000
+    python -m repro live --executors 4 --tasks 2000 [--pipeline 32]
+    python -m repro bench --quick                 # regression-gated dispatch bench
     python -m repro export --out results/ [--quick]
 
 Every command is a thin wrapper over the public library API; the
@@ -54,8 +55,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--executors", type=int, default=4)
     p.add_argument("--tasks", type=int, default=2000)
     p.add_argument("--bundle", type=int, default=300)
+    p.add_argument("--pipeline", type=int, default=1, metavar="DEPTH",
+                   help="tasks an executor may hold locally per exchange "
+                        "(§3.4 piggy-backing extended; 1 = classic protocol)")
     p.add_argument("--metrics-out", metavar="DIR", default=None,
                    help="export metrics (Prometheus + JSONL) and span traces here")
+
+    p = sub.add_parser(
+        "bench",
+        help="live dispatch benchmark with a regression gate against a recorded baseline",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller run (1500 tasks) for the verify gate")
+    p.add_argument("--executors", type=int, default=4)
+    p.add_argument("--pipeline", type=int, default=32, metavar="DEPTH")
+    p.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",
+                   help="recorded-baseline file (created on first run)")
+    p.add_argument("--tolerance", type=float, default=0.20,
+                   help="allowed fractional regression before the gate fails")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="overwrite the recorded baseline with this run")
 
     p = sub.add_parser("trace", help="print one task's span chain from a live run export")
     p.add_argument("task_id", help="task id, e.g. cli-000042")
@@ -83,6 +102,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "provision": _cmd_provision,
         "workload": _cmd_workload,
         "live": _cmd_live,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "export": _cmd_export,
         "figure": _cmd_figure,
@@ -231,7 +251,8 @@ def _cmd_live(args) -> int:
     from repro.metrics import timeline_summary
     from repro.types import TaskSpec
 
-    with LocalFalkon(executors=args.executors, bundle_size=args.bundle) as falkon:
+    with LocalFalkon(executors=args.executors, bundle_size=args.bundle,
+                     pipeline_depth=args.pipeline) as falkon:
         tasks = [TaskSpec.sleep(0, task_id=f"cli-{i:06d}") for i in range(args.tasks)]
         started = time.monotonic()
         results = falkon.run(tasks, timeout=300)
@@ -246,6 +267,81 @@ def _cmd_live(args) -> int:
     if args.metrics_out:
         timeline_summary(results, title="Live run latencies").print()
     return 0 if ok == len(results) else 1
+
+
+def _cmd_bench(args) -> int:
+    """Dispatch throughput with a >tolerance regression gate.
+
+    Runs the pipelined sleep-0 benchmark (best of two rounds), records
+    the result, and compares tasks/s against the recorded baseline
+    file: a drop beyond ``--tolerance`` fails loudly with exit code 1.
+    The first run (or ``--update-baseline``) records the baseline.
+    """
+    import json
+    import os
+
+    from repro.live import LocalFalkon
+    from repro.types import TaskSpec
+
+    n_tasks = 1500 if args.quick else 5000
+
+    def one_round(round_index: int) -> dict:
+        with LocalFalkon(
+            executors=args.executors,
+            bundle_size=500,
+            pipeline_depth=args.pipeline,
+        ) as falkon:
+            tasks = [
+                TaskSpec.sleep(0, task_id=f"bench-{round_index}-{i:06d}")
+                for i in range(n_tasks)
+            ]
+            started = time.perf_counter()
+            results = falkon.run(tasks, timeout=300)
+            elapsed = time.perf_counter() - started
+            if not all(r.ok for r in results):
+                raise RuntimeError("benchmark tasks failed")
+            stats = falkon.dispatcher.stats()
+        return {
+            "tasks_per_s": n_tasks / elapsed,
+            "dispatch_p50_s": stats.dispatch_latency_p50,
+            "dispatch_p99_s": stats.dispatch_latency_p99,
+        }
+
+    best = max((one_round(i) for i in range(2)), key=lambda r: r["tasks_per_s"])
+    rate = best["tasks_per_s"]
+    print(f"dispatch bench ({'quick, ' if args.quick else ''}{n_tasks} sleep-0 tasks, "
+          f"{args.executors} executors, pipeline depth {args.pipeline}):")
+    print(f"  {rate:,.0f} tasks/s, dispatch p50 {best['dispatch_p50_s'] * 1e3:.1f} ms, "
+          f"p99 {best['dispatch_p99_s'] * 1e3:.1f} ms")
+
+    baseline_path = args.baseline
+    record = {
+        "tasks_per_s": rate,
+        "dispatch_p50_s": best["dispatch_p50_s"],
+        "dispatch_p99_s": best["dispatch_p99_s"],
+        "n_tasks": n_tasks,
+        "executors": args.executors,
+        "pipeline": args.pipeline,
+        "quick": args.quick,
+    }
+    if args.update_baseline or not os.path.exists(baseline_path):
+        with open(baseline_path, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  recorded baseline -> {baseline_path}")
+        return 0
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    reference = float(baseline["tasks_per_s"])
+    floor = reference * (1.0 - args.tolerance)
+    verdict = "OK" if rate >= floor else "REGRESSION"
+    print(f"  baseline {reference:,.0f} tasks/s ({baseline_path}); "
+          f"floor at -{args.tolerance:.0%} = {floor:,.0f}: {verdict}")
+    if rate < floor:
+        print(f"  dispatch throughput regressed more than {args.tolerance:.0%} "
+              f"against the recorded baseline", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_trace(args) -> int:

@@ -310,7 +310,13 @@ class LiveClient:
         elif msg.type is MessageType.SUBMIT_ACK:
             self._submit_ack.set()
         elif msg.type is MessageType.CLIENT_NOTIFY:
-            self._fulfill_from_payload(dict(msg.payload.get("result", {})))
+            # Singular "result" (v1) or a batched "results" list (v2 —
+            # results settled together ride one frame).
+            single = msg.payload.get("result")
+            if single:
+                self._fulfill_from_payload(dict(single))
+            for payload in msg.payload.get("results", ()):
+                self._fulfill_from_payload(dict(payload))
         elif msg.type is MessageType.RESULTS:
             # Poll/backfill reply {10}: everything finished so far.
             for payload in msg.payload.get("results", ()):

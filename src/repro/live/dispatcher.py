@@ -1,4 +1,4 @@
-"""The live dispatcher: a threaded TCP server.
+"""The live dispatcher: a selector-driven TCP server.
 
 Implements the full Figure 2 exchange over real sockets:
 
@@ -6,18 +6,42 @@ Implements the full Figure 2 exchange over real sockets:
   bundles of tasks, and receive CLIENT_NOTIFY messages as results
   arrive;
 * executors REGISTER, receive NOTIFY pushes, pull with GET_WORK,
-  deliver RESULT and get a RESULT_ACK that piggy-backs the next task
-  when one is queued (§3.4);
+  deliver RESULT and get a RESULT_ACK that piggy-backs queued work
+  (§3.4) — up to the executor's advertised ``pipeline`` depth;
 * a STATUS message answers the provisioner's poll {POLL}.
 
 Failed or disconnected executors have their in-flight tasks replayed
 up to ``max_retries`` (§3.1's replay policy).
 
+I/O model: all sessions share one :class:`repro.live.ioloop.IOLoop` —
+a single epoll-driven thread owns accept, reads, and deferred writes,
+so executor count no longer implies thread count.  Handlers run on
+the loop thread and must not block; sends are buffered and flushed
+non-blocking.
+
+Lock map (replaces the old single RLock; see ``docs/PERFORMANCE.md``):
+
+========================  ==================================================
+``_queue_lock``           the ready queue (deque of task ids)
+``_records_lock``         ``_records`` dict membership only
+``_exec_lock``            ``_executors`` dict membership only
+``_client_lock``          ``_clients`` dict
+``record.lock``           one task record's mutable state
+``executor.lock``         one executor session's busy set / liveness
+========================  ==================================================
+
+Ordering discipline (deadlock freedom): ``record.lock`` may be taken
+first and ``_queue_lock`` or ``executor.lock`` inside it; those two
+are leaves — no other lock is ever acquired while holding them, and
+no path takes two record locks or two executor locks at once.  SUBMIT,
+GET_WORK and RESULT therefore contend only where they truly share
+state (the ready queue), not on one global monitor.
+
 Liveness (the fault-tolerance leg): executors HEARTBEAT on an agreed
 interval; a monitor thread declares an executor dead once it has been
 silent for ``heartbeat_interval * heartbeat_miss_budget`` seconds —
 catching the half-open sockets that a TCP close never reports — and
-requeues its in-flight task through the same replay path.  An optional
+requeues its in-flight tasks through the same replay path.  An optional
 ``replay_timeout`` re-dispatches tasks whose response never arrives
 (e.g. the WORK frame was lost); stale deliveries from superseded
 attempts are detected by attempt number and dropped.
@@ -44,8 +68,10 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ProtocolError
+from repro.live.ioloop import IOLoop
 from repro.live.protocol import Connection, result_from_dict, task_from_dict, task_to_dict
 from repro.net.message import Message, MessageType
+from repro.net.wire import encode_frame
 from repro.obs import DispatcherStats, MetricsRegistry, Span, SpanCollector
 from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
 
@@ -53,6 +79,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.live.faults import FaultPlan
 
 __all__ = ["LiveDispatcher"]
+
+#: Sanity cap on an executor's advertised pipeline depth.
+MAX_PIPELINE_DEPTH = 64
 
 
 @dataclass
@@ -72,15 +101,28 @@ class _LiveRecord:
     trace_wire: Optional[dict] = None
     timeline: TaskTimeline = field(default_factory=TaskTimeline)
     result: Optional[TaskResult] = None
+    #: Guards every mutable field above (fine-grained locking).
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 class _ExecutorSession:
-    def __init__(self, executor_id: str, conn: Connection) -> None:
+    def __init__(self, executor_id: str, conn: Connection, pipeline: int = 1) -> None:
         self.executor_id = executor_id
         self.conn = conn
-        self.busy_task: Optional[str] = None
+        self.pipeline = max(1, min(int(pipeline), MAX_PIPELINE_DEPTH))
+        self.lock = threading.Lock()
+        self.busy: set[str] = set()  # task ids in flight on this agent
         self.notified = False
         self.last_seen = time.monotonic()
+        #: Set (under ``lock``) when the session leaves the executor
+        #: table; a concurrent claim seeing it undoes its dispatch.
+        self.dead = False
+
+    def capacity(self) -> int:
+        with self.lock:
+            if self.dead:
+                return 0
+            return max(0, self.pipeline - len(self.busy))
 
 
 class _ClientSession:
@@ -90,7 +132,7 @@ class _ClientSession:
 
 
 class LiveDispatcher:
-    """Threaded Falkon dispatcher listening on ``host:port``.
+    """Falkon dispatcher listening on ``host:port``.
 
     Parameters (beyond the seed ones)
     ---------------------------------
@@ -144,7 +186,12 @@ class LiveDispatcher:
             deadlines = [d for d in (heartbeat_interval, replay_timeout) if d]
             monitor_interval = min([0.25] + [d / 2 for d in deadlines])
         self.monitor_interval = monitor_interval
-        self._lock = threading.RLock()
+
+        # Fine-grained locking (see the module docstring's lock map).
+        self._queue_lock = threading.Lock()
+        self._records_lock = threading.Lock()
+        self._exec_lock = threading.Lock()
+        self._client_lock = threading.Lock()
         self._queue: deque[str] = deque()  # task ids
         self._records: dict[str, _LiveRecord] = {}
         self._executors: dict[str, _ExecutorSession] = {}
@@ -152,6 +199,11 @@ class LiveDispatcher:
         self._client_seq = itertools.count(1)
         self._session_seq = itertools.count(1)
         self._started = time.monotonic()
+        # NOTIFY carries no state: one frame, encoded and signed once,
+        # broadcast to every executor from this shared bytes cache.
+        self._notify_frame = encode_frame(
+            Message(MessageType.NOTIFY, sender="dispatcher").to_dict(), key=key
+        )
         # The observability plane: typed instruments replace the old
         # hand-rolled integer attributes (kept readable via properties),
         # and every task grows an ordered span chain in the collector.
@@ -177,7 +229,7 @@ class LiveDispatcher:
                            fn=lambda: len(self._executors))
         self.metrics.gauge(
             "busy", help="Executors with a task in flight",
-            fn=lambda: sum(1 for e in list(self._executors.values()) if e.busy_task))
+            fn=lambda: sum(1 for e in list(self._executors.values()) if e.busy))
         self._h_dispatch = self.metrics.histogram(
             "dispatch_latency_seconds",
             help="Submit -> WORK-frame-delivered latency per dispatch")
@@ -191,10 +243,8 @@ class LiveDispatcher:
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
         self._closing = threading.Event()
-        self._acceptor = threading.Thread(
-            target=self._accept_loop, name="dispatcher-acceptor", daemon=True
-        )
-        self._acceptor.start()
+        self._loop = IOLoop(name=f"dispatcher-{self.port}").start()
+        self._loop.add_server(self._server, self._accept)
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="dispatcher-monitor", daemon=True
         )
@@ -239,29 +289,36 @@ class LiveDispatcher:
         return self._m_stale.value
 
     def stats(self) -> DispatcherStats:
-        """One consistent typed snapshot (the provisioner's poll data)."""
+        """One typed snapshot (the provisioner's poll data)."""
         frames_dropped = (
             self.fault_plan.snapshot()["frames_dropped"] if self.fault_plan else 0
         )
-        with self._lock:
-            busy = sum(1 for e in self._executors.values() if e.busy_task)
-            return DispatcherStats(
-                queued=len(self._queue),
-                registered=len(self._executors),
-                busy=busy,
-                idle=len(self._executors) - busy,
-                accepted=self._m_accepted.value,
-                completed=self._m_completed.value,
-                failed=self._m_failed.value,
-                retries=self._m_retries.value,
-                executors_declared_dead=self._m_dead.value,
-                reconnects=self._m_reconnects.value,
-                stale_results=self._m_stale.value,
-                frames_dropped=frames_dropped,
-                dispatch_latency_p50=self._h_dispatch.p50,
-                dispatch_latency_p90=self._h_dispatch.p90,
-                dispatch_latency_p99=self._h_dispatch.p99,
-            )
+        with self._exec_lock:
+            executors = list(self._executors.values())
+        busy = 0
+        for executor in executors:
+            with executor.lock:
+                if executor.busy:
+                    busy += 1
+        with self._queue_lock:
+            queued = len(self._queue)
+        return DispatcherStats(
+            queued=queued,
+            registered=len(executors),
+            busy=busy,
+            idle=len(executors) - busy,
+            accepted=self._m_accepted.value,
+            completed=self._m_completed.value,
+            failed=self._m_failed.value,
+            retries=self._m_retries.value,
+            executors_declared_dead=self._m_dead.value,
+            reconnects=self._m_reconnects.value,
+            stale_results=self._m_stale.value,
+            frames_dropped=frames_dropped,
+            dispatch_latency_p50=self._h_dispatch.p50,
+            dispatch_latency_p90=self._h_dispatch.p90,
+            dispatch_latency_p99=self._h_dispatch.p99,
+        )
 
     def trace(self, task_id: str) -> list[Span]:
         """The ordered span chain recorded for *task_id*."""
@@ -276,11 +333,13 @@ class LiveDispatcher:
             self._server.close()
         except OSError:
             pass
-        with self._lock:
+        with self._exec_lock:
             sessions = [e.conn for e in self._executors.values()]
+        with self._client_lock:
             sessions += [c.conn for c in self._clients.values()]
         for conn in sessions:
             conn.close()
+        self._loop.stop()
 
     def __enter__(self) -> "LiveDispatcher":
         return self
@@ -289,15 +348,13 @@ class LiveDispatcher:
         self.close()
 
     # -- accept / demux -------------------------------------------------------
-    def _accept_loop(self) -> None:
-        while not self._closing.is_set():
-            try:
-                sock, _addr = self._server.accept()
-            except OSError:
-                return
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            # The session's role is unknown until its first message.
-            _Session(self, sock).start()
+    def _accept(self, sock: socket.socket) -> None:
+        if self._closing.is_set():
+            sock.close()
+            return
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The session's role is unknown until its first message.
+        _Session(self, sock).start()
 
     # -- liveness monitor ------------------------------------------------------
     def _monitor_loop(self) -> None:
@@ -310,19 +367,21 @@ class LiveDispatcher:
     def _sweep(self) -> None:
         now = time.monotonic()
         dead: list[str] = []
+        with self._exec_lock:
+            executors = list(self._executors.values())
+        if self.heartbeat_interval is not None:
+            deadline = self.heartbeat_interval * self.heartbeat_miss_budget
+            for executor in executors:
+                with executor.lock:
+                    if now - executor.last_seen > deadline:
+                        dead.append(executor.executor_id)
         overdue_notifies: list[tuple[str, TaskResult]] = []
-        wake: list[_ExecutorSession] = []
-        with self._lock:
-            if self.heartbeat_interval is not None:
-                deadline = self.heartbeat_interval * self.heartbeat_miss_budget
-                dead = [
-                    e.executor_id
-                    for e in self._executors.values()
-                    if now - e.last_seen > deadline
-                ]
-            if self.replay_timeout is not None:
-                now_rel = now - self._started
-                for record in self._records.values():
+        if self.replay_timeout is not None:
+            now_rel = now - self._started
+            with self._records_lock:
+                records = list(self._records.values())
+            for record in records:
+                with record.lock:
                     if (
                         record.state is TaskState.DISPATCHED
                         and now_rel - record.timeline.dispatched > self.replay_timeout
@@ -332,32 +391,39 @@ class LiveDispatcher:
                         )
                         if notify is not None:
                             overdue_notifies.append(notify)
-            if self._queue:
-                # Anti-starvation: a lost NOTIFY frame must not strand
-                # queued work next to idle executors forever.
-                for executor in self._executors.values():
-                    if executor.busy_task is None:
+        wake: list[_ExecutorSession] = []
+        with self._queue_lock:
+            qlen = len(self._queue)
+        if qlen:
+            # Anti-starvation: a lost NOTIFY frame must not strand
+            # queued work next to idle executors forever.
+            for executor in executors:
+                with executor.lock:
+                    if not executor.busy:
                         executor.notified = False
-                wake = self._pick_idle_executors(len(self._queue))
+            wake = self._pick_idle_executors(qlen)
         for executor_id in dead:
             if self._drop_executor(executor_id):
                 self._m_dead.inc()
         for executor in wake:
             self._send_notify(executor)
-        for notify in overdue_notifies:
-            self._notify_client(*notify)
+        self._notify_clients(overdue_notifies)
+
+    def _exec_get(self, executor_id: str) -> Optional[_ExecutorSession]:
+        with self._exec_lock:
+            return self._executors.get(executor_id)
 
     def _touch(self, executor_id: str) -> None:
-        with self._lock:
-            executor = self._executors.get(executor_id)
-            if executor is not None:
+        executor = self._exec_get(executor_id)
+        if executor is not None:
+            with executor.lock:
                 executor.last_seen = time.monotonic()
 
     # -- client protocol ------------------------------------------------------
     def _on_create_instance(self, session: "_Session", msg: Message) -> None:
         requested = msg.payload.get("epr")
         stale_conn: Optional[Connection] = None
-        with self._lock:
+        with self._client_lock:
             if requested:
                 # A reconnecting client resumes its instance: results
                 # settled while it was away stay queryable under the
@@ -387,20 +453,26 @@ class LiveDispatcher:
         tasks = [task_from_dict(t) for t in msg.payload.get("tasks", ())]
         now = self._now()
         bundle = len(tasks)
-        idle_to_notify: list[_ExecutorSession] = []
-        with self._lock:
-            for spec in tasks:
-                record = _LiveRecord(spec=spec, client_id=client_id)
-                record.timeline.submitted = now
-                self._records[spec.task_id] = record
-                self.spans.begin(spec.task_id)
-                self.spans.record(spec.task_id, "submit", now,
-                                  client=client_id, bundle=bundle)
-                self.spans.record(spec.task_id, "enqueue", now, attempt=1,
-                                  reason="submit")
-                self._queue.append(spec.task_id)
-                self._m_accepted.inc()
-            idle_to_notify = self._pick_idle_executors(len(tasks))
+        new_records: list[_LiveRecord] = []
+        for spec in tasks:
+            record = _LiveRecord(spec=spec, client_id=client_id)
+            record.timeline.submitted = now
+            self.spans.begin(spec.task_id)
+            self.spans.record(spec.task_id, "submit", now,
+                              client=client_id, bundle=bundle)
+            self.spans.record(spec.task_id, "enqueue", now, attempt=1,
+                              reason="submit")
+            new_records.append(record)
+        # Records must be resolvable before their queue entries are
+        # poppable: claimers drop queue ids with no backing record.
+        with self._records_lock:
+            for record in new_records:
+                self._records[record.spec.task_id] = record
+        with self._queue_lock:
+            self._queue.extend(record.spec.task_id for record in new_records)
+        if tasks:
+            self._m_accepted.inc(len(tasks))
+        idle_to_notify = self._pick_idle_executors(len(tasks))
         session.conn.send(
             Message(MessageType.SUBMIT_ACK, sender="dispatcher",
                     payload={"accepted": len(tasks)})
@@ -417,12 +489,13 @@ class LiveDispatcher:
         client_id = role[1]
         from repro.live.protocol import result_to_dict
 
-        with self._lock:
-            finished = [
-                result_to_dict(r.result)
-                for r in self._records.values()
-                if r.client_id == client_id and r.result is not None
-            ]
+        with self._records_lock:
+            records = list(self._records.values())
+        finished = []
+        for record in records:
+            with record.lock:
+                if record.client_id == client_id and record.result is not None:
+                    finished.append(result_to_dict(record.result))
         session.conn.send(
             Message(MessageType.RESULTS, sender="dispatcher", payload={"results": finished})
         )
@@ -430,7 +503,7 @@ class LiveDispatcher:
     def _on_destroy_instance(self, session: "_Session", msg: Message) -> None:
         role = session.role
         if role and role[0] == "client":
-            with self._lock:
+            with self._client_lock:
                 current = self._clients.get(role[1])
                 if current is not None and current.conn is session.conn:
                     self._clients.pop(role[1], None)
@@ -442,7 +515,8 @@ class LiveDispatcher:
             session.conn.send(Message(MessageType.ERROR, payload={"error": "missing id"}))
             return
         reconnect = bool(msg.payload.get("reconnect"))
-        with self._lock:
+        pipeline = int(msg.payload.get("pipeline", 1) or 1)
+        with self._exec_lock:
             existing = executor_id in self._executors
         if existing:
             if not reconnect:
@@ -451,11 +525,10 @@ class LiveDispatcher:
                 )
                 return
             # A reconnecting executor supersedes its old (likely
-            # half-open) session; the old in-flight task replays.
+            # half-open) session; the old in-flight tasks replay.
             self._drop_executor(executor_id)
-        executor = _ExecutorSession(executor_id, session.conn)
-        notify = False
-        with self._lock:
+        executor = _ExecutorSession(executor_id, session.conn, pipeline=pipeline)
+        with self._exec_lock:
             if executor_id in self._executors:
                 session.conn.send(
                     Message(MessageType.ERROR, payload={"error": "duplicate executor id"})
@@ -464,9 +537,10 @@ class LiveDispatcher:
             self._executors[executor_id] = executor
             if reconnect:
                 self._m_reconnects.inc()
-            notify = bool(self._queue)
         session.role = ("executor", executor_id)
         session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
+        with self._queue_lock:
+            notify = bool(self._queue)
         if notify:
             self._send_notify(executor)
 
@@ -486,106 +560,123 @@ class LiveDispatcher:
         if role is None or role[0] != "executor":
             return
         executor_id = role[1]
-        work: Optional[Message] = None
-        record: Optional[_LiveRecord] = None
-        with self._lock:
-            executor = self._executors.get(executor_id)
-            if executor is None:
-                return
+        executor = self._exec_get(executor_id)
+        if executor is None:
+            return
+        with executor.lock:
             executor.notified = False
-            record = self._pop_next_record()
-            if record is not None:
-                self._mark_dispatched(record, executor, mode="get-work")
-                work = Message(
-                    MessageType.WORK,
-                    sender="dispatcher",
-                    payload={"task": task_to_dict(record.spec), "attempt": record.attempts},
-                    trace=record.trace_wire,
-                )
-        if work is not None:
-            session.conn.send(work)
-            self._mark_delivered(record, executor_id)
-        else:
+        # Legacy (depth-1) peers always get one task per pull — the
+        # old overwrite-the-busy-slot semantics; pipelined peers get
+        # up to their remaining capacity.
+        want = max(1, executor.capacity()) if executor.pipeline == 1 else executor.capacity()
+        claimed = self._claim_many(executor, want, mode="get-work")
+        if not claimed:
             session.conn.send(Message(MessageType.NO_WORK, sender="dispatcher"))
+            return
+        work = Message(MessageType.WORK, sender="dispatcher", payload={})
+        self._fill_task_payload(work, claimed, executor)
+        session.conn.send(work)
+        for record in claimed:
+            self._mark_delivered(record, executor_id)
 
     def _on_result(self, session: "_Session", msg: Message) -> None:
         role = session.role
         if role is None or role[0] != "executor":
             return
         executor_id = role[1]
-        result = result_from_dict(msg.payload["result"])
-        result.executor_id = executor_id
-        echoed_attempt = msg.payload.get("attempt")
-        exec_info = msg.payload.get("exec") or {}
-        notify_payload = None
-        settled_record: Optional[_LiveRecord] = None
-        next_record: Optional[_LiveRecord] = None
-        next_task_payload = None
-        wake: list[_ExecutorSession] = []
-        with self._lock:
-            executor = self._executors.get(executor_id)
-            record = self._records.get(result.task_id)
-            if executor is not None and executor.busy_task == result.task_id:
-                executor.busy_task = None
+        # v1: one completion under "result"/"attempt"/"exec".  v2
+        # pipelining: a "results" list whose entries each carry their
+        # own attempt echo and exec window — one frame (and one ack)
+        # for a whole executor-side batch.
+        entries: list[tuple[dict, Optional[int], dict]] = []
+        single = msg.payload.get("result")
+        if single is not None:
+            entries.append((single, msg.payload.get("attempt"),
+                            msg.payload.get("exec") or {}))
+        for item in msg.payload.get("results", ()):
+            if isinstance(item, dict) and item.get("result") is not None:
+                entries.append((item["result"], item.get("attempt"),
+                                item.get("exec") or {}))
+        if not entries:
+            return
+        executor = self._exec_get(executor_id)
+        if executor is not None:
+            with executor.lock:
+                for result_payload, _, _ in entries:
+                    executor.busy.discard(result_payload.get("task_id"))
                 executor.notified = False
-            if record is not None and not record.state.terminal:
+        notifies: list[tuple[str, TaskResult]] = []
+        settled: list[_LiveRecord] = []
+        for result_payload, echoed_attempt, exec_info in entries:
+            result = result_from_dict(result_payload)
+            result.executor_id = executor_id
+            with self._records_lock:
+                record = self._records.get(result.task_id)
+            if record is None:
+                continue
+            with record.lock:
+                if record.state.terminal:
+                    continue
                 if echoed_attempt is not None and echoed_attempt != record.attempts:
                     # A superseded attempt (the replay timer already
                     # re-dispatched this task): drop the stale result.
                     self._m_stale.inc()
-                else:
-                    now = self._now()
-                    # The executor measured execution on its own clock;
-                    # anchor the exec span at result arrival (the
-                    # collector clamps it to stay monotonic).
-                    exec_seconds = float(exec_info.get("seconds", 0.0))
-                    self._h_exec.observe(exec_seconds)
-                    self.spans.record(
-                        result.task_id, "exec", now - exec_seconds, end=now,
-                        attempt=record.attempts, executor=executor_id,
-                        seconds=exec_seconds,
-                    )
-                    outcome = ("ok" if result.ok else
-                               "fail" if record.attempts > self.max_retries
-                               else "retry")
-                    self.spans.record(
-                        result.task_id, "result", self._now(),
-                        attempt=record.attempts, executor=executor_id,
-                        outcome=outcome,
-                    )
-                    notify_payload = self._settle(record, result)
-                    if notify_payload is not None:
-                        settled_record = record
-            # Piggy-back the next task on the acknowledgement {7}.
-            if self.piggyback and executor is not None:
-                next_record = self._pop_next_record()
-                if next_record is not None:
-                    self._mark_dispatched(next_record, executor, mode="piggyback")
-                    next_task_payload = task_to_dict(next_record.spec)
-            if next_task_payload is None and self._queue:
-                # No piggy-back (disabled, or a retry refilled the queue
-                # after the pop): fall back to a NOTIFY push so idle
-                # executors — including this one — pick the work up.
-                wake = self._pick_idle_executors(len(self._queue))
+                    continue
+                now = self._now()
+                # The executor measured execution on its own clock;
+                # anchor the exec span at result arrival (the
+                # collector clamps it to stay monotonic).
+                exec_seconds = float(exec_info.get("seconds", 0.0))
+                self._h_exec.observe(exec_seconds)
+                self.spans.record(
+                    result.task_id, "exec", now - exec_seconds, end=now,
+                    attempt=record.attempts, executor=executor_id,
+                    seconds=exec_seconds,
+                )
+                outcome = ("ok" if result.ok else
+                           "fail" if record.attempts > self.max_retries
+                           else "retry")
+                self.spans.record(
+                    result.task_id, "result", self._now(),
+                    attempt=record.attempts, executor=executor_id,
+                    outcome=outcome,
+                )
+                notify_payload = self._settle(record, result)
+                if notify_payload is not None:
+                    notifies.append(notify_payload)
+                    settled.append(record)
+        # Piggy-back queued work on the acknowledgement {7}: one task
+        # for legacy peers, up to the pipeline's remaining capacity for
+        # peers that advertised a depth (§3.4 extended).
+        claimed: list[_LiveRecord] = []
+        if self.piggyback and executor is not None:
+            claimed = self._claim_many(executor, executor.capacity(), mode="piggyback")
+        wake: list[_ExecutorSession] = []
+        if not claimed:
+            with self._queue_lock:
+                qlen = len(self._queue)
+            if qlen:
+                # No piggy-back (disabled, or a retry refilled the
+                # queue after the claim): fall back to a NOTIFY push so
+                # idle executors — including this one — pick it up.
+                wake = self._pick_idle_executors(qlen)
         ack = Message(MessageType.RESULT_ACK, sender="dispatcher", payload={})
-        if next_task_payload is not None:
-            ack.payload["task"] = next_task_payload
-            ack.payload["attempt"] = next_record.attempts
-            ack.trace = next_record.trace_wire
+        if claimed:
+            self._fill_task_payload(ack, claimed, executor)
         ack_delivered = True
         try:
             session.conn.send(ack)
         except ProtocolError:
             # The connection died between the completion frame and the
             # piggy-backed ack.  The close callback has already requeued
-            # the undelivered piggy-back without charging an attempt or
-            # a retry (see _drop_executor); the settled result below
+            # the undelivered piggy-backs without charging an attempt or
+            # a retry (see _drop_executor); the settled results below
             # must still reach the client.
             ack_delivered = False
         else:
-            if next_record is not None:
-                self._mark_delivered(next_record, executor_id)
-        if settled_record is not None:
+            for record_next in claimed:
+                self._mark_delivered(record_next, executor_id)
+        for settled_record in settled:
             self.spans.record(
                 settled_record.spec.task_id, "ack", self._now(),
                 attempt=settled_record.attempts, executor=executor_id,
@@ -593,8 +684,7 @@ class LiveDispatcher:
             )
         for idle_executor in wake:
             self._send_notify(idle_executor)
-        if notify_payload is not None:
-            self._notify_client(*notify_payload)
+        self._notify_clients(notifies)
 
     # -- provisioner protocol ----------------------------------------------------
     def _on_status(self, session: "_Session", msg: Message) -> None:
@@ -603,35 +693,106 @@ class LiveDispatcher:
                     payload=self.stats().as_dict())
         )
 
-    # -- internals ----------------------------------------------------------------
-    def _pop_next_record(self) -> Optional[_LiveRecord]:
-        """Next runnable record (lock held)."""
-        while self._queue:
-            task_id = self._queue.popleft()
-            record = self._records.get(task_id)
-            if record is not None and record.state is TaskState.QUEUED:
-                return record
-        return None
+    # -- dispatch internals --------------------------------------------------------
+    def _claim_many(
+        self, executor: _ExecutorSession, limit: int, mode: str
+    ) -> list[_LiveRecord]:
+        """Claim up to *limit* runnable records for *executor*.
+
+        Lock-free between tables: pop an id (queue lock), resolve it
+        (records lock), transition it (record lock), charge the
+        executor (session lock) — never holding two at once except the
+        documented record→queue/record→session nestings inside helpers.
+        """
+        claimed: list[_LiveRecord] = []
+        while len(claimed) < limit:
+            with self._queue_lock:
+                if not self._queue:
+                    break
+                task_id = self._queue.popleft()
+            with self._records_lock:
+                record = self._records.get(task_id)
+            if record is None:
+                continue
+            with record.lock:
+                if record.state is not TaskState.QUEUED:
+                    continue  # a duplicate queue entry from a replay path
+                self._mark_dispatched(record, executor, mode=mode)
+            undo = False
+            with executor.lock:
+                if executor.dead:
+                    undo = True
+                else:
+                    executor.busy.add(task_id)
+            if undo:
+                # The executor was dropped between our state checks:
+                # the dispatch never happened, restore the task intact.
+                self._unclaim(record, executor.executor_id)
+                break
+            claimed.append(record)
+        return claimed
+
+    def _fill_task_payload(
+        self, message: Message, claimed: list[_LiveRecord], executor: _ExecutorSession
+    ) -> None:
+        """Attach claimed tasks to a WORK/RESULT_ACK message.
+
+        Legacy depth-1 peers get the v1 singular ``task``/``attempt``
+        keys with the trace at top level; pipelined peers get a
+        ``tasks`` list whose entries carry their own trace context.
+        """
+        if executor.pipeline == 1:
+            record = claimed[0]
+            message.payload["task"] = task_to_dict(record.spec)
+            message.payload["attempt"] = record.attempts
+            message.trace = record.trace_wire
+            return
+        message.payload["tasks"] = [
+            {
+                "task": task_to_dict(record.spec),
+                "attempt": record.attempts,
+                "trace": record.trace_wire,
+            }
+            for record in claimed
+        ]
 
     def _mark_dispatched(
         self, record: _LiveRecord, executor: _ExecutorSession, mode: str = "get-work"
     ) -> None:
+        """Transition a QUEUED record to DISPATCHED (record lock held)."""
         record.state = TaskState.DISPATCHED
         record.attempts += 1
         record.executor_id = executor.executor_id
         record.delivered = False
         record.dispatch_mode = mode
         record.timeline.dispatched = self._now()
-        executor.busy_task = record.spec.task_id
         ctx = self.spans.record(
             record.spec.task_id, "notify", record.timeline.dispatched,
             attempt=record.attempts, executor=executor.executor_id, mode=mode,
         )
         record.trace_wire = ctx.to_wire() if ctx is not None else None
 
+    def _unclaim(self, record: _LiveRecord, executor_id: str) -> None:
+        """Roll back a dispatch that never charged its executor."""
+        with record.lock:
+            if (
+                record.state is TaskState.DISPATCHED
+                and record.executor_id == executor_id
+                and not record.delivered
+            ):
+                record.attempts -= 1
+                record.state = TaskState.QUEUED
+                record.executor_id = ""
+                self.spans.record(
+                    record.spec.task_id, "enqueue", self._now(),
+                    attempt=record.attempts + 1, reason="undelivered",
+                )
+                with self._queue_lock:
+                    self._queue.appendleft(record.spec.task_id)
+
     def _mark_delivered(self, record: _LiveRecord, executor_id: str) -> None:
         """The WORK/ack frame carrying *record* left this process."""
-        with self._lock:
+        with record.lock:
             if record.state is TaskState.DISPATCHED and record.executor_id == executor_id:
                 record.delivered = True
                 now = self._now()
@@ -643,25 +804,31 @@ class LiveDispatcher:
                 self._h_dispatch.observe(now - record.timeline.submitted)
 
     def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
-        """Idle executors to NOTIFY, at most *limit* (lock held)."""
+        """Idle executors to NOTIFY, at most *limit*."""
+        with self._exec_lock:
+            executors = list(self._executors.values())
         chosen = []
-        for executor in self._executors.values():
+        for executor in executors:
             if len(chosen) >= limit:
                 break
-            if executor.busy_task is None and not executor.notified:
-                executor.notified = True
-                chosen.append(executor)
+            with executor.lock:
+                if not executor.dead and not executor.busy and not executor.notified:
+                    executor.notified = True
+                    chosen.append(executor)
         return chosen
 
     def _send_notify(self, executor: _ExecutorSession) -> None:
-        executor.notified = True
+        with executor.lock:
+            executor.notified = True
         try:
-            executor.conn.send(Message(MessageType.NOTIFY, sender="dispatcher"))
+            # Shared pre-encoded frame: NOTIFY is identical for every
+            # executor, so broadcast costs zero re-encoding/re-signing.
+            executor.conn.send_encoded(self._notify_frame)
         except Exception:
             self._drop_executor(executor.executor_id, only_conn=executor.conn)
 
     def _settle(self, record: _LiveRecord, result: TaskResult):
-        """Finalize or retry (lock held).  Returns client-notify args."""
+        """Finalize or retry (record lock held).  Returns client-notify args."""
         if result.ok or record.attempts > self.max_retries:
             record.state = TaskState.COMPLETED if result.ok else TaskState.FAILED
             record.timeline.completed = self._now()
@@ -683,17 +850,19 @@ class LiveDispatcher:
             record.spec.task_id, "enqueue", self._now(),
             attempt=record.attempts + 1, reason="retry",
         )
-        self._queue.append(record.spec.task_id)
+        with self._queue_lock:
+            self._queue.append(record.spec.task_id)
         return None
 
     def _requeue_dispatched(self, record: _LiveRecord, reason: str):
         """Replay a dispatched task whose executor/response is gone
-        (lock held).  Returns client-notify args when retries are
-        exhausted and the task fails instead."""
-        executor = self._executors.get(record.executor_id)
-        if executor is not None and executor.busy_task == record.spec.task_id:
-            executor.busy_task = None
-            executor.notified = False
+        (record lock held).  Returns client-notify args when retries
+        are exhausted and the task fails instead."""
+        executor = self._exec_get(record.executor_id)
+        if executor is not None:
+            with executor.lock:
+                executor.busy.discard(record.spec.task_id)
+                executor.notified = False
         if record.attempts <= self.max_retries:
             self._m_retries.inc()
             record.state = TaskState.QUEUED
@@ -703,7 +872,8 @@ class LiveDispatcher:
                 record.spec.task_id, "enqueue", self._now(),
                 attempt=record.attempts + 1, reason=reason,
             )
-            self._queue.append(record.spec.task_id)
+            with self._queue_lock:
+                self._queue.append(record.spec.task_id)
             return None
         result = TaskResult(
             record.spec.task_id,
@@ -728,71 +898,100 @@ class LiveDispatcher:
         return notify
 
     def _notify_client(self, client_id: str, result: TaskResult) -> None:
+        self._notify_clients([(client_id, result)])
+
+    def _notify_clients(self, notifies: list[tuple[str, TaskResult]]) -> None:
+        """Push settled results, one CLIENT_NOTIFY frame per client.
+
+        Results settled in the same batch and owned by the same client
+        ride a single frame (``results`` list); a lone result keeps the
+        v1 singular ``result`` key.
+        """
+        if not notifies:
+            return
         from repro.live.protocol import result_to_dict
 
-        with self._lock:
-            client = self._clients.get(client_id)
-        if client is None:
-            return
-        payload = result_to_dict(result)
-        payload["timeline"] = {
-            "submitted": result.timeline.submitted,
-            "dispatched": result.timeline.dispatched,
-            "completed": result.timeline.completed,
-        }
-        try:
-            client.conn.send(
-                Message(MessageType.CLIENT_NOTIFY, sender="dispatcher",
-                        payload={"result": payload})
-            )
-        except Exception:
-            pass  # client went away; results remain queryable
+        by_client: dict[str, list[TaskResult]] = {}
+        for client_id, result in notifies:
+            by_client.setdefault(client_id, []).append(result)
+        for client_id, results in by_client.items():
+            with self._client_lock:
+                client = self._clients.get(client_id)
+            if client is None:
+                continue
+            payloads = []
+            for result in results:
+                payload = result_to_dict(result)
+                payload["timeline"] = {
+                    "submitted": result.timeline.submitted,
+                    "dispatched": result.timeline.dispatched,
+                    "completed": result.timeline.completed,
+                }
+                payloads.append(payload)
+            body = ({"result": payloads[0]} if len(payloads) == 1
+                    else {"results": payloads})
+            try:
+                client.conn.send(
+                    Message(MessageType.CLIENT_NOTIFY, sender="dispatcher",
+                            payload=body)
+                )
+            except Exception:
+                pass  # client went away; results remain queryable
 
     def _drop_executor(self, executor_id: str, only_conn: Optional[Connection] = None) -> bool:
-        """Remove an executor; replay its in-flight task.
+        """Remove an executor; replay its in-flight tasks.
 
         ``only_conn`` guards against a superseded session's late close
         tearing down the executor's replacement registration.  Returns
         whether an executor was actually removed.
         """
-        requeued_notify: Optional[tuple[str, TaskResult]] = None
-        wake: Optional[_ExecutorSession] = None
-        with self._lock:
+        with self._exec_lock:
             executor = self._executors.get(executor_id)
             if executor is None:
                 return False
             if only_conn is not None and executor.conn is not only_conn:
                 return False
             del self._executors[executor_id]
-            task_id = executor.busy_task
-            if task_id is not None:
+        with executor.lock:
+            executor.dead = True
+            in_flight = list(executor.busy)
+            executor.busy.clear()
+        notifies: list[tuple[str, TaskResult]] = []
+        for task_id in in_flight:
+            with self._records_lock:
                 record = self._records.get(task_id)
-                if record is not None and record.state is TaskState.DISPATCHED:
-                    if not record.delivered:
-                        # The dispatch never left this process (the
-                        # WORK/ack transmission failed): restore the
-                        # task unscathed — charging an attempt and a
-                        # retry here is the double-count bug.
-                        record.attempts -= 1
-                        record.state = TaskState.QUEUED
-                        record.executor_id = ""
-                        self.spans.record(
-                            task_id, "enqueue", self._now(),
-                            attempt=record.attempts + 1, reason="undelivered",
-                        )
+            if record is None:
+                continue
+            with record.lock:
+                if record.state is not TaskState.DISPATCHED or record.executor_id != executor_id:
+                    continue
+                if not record.delivered:
+                    # The dispatch never left this process (the
+                    # WORK/ack transmission failed): restore the task
+                    # unscathed — charging an attempt and a retry here
+                    # is the double-count bug.
+                    record.attempts -= 1
+                    record.state = TaskState.QUEUED
+                    record.executor_id = ""
+                    self.spans.record(
+                        task_id, "enqueue", self._now(),
+                        attempt=record.attempts + 1, reason="undelivered",
+                    )
+                    with self._queue_lock:
                         self._queue.appendleft(task_id)
-                    else:
-                        requeued_notify = self._requeue_dispatched(
-                            record, f"executor {executor_id} lost"
-                        )
-                if self._queue:
-                    picked = self._pick_idle_executors(1)
-                    wake = picked[0] if picked else None
+                else:
+                    notify = self._requeue_dispatched(record, f"executor {executor_id} lost")
+                    if notify is not None:
+                        notifies.append(notify)
+        wake: list[_ExecutorSession] = []
+        with self._queue_lock:
+            qlen = len(self._queue)
+        if qlen:
+            wake = self._pick_idle_executors(1)
         executor.conn.close()
-        if wake is not None:
-            self._send_notify(wake)
-        if requeued_notify is not None:
-            self._notify_client(*requeued_notify)
+        for idle in wake:
+            self._send_notify(idle)
+        self._notify_clients(notifies)
         return True
 
     def _session_closed(self, session: "_Session") -> None:
@@ -803,7 +1002,7 @@ class LiveDispatcher:
         if kind == "executor":
             self._drop_executor(name, only_conn=session.conn)
         elif kind == "client":
-            with self._lock:
+            with self._client_lock:
                 current = self._clients.get(name)
                 if current is not None and current.conn is session.conn:
                     self._clients.pop(name, None)
@@ -843,6 +1042,7 @@ class _Session:
                 key=dispatcher.key,
                 name=name,
                 plan=dispatcher.fault_plan,
+                loop=dispatcher._loop,
             )
         else:
             self.conn = Connection(
@@ -851,6 +1051,7 @@ class _Session:
                 on_close=lambda: dispatcher._session_closed(self),
                 key=dispatcher.key,
                 name=name,
+                loop=dispatcher._loop,
             )
 
     def start(self) -> None:

@@ -32,7 +32,6 @@ from typing import Optional
 
 from repro.errors import ProtocolError
 from repro.live.protocol import Connection
-from repro.net.wire import encode_frame
 from repro.sim.rng import RngStreams
 
 __all__ = ["FaultAction", "FaultPlan", "FaultyConnection"]
@@ -200,18 +199,25 @@ class FaultyConnection(Connection):
         name: str = "conn",
         plan: Optional[FaultPlan] = None,
         fault_role: Optional[str] = None,
+        loop=None,
     ) -> None:
-        super().__init__(sock, handler, on_close=on_close, key=key, name=name)
+        super().__init__(sock, handler, on_close=on_close, key=key, name=name, loop=loop)
         self.plan = plan
         self.fault_role = fault_role
         self._frame_seq = itertools.count()
 
-    def send(self, message) -> None:
+    def send_encoded(self, frame: bytes) -> None:
+        """Apply the fault plan to one already-encoded frame.
+
+        Overriding the encoded-bytes choke point (rather than
+        :meth:`send`) means cached fast-path frames — NOTIFY broadcast
+        bytes, pipelined WORK — face the same fault schedule as
+        individually encoded ones.
+        """
         plan = self.plan
         if plan is None or not plan.applies_to(self):
-            super().send(message)
+            super().send_encoded(frame)
             return
-        frame = encode_frame(message.to_dict(), key=self.key)
         action, delay = plan.decide(self.name, next(self._frame_seq))
         plan.record(action)
         if action is FaultAction.DROP:

@@ -1,0 +1,240 @@
+"""Selector-driven I/O core for the live plane.
+
+One :class:`IOLoop` multiplexes every registered connection over a
+single ``selectors`` (epoll/kqueue) thread: non-blocking reads feed
+each connection's frame parser, buffered writes are flushed as sockets
+drain, and listening sockets accept inline.  Executor count therefore
+no longer implies thread count — the dispatcher runs one I/O thread
+regardless of how many sessions it serves, where the previous design
+spawned a reader thread per connection.
+
+Thread model
+------------
+* The loop thread owns the selector.  All selector mutations funnel
+  through :meth:`_post`, a wake-up pipe plus an op queue, so any
+  thread may attach/detach connections or arm write interest.
+* Connection handlers run *on the loop thread*.  They must not block;
+  the live plane's handlers only take short-held locks and append to
+  queues/buffers.
+* Sends happen on the caller's thread: frames go into the
+  connection's write buffer and are flushed opportunistically
+  (non-blocking) right there; whatever the socket refuses is flushed
+  by the loop when the socket becomes writable again.  One slow peer
+  therefore never stalls another peer's traffic.
+
+``default_loop()`` returns a process-wide shared loop for outbound
+connections (clients, executors, provisioners); servers own a loop
+per instance so their lifecycle is self-contained.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from collections import deque
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.protocol import Connection
+
+__all__ = ["IOLoop", "default_loop"]
+
+
+class IOLoop:
+    """A single-threaded selector loop serving many connections."""
+
+    def __init__(self, name: str = "io") -> None:
+        self.name = name
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, ("wake", None))
+        self._ops: deque[Callable[[], None]] = deque()
+        self._stopped = threading.Event()
+        self._start_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "IOLoop":
+        with self._start_lock:
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name=f"ioloop-{self.name}", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop thread and close every registered fd."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._wake()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        for key in list(self._selector.get_map().values()):
+            kind, obj = key.data
+            try:
+                self._selector.unregister(key.fileobj)
+            except (KeyError, ValueError, OSError):
+                pass
+            if kind == "conn":
+                try:
+                    key.fileobj.close()
+                except OSError:
+                    pass
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- cross-thread requests ----------------------------------------------
+    def _post(self, op: Callable[[], None]) -> None:
+        self._ops.append(op)
+        self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except OSError:
+            pass  # pipe full or closed: the loop is awake or gone
+
+    def attach(self, conn: "Connection") -> None:
+        """Register *conn* for reads (socket must be non-blocking)."""
+        self.start()
+        self._post(lambda: self._attach(conn))
+
+    def detach(self, conn: "Connection") -> None:
+        """Unregister *conn* and close its fd on the loop thread."""
+        self._post(lambda: self._detach(conn))
+        if self._stopped.is_set() or self._thread is None:
+            self._detach(conn)  # loop gone: finalise inline
+
+    def want_write(self, conn: "Connection") -> None:
+        """Arm write interest for *conn* (buffered bytes pending)."""
+        self._post(lambda: self._set_mask(
+            conn, selectors.EVENT_READ | selectors.EVENT_WRITE))
+
+    def clear_write(self, conn: "Connection") -> None:
+        self._post(lambda: self._set_mask(conn, selectors.EVENT_READ))
+
+    def add_server(self, sock: socket.socket,
+                   on_accept: Callable[[socket.socket], None]) -> None:
+        """Accept inbound connections on *sock* via the loop."""
+        self.start()
+        sock.setblocking(False)
+
+        def register() -> None:
+            try:
+                self._selector.register(
+                    sock, selectors.EVENT_READ, ("accept", on_accept))
+            except (KeyError, ValueError, OSError):
+                pass
+
+        self._post(register)
+
+    # -- loop-thread internals ----------------------------------------------
+    def _attach(self, conn: "Connection") -> None:
+        if conn.closed:
+            return
+        try:
+            self._selector.register(
+                conn.sock, selectors.EVENT_READ, ("conn", conn))
+        except (KeyError, ValueError, OSError):
+            conn.close()
+
+    def _detach(self, conn: "Connection") -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _set_mask(self, conn: "Connection", mask: int) -> None:
+        try:
+            self._selector.modify(conn.sock, mask, ("conn", conn))
+        except (KeyError, ValueError, OSError):
+            pass  # already detached or closed
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except OSError:
+            pass
+
+    def _accept_ready(self, server: socket.socket,
+                      on_accept: Callable[[socket.socket], None]) -> None:
+        while True:
+            try:
+                client, _addr = server.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                try:
+                    self._selector.unregister(server)
+                except (KeyError, ValueError, OSError):
+                    pass
+                return
+            try:
+                on_accept(client)
+            except Exception:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+
+    def _run(self) -> None:
+        while not self._stopped.is_set():
+            while self._ops:
+                op = self._ops.popleft()
+                try:
+                    op()
+                except Exception:
+                    pass  # a bad op must never kill the loop
+            try:
+                events = self._selector.select()
+            except OSError:
+                continue
+            for key, mask in events:
+                kind, obj = key.data
+                if kind == "wake":
+                    self._drain_wake()
+                elif kind == "accept":
+                    self._accept_ready(key.fileobj, obj)
+                else:
+                    conn = obj
+                    try:
+                        if mask & selectors.EVENT_WRITE:
+                            conn._on_writable()
+                        if mask & selectors.EVENT_READ and not conn.closed:
+                            conn._on_readable()
+                    except Exception:
+                        try:
+                            conn.close()
+                        except Exception:
+                            pass
+
+
+_default_loop: Optional[IOLoop] = None
+_default_lock = threading.Lock()
+
+
+def default_loop() -> IOLoop:
+    """The process-wide shared loop for outbound connections."""
+    global _default_loop
+    with _default_lock:
+        if _default_loop is None or _default_loop._stopped.is_set():
+            _default_loop = IOLoop(name="shared")
+        return _default_loop.start()

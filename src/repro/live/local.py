@@ -49,6 +49,10 @@ class LocalFalkon:
     fault_plan:
         A :class:`repro.live.faults.FaultPlan` installed on the
         dispatcher's executor-facing connections for chaos runs.
+    pipeline_depth:
+        Tasks an executor may hold locally beyond the running one
+        (§3.4 piggy-backing extended to bounded pipelining); 1 keeps
+        the classic one-task-per-exchange protocol.
     """
 
     def __init__(
@@ -65,9 +69,12 @@ class LocalFalkon:
         heartbeat_miss_budget: int = 3,
         replay_timeout: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        pipeline_depth: int = 1,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         key = b"local-falkon-shared-key" if security is SecurityMode.GSI_SECURE_CONVERSATION else None
         self.dispatcher = LiveDispatcher(
             key=key,
@@ -91,6 +98,7 @@ class LocalFalkon:
                     key=key,
                     python_registry=self.python_registry,
                     heartbeat_interval=heartbeat_interval,
+                    pipeline=pipeline_depth,
                     **kw,
                 ),
             ).start()
@@ -101,6 +109,7 @@ class LocalFalkon:
                     key=key,
                     python_registry=self.python_registry,
                     heartbeat_interval=heartbeat_interval,
+                    pipeline=pipeline_depth,
                 ).start()
                 self.executors.append(executor)
             for executor in self.executors:

@@ -1,20 +1,32 @@
 """Framed-JSON connections and task serialisation for the live plane.
 
 A :class:`Connection` wraps a TCP socket with the wire codec from
-:mod:`repro.net.wire`: thread-safe framed sends, and a reader loop that
-delivers parsed :class:`~repro.net.message.Message` objects to a
-handler.  With a shared key, every frame is HMAC-signed — the
-reproduction's stand-in for GSISecureConversation (per-message
-authentication treated as per-message overhead, §4.1).
+:mod:`repro.net.wire`: buffered, thread-safe framed sends flushed by a
+shared :class:`~repro.live.ioloop.IOLoop`, which also delivers parsed
+:class:`~repro.net.message.Message` objects to a handler.  With a
+shared key, every frame is HMAC-signed — the reproduction's stand-in
+for GSISecureConversation (per-message authentication treated as
+per-message overhead, §4.1).
+
+Sends never block while holding the send lock: frames are appended to
+a per-connection write buffer, flushed inline with non-blocking
+``send`` as far as the socket allows, and the event loop finishes the
+rest when the socket drains.  A slow or stalled peer therefore backs
+up only its own buffer — heartbeat ACKs to other executors keep
+flowing (the old implementation held the lock across ``sendall``).
+Consecutive small frames that land in the buffer together are
+coalesced into a single syscall.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import ProtocolError
+from repro.live.ioloop import IOLoop, default_loop
 from repro.net.message import Message
 from repro.net.wire import FrameReader, encode_frame
 from repro.types import DataLocation, DataRef, TaskResult, TaskSpec
@@ -100,13 +112,20 @@ def result_from_dict(data: dict[str, Any]) -> TaskResult:
 # ---------------------------------------------------------------------------
 # connection
 # ---------------------------------------------------------------------------
+#: Coalesce buffered frames into writes of at most this many bytes;
+#: large enough to batch a burst of small ACK/NOTIFY frames into one
+#: syscall, small enough to keep per-write memory copies bounded.
+_COALESCE_BYTES = 64 * 1024
+
+
 class Connection:
     """A message-oriented wrapper over one TCP socket.
 
-    ``handler(message)`` runs on the reader thread for every inbound
-    message; ``on_close()`` fires once when the peer disconnects or the
-    stream errors out.  Sends are serialized by a lock and safe from
-    any thread.
+    ``handler(message)`` runs on the I/O loop thread for every inbound
+    message; ``on_close()`` fires once when the peer disconnects or
+    the stream errors out.  Sends are safe from any thread: the frame
+    enters the write buffer, gets flushed as far as the non-blocking
+    socket allows, and the loop drains the remainder.
     """
 
     def __init__(
@@ -116,20 +135,27 @@ class Connection:
         on_close: Optional[Callable[[], None]] = None,
         key: Optional[bytes] = None,
         name: str = "conn",
+        loop: Optional[IOLoop] = None,
     ) -> None:
         self.sock = sock
         self.handler = handler
         self.on_close = on_close
         self.key = key
         self.name = name
-        self._send_lock = threading.Lock()
+        self._loop = loop
+        self._reader = FrameReader(key=key)
+        self._out: deque[bytes] = deque()
+        self._out_lock = threading.Lock()
+        self._write_armed = False
+        self._started = False
         self._closed = threading.Event()
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"reader-{name}", daemon=True
-        )
 
     def start(self) -> "Connection":
-        self._reader.start()
+        if self._loop is None:
+            self._loop = default_loop()
+        self.sock.setblocking(False)
+        self._started = True
+        self._loop.attach(self)
         return self
 
     @property
@@ -138,58 +164,138 @@ class Connection:
 
     def send(self, message: Message) -> None:
         """Frame, sign (if keyed) and transmit *message*."""
-        self._transmit(encode_frame(message.to_dict(), key=self.key))
+        self.send_encoded(encode_frame(message.to_dict(), key=self.key))
+
+    def send_encoded(self, frame: bytes) -> None:
+        """Queue one already-encoded frame for transmission.
+
+        This is the choke point for pre-encoded fast paths (cached
+        NOTIFY broadcasts) and for fault injection
+        (:class:`repro.live.faults.FaultyConnection` overrides it).
+        """
+        self._transmit(frame)
 
     def _transmit(self, frame: bytes) -> None:
-        """Write one already-encoded frame to the socket.
+        """Buffer one frame and flush as much as the socket accepts."""
+        if self._closed.is_set():
+            raise ProtocolError(f"{self.name}: send on closed connection")
+        error: Optional[OSError] = None
+        with self._out_lock:
+            self._out.append(frame)
+            if self._started:
+                try:
+                    self._flush_locked()
+                except OSError as exc:
+                    error = exc
+            else:
+                # Not yet on the loop (blocking socket): classic sendall.
+                try:
+                    while self._out:
+                        self.sock.sendall(self._out.popleft())
+                except OSError as exc:
+                    error = exc
+        if error is not None:
+            self.close()
+            raise ProtocolError(f"{self.name}: send failed: {error}") from error
 
-        Subclasses (e.g. :class:`repro.live.faults.FaultyConnection`)
-        intercept :meth:`send`; this is the raw byte path they share.
+    def _flush_locked(self) -> None:
+        """Write buffered frames until empty or the socket would block.
+
+        Caller holds ``_out_lock``.  Consecutive small frames are
+        joined so a burst of ACKs costs one syscall, not one each.
+        Raises OSError on a dead socket (caller decides how to close).
         """
-        with self._send_lock:
+        while self._out:
+            chunk = self._out.popleft()
+            if self._out and len(chunk) < _COALESCE_BYTES:
+                parts = [chunk]
+                total = len(chunk)
+                while self._out and total < _COALESCE_BYTES:
+                    nxt = self._out.popleft()
+                    parts.append(nxt)
+                    total += len(nxt)
+                chunk = b"".join(parts)
             try:
-                self.sock.sendall(frame)
-            except OSError as exc:
-                self.close()
-                raise ProtocolError(f"{self.name}: send failed: {exc}") from exc
+                sent = self.sock.send(chunk)
+            except (BlockingIOError, InterruptedError):
+                sent = 0
+            if sent < len(chunk):
+                self._out.appendleft(chunk[sent:])
+                if not self._write_armed and self._loop is not None:
+                    self._write_armed = True
+                    self._loop.want_write(self)
+                return
+
+    # -- loop callbacks (I/O thread only) -----------------------------------
+    def _on_writable(self) -> None:
+        error = False
+        with self._out_lock:
+            try:
+                self._flush_locked()
+            except OSError:
+                error = True
+            if not error and not self._out and self._write_armed:
+                self._write_armed = False
+                if self._loop is not None:
+                    self._loop.clear_write(self)
+        if error:
+            self.close()
+
+    def _on_readable(self) -> None:
+        try:
+            chunk = self.sock.recv(262144)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self.close()
+            return
+        if not chunk:
+            self.close()
+            return
+        try:
+            for payload in self._reader.feed(chunk):
+                self.handler(Message.from_dict(payload))
+        except ProtocolError:
+            self.close()  # tampered/garbled stream: drop the connection
+        except Exception:
+            self.close()  # a handler fault poisons only this connection
 
     def close(self) -> None:
         """Close the socket; idempotent."""
         if self._closed.is_set():
             return
         self._closed.set()
+        with self._out_lock:
+            # Last-gasp flush so deliberately truncated frames (fault
+            # injection KILL) and final ACKs reach the wire when the
+            # socket has room.
+            try:
+                while self._out:
+                    chunk = self._out.popleft()
+                    sent = self.sock.send(chunk)
+                    if sent < len(chunk):
+                        break
+            except OSError:
+                pass
+            self._out.clear()
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        if self._started and self._loop is not None:
+            self._loop.detach(self)
+        else:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
         if self.on_close is not None:
             callback, self.on_close = self.on_close, None
             callback()
 
     def join(self, timeout: Optional[float] = None) -> None:
-        """Wait for the reader thread to finish (after close)."""
-        self._reader.join(timeout)
-
-    def _read_loop(self) -> None:
-        reader = FrameReader(key=self.key)
-        try:
-            while not self._closed.is_set():
-                try:
-                    chunk = self.sock.recv(65536)
-                except OSError:
-                    break
-                if not chunk:
-                    break
-                for payload in reader.feed(chunk):
-                    self.handler(Message.from_dict(payload))
-        except ProtocolError:
-            pass  # tampered/garbled stream: drop the connection
-        finally:
-            self.close()
+        """Wait until the connection has closed."""
+        self._closed.wait(timeout)
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"

@@ -1,10 +1,17 @@
 """Wire codec for the live TCP plane.
 
 Frames are ``4-byte big-endian length || JSON body``.  When a shared
-key is supplied, the body is an envelope ``{"sig": hex, "body": ...}``
+key is supplied, the body is an envelope ``{"body": ..., "sig": hex}``
 where ``sig`` is HMAC-SHA256 over the canonical JSON of ``body`` — our
 stand-in for GSISecureConversation's per-message authentication (the
 paper treats security purely as per-message overhead, §4.1).
+
+Encode-once fast path: :func:`encode_frame` canonicalises the payload
+exactly once and signs *those* bytes; the envelope is assembled around
+them by byte splicing, so a signed frame costs one ``json.dumps``, not
+two.  The canonical encoding is a fixed point of ``dumps(loads(x))``,
+which is what lets the receiver re-derive the same bytes for
+verification.
 
 The codec is deliberately socket-free: :func:`encode_frame` returns
 bytes and :class:`FrameReader` is an incremental push parser, so the
@@ -26,6 +33,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "encode_frame",
     "decode_frame",
+    "sign_bytes",
     "sign_payload",
     "verify_payload",
     "FrameReader",
@@ -42,9 +50,14 @@ def _canonical(payload: Any) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
 
 
+def sign_bytes(body: bytes, key: bytes) -> str:
+    """HMAC-SHA256 signature (hex) over *body* as transmitted."""
+    return hmac.new(key, body, hashlib.sha256).hexdigest()
+
+
 def sign_payload(payload: Any, key: bytes) -> str:
     """HMAC-SHA256 signature (hex) over the canonical JSON of *payload*."""
-    return hmac.new(key, _canonical(payload), hashlib.sha256).hexdigest()
+    return sign_bytes(_canonical(payload), key)
 
 
 def verify_payload(envelope: dict[str, Any], key: bytes) -> Any:
@@ -64,10 +77,16 @@ def verify_payload(envelope: dict[str, Any], key: bytes) -> Any:
 
 
 def encode_frame(payload: Any, key: Optional[bytes] = None) -> bytes:
-    """Serialise *payload* into one length-prefixed frame."""
-    if key is not None:
-        payload = {"sig": sign_payload(payload, key), "body": payload}
+    """Serialise *payload* into one length-prefixed frame.
+
+    The payload is canonicalised exactly once; with a key, the HMAC is
+    computed over those bytes and the envelope is spliced around them
+    (the keys ``body`` < ``sig`` are already in canonical sort order).
+    """
     body = _canonical(payload)
+    if key is not None:
+        sig = sign_bytes(body, key)
+        body = b'{"body":' + body + b',"sig":"' + sig.encode() + b'"}'
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}")
     return _LENGTH.pack(len(body)) + body
@@ -86,27 +105,45 @@ class FrameReader:
     """Incremental frame parser.
 
     Feed it arbitrary byte chunks; it yields each completed payload.
-    TCP gives no message boundaries, so the dispatcher/executor reader
-    threads push ``recv()`` chunks through one of these.
+    TCP gives no message boundaries, so the event loop pushes
+    ``recv()`` chunks through one of these.
+
+    An oversized frame raises :class:`ProtocolError` once, then the
+    reader discards exactly the advertised body and resynchronises on
+    the next frame boundary — a caller that chooses to keep the stream
+    alive loses only the offending frame, never the frames behind it.
+    (The live plane still drops the connection on any ProtocolError;
+    resynchronisation is for embedders with their own policy.)
     """
 
     def __init__(self, key: Optional[bytes] = None) -> None:
         self._key = key
         self._buffer = bytearray()
+        self._skip = 0  # bytes of an oversized body still to discard
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) + self._skip
 
     def feed(self, chunk: bytes) -> Iterator[Any]:
         """Consume *chunk*; yield every payload completed by it."""
         self._buffer.extend(chunk)
         while True:
+            if self._skip:
+                drop = min(self._skip, len(self._buffer))
+                del self._buffer[:drop]
+                self._skip -= drop
+                if self._skip:
+                    return
             if len(self._buffer) < _LENGTH.size:
                 return
             (length,) = _LENGTH.unpack_from(self._buffer, 0)
             if length > MAX_FRAME_BYTES:
+                # Arm skip mode before raising so a caller that keeps
+                # feeding resynchronises at the next frame boundary.
+                del self._buffer[: _LENGTH.size]
+                self._skip = length
                 raise ProtocolError(f"advertised frame length {length} exceeds limit")
             end = _LENGTH.size + length
             if len(self._buffer) < end:
@@ -118,7 +155,7 @@ class FrameReader:
             except ValueError as exc:
                 # JSONDecodeError and UnicodeDecodeError both subclass
                 # ValueError; a fuzzed frame must never escape the
-                # ProtocolError contract and kill a reader thread.
+                # ProtocolError contract and kill the I/O loop.
                 raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
             if self._key is not None:
                 payload = verify_payload(payload, self._key)

@@ -50,7 +50,7 @@ def _new_trace_id(task_id: str) -> str:
     return f"tr-{next(_trace_seq):08x}-{task_id}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceContext:
     """The compact context that rides wire frames: ids only, no state."""
 
@@ -67,7 +67,7 @@ class TraceContext:
         return cls(trace_id=str(data["tid"]), span_id=int(data.get("sid", 0)))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One step of one task attempt, on the dispatcher's clock."""
 
@@ -111,13 +111,13 @@ class Span:
 
 
 class _Trace:
-    __slots__ = ("trace_id", "task_id", "spans", "span_seq")
+    __slots__ = ("trace_id", "task_id", "spans", "last_span_id")
 
     def __init__(self, trace_id: str, task_id: str) -> None:
         self.trace_id = trace_id
         self.task_id = task_id
         self.spans: list[Span] = []
-        self.span_seq = itertools.count(1)
+        self.last_span_id = 0
 
 
 class SpanCollector:
@@ -171,7 +171,7 @@ class SpanCollector:
             trace = self._traces.get(task_id)
             if trace is None:
                 return None
-            span_id = next(trace.span_seq)
+            span_id = trace.last_span_id = trace.last_span_id + 1
             parent = trace.spans[-1].span_id if trace.spans else None
             if trace.spans:
                 # Chains are causal: a span anchored on another clock

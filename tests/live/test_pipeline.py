@@ -1,0 +1,175 @@
+"""Bounded pipelining (§3.4 piggy-backing extended, wire v2).
+
+Executors that advertise ``pipeline: N`` in REGISTER receive up to N
+queued tasks per WORK/RESULT_ACK frame as a ``tasks`` list, report
+completions in batched RESULT frames, and the dispatcher pushes the
+matching settled results to clients in batched CLIENT_NOTIFY frames.
+Depth-1 peers keep the v1 singular ``task``/``result`` wire format.
+"""
+
+import pytest
+
+from repro.live.client import LiveClient
+from repro.live.dispatcher import MAX_PIPELINE_DEPTH, LiveDispatcher
+from repro.live.faults import FaultPlan
+from repro.live.local import LocalFalkon
+from repro.net.message import Message, MessageType
+from repro.types import TaskSpec
+
+from tests.live.util import RawPeer, wait_until
+
+
+def _sleep_tasks(n, prefix="pp"):
+    return [TaskSpec.sleep(0, task_id=f"{prefix}-{i:04d}") for i in range(n)]
+
+
+def _register_pipelined(peer: RawPeer, executor_id: str, depth: int) -> None:
+    peer.send(
+        Message(
+            MessageType.REGISTER,
+            sender=executor_id,
+            payload={"executor_id": executor_id, "pipeline": depth},
+        )
+    )
+    peer.recv_until(MessageType.REGISTER_ACK)
+
+
+def test_pipelined_deployment_completes_with_full_traces():
+    with LocalFalkon(executors=2, pipeline_depth=8) as falkon:
+        tasks = _sleep_tasks(200)
+        results = falkon.run(tasks, timeout=60)
+        assert all(r.ok for r in results)
+        for task in tasks:
+            assert falkon.dispatcher.spans.chain_complete(task.task_id), \
+                falkon.dispatcher.spans.chain_errors(task.task_id)
+
+
+def test_pipelined_work_frame_carries_task_list():
+    with LiveDispatcher() as dispatcher:
+        client = LiveClient(dispatcher.address)
+        futures = client.submit(_sleep_tasks(10, "wl"))
+        peer = RawPeer(dispatcher.address)
+        try:
+            _register_pipelined(peer, "pp-exec", 4)
+            peer.send(Message(MessageType.GET_WORK, sender="pp-exec"))
+            work = peer.recv_until(MessageType.WORK)
+            assert "task" not in work.payload  # v2, not the singular v1 key
+            entries = work.payload["tasks"]
+            assert 1 <= len(entries) <= 4
+            for entry in entries:
+                assert entry["task"]["task_id"].startswith("wl-")
+                assert entry["attempt"] == 1
+                assert entry["trace"] and "tid" in entry["trace"]
+        finally:
+            peer.close()
+            client.close()
+            del futures
+
+
+def test_batched_result_settles_all_and_refills_ack():
+    with LiveDispatcher() as dispatcher:
+        client = LiveClient(dispatcher.address)
+        futures = client.submit(_sleep_tasks(8, "br"))
+        peer = RawPeer(dispatcher.address)
+        try:
+            _register_pipelined(peer, "br-exec", 4)
+            peer.send(Message(MessageType.GET_WORK, sender="br-exec"))
+            work = peer.recv_until(MessageType.WORK)
+            entries = work.payload["tasks"]
+            assert len(entries) == 4
+            # One RESULT frame carries the whole batch (wire v2).
+            peer.send(
+                Message(
+                    MessageType.RESULT,
+                    sender="br-exec",
+                    payload={
+                        "results": [
+                            {
+                                "result": {"task_id": e["task"]["task_id"],
+                                           "return_code": 0},
+                                "attempt": e["attempt"],
+                                "exec": {"seconds": 0.0},
+                            }
+                            for e in entries
+                        ]
+                    },
+                )
+            )
+            ack = peer.recv_until(MessageType.RESULT_ACK)
+            # The ack refills the freed capacity with the next batch.
+            refill = ack.payload["tasks"]
+            assert len(refill) == 4
+            done = {e["task"]["task_id"] for e in entries}
+            assert {e["task"]["task_id"] for e in refill}.isdisjoint(done)
+            # The settled batch reached the client (batched notify).
+            settled = [f for f in futures if f.task_id in done]
+            for future in settled:
+                assert future.result(timeout=5.0).ok
+            assert dispatcher.tasks_completed == 4
+        finally:
+            peer.close()
+            client.close()
+
+
+def test_depth1_peer_keeps_v1_singular_wire_format():
+    with LiveDispatcher() as dispatcher:
+        client = LiveClient(dispatcher.address)
+        futures = client.submit(_sleep_tasks(3, "v1"))
+        peer = RawPeer(dispatcher.address)
+        try:
+            peer.register("v1-exec")
+            peer.send(Message(MessageType.GET_WORK, sender="v1-exec"))
+            work = peer.recv_until(MessageType.WORK)
+            assert "tasks" not in work.payload
+            assert work.payload["task"]["task_id"].startswith("v1-")
+            assert work.payload["attempt"] == 1
+            assert work.trace is not None
+        finally:
+            peer.close()
+            client.close()
+            del futures
+
+
+def test_advertised_depth_is_capped():
+    with LiveDispatcher() as dispatcher:
+        client = LiveClient(dispatcher.address)
+        futures = client.submit(_sleep_tasks(2 * MAX_PIPELINE_DEPTH, "cap"))
+        peer = RawPeer(dispatcher.address)
+        try:
+            _register_pipelined(peer, "cap-exec", 10_000)
+            peer.send(Message(MessageType.GET_WORK, sender="cap-exec"))
+            work = peer.recv_until(MessageType.WORK)
+            assert len(work.payload["tasks"]) == MAX_PIPELINE_DEPTH
+        finally:
+            peer.close()
+            client.close()
+            del futures
+
+
+def test_pipeline_depth_validation():
+    with pytest.raises(ValueError):
+        LocalFalkon(executors=1, pipeline_depth=0)
+
+
+def test_pipelined_run_survives_frame_loss():
+    # Replay and liveness must hold with batched WORK/RESULT frames:
+    # a dropped frame now loses a whole batch, and the replay timer
+    # must recover every task in it.
+    plan = FaultPlan(seed=7, drop_rate=0.05)
+    with LocalFalkon(
+        executors=2,
+        pipeline_depth=4,
+        fault_plan=plan,
+        heartbeat_interval=0.2,
+        replay_timeout=0.75,
+        max_retries=12,
+    ) as falkon:
+        tasks = _sleep_tasks(80, "fl")
+        results = falkon.run(tasks, timeout=60)
+        assert all(r.ok for r in results)
+        assert wait_until(
+            lambda: all(
+                falkon.dispatcher.spans.chain_complete(t.task_id) for t in tasks
+            ),
+            timeout=5.0,
+        )

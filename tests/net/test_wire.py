@@ -94,6 +94,29 @@ def test_frame_reader_rejects_oversized_header():
         list(reader.feed(struct.pack(">I", 2**31)))
 
 
+def test_frame_reader_oversized_frame_does_not_poison_stream():
+    import struct
+
+    from repro.net.wire import MAX_FRAME_BYTES
+
+    before = encode_frame({"n": "before"})
+    oversized_len = MAX_FRAME_BYTES + 1
+    after = encode_frame({"n": "after"})
+    reader = FrameReader()
+    assert list(reader.feed(before)) == [{"n": "before"}]
+    with pytest.raises(ProtocolError):
+        list(reader.feed(struct.pack(">I", oversized_len)))
+    # Stream the advertised-but-bogus body in chunks, with the next
+    # good frame appended mid-way: the reader must discard exactly the
+    # oversized body, then resynchronise and parse the good frame.
+    junk = b"x" * oversized_len
+    got = []
+    got.extend(reader.feed(junk[: oversized_len // 2]))
+    got.extend(reader.feed(junk[oversized_len // 2 :] + after))
+    assert got == [{"n": "after"}]
+    assert reader.pending_bytes == 0
+
+
 def test_frame_reader_rejects_bad_json():
     import struct
 
