@@ -31,6 +31,12 @@ python -m pytest -x -q
 echo "== dispatch bench gate =="
 python -m repro bench --quick
 
+# Telemetry overhead gate: the live telemetry plane (heartbeat-carried
+# stats + HTTP status surface) must cost < 5% of sleep-0 throughput.
+# Paired interleaved runs; the measurement lands in BENCH_telemetry.json.
+echo "== telemetry overhead gate =="
+python -m repro bench --quick --telemetry
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== Figure 3 throughput smoke =="
     python -m pytest benchmarks/test_fig3_throughput.py -q

@@ -7,7 +7,11 @@ Usage (after ``pip install -e .``)::
     python -m repro provision --idle 60           # §4.6 dynamic provisioning
     python -m repro workload 18stage|fmri|montage|trace
     python -m repro live --executors 4 --tasks 2000 [--pipeline 32]
+    python -m repro live --http-port 8090 --events-out run.jsonl
+    python -m repro top --http http://127.0.0.1:8090   # live cluster table
+    python -m repro events replay run.jsonl       # timeline from an event log
     python -m repro bench --quick                 # regression-gated dispatch bench
+    python -m repro bench --telemetry             # telemetry overhead budget gate
     python -m repro export --out results/ [--quick]
 
 Every command is a thin wrapper over the public library API; the
@@ -60,6 +64,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "(§3.4 piggy-backing extended; 1 = classic protocol)")
     p.add_argument("--metrics-out", metavar="DIR", default=None,
                    help="export metrics (Prometheus + JSONL) and span traces here")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /status and /tasks/<id> over HTTP "
+                        "while the run is live (0 picks a free port)")
+    p.add_argument("--events-out", metavar="PATH", default=None,
+                   help="stream dispatcher lifecycle events to this JSONL file "
+                        "(replay with `repro events replay PATH`)")
+    p.add_argument("--linger", type=float, default=0.0, metavar="SECONDS",
+                   help="keep the deployment (and its HTTP surface) up this "
+                        "long after the tasks finish")
+
+    p = sub.add_parser("top", help="live cluster table polled from a dispatcher's /status")
+    p.add_argument("--http", metavar="URL", default="http://127.0.0.1:8090",
+                   help="base URL of a dispatcher started with --http-port")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N refreshes (0 = until interrupted)")
+
+    p = sub.add_parser("events", help="work with structured event logs")
+    events_sub = p.add_subparsers(dest="events_command", required=True)
+    p = events_sub.add_parser("replay", help="reconstruct a timeline summary from a JSONL event log")
+    p.add_argument("path", help="event log written by `repro live --events-out`")
 
     p = sub.add_parser(
         "bench",
@@ -75,11 +101,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed fractional regression before the gate fails")
     p.add_argument("--update-baseline", action="store_true",
                    help="overwrite the recorded baseline with this run")
+    p.add_argument("--telemetry", action="store_true",
+                   help="measure the telemetry plane's overhead (paired runs "
+                        "with and without --http-port + streamed stats) and "
+                        "gate it against --budget")
+    p.add_argument("--budget", type=float, default=0.05,
+                   help="allowed fractional throughput cost of the telemetry "
+                        "plane (with --telemetry)")
+    p.add_argument("--out", metavar="PATH", default="BENCH_telemetry.json",
+                   help="where --telemetry records its measurement")
 
     p = sub.add_parser("trace", help="print one task's span chain from a live run export")
     p.add_argument("task_id", help="task id, e.g. cli-000042")
     p.add_argument("--metrics", metavar="PATH", default="metrics",
                    help="spans.jsonl file, or the --metrics-out directory holding it")
+    p.add_argument("--http", metavar="URL", default=None,
+                   help="fetch the chain from a live dispatcher's /tasks/<id> "
+                        "instead of a file export")
 
     p = sub.add_parser("export", help="regenerate all figures/tables as CSV")
     p.add_argument("--out", default="results")
@@ -102,6 +140,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "provision": _cmd_provision,
         "workload": _cmd_workload,
         "live": _cmd_live,
+        "top": _cmd_top,
+        "events": _cmd_events,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "export": _cmd_export,
@@ -251,8 +291,17 @@ def _cmd_live(args) -> int:
     from repro.metrics import timeline_summary
     from repro.types import TaskSpec
 
+    # The HTTP status surface is only interesting when stats stream:
+    # default a heartbeat in when --http-port is given without one.
+    heartbeat = 0.5 if args.http_port is not None else None
     with LocalFalkon(executors=args.executors, bundle_size=args.bundle,
-                     pipeline_depth=args.pipeline) as falkon:
+                     pipeline_depth=args.pipeline,
+                     heartbeat_interval=heartbeat,
+                     http_port=args.http_port,
+                     events_out=args.events_out) as falkon:
+        if falkon.http is not None:
+            print(f"status surface at {falkon.http.url('/status')} "
+                  f"(also /metrics, /tasks/<id>)")
         tasks = [TaskSpec.sleep(0, task_id=f"cli-{i:06d}") for i in range(args.tasks)]
         started = time.monotonic()
         results = falkon.run(tasks, timeout=300)
@@ -260,13 +309,150 @@ def _cmd_live(args) -> int:
         if args.metrics_out:
             for path in falkon.dump_observability(args.metrics_out):
                 print(f"wrote {path}")
+        if args.linger > 0:
+            print(f"lingering {args.linger:g} s (scrape away; Ctrl-C to stop)")
+            try:
+                time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
     ok = sum(1 for r in results if r.ok)
     print(f"{ok}/{len(results)} tasks ok over real TCP with "
           f"{args.executors} executors: {len(results) / elapsed:,.0f} tasks/s "
           f"({elapsed:.2f} s)")
+    if args.events_out:
+        print(f"event log -> {args.events_out} "
+              f"(replay with `repro events replay {args.events_out}`)")
     if args.metrics_out:
         timeline_summary(results, title="Live run latencies").print()
     return 0 if ok == len(results) else 1
+
+
+def _fetch_json(url: str, timeout: float = 5.0) -> dict:
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.load(response)
+
+
+def _render_top(snapshot: dict) -> str:
+    """One refresh of the ``repro top`` display, as plain text."""
+    lines: list[str] = []
+    disp = snapshot.get("dispatcher", {})
+    cluster = snapshot.get("cluster", {})
+    latency = snapshot.get("latency", {})
+
+    def fmt(value, spec=".2f", scale=1.0, suffix=""):
+        if not isinstance(value, (int, float)):
+            return "-"
+        return f"{value * scale:{spec}}{suffix}"
+
+    rate = cluster.get("dispatch_rate_tasks_per_s")
+    util = cluster.get("utilization")
+    lines.append(
+        f"executors {disp.get('registered', 0)} ({disp.get('busy', 0)} busy)  "
+        f"queued {disp.get('queued', 0)}  "
+        f"done {disp.get('completed', 0)}/{disp.get('accepted', 0)}  "
+        f"retries {disp.get('retries', 0)}"
+    )
+    lines.append(
+        f"throughput {fmt(rate, '.0f', suffix=' tasks/s')}  "
+        f"utilization {fmt(util, '.0%')}  "
+        f"overhead/task {fmt(cluster.get('overhead_per_task_s'), '.2f', 1e3, ' ms')}"
+    )
+    lines.append(
+        f"dispatch latency p50 {fmt(latency.get('dispatch_p50_s'), '.1f', 1e3, ' ms')}  "
+        f"p90 {fmt(latency.get('dispatch_p90_s'), '.1f', 1e3, ' ms')}  "
+        f"p99 {fmt(latency.get('dispatch_p99_s'), '.1f', 1e3, ' ms')}"
+    )
+    executors = snapshot.get("executors", {})
+    if executors:
+        header = f"{'EXECUTOR':<20} {'BUSY':>4} {'PIPE':>4} {'BACKLOG':>7} {'DONE':>8} {'AGE':>6}"
+        lines.append(header)
+        for executor_id in sorted(executors):
+            row = executors[executor_id]
+            lines.append(
+                f"{executor_id:<20} {row.get('busy_tasks', 0):>4} "
+                f"{row.get('pipeline', 1):>4} "
+                f"{fmt(row.get('backlog'), '.0f'):>7} "
+                f"{fmt(row.get('executed'), '.0f'):>8} "
+                f"{fmt(row.get('age_s'), '.1f', suffix='s'):>6}"
+            )
+    efficiency = cluster.get("efficiency_vs_task_length") or {}
+    if any(isinstance(v, (int, float)) for v in efficiency.values()):
+        def _length_key(item):
+            try:
+                return float(str(item[0]).rstrip("s"))
+            except ValueError:
+                return float("inf")
+
+        pairs = "  ".join(
+            f"{length}={fmt(value, '.0%')}"
+            for length, value in sorted(efficiency.items(), key=_length_key)
+        )
+        lines.append(f"efficiency vs task length: {pairs}")
+    lines.append(f"uptime {fmt(snapshot.get('uptime_s'), '.0f', suffix=' s')}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import urllib.error
+
+    url = args.http.rstrip("/") + "/status"
+    refreshed = 0
+    while True:
+        try:
+            snapshot = _fetch_json(url)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"cannot poll {url}: {exc} "
+                  f"(is a dispatcher running with --http-port?)", file=sys.stderr)
+            return 2
+        refreshed += 1
+        if args.iterations != 1:
+            # Cursor home + clear: a refreshing display.  One-shot
+            # invocations (--iterations 1) stay scriptable plain text.
+            print("\x1b[H\x1b[J", end="")
+        print(f"repro top — {url} (refresh {refreshed})")
+        print(_render_top(snapshot))
+        if args.iterations and refreshed >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_events(args) -> int:
+    import os
+
+    from repro.metrics import Table
+    from repro.obs import read_events_jsonl, replay_summary
+
+    if not os.path.exists(args.path):
+        print(f"no event log at {args.path} "
+              f"(run `repro live --events-out {args.path}` first)", file=sys.stderr)
+        return 2
+    events = read_events_jsonl(args.path)
+    if not events:
+        print(f"event log {args.path} holds no parseable events", file=sys.stderr)
+        return 1
+    summary = replay_summary(events)
+    table = Table(f"event replay: {args.path}", ["Quantity", "Value"])
+    table.add_row("events", summary["events"])
+    table.add_row("duration (s)", round(summary["duration_s"], 3))
+    table.add_row("tasks submitted", summary["submitted"])
+    table.add_row("tasks settled", summary["settled"])
+    for outcome, count in summary["outcomes"].items():
+        table.add_row(f"  outcome: {outcome}", count)
+    table.add_row("retries", summary["retries"])
+    throughput = summary["throughput_tasks_per_s"]
+    table.add_row("throughput (tasks/s)",
+                  "-" if throughput is None else round(throughput, 1))
+    table.add_row("executors registered", summary["executors_registered"])
+    table.add_row("executors dropped", summary["executors_dropped"])
+    table.print()
+    print("kinds: " + ", ".join(f"{k}={v}" for k, v in summary["kinds"].items()))
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -285,11 +471,12 @@ def _cmd_bench(args) -> int:
 
     n_tasks = 1500 if args.quick else 5000
 
-    def one_round(round_index: int) -> dict:
+    def one_round(round_index: int, **deploy_kwargs) -> dict:
         with LocalFalkon(
             executors=args.executors,
             bundle_size=500,
             pipeline_depth=args.pipeline,
+            **deploy_kwargs,
         ) as falkon:
             tasks = [
                 TaskSpec.sleep(0, task_id=f"bench-{round_index}-{i:06d}")
@@ -306,6 +493,9 @@ def _cmd_bench(args) -> int:
             "dispatch_p50_s": stats.dispatch_latency_p50,
             "dispatch_p99_s": stats.dispatch_latency_p99,
         }
+
+    if args.telemetry:
+        return _bench_telemetry(args, n_tasks, one_round)
 
     best = max((one_round(i) for i in range(2)), key=lambda r: r["tasks_per_s"])
     rate = best["tasks_per_s"]
@@ -344,15 +534,76 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _bench_telemetry(args, n_tasks: int, one_round) -> int:
+    """Measure what the live telemetry plane costs, and gate it.
+
+    Interleaved A/B rounds (base, telemetry, base, telemetry, ...) so
+    machine-load drift hits both configurations equally; best-of per
+    configuration; the gate fires only when the telemetry configuration
+    costs more than ``--budget`` of sleep-0 throughput.
+    """
+    import json
+
+    # The full telemetry plane as a user would turn it on: HTTP status
+    # surface up, executors streaming heartbeat stats, the monitor
+    # folding self-samples.  Event logging stays off — it is opt-in
+    # per run (`--events-out`) and documented as outside this budget.
+    telemetry_kwargs = {"heartbeat_interval": 0.25, "http_port": 0}
+    rounds = 3
+    base_best = telem_best = 0.0
+    for i in range(rounds):
+        base_best = max(base_best, one_round(2 * i)["tasks_per_s"])
+        telem_best = max(
+            telem_best, one_round(2 * i + 1, **telemetry_kwargs)["tasks_per_s"]
+        )
+    overhead = max(0.0, 1.0 - telem_best / base_best)
+    record = {
+        "base_tasks_per_s": base_best,
+        "telemetry_tasks_per_s": telem_best,
+        "overhead_fraction": overhead,
+        "budget_fraction": args.budget,
+        "n_tasks": n_tasks,
+        "executors": args.executors,
+        "pipeline": args.pipeline,
+        "rounds": rounds,
+        "telemetry_config": {"heartbeat_interval": 0.25, "http": True,
+                             "events": False},
+        "quick": args.quick,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"telemetry overhead bench ({n_tasks} sleep-0 tasks, "
+          f"{args.executors} executors, pipeline depth {args.pipeline}, "
+          f"best of {rounds} interleaved rounds):")
+    print(f"  base      {base_best:,.0f} tasks/s")
+    print(f"  telemetry {telem_best:,.0f} tasks/s "
+          f"(heartbeat stats @0.25s + HTTP surface)")
+    print(f"  overhead  {overhead:.1%} (budget {args.budget:.0%}) -> {args.out}")
+    if overhead > args.budget:
+        print(f"  telemetry plane exceeds its overhead budget "
+              f"({overhead:.1%} > {args.budget:.0%})", file=sys.stderr)
+        return 1
+    print("  OK: telemetry plane within budget")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import os
 
     from repro.obs import SPAN_ORDER, read_spans_jsonl
 
+    if args.http is not None:
+        return _trace_http(args)
     path = args.metrics
     if os.path.isdir(path):
         path = os.path.join(path, "spans.jsonl")
-    if not os.path.exists(path):
+        if not os.path.exists(path):
+            print(f"metrics directory {args.metrics} holds no spans.jsonl "
+                  f"(was the live run exported with --metrics-out?)",
+                  file=sys.stderr)
+            return 2
+    elif not os.path.exists(path):
         print(f"no span export at {path} (run `repro live --metrics-out DIR` first)",
               file=sys.stderr)
         return 2
@@ -368,6 +619,36 @@ def _cmd_trace(args) -> int:
     if missing:
         print(f"incomplete chain: missing {', '.join(missing)}")
         return 1
+    return 0
+
+
+def _trace_http(args) -> int:
+    """Fetch a span chain from a live dispatcher's /tasks/<id>."""
+    import urllib.error
+
+    url = args.http.rstrip("/") + f"/tasks/{args.task_id}"
+    try:
+        payload = _fetch_json(url)
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            print(f"no trace recorded for task {args.task_id!r} at {args.http}",
+                  file=sys.stderr)
+            return 1
+        print(f"cannot fetch {url}: HTTP {exc.code}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"cannot fetch {url}: {exc} "
+              f"(is a dispatcher running with --http-port?)", file=sys.stderr)
+        return 2
+    spans = payload.get("spans", [])
+    print(f"trace for {args.task_id} ({len(spans)} spans, live)")
+    for span in spans:
+        name = span.get("name", "?")
+        start = span.get("start", 0.0)
+        end = span.get("end", start)
+        attrs = span.get("attrs", {})
+        extras = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        print(f"  {name:<8} t={start:.6f}s dur={(end - start) * 1e3:.3f}ms {extras}")
     return 0
 
 

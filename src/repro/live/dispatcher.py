@@ -69,10 +69,27 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ProtocolError
 from repro.live.ioloop import IOLoop
-from repro.live.protocol import Connection, result_from_dict, task_from_dict, task_to_dict
+from repro.live.protocol import (
+    Connection,
+    result_from_dict,
+    stats_from_payload,
+    task_from_dict,
+    task_to_dict,
+)
 from repro.net.message import Message, MessageType
 from repro.net.wire import encode_frame
-from repro.obs import DispatcherStats, MetricsRegistry, Span, SpanCollector
+from repro.obs import (
+    DispatcherStats,
+    EventLog,
+    MetricsRegistry,
+    Span,
+    SpanCollector,
+    StatusServer,
+    TimeSeriesStore,
+    render_prometheus,
+)
+from repro.obs import events as ev
+from repro.obs.timeseries import DISPATCHER_SOURCE, PROVISIONER_SOURCE
 from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -152,6 +169,12 @@ class LiveDispatcher:
     fault_plan:
         A :class:`repro.live.faults.FaultPlan`; when set, every inbound
         session speaks through a fault-injecting connection.
+    event_log:
+        A :class:`repro.obs.EventLog` to receive lifecycle events
+        (task submit/dispatch/retry/settle, executor register/evict/
+        drop).  ``None`` installs a disabled log: the hot path pays one
+        attribute check and nothing else, which keeps the telemetry
+        overhead budget honest (``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -166,6 +189,7 @@ class LiveDispatcher:
         replay_timeout: Optional[float] = None,
         monitor_interval: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        event_log: Optional[EventLog] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -209,6 +233,12 @@ class LiveDispatcher:
         # and every task grows an ordered span chain in the collector.
         self.metrics = MetricsRegistry(prefix="dispatcher")
         self.spans = SpanCollector()
+        # The live telemetry plane: heartbeat-carried executor stats and
+        # the monitor's self-samples fold into bounded rolling series;
+        # the optional HTTP surface and ``repro top`` read them back.
+        self.timeseries = TimeSeriesStore()
+        self.events = event_log if event_log is not None else EventLog(enabled=False)
+        self._http: Optional[StatusServer] = None
         self._m_accepted = self.metrics.counter(
             "tasks_accepted", help="Tasks accepted from clients")
         self._m_completed = self.metrics.counter(
@@ -324,11 +354,99 @@ class LiveDispatcher:
         """The ordered span chain recorded for *task_id*."""
         return self.spans.chain(task_id)
 
+    # -- HTTP status surface --------------------------------------------------
+    def serve_http(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registries_fn=None,
+    ) -> StatusServer:
+        """Start the scrape/status endpoint (``repro live --http-port``).
+
+        ``registries_fn`` optionally supplies extra metric registries
+        for ``/metrics`` (e.g. co-located executor/provisioner
+        registries in :class:`~repro.live.local.LocalFalkon`); it is a
+        callable so executors provisioned after startup still appear.
+        """
+        if self._http is not None:
+            return self._http
+
+        def metrics_text() -> str:
+            registries = [self.metrics]
+            if registries_fn is not None:
+                registries += [r for r in registries_fn() if r is not self.metrics]
+            return render_prometheus(*registries)
+
+        def task(task_id: str):
+            chain = self.spans.chain(task_id)
+            return [span.to_dict() for span in chain] if chain else None
+
+        self._http = StatusServer(
+            metrics_text=metrics_text,
+            status=self.status_snapshot,
+            task=task,
+            host=host,
+            port=port,
+        )
+        return self._http
+
+    @property
+    def http(self) -> Optional[StatusServer]:
+        return self._http
+
+    def status_snapshot(self) -> dict:
+        """The ``/status`` payload: dispatcher stats, derived cluster
+        gauges, and a per-executor telemetry table.
+
+        The executor table merges session-side truth (busy set,
+        pipeline depth, liveness age) with the newest heartbeat-carried
+        stats when the executor streams them — so the table is useful
+        even against agents that heartbeat without stats (v1 peers) or
+        not at all.
+        """
+        now = time.monotonic()
+        with self._exec_lock:
+            executors = list(self._executors.values())
+        table = {}
+        for executor in executors:
+            with executor.lock:
+                info = {
+                    "busy_tasks": len(executor.busy),
+                    "pipeline": executor.pipeline,
+                    "age_s": max(0.0, now - executor.last_seen),
+                }
+            telemetry = self.timeseries.latest(executor.executor_id)
+            for key, value in telemetry.items():
+                if key != "_t":
+                    info[key] = value
+            table[executor.executor_id] = info
+        snapshot = {
+            "dispatcher": self.stats().as_dict(),
+            "cluster": self.timeseries.cluster(),
+            "executors": table,
+            "provisioner": {
+                k: v for k, v in self.timeseries.latest(PROVISIONER_SOURCE).items()
+                if k != "_t"
+            },
+            "latency": {
+                "dispatch_p50_s": self._h_dispatch.p50,
+                "dispatch_p90_s": self._h_dispatch.p90,
+                "dispatch_p99_s": self._h_dispatch.p99,
+                "e2e_p50_s": self._h_e2e.p50,
+                "e2e_p99_s": self._h_e2e.p99,
+            },
+            "uptime_s": now - self._started,
+        }
+        return snapshot
+
     def close(self) -> None:
         """Shut the server and every session down."""
         if self._closing.is_set():
             return
         self._closing.set()
+        if self._http is not None:
+            self._http.close()
+        self.events.close()
         try:
             self._server.close()
         except OSError:
@@ -366,6 +484,7 @@ class LiveDispatcher:
 
     def _sweep(self) -> None:
         now = time.monotonic()
+        self._sample_self(now)
         dead: list[str] = []
         with self._exec_lock:
             executors = list(self._executors.values())
@@ -403,11 +522,41 @@ class LiveDispatcher:
                         executor.notified = False
             wake = self._pick_idle_executors(qlen)
         for executor_id in dead:
-            if self._drop_executor(executor_id):
+            if self._drop_executor(executor_id, reason="heartbeat-timeout",
+                                   kind=ev.EXECUTOR_EVICT):
                 self._m_dead.inc()
         for executor in wake:
             self._send_notify(executor)
         self._notify_clients(overdue_notifies)
+
+    def _sample_self(self, now: float) -> None:
+        """Fold the dispatcher's own gauges into the time-series store.
+
+        Same clock and store as the heartbeat-carried executor stats,
+        so the derived cluster gauges (utilization, dispatch rate,
+        efficiency) always read consistently.
+        """
+        with self._queue_lock:
+            queued = len(self._queue)
+        with self._exec_lock:
+            executors = list(self._executors.values())
+        busy = 0
+        for executor in executors:
+            with executor.lock:
+                if executor.busy:
+                    busy += 1
+        self.timeseries.ingest(DISPATCHER_SOURCE, now, {
+            "queued": queued,
+            "registered": len(executors),
+            "busy": busy,
+            "accepted": self._m_accepted.value,
+            "completed": self._m_completed.value,
+            "failed": self._m_failed.value,
+            "retries": self._m_retries.value,
+            "e2e_sum_s": self._h_e2e.sum,
+            "e2e_count": self._h_e2e.count,
+            "exec_sum_s": self._h_exec.sum,
+        })
 
     def _exec_get(self, executor_id: str) -> Optional[_ExecutorSession]:
         with self._exec_lock:
@@ -437,6 +586,7 @@ class LiveDispatcher:
                 client_id = f"client-{next(self._client_seq):04d}"
             self._clients[client_id] = _ClientSession(client_id, session.conn)
         session.role = ("client", client_id)
+        self.events.emit(ev.CLIENT_CONNECT, client_id, resumed=bool(requested))
         if stale_conn is not None:
             stale_conn.close()
         session.conn.send(
@@ -472,6 +622,12 @@ class LiveDispatcher:
             self._queue.extend(record.spec.task_id for record in new_records)
         if tasks:
             self._m_accepted.inc(len(tasks))
+            if self.events.enabled:
+                # Guarded: per-task emission must cost nothing when no
+                # event log is attached (the common case).
+                for spec in tasks:
+                    self.events.emit(ev.TASK_SUBMIT, spec.task_id,
+                                     client=client_id, bundle=bundle)
         idle_to_notify = self._pick_idle_executors(len(tasks))
         session.conn.send(
             Message(MessageType.SUBMIT_ACK, sender="dispatcher",
@@ -538,6 +694,8 @@ class LiveDispatcher:
             if reconnect:
                 self._m_reconnects.inc()
         session.role = ("executor", executor_id)
+        self.events.emit(ev.EXECUTOR_REGISTER, executor_id,
+                         reconnect=reconnect, pipeline=executor.pipeline)
         session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
         with self._queue_lock:
             notify = bool(self._queue)
@@ -551,9 +709,17 @@ class LiveDispatcher:
             session.role = None
 
     def _on_heartbeat(self, session: "_Session", msg: Message) -> None:
-        # Receipt alone refreshes ``last_seen`` (see _Session._handle);
-        # the heartbeat carries no other state.
-        return
+        # Receipt alone refreshes ``last_seen`` (see _Session._handle).
+        # Wire v2 peers additionally piggy-back a compact stats dict;
+        # it folds into the rolling time-series store.  Only sessions
+        # that completed REGISTER may write — a raw peer spraying junk
+        # heartbeats must not mint series.
+        role = session.role
+        if role is None or role[0] != "executor":
+            return
+        stats = stats_from_payload(msg.payload)
+        if stats is not None:
+            self.timeseries.ingest(role[1], time.monotonic(), stats)
 
     def _on_get_work(self, session: "_Session", msg: Message) -> None:
         role = session.role
@@ -688,6 +854,11 @@ class LiveDispatcher:
 
     # -- provisioner protocol ----------------------------------------------------
     def _on_status(self, session: "_Session", msg: Message) -> None:
+        # The provisioner's poll may piggy-back its own stats (wire v2
+        # optional field, mirroring executor heartbeats).
+        stats = stats_from_payload(msg.payload)
+        if stats is not None:
+            self.timeseries.ingest(PROVISIONER_SOURCE, time.monotonic(), stats)
         session.conn.send(
             Message(MessageType.STATUS_REPLY, sender="dispatcher",
                     payload=self.stats().as_dict())
@@ -802,6 +973,11 @@ class LiveDispatcher:
                     mode=record.dispatch_mode,
                 )
                 self._h_dispatch.observe(now - record.timeline.submitted)
+                if self.events.enabled:
+                    self.events.emit(ev.TASK_DISPATCH, record.spec.task_id,
+                                     executor=executor_id,
+                                     attempt=record.attempts,
+                                     mode=record.dispatch_mode)
 
     def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
         """Idle executors to NOTIFY, at most *limit*."""
@@ -840,9 +1016,18 @@ class LiveDispatcher:
             else:
                 self._m_failed.inc()
             self._h_e2e.observe(record.timeline.completed - record.timeline.submitted)
+            if self.events.enabled:
+                self.events.emit(
+                    ev.TASK_SETTLE, record.spec.task_id,
+                    outcome="ok" if result.ok else "fail",
+                    attempts=record.attempts, executor=result.executor_id,
+                )
             return (record.client_id, result)
         # retry
         self._m_retries.inc()
+        if self.events.enabled:
+            self.events.emit(ev.TASK_RETRY, record.spec.task_id,
+                             attempt=record.attempts, reason="failed-result")
         record.state = TaskState.QUEUED
         record.executor_id = ""
         record.delivered = False
@@ -865,6 +1050,9 @@ class LiveDispatcher:
                 executor.notified = False
         if record.attempts <= self.max_retries:
             self._m_retries.inc()
+            if self.events.enabled:
+                self.events.emit(ev.TASK_RETRY, record.spec.task_id,
+                                 attempt=record.attempts, reason=reason)
             record.state = TaskState.QUEUED
             record.executor_id = ""
             record.delivered = False
@@ -938,7 +1126,13 @@ class LiveDispatcher:
             except Exception:
                 pass  # client went away; results remain queryable
 
-    def _drop_executor(self, executor_id: str, only_conn: Optional[Connection] = None) -> bool:
+    def _drop_executor(
+        self,
+        executor_id: str,
+        only_conn: Optional[Connection] = None,
+        reason: str = "connection-closed",
+        kind: str = ev.EXECUTOR_DROP,
+    ) -> bool:
         """Remove an executor; replay its in-flight tasks.
 
         ``only_conn`` guards against a superseded session's late close
@@ -952,6 +1146,10 @@ class LiveDispatcher:
             if only_conn is not None and executor.conn is not only_conn:
                 return False
             del self._executors[executor_id]
+        # Telemetry convergence: the dead agent's series disappear so
+        # the status surface never shows stuck gauges for it.
+        self.timeseries.forget(executor_id)
+        self.events.emit(kind, executor_id, reason=reason)
         with executor.lock:
             executor.dead = True
             in_flight = list(executor.busy)

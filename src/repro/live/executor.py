@@ -16,6 +16,12 @@ HEARTBEAT frames from a side thread so the dispatcher can tell a slow
 task from a dead agent; when the connection drops unexpectedly it
 reconnects with capped exponential backoff and re-registers (the
 ``reconnect`` flag lets the dispatcher supersede the stale session).
+
+Telemetry: unless ``heartbeat_stats=False``, each HEARTBEAT
+piggy-backs a compact ``stats`` dict (wire v2-optional field; v1
+dispatchers ignore unknown payload keys) that the dispatcher folds
+into its rolling time-series store — no extra frames, no extra
+round trips.
 """
 
 from __future__ import annotations
@@ -69,6 +75,7 @@ class LiveExecutor:
         backoff_cap: float = 2.0,
         fault_plan: Optional["FaultPlan"] = None,
         pipeline: int = 1,
+        heartbeat_stats: bool = True,
     ) -> None:
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive when set")
@@ -95,6 +102,9 @@ class LiveExecutor:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.fault_plan = fault_plan
+        #: Piggy-back stats on HEARTBEAT frames (set False to emulate a
+        #: v1 peer that sends bare heartbeats).
+        self.heartbeat_stats = heartbeat_stats
         self.metrics = MetricsRegistry(prefix="executor")
         self._m_executed = self.metrics.counter(
             "tasks_executed", help="Tasks run to a result on this agent")
@@ -107,6 +117,11 @@ class LiveExecutor:
         self._registered = threading.Event()
         self._rejected = threading.Event()
         self._acked_this_conn = False
+        # Instantaneous load, read by the heartbeat thread (plain int
+        # reads/writes; torn values are impossible under the GIL and a
+        # stale sample is harmless telemetry).
+        self._busy = 0
+        self._backlog = 0
         self._current_attempt: Optional[int] = None
         self._current_trace: Optional[dict] = None
         self._thread = threading.Thread(
@@ -303,6 +318,7 @@ class LiveExecutor:
                 for item in msg.payload.get("tasks", ()):
                     if isinstance(item, dict) and item.get("task") is not None:
                         entries.append((item["task"], item.get("attempt"), item.get("trace")))
+                self._backlog = len(entries)
                 # Drain the whole local batch before the next pull.
                 if self.pipeline > 1:
                     # Results batch into as few RESULT frames as the
@@ -320,6 +336,7 @@ class LiveExecutor:
                             self._execute_and_report(task_from_dict(task_payload))
                         except Exception:
                             break  # results lost with the connection; replay covers it
+                self._backlog = 0
             elif msg.type is MessageType.ERROR:
                 if "duplicate executor id" in msg.payload.get("error", ""):
                     self._rejected.set()
@@ -332,14 +349,32 @@ class LiveExecutor:
             conn = self._conn
             if conn is None or conn.closed:
                 continue
+            payload = {}
+            if self.heartbeat_stats:
+                # Compact stats delta, folded into the dispatcher's
+                # time-series store (wire v2-optional field; a v1
+                # dispatcher ignores unknown payload keys).
+                payload["stats"] = {
+                    "busy": self._busy,
+                    "backlog": self._backlog,
+                    "executed": self._m_executed.value,
+                    "exec_sum_s": self._h_exec.sum,
+                    "reconnects": self._m_reconnects.value,
+                }
             try:
-                conn.send(Message(MessageType.HEARTBEAT, sender=self.executor_id))
+                conn.send(Message(MessageType.HEARTBEAT, sender=self.executor_id,
+                                  payload=payload))
             except Exception:
                 pass  # the main loop handles the dead connection
 
     def _execute_and_report(self, spec: TaskSpec) -> None:
         exec_started = time.monotonic()
-        result = self.execute(spec)
+        self._busy = 1
+        try:
+            result = self.execute(spec)
+        finally:
+            self._busy = 0
+            self._backlog = max(0, self._backlog - 1)
         exec_seconds = time.monotonic() - exec_started
         self._m_executed.inc()
         self._h_exec.observe(exec_seconds)
@@ -378,7 +413,12 @@ class LiveExecutor:
             exec_started = time.monotonic()
             if not pending:
                 window_started = exec_started
-            result = self.execute(task_from_dict(task_payload))
+            self._busy = 1
+            try:
+                result = self.execute(task_from_dict(task_payload))
+            finally:
+                self._busy = 0
+                self._backlog = max(0, self._backlog - 1)
             exec_seconds = time.monotonic() - exec_started
             self._m_executed.inc()
             self._h_exec.observe(exec_seconds)

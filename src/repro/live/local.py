@@ -53,6 +53,17 @@ class LocalFalkon:
         Tasks an executor may hold locally beyond the running one
         (§3.4 piggy-backing extended to bounded pipelining); 1 keeps
         the classic one-task-per-exchange protocol.
+    http_port:
+        Start the dispatcher's HTTP status surface on this port
+        (``0`` picks a free one; ``None`` — the default — keeps HTTP
+        off).  Endpoints: ``/metrics``, ``/status``, ``/tasks/<id>``.
+    events_out:
+        Stream dispatcher lifecycle events to this JSONL path
+        (``repro events replay`` reads it back).  ``None`` keeps the
+        event log disabled — the zero-overhead default.
+    heartbeat_stats:
+        Executors piggy-back telemetry on their heartbeats (needs
+        ``heartbeat_interval``); False emulates v1 bare heartbeats.
     """
 
     def __init__(
@@ -70,12 +81,20 @@ class LocalFalkon:
         replay_timeout: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
         pipeline_depth: int = 1,
+        http_port: Optional[int] = None,
+        events_out: Optional[str] = None,
+        heartbeat_stats: bool = True,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
         key = b"local-falkon-shared-key" if security is SecurityMode.GSI_SECURE_CONVERSATION else None
+        event_log = None
+        if events_out is not None:
+            from repro.obs import EventLog
+
+            event_log = EventLog(path=events_out)
         self.dispatcher = LiveDispatcher(
             key=key,
             max_retries=max_retries,
@@ -83,7 +102,9 @@ class LocalFalkon:
             heartbeat_miss_budget=heartbeat_miss_budget,
             replay_timeout=replay_timeout,
             fault_plan=fault_plan,
+            event_log=event_log,
         )
+        self.http = None
         self.python_registry = python_registry or {}
         self.executors: list[LiveExecutor] = []
         self.provisioner: Optional[LocalProvisioner] = None
@@ -99,6 +120,7 @@ class LocalFalkon:
                     python_registry=self.python_registry,
                     heartbeat_interval=heartbeat_interval,
                     pipeline=pipeline_depth,
+                    heartbeat_stats=heartbeat_stats,
                     **kw,
                 ),
             ).start()
@@ -110,11 +132,19 @@ class LocalFalkon:
                     python_registry=self.python_registry,
                     heartbeat_interval=heartbeat_interval,
                     pipeline=pipeline_depth,
+                    heartbeat_stats=heartbeat_stats,
                 ).start()
                 self.executors.append(executor)
             for executor in self.executors:
                 executor.wait_registered()
         self.client = LiveClient(self.dispatcher.address, key=key, bundle_size=bundle_size)
+        if http_port is not None:
+            # Started last: the registries closure re-reads the pool on
+            # every scrape, so provisioned executors appear without
+            # re-registering.
+            self.http = self.dispatcher.serve_http(
+                port=http_port, registries_fn=self.metrics_registries
+            )
 
     # -- convenience API ------------------------------------------------------
     def run(self, tasks: list[TaskSpec], timeout: Optional[float] = None) -> list[TaskResult]:

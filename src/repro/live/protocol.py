@@ -20,10 +20,11 @@ coalesced into a single syscall.
 
 from __future__ import annotations
 
+import math
 import socket
 import threading
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import ProtocolError
 from repro.live.ioloop import IOLoop, default_loop
@@ -37,6 +38,7 @@ __all__ = [
     "task_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "stats_from_payload",
 ]
 
 
@@ -107,6 +109,31 @@ def result_from_dict(data: dict[str, Any]) -> TaskResult:
         error=data.get("error", ""),
         attempts=data.get("attempts", 1),
     )
+
+
+def stats_from_payload(payload: Mapping[str, Any]) -> Optional[dict[str, float]]:
+    """Extract the wire-v2 optional ``stats`` field from a payload.
+
+    HEARTBEAT and STATUS frames may carry a compact ``stats`` dict of
+    numeric deltas (see ``docs/PROTOCOL.md``); v1 peers simply omit it.
+    Like the ``trace`` field, it is best-effort: anything that is not a
+    ``{str: finite number}`` mapping is dropped rather than trusted —
+    a junk or future-version peer must never poison the dispatcher's
+    time-series store.  Returns ``None`` when nothing usable remains.
+    """
+    raw = payload.get("stats")
+    if not isinstance(raw, Mapping):
+        return None
+    out: dict[str, float] = {}
+    for key, value in raw.items():
+        if not isinstance(key, str):
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value):
+            continue
+        out[key] = float(value)
+    return out or None
 
 
 # ---------------------------------------------------------------------------

@@ -161,8 +161,21 @@ class LocalProvisioner:
             self._stop.wait(self.poll_interval)
 
     def _poll(self) -> Optional[DispatcherStats]:
+        # The poll piggy-backs this provisioner's own stats (wire
+        # v2-optional field, same pattern as heartbeat-carried executor
+        # stats) — the dispatcher's telemetry plane sees pool size and
+        # allocation churn without any extra frame.
+        stats_payload = {
+            "stats": {
+                "pool_size": len(self._pool),
+                "allocations": self._m_allocations.value,
+                "polls": self._m_polls.value,
+                "reconnects": self._m_reconnects.value,
+            }
+        }
         try:
-            self._conn.send(Message(MessageType.STATUS, sender="provisioner"))
+            self._conn.send(Message(MessageType.STATUS, sender="provisioner",
+                                    payload=stats_payload))
             payload = self._replies.get(timeout=5.0)
         except Exception:
             return None

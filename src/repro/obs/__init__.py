@@ -12,6 +12,14 @@ One layer shared by the simulation and live planes:
   stringly-keyed ``stats()`` dicts.
 * :mod:`repro.obs.exporters` — Prometheus-style text and JSON-lines
   dumps consumed by ``repro live --metrics-out`` / ``repro trace``.
+* :mod:`repro.obs.timeseries` — rolling-window ring-buffer store the
+  dispatcher folds heartbeat-carried stats deltas into (live telemetry
+  plane), with derived cluster gauges.
+* :mod:`repro.obs.httpd` — the stdlib HTTP scrape/status surface
+  (``/metrics``, ``/status``, ``/tasks/<id>``) behind ``repro live
+  --http-port`` and ``repro top``.
+* :mod:`repro.obs.events` — structured JSONL lifecycle event log with
+  ``repro events replay`` timeline reconstruction.
 
 See ``docs/OBSERVABILITY.md`` for the span schema and metric names.
 """
@@ -32,6 +40,7 @@ from repro.obs.stats import (
     ProvisionerStats,
 )
 from repro.obs.exporters import (
+    atomic_writer,
     render_prometheus,
     write_prometheus,
     write_spans_jsonl,
@@ -39,6 +48,15 @@ from repro.obs.exporters import (
     read_spans_jsonl,
     dump_observability,
 )
+from repro.obs.timeseries import (
+    DISPATCHER_SOURCE,
+    PROVISIONER_SOURCE,
+    RingSeries,
+    TimeSeriesStore,
+    efficiency_curve,
+)
+from repro.obs.httpd import StatusServer, json_safe
+from repro.obs.events import Event, EventLog, read_events_jsonl, replay_summary
 
 __all__ = [
     "Counter",
@@ -55,10 +73,22 @@ __all__ = [
     "DispatcherStats",
     "ExecutorStats",
     "ProvisionerStats",
+    "atomic_writer",
     "render_prometheus",
     "write_prometheus",
     "write_spans_jsonl",
     "write_metrics_jsonl",
     "read_spans_jsonl",
     "dump_observability",
+    "DISPATCHER_SOURCE",
+    "PROVISIONER_SOURCE",
+    "RingSeries",
+    "TimeSeriesStore",
+    "efficiency_curve",
+    "StatusServer",
+    "json_safe",
+    "Event",
+    "EventLog",
+    "read_events_jsonl",
+    "replay_summary",
 ]

@@ -14,15 +14,18 @@ plus an optional :class:`~repro.obs.trace.SpanCollector`):
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import os
-from typing import Any, Iterable, Optional, TextIO, Union
+import tempfile
+from typing import Any, Iterable, Iterator, Optional, TextIO, Union
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span, SpanCollector
 
 __all__ = [
+    "atomic_writer",
     "render_prometheus",
     "write_prometheus",
     "write_spans_jsonl",
@@ -30,6 +33,33 @@ __all__ = [
     "read_spans_jsonl",
     "dump_observability",
 ]
+
+
+@contextlib.contextmanager
+def atomic_writer(path: Union[str, "os.PathLike[str]"]) -> Iterator[TextIO]:
+    """Open a temp file next to *path*; rename over it only on success.
+
+    A crash (or any exception) mid-write leaves the previous file
+    intact and removes the temp file — a reader can never observe a
+    truncated dump.  The rename is `os.replace`, atomic on POSIX when
+    source and target share a filesystem (guaranteed here: the temp
+    file lives in the target's directory).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    os.replace(tmp_path, path)
 
 
 def _sanitize(name: str) -> str:
@@ -50,12 +80,23 @@ def _format_value(value: float) -> str:
 
 
 def render_prometheus(*registries: MetricsRegistry, namespace: str = "falkon") -> str:
-    """Render every instrument of *registries* in exposition format."""
+    """Render every instrument of *registries* in exposition format.
+
+    Conformance notes (``text/plain; version=0.0.4``): every family
+    gets ``# HELP``/``# TYPE`` lines; counters are exposed under the
+    conventional ``_total`` suffix; histograms emit the cumulative
+    ``_bucket{le=...}`` series (with the implicit ``+Inf`` bucket)
+    plus ``_sum`` and ``_count``.
+    """
     lines: list[str] = []
     for registry in registries:
         prefix = _sanitize(f"{namespace}_{registry.prefix}" if registry.prefix else namespace)
         for metric in registry.metrics():
             name = _sanitize(f"{prefix}_{metric.name}")
+            if isinstance(metric, Counter):
+                # The exposition convention: cumulative counters carry
+                # a _total suffix (the registry name stays bare).
+                name = f"{name}_total"
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             if isinstance(metric, Counter):
@@ -78,9 +119,9 @@ def write_prometheus(
     path: Union[str, "os.PathLike[str]"], *registries: MetricsRegistry,
     namespace: str = "falkon",
 ) -> str:
-    """Write the exposition text to *path*; returns the path."""
+    """Write the exposition text to *path* atomically; returns the path."""
     text = render_prometheus(*registries, namespace=namespace)
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_writer(path) as fh:
         fh.write(text)
     return os.fspath(path)
 
@@ -97,7 +138,9 @@ def _write_lines(target: Union[str, "os.PathLike[str]", TextIO], rows: Iterable[
     if hasattr(target, "write"):
         emit(target)  # type: ignore[arg-type]
     else:
-        with open(target, "w", encoding="utf-8") as fh:
+        # Atomic: a crash mid-dump (or a row generator raising) must
+        # never leave a truncated JSONL file where a good one stood.
+        with atomic_writer(target) as fh:
             emit(fh)
     return count
 

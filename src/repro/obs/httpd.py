@@ -1,0 +1,164 @@
+"""The dispatcher's HTTP status surface (stdlib ``http.server``).
+
+A tiny scrape/status endpoint so a running Falkon deployment can be
+observed *while tasks flow* — no dependencies, no framework:
+
+========================  ==================================================
+``GET /metrics``          Prometheus text exposition (``render_prometheus``)
+``GET /status``           JSON snapshot: typed dispatcher stats, derived
+                          cluster gauges, per-executor telemetry table
+``GET /tasks/<id>``       the task's span chain from the SpanCollector
+``GET /healthz``          liveness probe (``ok``)
+========================  ==================================================
+
+The server is deliberately decoupled from the dispatcher: it is built
+from three callables (metrics text, status dict, task chain), so tests
+and other components can stand one up against fakes.  Requests are
+served by a :class:`ThreadingHTTPServer` on daemon threads; a slow
+scraper never touches the dispatch path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional
+
+__all__ = ["StatusServer", "json_safe"]
+
+#: Prometheus text exposition content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace NaN/±Inf with ``None``.
+
+    ``json.dumps`` would happily emit bare ``NaN`` tokens, which are
+    not JSON and break strict parsers (curl | jq, browsers); status
+    payloads must stay consumable by anything.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+class StatusServer:
+    """Serve ``/metrics``, ``/status`` and ``/tasks/<id>`` over HTTP."""
+
+    def __init__(
+        self,
+        metrics_text: Callable[[], str],
+        status: Callable[[], dict],
+        task: Callable[[str], Optional[list[dict]]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._metrics_text = metrics_text
+        self._status = status
+        self._task = task
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # One status line per request in a test log is pure noise.
+            def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A002
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                try:
+                    server._route(self)
+                except BrokenPipeError:
+                    pass  # scraper went away mid-response
+                except Exception as exc:  # a handler bug must answer, not hang
+                    try:
+                        server._reply_json(self, 500, {"error": f"{type(exc).__name__}: {exc}"})
+                    except Exception:
+                        pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"obs-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = self._metrics_text().encode("utf-8")
+            handler.send_response(200)
+            handler.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+            return
+        if path == "/status":
+            self._reply_json(handler, 200, json_safe(self._status()))
+            return
+        if path.startswith("/tasks/"):
+            task_id = path[len("/tasks/"):]
+            chain = self._task(task_id) if task_id else None
+            if not chain:
+                self._reply_json(
+                    handler, 404, {"error": f"no trace recorded for task {task_id!r}"}
+                )
+                return
+            self._reply_json(
+                handler, 200,
+                {"task_id": task_id, "spans": json_safe(chain)},
+            )
+            return
+        if path == "/healthz":
+            body = b"ok\n"
+            handler.send_response(200)
+            handler.send_header("Content-Type", "text/plain; charset=utf-8")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+            return
+        self._reply_json(
+            handler, 404,
+            {"error": f"unknown path {path!r}",
+             "endpoints": ["/metrics", "/status", "/tasks/<id>", "/healthz"]},
+        )
+
+    @staticmethod
+    def _reply_json(handler: BaseHTTPRequestHandler, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        handler.send_response(code)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    # -- lifecycle -----------------------------------------------------------
+    def url(self, path: str = "/status") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "StatusServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "serving"
+        return f"<StatusServer {self.host}:{self.port} {state}>"

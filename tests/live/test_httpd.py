@@ -1,0 +1,167 @@
+"""HTTP status surface tests: unit (StatusServer on fakes) and the
+tier-1 smoke test against a real LocalFalkon deployment.
+
+The smoke test is the verify-suite guard for the telemetry plane: a
+live run with ``--http-port`` semantics must answer /metrics in valid
+exposition format, /status with strict JSON, and /tasks/<id> with the
+span chain — while tasks flow.
+"""
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.live.local import LocalFalkon
+from repro.obs import StatusServer, json_safe
+from repro.types import TaskSpec
+
+from tests.live.util import wait_until
+
+
+def fetch(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestJsonSafe:
+    def test_nan_and_inf_become_null_recursively(self):
+        value = {"a": math.nan, "b": [1.0, math.inf], "c": {"d": -math.inf}}
+        safe = json_safe(value)
+        assert safe == {"a": None, "b": [1.0, None], "c": {"d": None}}
+        json.dumps(safe)  # strictly serialisable
+
+    def test_finite_values_pass_through(self):
+        assert json_safe({"x": 1.5, "y": "s", "z": [0]}) == {"x": 1.5, "y": "s", "z": [0]}
+
+
+class TestStatusServerUnit:
+    def make_server(self):
+        return StatusServer(
+            metrics_text=lambda: "falkon_test_total 1\n",
+            status=lambda: {"queued": 2, "p50": math.nan},
+            task=lambda task_id: ([{"name": "submit"}] if task_id == "t-1" else None),
+        )
+
+    def test_metrics_content_type_and_body(self):
+        with self.make_server() as server:
+            status, headers, body = fetch(server.url("/metrics"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert body == b"falkon_test_total 1\n"
+
+    def test_status_is_strict_json_with_nan_scrubbed(self):
+        with self.make_server() as server:
+            status, headers, body = fetch(server.url("/status"))
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)  # would raise on a bare NaN token
+        assert payload == {"queued": 2, "p50": None}
+
+    def test_task_chain_and_404_for_unknown(self):
+        with self.make_server() as server:
+            _, _, body = fetch(server.url("/tasks/t-1"))
+            assert json.loads(body)["spans"] == [{"name": "submit"}]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/tasks/missing"))
+            assert excinfo.value.code == 404
+            assert "missing" in json.load(excinfo.value)["error"]
+
+    def test_unknown_path_404_lists_endpoints(self):
+        with self.make_server() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/wat"))
+            assert excinfo.value.code == 404
+            assert "/metrics" in json.load(excinfo.value)["endpoints"]
+
+    def test_handler_bug_answers_500_instead_of_hanging(self):
+        def broken_status():
+            raise RuntimeError("boom")
+
+        with StatusServer(lambda: "", broken_status, lambda _tid: None) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/status"))
+            assert excinfo.value.code == 500
+            assert "boom" in json.load(excinfo.value)["error"]
+
+    def test_close_is_idempotent(self):
+        server = self.make_server()
+        server.close()
+        server.close()
+
+
+class TestLiveHttpSmoke:
+    """Tier-1: the whole surface against a real deployment."""
+
+    def test_endpoints_while_tasks_flow(self):
+        with LocalFalkon(executors=2, http_port=0,
+                         heartbeat_interval=0.1) as falkon:
+            tasks = [TaskSpec.sleep(0, task_id=f"http-{i:04d}") for i in range(60)]
+            results = falkon.run(tasks, timeout=60)
+            assert all(r.ok for r in results)
+            base = falkon.http.url("").rstrip("/")
+
+            # /metrics: exposition text covering every co-located
+            # registry, counters under their _total names.
+            _, headers, body = fetch(base + "/metrics")
+            text = body.decode()
+            assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            assert "falkon_dispatcher_tasks_accepted_total 60" in text
+            assert "falkon_executor_tasks_executed_total" in text
+            assert 'falkon_dispatcher_dispatch_latency_seconds_bucket{le="+Inf"} 60' in text
+
+            # /status: dispatcher stats + executor table.  Heartbeat
+            # stats stream on a 0.1 s period; wait until both agents'
+            # telemetry landed.
+            def telemetry_complete():
+                payload = json.loads(fetch(base + "/status")[2])
+                table = payload["executors"]
+                return len(table) == 2 and all(
+                    "executed" in row for row in table.values()
+                )
+
+            assert wait_until(telemetry_complete, timeout=10.0)
+            payload = json.loads(fetch(base + "/status")[2])
+            assert payload["dispatcher"]["completed"] == 60
+            executed = sum(row["executed"] for row in payload["executors"].values())
+            assert executed == 60
+            assert "utilization" in payload["cluster"]
+            assert "efficiency_vs_task_length" in payload["cluster"]
+
+            # /tasks/<id>: the full span chain of a settled task.
+            chain = json.loads(fetch(base + "/tasks/http-0000")[2])
+            names = [span["name"] for span in chain["spans"]]
+            assert names == ["submit", "enqueue", "notify", "pull",
+                             "exec", "result", "ack"]
+
+            # /healthz for probes.
+            assert fetch(base + "/healthz")[2] == b"ok\n"
+
+    def test_repro_top_renders_against_a_live_surface(self, capsys):
+        from repro.cli import main
+
+        with LocalFalkon(executors=2, http_port=0,
+                         heartbeat_interval=0.1) as falkon:
+            tasks = [TaskSpec.sleep(0, task_id=f"top-{i:04d}") for i in range(40)]
+            falkon.run(tasks, timeout=60)
+            base = falkon.http.url("").rstrip("/")
+            assert main(["top", "--http", base, "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "executors 2" in out
+        assert "done 40/40" in out
+        assert "EXECUTOR" in out  # the per-executor table rendered
+
+    def test_repro_top_unreachable_endpoint_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["top", "--http", "http://127.0.0.1:1",
+                     "--iterations", "1"]) == 2
+        assert "--http-port" in capsys.readouterr().err
+
+    def test_http_off_by_default(self):
+        with LocalFalkon(executors=1) as falkon:
+            assert falkon.http is None
+            assert falkon.dispatcher.http is None

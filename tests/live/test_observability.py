@@ -77,8 +77,8 @@ class TestLiveMetrics:
             text = render_prometheus(*falkon.metrics_registries())
         assert stats.tasks_executed == 4
         assert stats.executor_id == executor.executor_id
-        assert "falkon_dispatcher_tasks_accepted 4" in text
-        assert "falkon_executor_tasks_executed 4" in text
+        assert "falkon_dispatcher_tasks_accepted_total 4" in text
+        assert "falkon_executor_tasks_executed_total 4" in text
 
     def test_dump_observability_round_trips_spans(self, tmp_path):
         from repro.obs import read_spans_jsonl

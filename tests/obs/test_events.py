@@ -1,0 +1,102 @@
+"""Event log tests: emission, streaming, tolerant reads, replay."""
+
+import json
+
+from repro.obs import EventLog, read_events_jsonl, replay_summary
+from repro.obs import events as ev
+
+
+class TestEmission:
+    def test_emit_records_both_clocks_and_attrs(self):
+        log = EventLog()
+        event = log.emit(ev.TASK_SUBMIT, "t-1", client="c-1", bundle=3)
+        assert event.kind == "task-submit"
+        assert event.subject == "t-1"
+        assert event.t_mono > 0 and event.t_wall > 0
+        assert event.get("client") == "c-1"
+        assert event.get("missing", "d") == "d"
+        assert len(log) == 1
+
+    def test_disabled_log_is_a_null_object(self):
+        log = EventLog(enabled=False)
+        assert log.emit(ev.TASK_SUBMIT, "t-1") is None
+        assert len(log) == 0
+        assert log.events() == []
+        log.close()  # no-op, no error
+
+    def test_ring_is_bounded(self):
+        log = EventLog(capacity=10)
+        for i in range(25):
+            log.emit(ev.TASK_SETTLE, f"t-{i}", outcome="ok")
+        assert len(log) == 10
+        assert log.events()[0].subject == "t-15"
+
+
+class TestJsonlStreaming:
+    def test_streams_each_event_as_one_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        log.emit(ev.EXECUTOR_REGISTER, "e-1", pipeline=4)
+        log.emit(ev.TASK_SUBMIT, "t-1")
+        log.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["kind"] for r in rows] == ["executor-register", "task-submit"]
+        assert rows[0]["attrs"] == {"pipeline": 4}
+
+    def test_read_back_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        emitted = [log.emit(ev.TASK_SUBMIT, f"t-{i}") for i in range(3)]
+        log.close()
+        assert read_events_jsonl(path) == emitted
+
+    def test_read_tolerates_blank_and_truncated_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        log.emit(ev.TASK_SUBMIT, "t-0")
+        log.emit(ev.TASK_SETTLE, "t-0", outcome="ok")
+        log.close()
+        # A crashed writer leaves a half record; a human leaves noise.
+        with open(path, "a") as fh:
+            fh.write("\n")
+            fh.write('{"kind": "task-subm')
+        events = read_events_jsonl(path)
+        assert [e.kind for e in events] == ["task-submit", "task-settle"]
+
+    def test_dump_is_atomic_and_complete(self, tmp_path):
+        log = EventLog(capacity=100)
+        for i in range(5):
+            log.emit(ev.TASK_SUBMIT, f"t-{i}")
+        path = tmp_path / "dump.jsonl"
+        assert log.dump(path) == 5
+        assert read_events_jsonl(path) == log.events()
+        assert [p.name for p in tmp_path.iterdir()] == ["dump.jsonl"]
+
+
+class TestReplaySummary:
+    def test_summary_reconstructs_the_timeline(self):
+        log = EventLog()
+        log.emit(ev.EXECUTOR_REGISTER, "e-1")
+        log.emit(ev.EXECUTOR_REGISTER, "e-2")
+        for i in range(4):
+            log.emit(ev.TASK_SUBMIT, f"t-{i}")
+        log.emit(ev.TASK_RETRY, "t-2", reason="executor e-2 lost")
+        log.emit(ev.EXECUTOR_DROP, "e-2", reason="connection-closed")
+        for i in range(4):
+            log.emit(ev.TASK_SETTLE, f"t-{i}",
+                     outcome="ok" if i != 3 else "fail")
+        summary = replay_summary(log.events())
+        assert summary["submitted"] == 4
+        assert summary["settled"] == 4
+        assert summary["outcomes"] == {"fail": 1, "ok": 3}
+        assert summary["retries"] == 1
+        assert summary["executors_registered"] == 2
+        assert summary["executors_dropped"] == 1
+        assert summary["duration_s"] >= 0
+        assert summary["kinds"]["task-submit"] == 4
+
+    def test_empty_stream(self):
+        summary = replay_summary([])
+        assert summary["events"] == 0
+        assert summary["throughput_tasks_per_s"] is None
+        assert summary["wall_start"] is None

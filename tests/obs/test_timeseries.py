@@ -1,0 +1,148 @@
+"""Time-series store tests: rings, rates, junk filtering, convergence."""
+
+import math
+
+from repro.obs.timeseries import (
+    DISPATCHER_SOURCE,
+    RingSeries,
+    TimeSeriesStore,
+    efficiency_curve,
+)
+
+
+class TestRingSeries:
+    def test_bounded_capacity_drops_oldest(self):
+        series = RingSeries(capacity=3)
+        for i in range(5):
+            series.append(float(i), float(i * 10))
+        assert len(series) == 3
+        assert series.items() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert series.last() == (4.0, 40.0)
+
+    def test_window_filters_by_newest_sample_time(self):
+        series = RingSeries(capacity=10)
+        for t in (0.0, 1.0, 2.0, 3.0):
+            series.append(t, t)
+        assert [t for t, _ in series.window(1.5)] == [2.0, 3.0]
+        assert series.window(100.0) == series.items()
+
+
+class TestIngest:
+    def test_latest_reflects_newest_sample(self):
+        store = TimeSeriesStore()
+        store.ingest("e1", 1.0, {"busy": 1, "executed": 10})
+        store.ingest("e1", 2.0, {"busy": 0, "executed": 25})
+        latest = store.latest("e1")
+        assert latest["busy"] == 0.0
+        assert latest["executed"] == 25.0
+        assert latest["_t"] == 2.0
+        assert store.sources() == ["e1"]
+
+    def test_junk_values_never_poison_the_store(self):
+        store = TimeSeriesStore()
+        store.ingest("e1", 1.0, {
+            "ok": 3,
+            "string": "nope",
+            "nan": math.nan,
+            "inf": math.inf,
+            "bool": True,
+            "list": [1, 2],
+            42: 7,  # non-string key
+        })
+        latest = store.latest("e1")
+        assert set(latest) == {"ok", "_t"}
+        assert latest["ok"] == 3.0
+
+    def test_all_junk_sample_counts_nothing(self):
+        store = TimeSeriesStore()
+        store.ingest("e1", 1.0, {"a": "x", "b": math.nan})
+        assert store.samples_ingested == 0
+        assert store.latest("e1") == {}
+
+    def test_key_cap_bounds_hostile_samples(self):
+        store = TimeSeriesStore()
+        store.ingest("e1", 1.0, {f"k{i:03d}": i for i in range(100)})
+        assert len(store.latest("e1")) == 32 + 1  # 32 keys + "_t"
+
+
+class TestForget:
+    def test_forget_removes_every_series_of_the_source(self):
+        store = TimeSeriesStore()
+        store.ingest("e1", 1.0, {"busy": 1})
+        store.ingest("e2", 1.0, {"busy": 1})
+        assert store.forget("e1") is True
+        assert store.forget("e1") is False  # idempotent
+        assert store.sources() == ["e2"]
+        assert store.latest("e1") == {}
+        assert store.sources_forgotten == 1
+
+
+class TestRate:
+    def test_counter_rate_over_window(self):
+        store = TimeSeriesStore(window=10.0)
+        for t, v in ((0.0, 0), (1.0, 100), (2.0, 300)):
+            store.ingest("d", t, {"completed": v})
+        assert store.rate("d", "completed") == 150.0
+
+    def test_rate_needs_two_points(self):
+        store = TimeSeriesStore()
+        assert math.isnan(store.rate("d", "completed"))
+        store.ingest("d", 1.0, {"completed": 5})
+        assert math.isnan(store.rate("d", "completed"))
+
+    def test_counter_reset_reports_nan_not_negative(self):
+        store = TimeSeriesStore(window=10.0)
+        store.ingest("d", 1.0, {"completed": 500})
+        store.ingest("d", 2.0, {"completed": 3})  # source restarted
+        assert math.isnan(store.rate("d", "completed"))
+
+
+class TestClusterGauges:
+    def test_utilization_and_dispatch_rate(self):
+        store = TimeSeriesStore(window=10.0)
+        store.ingest(DISPATCHER_SOURCE, 0.0, {
+            "registered": 4, "busy": 3, "queued": 7, "completed": 0,
+            "e2e_sum_s": 0.0, "exec_sum_s": 0.0, "e2e_count": 0,
+        })
+        store.ingest(DISPATCHER_SOURCE, 2.0, {
+            "registered": 4, "busy": 3, "queued": 7, "completed": 100,
+            "e2e_sum_s": 30.0, "exec_sum_s": 10.0, "e2e_count": 100,
+        })
+        cluster = store.cluster()
+        assert cluster["utilization"] == 0.75
+        assert cluster["dispatch_rate_tasks_per_s"] == 50.0
+        assert cluster["queued"] == 7.0
+        assert cluster["overhead_per_task_s"] == (30.0 - 10.0) / 100
+
+    def test_gauges_are_nan_before_any_dispatcher_sample(self):
+        store = TimeSeriesStore()
+        cluster = store.cluster()
+        assert math.isnan(cluster["utilization"])
+        assert math.isnan(cluster["dispatch_rate_tasks_per_s"])
+        assert math.isnan(cluster["overhead_per_task_s"])
+
+    def test_overhead_clamps_clock_skew_to_zero(self):
+        # exec_sum (executor clocks) can exceed e2e_sum (dispatcher
+        # clock) by jitter; overhead must clamp at zero, not go
+        # negative.
+        store = TimeSeriesStore()
+        store.ingest(DISPATCHER_SOURCE, 1.0, {
+            "e2e_sum_s": 5.0, "exec_sum_s": 6.0, "e2e_count": 10,
+        })
+        assert store.overhead_per_task() == 0.0
+
+
+class TestEfficiencyCurve:
+    def test_shape_matches_the_paper_figure(self):
+        curve = efficiency_curve(1.0, lengths=(1.0, 4.0, 32.0))
+        assert curve["1s"] == 0.5
+        assert curve["4s"] == 0.8
+        # Longer tasks amortise the overhead: monotone, approaching 1.
+        assert curve["1s"] < curve["4s"] < curve["32s"] < 1.0
+
+    def test_nan_overhead_propagates(self):
+        curve = efficiency_curve(math.nan)
+        assert all(math.isnan(v) for v in curve.values())
+
+    def test_zero_overhead_is_perfect_efficiency(self):
+        assert set(efficiency_curve(0.0).values()) == {1.0}
