@@ -27,15 +27,30 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 # Dispatch-throughput gate: fails loudly on a >20% regression against
-# the recorded baseline (BENCH_baseline.json; created on first run).
+# the recorded baseline (BENCH_baseline.json).  A missing baseline is
+# an error, not a skip: `repro bench` would silently record a fresh
+# baseline and pass, which is exactly how a regression sneaks through
+# a wiped checkout.  Record one deliberately instead.
 echo "== dispatch bench gate =="
+if [[ ! -f BENCH_baseline.json ]]; then
+    echo "ERROR: BENCH_baseline.json is missing — the bench gate has nothing to compare against." >&2
+    echo "Record a baseline first:  PYTHONPATH=src python -m repro bench --quick --update-baseline" >&2
+    exit 1
+fi
 python -m repro bench --quick
 
 # Telemetry overhead gate: the live telemetry plane (heartbeat-carried
 # stats + HTTP status surface) must cost < 5% of sleep-0 throughput.
 # Paired interleaved runs; the measurement lands in BENCH_telemetry.json.
+# (Self-measuring A/B — no baseline file to lose.)
 echo "== telemetry overhead gate =="
 python -m repro bench --quick --telemetry
+
+# Journal overhead gate: crash-safe journalling (docs/RELIABILITY.md)
+# must cost < 10% of sleep-0 throughput.  Paired interleaved rounds,
+# gated on the best adjacent pair; lands in BENCH_journal.json.
+echo "== journal overhead gate =="
+python -m repro bench --quick --journal
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== Figure 3 throughput smoke =="

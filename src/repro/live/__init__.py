@@ -19,6 +19,9 @@ and sockets instead of simulated time:
   deployment for the examples.
 * :mod:`repro.live.faults` — seeded fault injection (drop/delay/
   duplicate/corrupt/kill) for deterministic failure-path testing.
+* :mod:`repro.live.journal` — the dispatcher's crash-safe write-ahead
+  journal (CRC-per-record JSONL, group commit, snapshot compaction)
+  and restart recovery (``docs/RELIABILITY.md``).
 """
 
 from repro.live.protocol import (
@@ -29,6 +32,7 @@ from repro.live.protocol import (
     result_from_dict,
 )
 from repro.live.faults import FaultAction, FaultPlan, FaultyConnection
+from repro.live.journal import Journal, RecoveredState, RecoveredTask, recover
 from repro.live.dispatcher import LiveDispatcher
 from repro.live.executor import LiveExecutor
 from repro.live.client import LiveClient, TaskFuture
@@ -45,6 +49,10 @@ __all__ = [
     "FaultAction",
     "FaultPlan",
     "FaultyConnection",
+    "Journal",
+    "RecoveredState",
+    "RecoveredTask",
+    "recover",
     "LiveDispatcher",
     "LiveExecutor",
     "LiveClient",

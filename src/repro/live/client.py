@@ -10,6 +10,13 @@ reconnects with capped exponential backoff, resumes its instance (the
 were settled while it was away via GET_RESULTS.  If the reconnect
 budget is exhausted, every outstanding future fails with
 :class:`repro.errors.ReconnectError` instead of hanging.
+
+Backpressure: a dispatcher running with a bounded queue answers an
+overflowing SUBMIT with SUBMIT_REJECT instead of SUBMIT_ACK.  The
+client resubmits the same bundle with capped exponential backoff,
+honouring the server's ``retry_after`` hint — submission converges
+once the queue drains, and the dispatcher-side task-id dedupe makes
+the resubmission idempotent.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from concurrent.futures import CancelledError
 from typing import Callable, Iterable, Optional, Sequence, Union, overload
 
 from repro.errors import ProtocolError, ReconnectError
@@ -31,10 +39,17 @@ class TaskFuture:
     """Completion handle for one submitted task.
 
     Quacks like :class:`concurrent.futures.Future`: ``result`` /
-    ``exception`` block with an optional timeout, ``add_done_callback``
-    fires on settlement (immediately if already settled), and the
-    cancellation surface exists but always answers "no" — a task handed
-    to the dispatcher is replayed until it settles, never cancelled.
+    ``exception`` block with an optional timeout and raise
+    ``TimeoutError`` / :class:`concurrent.futures.CancelledError` with
+    the same semantics; ``add_done_callback`` fires on settlement
+    (immediately if already settled).
+
+    ``cancel`` is *local*: it abandons the client-side wait (the future
+    settles cancelled, callbacks fire, later results are ignored) but
+    cannot recall the task from the dispatcher — a dispatched task is
+    replayed until it settles server-side.  This mirrors
+    ``concurrent.futures`` cancelling a not-yet-running task: the claim
+    check is void, not the work.
     """
 
     def __init__(self, task_id: str) -> None:
@@ -42,32 +57,49 @@ class TaskFuture:
         self._event = threading.Event()
         self._result: Optional[TaskResult] = None
         self._error: Optional[BaseException] = None
+        self._cancelled = False
         self._callbacks: list[Callable[["TaskFuture"], None]] = []
         self._cb_lock = threading.Lock()
 
     # -- state ----------------------------------------------------------------
     def done(self) -> bool:
+        """Settled, failed or cancelled (``concurrent.futures`` contract)."""
         return self._event.is_set()
 
     def running(self) -> bool:
         return not self._event.is_set()
 
     def cancel(self) -> bool:
-        """Always ``False``: dispatched tasks cannot be recalled."""
-        return False
+        """Abandon the wait; ``True`` unless a result already landed.
+
+        Idempotent: cancelling an already-cancelled future returns
+        ``True``; a future that settled with a result or error first
+        answers ``False`` (too late), exactly like
+        :meth:`concurrent.futures.Future.cancel` on a finished future.
+        """
+        with self._cb_lock:
+            if self._event.is_set():
+                return self._cancelled
+            self._cancelled = True
+        self._settle()
+        return True
 
     def cancelled(self) -> bool:
-        return False
+        return self._cancelled
 
     # -- blocking reads --------------------------------------------------------
     def result(self, timeout: Optional[float] = None) -> TaskResult:
         """Block until the result arrives.
 
-        Raises ``TimeoutError`` if it does not arrive in *timeout*, or
-        the stored exception if the connection was lost for good.
+        Raises ``TimeoutError`` if it does not arrive in *timeout*,
+        :class:`concurrent.futures.CancelledError` if the future was
+        cancelled, or the stored exception if the connection was lost
+        for good.
         """
         if not self._event.wait(timeout):
             raise TimeoutError(f"no result for {self.task_id} within {timeout}s")
+        if self._cancelled:
+            raise CancelledError(self.task_id)
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -77,6 +109,8 @@ class TaskFuture:
         """Block until settled; the stored exception, or ``None`` on success."""
         if not self._event.wait(timeout):
             raise TimeoutError(f"no result for {self.task_id} within {timeout}s")
+        if self._cancelled:
+            raise CancelledError(self.task_id)
         return self._error
 
     # -- callbacks -------------------------------------------------------------
@@ -140,6 +174,7 @@ class LiveClient:
         max_reconnects: int = 5,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        max_submit_retries: int = 1000,
     ) -> None:
         if bundle_size <= 0:
             raise ValueError("bundle_size must be positive")
@@ -147,17 +182,32 @@ class LiveClient:
             raise ValueError("max_reconnects must be >= 0")
         if backoff_base <= 0 or backoff_cap < backoff_base:
             raise ValueError("need 0 < backoff_base <= backoff_cap")
+        if max_submit_retries < 0:
+            raise ValueError("max_submit_retries must be >= 0")
         self.address = address
         self.key = key
         self.bundle_size = bundle_size
         self.max_reconnects = max_reconnects
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: Bound on per-bundle SUBMIT_REJECT resubmissions before
+        #: giving up (a safety valve, not a tuning knob — with capped
+        #: backoff this is minutes of sustained overload).
+        self.max_submit_retries = max_submit_retries
         self.reconnects = 0
+        #: SUBMIT_REJECT frames received (admission-control pushback).
+        self.submit_rejects = 0
         self._futures: dict[str, TaskFuture] = {}
         self._lock = threading.Lock()
         self._instance_ready = threading.Event()
         self._submit_ack = threading.Event()
+        #: Outcome of the last SUBMIT exchange, written by the handler
+        #: before ``_submit_ack`` is set: ``{"ok": bool, "retry_after": s}``.
+        self._submit_reply: dict = {}
+        # Serialises whole submit calls: the ack event + reply dict are
+        # one-slot state, so two threads interleaving bundles would
+        # cross wires.
+        self._submit_lock = threading.Lock()
         self._results_reply = threading.Event()
         self._user_closed = False
         self._reconnecting = threading.Lock()
@@ -261,24 +311,55 @@ class LiveClient:
             return []
         futures = []
         with self._lock:
+            # Validate the *whole* bundle before touching shared state:
+            # a duplicate in the middle must not leave earlier tasks
+            # half-registered (their futures would shadow a later,
+            # corrected submission and never settle).
+            seen: set[str] = set()
             for spec in tasks:
                 if spec.task_id in self._futures:
                     raise ValueError(f"task id {spec.task_id!r} already submitted")
+                if spec.task_id in seen:
+                    raise ValueError(f"duplicate task id {spec.task_id!r} in bundle")
+                seen.add(spec.task_id)
+            for spec in tasks:
                 future = TaskFuture(spec.task_id)
                 self._futures[spec.task_id] = future
                 futures.append(future)
-        for bundle in Bundle.split(list(tasks), self.bundle_size):
+        with self._submit_lock:
+            for bundle in Bundle.split(list(tasks), self.bundle_size):
+                self._send_bundle(bundle)
+        return futures
+
+    def _send_bundle(self, bundle: Sequence[TaskSpec]) -> None:
+        """One SUBMIT exchange, resubmitting on SUBMIT_REJECT.
+
+        The backoff honours the dispatcher's ``retry_after`` hint as a
+        floor and grows the local delay exponentially up to
+        ``backoff_cap``; resubmission is idempotent (the dispatcher
+        dedupes task ids), so a lost ack is safe to retry too.
+        """
+        payload = {"tasks": [task_to_dict(t) for t in bundle]}
+        delay = self.backoff_base
+        for _attempt in range(self.max_submit_retries + 1):
             self._submit_ack.clear()
+            self._submit_reply = {}
             self._conn.send(
-                Message(
-                    MessageType.SUBMIT,
-                    sender=self.epr or "client",
-                    payload={"tasks": [task_to_dict(t) for t in bundle]},
-                )
+                Message(MessageType.SUBMIT, sender=self.epr or "client",
+                        payload=payload)
             )
             if not self._submit_ack.wait(30.0):
                 raise ProtocolError("dispatcher did not acknowledge SUBMIT")
-        return futures
+            reply = self._submit_reply
+            if reply.get("ok", True):
+                return
+            retry_after = float(reply.get("retry_after", 0.0) or 0.0)
+            time.sleep(min(max(retry_after, delay), self.backoff_cap))
+            delay = min(delay * 2, self.backoff_cap)
+        raise ProtocolError(
+            f"dispatcher rejected SUBMIT {self.max_submit_retries + 1} times "
+            "(queue stayed full)"
+        )
 
     def run(
         self, tasks: Iterable[TaskSpec], timeout: Optional[float] = None
@@ -308,6 +389,16 @@ class LiveClient:
             self.epr = msg.payload.get("epr")
             self._instance_ready.set()
         elif msg.type is MessageType.SUBMIT_ACK:
+            self._submit_reply = {"ok": True}
+            self._submit_ack.set()
+        elif msg.type is MessageType.SUBMIT_REJECT:
+            # Admission-control pushback: record the hint, then wake
+            # the submitter (reply before event — the waiter reads it).
+            self.submit_rejects += 1
+            self._submit_reply = {
+                "ok": False,
+                "retry_after": msg.payload.get("retry_after", 0.0),
+            }
             self._submit_ack.set()
         elif msg.type is MessageType.CLIENT_NOTIFY:
             # Singular "result" (v1) or a batched "results" list (v2 —

@@ -55,6 +55,23 @@ queryable with :meth:`LiveDispatcher.trace`.  A compact trace context
 rides the WORK/RESULT_ACK frames and is echoed back on RESULT (wire
 protocol v2), so executor-side execution timing lands in the right
 task's chain even across replays.
+
+Durability (see ``docs/RELIABILITY.md``): with ``journal_dir`` set,
+every lifecycle transition is written through a crash-safe
+:class:`repro.live.journal.Journal` (CRC-per-record JSONL, fsync
+batching on the 20 ms window, snapshot compaction).  SUBMIT is
+acknowledged only after its records are durable; a restarted
+dispatcher replays snapshot+tail, re-enqueues non-terminal tasks, and
+keeps settled results queryable so reconnecting clients resolve their
+futures.  Executors echo still-held work on REGISTER (``inflight``,
+wire v2-optional) so a task that survived on an agent across the crash
+is adopted by attempt-echo instead of double-executed.
+
+Overload protection: a bounded ``queue_limit`` turns excess SUBMIT
+bundles into SUBMIT_REJECT frames carrying a ``retry_after`` hint —
+backpressure instead of OOM.  Poison tasks that exhaust their retry
+budget land in a dead-letter queue (``repro dlq list|show|retry``)
+instead of cycling through executor evictions forever.
 """
 
 from __future__ import annotations
@@ -69,9 +86,17 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ProtocolError
 from repro.live.ioloop import IOLoop
+from repro.live.journal import (
+    Journal,
+    RESULT_DEFAULTS,
+    SPEC_DEFAULTS,
+    recover as recover_journal,
+    strip_defaults,
+)
 from repro.live.protocol import (
     Connection,
     result_from_dict,
+    result_to_dict,
     stats_from_payload,
     task_from_dict,
     task_to_dict,
@@ -101,6 +126,22 @@ __all__ = ["LiveDispatcher"]
 MAX_PIPELINE_DEPTH = 64
 
 
+def _journal_spec(spec: TaskSpec) -> dict:
+    """A task spec as journalled: default fields and the task_id
+    stripped (the record's ``id`` carries the latter; recovery
+    restores both)."""
+    data = strip_defaults(task_to_dict(spec), SPEC_DEFAULTS)
+    data.pop("task_id", None)
+    return data
+
+
+def _journal_result(result: TaskResult) -> dict:
+    """A task result as journalled (same stripping as specs)."""
+    data = strip_defaults(result_to_dict(result), RESULT_DEFAULTS)
+    data.pop("task_id", None)
+    return data
+
+
 @dataclass
 class _LiveRecord:
     spec: TaskSpec
@@ -118,6 +159,9 @@ class _LiveRecord:
     trace_wire: Optional[dict] = None
     timeline: TaskTimeline = field(default_factory=TaskTimeline)
     result: Optional[TaskResult] = None
+    #: Whether the settled result's CLIENT_NOTIFY left this process
+    #: (journalled as ``acked``; delivery-guarantee bookkeeping).
+    acked: bool = False
     #: Guards every mutable field above (fine-grained locking).
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -175,6 +219,23 @@ class LiveDispatcher:
         drop).  ``None`` installs a disabled log: the hot path pays one
         attribute check and nothing else, which keeps the telemetry
         overhead budget honest (``docs/OBSERVABILITY.md``).
+    journal_dir:
+        Directory for the crash-safe write-ahead journal.  When it
+        already holds state from a previous incarnation, the
+        dispatcher recovers on boot: non-terminal tasks re-enter the
+        queue, settled results stay queryable for reconnecting
+        clients, and the dead-letter queue is restored.  ``None``
+        (default) keeps durability off — no disk I/O on the hot path.
+    queue_limit:
+        Bound on the ready queue.  A SUBMIT bundle that would push the
+        queue past this limit is refused with SUBMIT_REJECT (carrying
+        a ``retry_after`` hint) instead of accepted into unbounded
+        memory.  ``None`` keeps admission open.
+    reject_retry_after:
+        The ``retry_after`` hint (seconds) carried on SUBMIT_REJECT.
+    journal_compact_every:
+        Compact the journal into a snapshot once its tail holds this
+        many records.
     """
 
     def __init__(
@@ -190,9 +251,17 @@ class LiveDispatcher:
         monitor_interval: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
         event_log: Optional[EventLog] = None,
+        journal_dir: Optional[str] = None,
+        queue_limit: Optional[int] = None,
+        reject_retry_after: float = 0.25,
+        journal_compact_every: int = 50_000,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 when set")
+        if reject_retry_after <= 0:
+            raise ValueError("reject_retry_after must be positive")
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive when set")
         if heartbeat_miss_budget < 1:
@@ -206,6 +275,8 @@ class LiveDispatcher:
         self.heartbeat_miss_budget = heartbeat_miss_budget
         self.replay_timeout = replay_timeout
         self.fault_plan = fault_plan
+        self.queue_limit = queue_limit
+        self.reject_retry_after = reject_retry_after
         if monitor_interval is None:
             deadlines = [d for d in (heartbeat_interval, replay_timeout) if d]
             monitor_interval = min([0.25] + [d / 2 for d in deadlines])
@@ -253,6 +324,17 @@ class LiveDispatcher:
             "reconnects", help="Client/executor session resumptions")
         self._m_stale = self.metrics.counter(
             "stale_results", help="Late deliveries from superseded attempts")
+        self._m_rejects = self.metrics.counter(
+            "submit_rejects", help="SUBMIT bundles refused by admission control")
+        self._m_dlq = self.metrics.counter(
+            "dlq_tasks", help="Tasks quarantined in the dead-letter queue")
+        self._m_recovered = self.metrics.counter(
+            "recovered_tasks", help="Tasks rebuilt from the journal at boot")
+        self._m_adopted = self.metrics.counter(
+            "inflight_adopted",
+            help="Dispatched tasks adopted from executors' REGISTER inflight echo")
+        self.metrics.gauge("dlq_size", help="Tasks currently quarantined",
+                           fn=lambda: len(self._dlq))
         self.metrics.gauge("queued", help="Tasks in the wait queue",
                            fn=lambda: len(self._queue))
         self.metrics.gauge("registered", help="Registered executors",
@@ -269,6 +351,17 @@ class LiveDispatcher:
         self._h_e2e = self.metrics.histogram(
             "e2e_latency_seconds",
             help="Submit -> settle latency per task")
+
+        # Poison-task quarantine: task id -> dead-letter entry dict.
+        self._dlq: dict[str, dict] = {}
+        self._dlq_lock = threading.Lock()
+        # Durability plane: recover *before* the server accepts —
+        # reconnecting peers must find the rebuilt state, not a race.
+        self.journal: Optional[Journal] = None
+        self.recovered_tasks = 0
+        if journal_dir is not None:
+            self._recover_from_journal(journal_dir)
+            self.journal = Journal(journal_dir, compact_every=journal_compact_every)
 
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
@@ -345,6 +438,13 @@ class LiveDispatcher:
             reconnects=self._m_reconnects.value,
             stale_results=self._m_stale.value,
             frames_dropped=frames_dropped,
+            submit_rejects=self._m_rejects.value,
+            dlq_size=len(self._dlq),
+            dlq_total=self._m_dlq.value,
+            recovered=self._m_recovered.value,
+            inflight_adopted=self._m_adopted.value,
+            journal_records=(self.journal.stats()["records"]
+                             if self.journal is not None else 0),
             dispatch_latency_p50=self._h_dispatch.p50,
             dispatch_latency_p90=self._h_dispatch.p90,
             dispatch_latency_p99=self._h_dispatch.p99,
@@ -353,6 +453,245 @@ class LiveDispatcher:
     def trace(self, task_id: str) -> list[Span]:
         """The ordered span chain recorded for *task_id*."""
         return self.spans.chain(task_id)
+
+    # -- durability ------------------------------------------------------------
+    def _journal_append(self, kind: str, task_id: str, **fields) -> None:
+        """One WAL record; free when no journal is attached."""
+        journal = self.journal
+        if journal is not None:
+            journal.append(kind, task_id, **fields)
+
+    def _recover_from_journal(self, journal_dir: str) -> None:
+        """Rebuild records, queue and DLQ from snapshot + tail replay.
+
+        Runs in ``__init__`` before the server socket exists, so no
+        locks are contended; they are taken anyway for uniformity.
+        """
+        state = recover_journal(journal_dir)
+        if not state.tasks:
+            return
+        requeue: list[str] = []
+        now = self._now()
+        for task in state.pending() + [t for t in state.tasks.values() if t.terminal]:
+            try:
+                spec = task_from_dict(task.spec)
+            except (KeyError, TypeError, ValueError):
+                continue  # a record from a future/foreign spec version
+            record = _LiveRecord(spec=spec, client_id=task.client_id)
+            record.attempts = task.attempts
+            record.acked = task.acked
+            if task.terminal:
+                record.state = (TaskState.COMPLETED if task.state == "completed"
+                                else TaskState.FAILED)
+                if task.result is not None:
+                    record.result = result_from_dict(task.result)
+                else:
+                    record.result = TaskResult(
+                        task.task_id, return_code=1,
+                        error=task.dlq_error or "failed before crash",
+                        attempts=task.attempts,
+                    )
+                if record.result.ok:
+                    self._m_completed.inc()
+                else:
+                    self._m_failed.inc()
+            else:
+                # Queued *and* dispatched tasks both re-enter the queue:
+                # a dispatched task whose executor still holds it will
+                # be adopted back via the REGISTER inflight echo; until
+                # then, re-dispatching it to someone else is the
+                # at-least-once default.
+                record.state = TaskState.QUEUED
+                record.timeline.submitted = now
+                requeue.append(task.task_id)
+                self.spans.begin(task.task_id)
+                self.spans.record(task.task_id, "submit", now,
+                                  client=task.client_id, recovered=True)
+                self.spans.record(task.task_id, "enqueue", now,
+                                  attempt=record.attempts + 1, reason="recovered")
+            if task.in_dlq:
+                with self._dlq_lock:
+                    self._dlq[task.task_id] = self._dlq_entry_from_record(
+                        record, task.dlq_error)
+            with self._records_lock:
+                self._records[task.task_id] = record
+        with self._queue_lock:
+            self._queue.extend(requeue)
+        self.recovered_tasks = len(state.tasks)
+        self._m_recovered.inc(len(state.tasks))
+        self._m_accepted.inc(len(state.tasks))
+        self.events.emit(ev.DISPATCHER_RECOVER, "dispatcher",
+                         tasks=len(state.tasks), requeued=len(requeue),
+                         truncated=state.truncated,
+                         from_snapshot=state.from_snapshot)
+
+    def _adopt_inflight(self, executor: _ExecutorSession, echo) -> None:
+        """Adopt REGISTER-echoed tasks the executor still holds.
+
+        Only QUEUED records whose attempt counter equals the echoed
+        attempt are adopted — equality proves the executor holds the
+        *current* attempt (a recovered dispatch re-entered the queue
+        without burning a new attempt).  Anything else is left alone:
+        the queue re-dispatches it and the echoing executor's late
+        result loses the attempt-number race.
+        """
+        for entry in echo:
+            if not isinstance(entry, dict):
+                continue
+            task_id = entry.get("task_id")
+            attempt = entry.get("attempt")
+            if not task_id or not isinstance(attempt, int):
+                continue
+            with self._records_lock:
+                record = self._records.get(task_id)
+            if record is None:
+                continue
+            adopted = False
+            with record.lock:
+                if record.state is TaskState.QUEUED and record.attempts == attempt:
+                    record.state = TaskState.DISPATCHED
+                    record.executor_id = executor.executor_id
+                    record.delivered = True
+                    record.dispatch_mode = "adopted"
+                    record.timeline.dispatched = self._now()
+                    ctx = self.spans.record(
+                        task_id, "notify", record.timeline.dispatched,
+                        attempt=record.attempts,
+                        executor=executor.executor_id, mode="adopted",
+                    )
+                    record.trace_wire = ctx.to_wire() if ctx is not None else None
+                    with executor.lock:
+                        executor.busy.add(task_id)
+                    # Recovery queued this task before the executor
+                    # reappeared; pull the entry so the queue stat and
+                    # idle-notify fan-out reflect reality (claimers
+                    # would skip the now-DISPATCHED record anyway).
+                    with self._queue_lock:
+                        try:
+                            self._queue.remove(task_id)
+                        except ValueError:
+                            pass
+                    adopted = True
+            if adopted:
+                self._m_adopted.inc()
+                self._journal_append("dispatch", task_id,
+                                     attempt=attempt,
+                                     executor=executor.executor_id,
+                                     adopted=True)
+                if self.events.enabled:
+                    self.events.emit(ev.TASK_DISPATCH, task_id,
+                                     executor=executor.executor_id,
+                                     attempt=attempt, mode="adopted")
+
+    @staticmethod
+    def _dlq_entry_from_record(record: _LiveRecord, error: str = "") -> dict:
+        result = record.result
+        return {
+            "task_id": record.spec.task_id,
+            "client_id": record.client_id,
+            "command": record.spec.command,
+            "attempts": record.attempts,
+            "error": error or (result.error if result is not None else ""),
+            "return_code": result.return_code if result is not None else 1,
+            "quarantined_t_wall": time.time(),
+        }
+
+    def _snapshot_tasks(self) -> list[dict]:
+        """A consistent journal-snapshot view of every record."""
+        with self._records_lock:
+            records = list(self._records.values())
+        with self._dlq_lock:
+            dlq = dict(self._dlq)
+        out: list[dict] = []
+        state_names = {
+            TaskState.QUEUED: "queued",
+            TaskState.DISPATCHED: "dispatched",
+            TaskState.COMPLETED: "completed",
+            TaskState.FAILED: "failed",
+        }
+        for record in records:
+            with record.lock:
+                entry = {
+                    "task_id": record.spec.task_id,
+                    "spec": task_to_dict(record.spec),
+                    "client_id": record.client_id,
+                    "state": state_names.get(record.state, "queued"),
+                    "attempts": record.attempts,
+                    "executor_id": record.executor_id,
+                    "result": (result_to_dict(record.result)
+                               if record.result is not None else None),
+                    "acked": record.acked,
+                    "in_dlq": record.spec.task_id in dlq,
+                    "dlq_error": dlq.get(record.spec.task_id, {}).get("error", ""),
+                }
+            out.append(entry)
+        return out
+
+    def _maybe_crash(self, point: str) -> bool:
+        """Fault-injected process death at a named protocol position."""
+        plan = self.fault_plan
+        if plan is None or not plan.crash_points:
+            return False
+        if not plan.should_crash(point):
+            return False
+        threading.Thread(
+            target=self.simulate_crash, name="dispatcher-crash", daemon=True
+        ).start()
+        return True
+
+    def simulate_crash(self) -> None:
+        """Die like ``kill -9``: drop the journal's unflushed window,
+        close every socket, send no goodbyes.  Recovery is exercised
+        by constructing a new dispatcher over the same journal dir."""
+        if self.journal is not None:
+            self.journal.abandon()
+        self.close()
+
+    # -- dead-letter queue -----------------------------------------------------
+    def dlq_list(self) -> list[dict]:
+        """Current quarantine, oldest first."""
+        with self._dlq_lock:
+            entries = list(self._dlq.values())
+        return sorted(entries, key=lambda e: e.get("quarantined_t_wall", 0.0))
+
+    def dlq_entry(self, task_id: str) -> Optional[dict]:
+        with self._dlq_lock:
+            entry = self._dlq.get(task_id)
+        return dict(entry) if entry is not None else None
+
+    def dlq_retry(self, task_id: str) -> bool:
+        """Re-queue a quarantined task with a fresh retry budget.
+
+        The owning client already saw the failure result (futures are
+        exactly-once-visible; the first settle wins), so a later
+        success reaches it only through GET_RESULTS polling — the DLQ
+        retry is an operator-plane action.
+        """
+        with self._dlq_lock:
+            entry = self._dlq.pop(task_id, None)
+        if entry is None:
+            return False
+        with self._records_lock:
+            record = self._records.get(task_id)
+        if record is None:
+            return False  # orphan DLQ entry (record evicted); drop it
+        with record.lock:
+            record.state = TaskState.QUEUED
+            record.attempts = 0
+            record.executor_id = ""
+            record.delivered = False
+            record.result = None
+            record.acked = False
+            record.timeline = TaskTimeline(submitted=self._now())
+            self.spans.record(task_id, "enqueue", self._now(),
+                              attempt=1, reason="dlq-retry")
+            with self._queue_lock:
+                self._queue.append(task_id)
+        self._journal_append("dlq-retry", task_id)
+        self.events.emit(ev.TASK_DLQ_RETRY, task_id)
+        for executor in self._pick_idle_executors(1):
+            self._send_notify(executor)
+        return True
 
     # -- HTTP status surface --------------------------------------------------
     def serve_http(
@@ -387,6 +726,9 @@ class LiveDispatcher:
             task=task,
             host=host,
             port=port,
+            dlq=self.dlq_list,
+            dlq_entry=self.dlq_entry,
+            dlq_retry=self.dlq_retry,
         )
         return self._http
 
@@ -435,6 +777,8 @@ class LiveDispatcher:
                 "e2e_p50_s": self._h_e2e.p50,
                 "e2e_p99_s": self._h_e2e.p99,
             },
+            "journal": self.journal.stats() if self.journal is not None else None,
+            "dlq": self.dlq_list(),
             "uptime_s": now - self._started,
         }
         return snapshot
@@ -458,6 +802,8 @@ class LiveDispatcher:
         for conn in sessions:
             conn.close()
         self._loop.stop()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "LiveDispatcher":
         return self
@@ -528,6 +874,11 @@ class LiveDispatcher:
         for executor in wake:
             self._send_notify(executor)
         self._notify_clients(overdue_notifies)
+        # Journal hygiene: fold a long tail into a snapshot off the hot
+        # path (the monitor thread), via atomic temp+rename.
+        journal = self.journal
+        if journal is not None and journal.should_compact():
+            journal.compact(self._snapshot_tasks())
 
     def _sample_self(self, now: float) -> None:
         """Fold the dispatcher's own gauges into the time-series store.
@@ -601,10 +952,45 @@ class LiveDispatcher:
             return
         client_id = role[1]
         tasks = [task_from_dict(t) for t in msg.payload.get("tasks", ())]
+        # Admission control: the whole bundle is accepted or refused
+        # atomically — partial acceptance would force clients to diff
+        # their bundles against an ack they cannot correlate.
+        if self.queue_limit is not None and tasks:
+            with self._queue_lock:
+                qlen = len(self._queue)
+            if qlen + len(tasks) > self.queue_limit:
+                self._m_rejects.inc()
+                self.events.emit(ev.SUBMIT_REJECT, client_id,
+                                 bundle=len(tasks), queued=qlen,
+                                 limit=self.queue_limit)
+                session.conn.send(
+                    Message(MessageType.SUBMIT_REJECT, sender="dispatcher",
+                            payload={"retry_after": self.reject_retry_after,
+                                     "queued": qlen,
+                                     "limit": self.queue_limit})
+                )
+                return
         now = self._now()
         bundle = len(tasks)
         new_records: list[_LiveRecord] = []
-        for spec in tasks:
+        with self._records_lock:
+            # Dedupe against known ids: a client retrying a SUBMIT whose
+            # ack was lost (or rejected bundle it re-sends) must not
+            # double-enqueue — resubmission is idempotent per task id.
+            fresh = [spec for spec in tasks if spec.task_id not in self._records]
+            dup_records = [self._records[spec.task_id] for spec in tasks
+                           if spec.task_id in self._records]
+        # A duplicate of an already-settled task (resubmission after a
+        # lost ack, or a reused journal directory) must still converge:
+        # its original CLIENT_NOTIFY may have gone out long ago, so the
+        # stored result is re-pushed to the submitter below.  The
+        # future's first-wins rule dedupes on the client.
+        settled_dupes: list[TaskResult] = []
+        for record in dup_records:
+            with record.lock:
+                if record.result is not None:
+                    settled_dupes.append(record.result)
+        for spec in fresh:
             record = _LiveRecord(spec=spec, client_id=client_id)
             record.timeline.submitted = now
             self.spans.begin(spec.task_id)
@@ -620,19 +1006,36 @@ class LiveDispatcher:
                 self._records[record.spec.task_id] = record
         with self._queue_lock:
             self._queue.extend(record.spec.task_id for record in new_records)
-        if tasks:
-            self._m_accepted.inc(len(tasks))
+        if new_records:
+            self._m_accepted.inc(len(new_records))
             if self.events.enabled:
                 # Guarded: per-task emission must cost nothing when no
                 # event log is attached (the common case).
-                for spec in tasks:
-                    self.events.emit(ev.TASK_SUBMIT, spec.task_id,
+                for record in new_records:
+                    self.events.emit(ev.TASK_SUBMIT, record.spec.task_id,
                                      client=client_id, bundle=bundle)
+        if self.journal is not None and new_records:
+            # Durable-before-ack: one group commit covers the bundle,
+            # so a SUBMIT_ACK is a promise the tasks survive a crash.
+            # Specs are stored default-stripped and the whole bundle is
+            # buffered under one lock — the WAL cost of a submit is a
+            # few dict keys per task, not a serialisation pass.
+            self.journal.append_many([
+                {"k": "submit", "id": record.spec.task_id,
+                 "spec": _journal_spec(record.spec),
+                 "client": client_id}
+                for record in new_records
+            ])
+            self.journal.commit()
         idle_to_notify = self._pick_idle_executors(len(tasks))
         session.conn.send(
             Message(MessageType.SUBMIT_ACK, sender="dispatcher",
                     payload={"accepted": len(tasks)})
         )
+        if settled_dupes:
+            self._notify_clients(
+                [(client_id, result) for result in settled_dupes]
+            )
         for executor in idle_to_notify:
             self._send_notify(executor)
 
@@ -696,6 +1099,12 @@ class LiveDispatcher:
         session.role = ("executor", executor_id)
         self.events.emit(ev.EXECUTOR_REGISTER, executor_id,
                          reconnect=reconnect, pipeline=executor.pipeline)
+        # Wire v2-optional inflight echo: tasks the executor already
+        # executed (or still holds) across a dispatcher restart.  A
+        # matching attempt adopts the dispatch instead of re-running it
+        # elsewhere; a mismatch means the task was already superseded —
+        # the executor's resent result will be dropped as stale.
+        self._adopt_inflight(executor, msg.payload.get("inflight") or ())
         session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
         with self._queue_lock:
             notify = bool(self._queue)
@@ -748,6 +1157,11 @@ class LiveDispatcher:
     def _on_result(self, session: "_Session", msg: Message) -> None:
         role = session.role
         if role is None or role[0] != "executor":
+            return
+        # Chaos hook: die with a RESULT frame in hand but unprocessed —
+        # the executor did the work, but no settle/ack/journal record
+        # exists; recovery must not lose or double-complete the task.
+        if self._maybe_crash("before-result"):
             return
         executor_id = role[1]
         # v1: one completion under "result"/"attempt"/"exec".  v2
@@ -942,6 +1356,12 @@ class LiveDispatcher:
             attempt=record.attempts, executor=executor.executor_id, mode=mode,
         )
         record.trace_wire = ctx.to_wire() if ctx is not None else None
+        # Asynchronous journal append: dispatch records ride the flush
+        # window.  A crash may lose the last ~20 ms of transitions —
+        # recovery then replays those dispatches (at-least-once).
+        self._journal_append("dispatch", record.spec.task_id,
+                             attempt=record.attempts,
+                             executor=executor.executor_id)
 
     def _unclaim(self, record: _LiveRecord, executor_id: str) -> None:
         """Roll back a dispatch that never charged its executor."""
@@ -978,6 +1398,9 @@ class LiveDispatcher:
                                      executor=executor_id,
                                      attempt=record.attempts,
                                      mode=record.dispatch_mode)
+        # Chaos hook: die right after a WORK/ack frame left — the task
+        # is on an executor but its result will never be processed here.
+        self._maybe_crash("after-dispatch")
 
     def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
         """Idle executors to NOTIFY, at most *limit*."""
@@ -1022,6 +1445,23 @@ class LiveDispatcher:
                     outcome="ok" if result.ok else "fail",
                     attempts=record.attempts, executor=result.executor_id,
                 )
+            self._journal_append(
+                "result", record.spec.task_id,
+                outcome="ok" if result.ok else "fail",
+                result=_journal_result(result),
+            )
+            if not result.ok:
+                # Poison task: the retry budget is spent.  The client
+                # still sees the terminal failure (no hanging futures);
+                # the task is additionally quarantined for inspection
+                # and operator-driven retry (``repro dlq``).
+                with self._dlq_lock:
+                    self._dlq[record.spec.task_id] = self._dlq_entry_from_record(record)
+                self._m_dlq.inc()
+                self._journal_append("dlq", record.spec.task_id,
+                                     error=result.error)
+                self.events.emit(ev.TASK_DLQ, record.spec.task_id,
+                                 attempts=record.attempts, error=result.error)
             return (record.client_id, result)
         # retry
         self._m_retries.inc()
@@ -1037,6 +1477,8 @@ class LiveDispatcher:
         )
         with self._queue_lock:
             self._queue.append(record.spec.task_id)
+        self._journal_append("requeue", record.spec.task_id,
+                             attempt=record.attempts)
         return None
 
     def _requeue_dispatched(self, record: _LiveRecord, reason: str):
@@ -1062,6 +1504,8 @@ class LiveDispatcher:
             )
             with self._queue_lock:
                 self._queue.append(record.spec.task_id)
+            self._journal_append("requeue", record.spec.task_id,
+                                 attempt=record.attempts)
             return None
         result = TaskResult(
             record.spec.task_id,
@@ -1124,7 +1568,23 @@ class LiveDispatcher:
                             payload=body)
                 )
             except Exception:
-                pass  # client went away; results remain queryable
+                continue  # client went away; results remain queryable
+            # The notify left this process: journal the delivery so
+            # recovery knows which results the client may have seen.
+            # (Buffered send ≠ client receipt — the ``acked`` bit is a
+            # best-effort delivery marker, not an end-to-end ack; the
+            # client-side future dedupes any re-notify.)  One journal
+            # record covers the whole frame — ``ids`` keeps the hot
+            # path at one append per flush, not one per task.
+            for result in results:
+                with self._records_lock:
+                    record = self._records.get(result.task_id)
+                if record is not None:
+                    with record.lock:
+                        record.acked = True
+            self._journal_append(
+                "acked", "", ids=[result.task_id for result in results]
+            )
 
     def _drop_executor(
         self,

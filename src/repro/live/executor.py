@@ -22,6 +22,15 @@ piggy-backs a compact ``stats`` dict (wire v2-optional field; v1
 dispatchers ignore unknown payload keys) that the dispatcher folds
 into its rolling time-series store — no extra frames, no extra
 round trips.
+
+Crash resilience (``docs/RELIABILITY.md``): a result whose RESULT
+frame could not be sent (the dispatcher died or the link dropped) is
+*stashed*, not discarded.  The next REGISTER echoes the stashed tasks
+as ``inflight`` entries (``{task_id, attempt}``; wire v2-optional — a
+v1 dispatcher ignores the key) so a journal-recovered dispatcher can
+adopt the dispatch instead of re-executing it elsewhere; right after
+REGISTER_ACK the stashed results are resent.  A superseded attempt's
+resend loses the attempt-number race and is dropped as stale.
 """
 
 from __future__ import annotations
@@ -124,6 +133,10 @@ class LiveExecutor:
         self._backlog = 0
         self._current_attempt: Optional[int] = None
         self._current_trace: Optional[dict] = None
+        # Executed-but-unreported result entries (the RESULT send
+        # failed); echoed on the next REGISTER and resent after its
+        # ack.  Only the executor thread touches it.
+        self._unreported: list[dict] = []
         self._thread = threading.Thread(
             target=self._run, name=self.executor_id, daemon=True
         )
@@ -238,6 +251,16 @@ class LiveExecutor:
                     # Advertised only when used, so depth-1 agents stay
                     # byte-identical to v1 REGISTER frames.
                     register_payload["pipeline"] = self.pipeline
+                if self._unreported:
+                    # Inflight echo (wire v2-optional): tasks this agent
+                    # already executed whose results never left — a
+                    # recovered dispatcher adopts them by attempt match
+                    # instead of double-executing.
+                    register_payload["inflight"] = [
+                        {"task_id": entry["result"]["task_id"],
+                         "attempt": entry.get("attempt")}
+                        for entry in self._unreported
+                    ]
                 try:
                     conn.send(
                         Message(
@@ -302,6 +325,12 @@ class LiveExecutor:
             if msg.type is MessageType.REGISTER_ACK:
                 self._acked_this_conn = True
                 self._registered.set()
+                if self._unreported:
+                    # The dispatcher has now adopted (or superseded) the
+                    # echoed tasks: deliver the stashed results.  A
+                    # failed resend re-stashes for the next session.
+                    pending, self._unreported = self._unreported, []
+                    self._send_results(pending)
             elif msg.type is MessageType.NOTIFY:
                 try:
                     self._conn.send(Message(MessageType.GET_WORK, sender=self.executor_id))
@@ -389,10 +418,22 @@ class LiveExecutor:
             # Echo the dispatcher's attempt number so late results from
             # superseded attempts can be recognised and dropped.
             payload["attempt"] = self._current_attempt
-        self._conn.send(
-            Message(MessageType.RESULT, sender=self.executor_id,
-                    payload=payload, trace=self._current_trace)
-        )
+        try:
+            self._conn.send(
+                Message(MessageType.RESULT, sender=self.executor_id,
+                        payload=payload, trace=self._current_trace)
+            )
+        except Exception:
+            # The work is done but the report never left: stash it for
+            # the inflight echo + resend on the next session rather
+            # than letting a replay re-execute it.
+            entry = {"result": payload["result"], "exec": payload["exec"]}
+            if self._current_attempt is not None:
+                entry["attempt"] = self._current_attempt
+            if self._current_trace is not None:
+                entry["trace"] = self._current_trace
+            self._unreported.append(entry)
+            raise
 
     def _execute_batch(
         self, entries: list[tuple[dict, Optional[int], Optional[dict]]]
@@ -446,7 +487,10 @@ class LiveExecutor:
             )
             return True
         except Exception:
-            return False  # results lost with the connection; replay covers it
+            # Stash instead of discard: the next REGISTER echoes these
+            # so the dispatcher adopts rather than re-executes them.
+            self._unreported.extend(batch)
+            return False
 
     # -- execution -----------------------------------------------------------
     def execute(self, spec: TaskSpec) -> TaskResult:

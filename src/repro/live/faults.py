@@ -62,6 +62,14 @@ class FaultPlan:
     kill_at:
         ``{connection_name: frame_index}``: the named connection's
         socket is killed mid-message at that outbound frame.
+    crash_points:
+        ``{point_name: hit_index}``: the *dispatcher process itself*
+        dies (simulated ``kill -9``) the ``hit_index``-th time it
+        passes the named crash point.  Points wired into the
+        dispatcher: ``after-dispatch`` (a WORK/ack frame just left)
+        and ``before-result`` (a RESULT frame arrived but was not yet
+        processed).  Used with a journal to regression-test restart
+        recovery at exact protocol positions.
     roles:
         Connection roles the plan applies to (``None`` = every
         connection).  Sessions are tagged by the dispatcher once their
@@ -77,6 +85,7 @@ class FaultPlan:
         delay_rate: float = 0.0,
         delay_range: tuple[float, float] = (0.005, 0.02),
         kill_at: Optional[dict[str, int]] = None,
+        crash_points: Optional[dict[str, int]] = None,
         roles: Optional[tuple[str, ...]] = ("executor",),
     ) -> None:
         rates = (drop_rate, duplicate_rate, corrupt_rate, delay_rate)
@@ -91,6 +100,8 @@ class FaultPlan:
         self.delay_rate = delay_rate
         self.delay_range = delay_range
         self.kill_at = dict(kill_at or {})
+        self.crash_points = dict(crash_points or {})
+        self._crash_hits: dict[str, int] = {}
         self.roles = frozenset(roles) if roles is not None else None
         self._rng = RngStreams(self.seed)
         self._lock = threading.Lock()
@@ -101,6 +112,7 @@ class FaultPlan:
             "frames_corrupted": 0,
             "frames_delayed": 0,
             "sockets_killed": 0,
+            "crashes_fired": 0,
         }
 
     # -- decisions ----------------------------------------------------------
@@ -139,6 +151,24 @@ class FaultPlan:
                 delay = lo + float(stream.random()) * (hi - lo)
                 return FaultAction.DELAY, delay
         return FaultAction.NONE, 0.0
+
+    def should_crash(self, point: str) -> bool:
+        """Whether the dispatcher should die at crash point *point*.
+
+        Each named point counts its hits; the scheduled hit fires
+        exactly once (a restarted dispatcher sharing the plan does not
+        re-crash on its first pass).
+        """
+        scheduled = self.crash_points.get(point)
+        if scheduled is None:
+            return False
+        with self._lock:
+            hit = self._crash_hits.get(point, 0)
+            self._crash_hits[point] = hit + 1
+            if hit == scheduled:
+                self.counters["crashes_fired"] += 1
+                return True
+        return False
 
     def corrupt_offset(self, name: str, frame_length: int) -> int:
         """Deterministic body byte offset to flip in a corrupted frame."""

@@ -64,6 +64,14 @@ class LocalFalkon:
     heartbeat_stats:
         Executors piggy-back telemetry on their heartbeats (needs
         ``heartbeat_interval``); False emulates v1 bare heartbeats.
+    journal_dir:
+        Directory for the dispatcher's crash-safe journal; a directory
+        holding state from a previous run is recovered on boot
+        (``docs/RELIABILITY.md``).  ``None`` keeps durability off.
+    queue_limit:
+        Bound the dispatcher's ready queue; overflowing SUBMIT bundles
+        get SUBMIT_REJECT backpressure (the client resubmits with
+        capped backoff).
     """
 
     def __init__(
@@ -84,6 +92,8 @@ class LocalFalkon:
         http_port: Optional[int] = None,
         events_out: Optional[str] = None,
         heartbeat_stats: bool = True,
+        journal_dir: Optional[str] = None,
+        queue_limit: Optional[int] = None,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
@@ -103,6 +113,8 @@ class LocalFalkon:
             replay_timeout=replay_timeout,
             fault_plan=fault_plan,
             event_log=event_log,
+            journal_dir=journal_dir,
+            queue_limit=queue_limit,
         )
         self.http = None
         self.python_registry = python_registry or {}

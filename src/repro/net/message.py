@@ -47,6 +47,9 @@ class MessageType(Enum):
     # client <-> dispatcher
     SUBMIT = "submit"
     SUBMIT_ACK = "submit-ack"
+    #: Admission control (overload): the dispatcher's bounded queue is
+    #: full; the payload carries a ``retry_after`` hint in seconds.
+    SUBMIT_REJECT = "submit-reject"
     CLIENT_NOTIFY = "client-notify"
     GET_RESULTS = "get-results"
     RESULTS = "results"

@@ -41,10 +41,14 @@ TASK_SUBMIT = "task-submit"
 TASK_DISPATCH = "task-dispatch"
 TASK_RETRY = "task-retry"
 TASK_SETTLE = "task-settle"
+TASK_DLQ = "task-dlq"
+TASK_DLQ_RETRY = "task-dlq-retry"
+SUBMIT_REJECT = "submit-reject"
 EXECUTOR_REGISTER = "executor-register"
 EXECUTOR_EVICT = "executor-evict"
 EXECUTOR_DROP = "executor-drop"
 CLIENT_CONNECT = "client-connect"
+DISPATCHER_RECOVER = "dispatcher-recover"
 
 
 @dataclass(frozen=True, slots=True)

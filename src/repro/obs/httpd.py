@@ -3,13 +3,16 @@
 A tiny scrape/status endpoint so a running Falkon deployment can be
 observed *while tasks flow* — no dependencies, no framework:
 
-========================  ==================================================
-``GET /metrics``          Prometheus text exposition (``render_prometheus``)
-``GET /status``           JSON snapshot: typed dispatcher stats, derived
-                          cluster gauges, per-executor telemetry table
-``GET /tasks/<id>``       the task's span chain from the SpanCollector
-``GET /healthz``          liveness probe (``ok``)
-========================  ==================================================
+==========================  ================================================
+``GET /metrics``            Prometheus text exposition (``render_prometheus``)
+``GET /status``             JSON snapshot: typed dispatcher stats, derived
+                            cluster gauges, per-executor telemetry table
+``GET /tasks/<id>``         the task's span chain from the SpanCollector
+``GET /dlq``                the dead-letter queue (quarantined tasks)
+``GET /dlq/<id>``           one quarantined task's entry
+``POST /dlq/<id>/retry``    re-queue a quarantined task (``repro dlq retry``)
+``GET /healthz``            liveness probe (``ok``)
+==========================  ================================================
 
 The server is deliberately decoupled from the dispatcher: it is built
 from three callables (metrics text, status dict, task chain), so tests
@@ -58,10 +61,16 @@ class StatusServer:
         task: Callable[[str], Optional[list[dict]]],
         host: str = "127.0.0.1",
         port: int = 0,
+        dlq: Optional[Callable[[], list[dict]]] = None,
+        dlq_entry: Optional[Callable[[str], Optional[dict]]] = None,
+        dlq_retry: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self._metrics_text = metrics_text
         self._status = status
         self._task = task
+        self._dlq = dlq
+        self._dlq_entry = dlq_entry
+        self._dlq_retry = dlq_retry
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -75,6 +84,17 @@ class StatusServer:
                 except BrokenPipeError:
                     pass  # scraper went away mid-response
                 except Exception as exc:  # a handler bug must answer, not hang
+                    try:
+                        server._reply_json(self, 500, {"error": f"{type(exc).__name__}: {exc}"})
+                    except Exception:
+                        pass
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                try:
+                    server._route_post(self)
+                except BrokenPipeError:
+                    pass
+                except Exception as exc:
                     try:
                         server._reply_json(self, 500, {"error": f"{type(exc).__name__}: {exc}"})
                     except Exception:
@@ -118,6 +138,19 @@ class StatusServer:
                 {"task_id": task_id, "spans": json_safe(chain)},
             )
             return
+        if path == "/dlq" and self._dlq is not None:
+            self._reply_json(handler, 200, {"dlq": json_safe(self._dlq())})
+            return
+        if path.startswith("/dlq/") and self._dlq_entry is not None:
+            task_id = path[len("/dlq/"):]
+            entry = self._dlq_entry(task_id) if task_id else None
+            if entry is None:
+                self._reply_json(
+                    handler, 404, {"error": f"task {task_id!r} is not in the DLQ"}
+                )
+                return
+            self._reply_json(handler, 200, json_safe(entry))
+            return
         if path == "/healthz":
             body = b"ok\n"
             handler.send_response(200)
@@ -129,7 +162,26 @@ class StatusServer:
         self._reply_json(
             handler, 404,
             {"error": f"unknown path {path!r}",
-             "endpoints": ["/metrics", "/status", "/tasks/<id>", "/healthz"]},
+             "endpoints": ["/metrics", "/status", "/tasks/<id>", "/dlq",
+                           "/dlq/<id>", "/healthz"]},
+        )
+
+    def _route_post(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        if (path.startswith("/dlq/") and path.endswith("/retry")
+                and self._dlq_retry is not None):
+            task_id = path[len("/dlq/"):-len("/retry")]
+            if task_id and self._dlq_retry(task_id):
+                self._reply_json(handler, 200, {"task_id": task_id, "requeued": True})
+            else:
+                self._reply_json(
+                    handler, 404, {"error": f"task {task_id!r} is not in the DLQ"}
+                )
+            return
+        self._reply_json(
+            handler, 404,
+            {"error": f"unknown POST path {path!r}",
+             "endpoints": ["/dlq/<id>/retry"]},
         )
 
     @staticmethod

@@ -71,6 +71,17 @@ class DispatcherStats(StatsSnapshot):
     reconnects: int = 0
     stale_results: int = 0
     frames_dropped: int = 0
+    #: Admission control: SUBMIT bundles refused with SUBMIT_REJECT.
+    submit_rejects: int = 0
+    #: Poison-task quarantine: current size and lifetime admissions.
+    dlq_size: int = 0
+    dlq_total: int = 0
+    #: Crash recovery: tasks rebuilt from the journal at boot, and
+    #: dispatched tasks adopted from executors' REGISTER inflight echo.
+    recovered: int = 0
+    inflight_adopted: int = 0
+    #: Journal records appended this incarnation (0 = journal off).
+    journal_records: int = 0
     dispatch_latency_p50: float = math.nan
     dispatch_latency_p90: float = math.nan
     dispatch_latency_p99: float = math.nan

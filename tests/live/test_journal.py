@@ -1,0 +1,293 @@
+"""Unit tests for the dispatcher's write-ahead journal.
+
+Codec round-trips, torn-tail truncation, group commit, compaction,
+and the replay fold (:class:`RecoveredState`) — everything that must
+hold for restart recovery to be trustworthy, tested without sockets.
+"""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.live.journal import (
+    Journal,
+    RESULT_DEFAULTS,
+    SPEC_DEFAULTS,
+    RecoveredState,
+    RecoveredTask,
+    journal_line,
+    parse_journal_line,
+    read_journal_tail,
+    recover,
+    strip_defaults,
+)
+
+from tests.live.util import wait_until
+
+
+# -- codec ---------------------------------------------------------------------
+def test_single_record_round_trip():
+    record = {"k": "submit", "id": "t-1", "spec": {"command": "sleep"}}
+    line = journal_line(record)
+    assert parse_journal_line(line) == [record]
+
+
+def test_batch_line_round_trip():
+    batch = [{"k": "submit", "id": f"t-{i}"} for i in range(5)]
+    line = journal_line(batch)
+    assert parse_journal_line(line) == batch
+
+
+def test_corrupt_crc_rejected():
+    line = journal_line({"k": "submit", "id": "t-1"})
+    flipped = ("0" if line[0] != "0" else "1") + line[1:]
+    assert parse_journal_line(flipped) is None
+
+
+def test_corrupt_body_rejected():
+    line = journal_line({"k": "submit", "id": "t-1"})
+    assert parse_journal_line(line[:-2] + "xx") is None
+
+
+def test_garbage_lines_rejected():
+    assert parse_journal_line("") is None
+    assert parse_journal_line("not a journal line") is None
+    assert parse_journal_line("zzzzzzzz {}") is None
+    # valid CRC over a non-dict body must also be refused
+    body = json.dumps(["not", "records"])
+    crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+    assert parse_journal_line(f"{crc:08x} {body}") is None
+
+
+def test_torn_tail_truncates_at_first_bad_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    good = [journal_line({"k": "submit", "id": f"t-{i}"}) for i in range(3)]
+    torn = journal_line({"k": "submit", "id": "t-torn"})[:-7]  # mid-write death
+    after = journal_line({"k": "submit", "id": "t-after"})
+    path.write_text("\n".join(good + [torn, after]) + "\n")
+    records, truncated = read_journal_tail(path)
+    assert [r["id"] for r in records] == ["t-0", "t-1", "t-2"]
+    assert truncated == 2  # the torn line and everything after it
+
+
+def test_missing_tail_is_empty():
+    records, truncated = read_journal_tail("/nonexistent/journal.jsonl")
+    assert records == [] and truncated == 0
+
+
+def test_strip_defaults_round_trips_through_parsers():
+    from repro.live.protocol import (
+        result_from_dict,
+        result_to_dict,
+        task_from_dict,
+        task_to_dict,
+    )
+    from repro.types import TaskResult, TaskSpec
+
+    spec = TaskSpec.sleep(0, task_id="t-1")
+    stripped = strip_defaults(task_to_dict(spec), SPEC_DEFAULTS)
+    assert set(stripped) == {"task_id", "command", "args"}
+    assert task_from_dict(stripped) == spec
+
+    result = TaskResult(task_id="t-1", executor_id="e-1")
+    stripped = strip_defaults(result_to_dict(result), RESULT_DEFAULTS)
+    assert set(stripped) == {"task_id", "executor_id"}
+    assert result_from_dict(stripped) == result
+
+
+# -- the journal ---------------------------------------------------------------
+def test_commit_makes_appends_durable(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append("submit", "t-1", spec={"command": "sleep"}, client="c-1")
+        journal.append("dispatch", "t-1", attempt=1, executor="e-1")
+        assert journal.commit()
+        records, truncated = read_journal_tail(tmp_path / "journal.jsonl")
+        assert [r["k"] for r in records] == ["submit", "dispatch"]
+        assert truncated == 0
+
+
+def test_append_many_single_commit(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append_many(
+            [{"k": "submit", "id": f"t-{i}", "client": "c-1"} for i in range(50)]
+        )
+        assert journal.commit()
+        assert journal.stats()["records"] == 50
+    records, _ = read_journal_tail(tmp_path / "journal.jsonl")
+    assert len(records) == 50
+
+
+def test_window_flush_without_commit(tmp_path):
+    journal = Journal(tmp_path, flush_window=0.01)
+    try:
+        journal.append("submit", "t-1")
+        assert wait_until(lambda: journal.stats()["pending"] == 0, timeout=5.0)
+        records, _ = read_journal_tail(tmp_path / "journal.jsonl")
+        assert [r["id"] for r in records] == ["t-1"]
+    finally:
+        journal.close()
+
+
+def test_close_flushes_remaining(tmp_path):
+    journal = Journal(tmp_path)
+    journal.append("submit", "t-1")
+    journal.close()
+    records, _ = read_journal_tail(tmp_path / "journal.jsonl")
+    assert [r["id"] for r in records] == ["t-1"]
+    assert journal.commit() is False  # closed journals refuse barriers
+
+
+def test_abandon_drops_buffered_window(tmp_path):
+    journal = Journal(tmp_path, flush_window=30.0)  # nothing flushes on its own
+    journal.append("submit", "t-durable")
+    assert journal.commit()
+    journal.append("submit", "t-volatile")
+    journal.abandon()  # simulated kill -9: the un-fsynced window is lost
+    records, _ = read_journal_tail(tmp_path / "journal.jsonl")
+    assert [r["id"] for r in records] == ["t-durable"]
+
+
+def test_reopen_existing_tail_appends(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append("submit", "t-1")
+        journal.commit()
+    with Journal(tmp_path) as journal:
+        assert journal.tail_records == 1
+        journal.append("submit", "t-2")
+        journal.commit()
+    records, _ = read_journal_tail(tmp_path / "journal.jsonl")
+    assert [r["id"] for r in records] == ["t-1", "t-2"]
+
+
+def test_compaction_snapshots_and_truncates(tmp_path):
+    journal = Journal(tmp_path, compact_every=5)
+    try:
+        for i in range(6):
+            journal.append("submit", f"t-{i}", spec={"command": "sleep"}, client="c")
+        journal.commit()
+        assert journal.should_compact()
+        tasks = [
+            RecoveredTask(task_id=f"t-{i}", spec={"command": "sleep"}, client_id="c").to_dict()
+            for i in range(6)
+        ]
+        journal.compact(tasks)
+        assert journal.tail_records == 0
+        assert not journal.should_compact()
+        # post-compaction records land in the fresh tail
+        journal.append("result", "t-0", outcome="ok", result={})
+        journal.commit()
+    finally:
+        journal.close()
+    state = recover(tmp_path)
+    assert state.from_snapshot
+    assert len(state.tasks) == 6
+    assert state.tasks["t-0"].state == "completed"
+    assert state.replayed == 1  # only the post-snapshot record
+
+
+# -- replay fold ---------------------------------------------------------------
+def _submit(task_id, **extra):
+    return {"k": "submit", "id": task_id, "spec": {"command": "sleep"},
+            "client": "c-1", **extra}
+
+
+def test_apply_full_lifecycle():
+    state = RecoveredState()
+    for record in [
+        _submit("t-1"),
+        {"k": "dispatch", "id": "t-1", "attempt": 1, "executor": "e-1"},
+        {"k": "result", "id": "t-1", "outcome": "ok", "result": {"return_code": 0}},
+        {"k": "acked", "id": "", "ids": ["t-1"]},
+    ]:
+        state.apply(record)
+    task = state.tasks["t-1"]
+    assert task.state == "completed" and task.acked and task.terminal
+    assert task.result["task_id"] == "t-1"  # record id restored into the dict
+    assert state.pending() == []
+
+
+def test_apply_submit_is_idempotent():
+    state = RecoveredState()
+    state.apply(_submit("t-1"))
+    state.apply({"k": "dispatch", "id": "t-1", "attempt": 1, "executor": "e-1"})
+    state.apply(_submit("t-1"))  # client resubmission after a lost ack
+    assert state.tasks["t-1"].state == "dispatched"
+
+
+def test_apply_ignores_transitions_for_unknown_tasks():
+    state = RecoveredState()
+    state.apply({"k": "dispatch", "id": "t-ghost", "attempt": 1, "executor": "e-1"})
+    state.apply({"k": "result", "id": "t-ghost", "outcome": "ok", "result": {}})
+    assert state.tasks == {}
+
+
+def test_apply_terminal_blocks_stale_transitions():
+    state = RecoveredState()
+    state.apply(_submit("t-1"))
+    state.apply({"k": "result", "id": "t-1", "outcome": "ok", "result": {}})
+    state.apply({"k": "dispatch", "id": "t-1", "attempt": 2, "executor": "e-2"})
+    state.apply({"k": "requeue", "id": "t-1", "attempt": 2})
+    assert state.tasks["t-1"].state == "completed"
+
+
+def test_apply_requeue_returns_to_pending():
+    state = RecoveredState()
+    state.apply(_submit("t-1"))
+    state.apply({"k": "dispatch", "id": "t-1", "attempt": 1, "executor": "e-1"})
+    state.apply({"k": "requeue", "id": "t-1", "attempt": 1})
+    task = state.tasks["t-1"]
+    assert task.state == "queued" and task.executor_id == ""
+    assert [t.task_id for t in state.pending()] == ["t-1"]
+
+
+def test_apply_dlq_and_dlq_retry():
+    state = RecoveredState()
+    state.apply(_submit("t-1"))
+    state.apply({"k": "result", "id": "t-1", "outcome": "fail",
+                 "result": {"return_code": 1}})
+    state.apply({"k": "dlq", "id": "t-1", "error": "poison"})
+    task = state.tasks["t-1"]
+    assert task.in_dlq and task.state == "failed" and task.dlq_error == "poison"
+    state.apply({"k": "dlq-retry", "id": "t-1"})
+    assert not task.in_dlq
+    assert task.state == "queued" and task.attempts == 0
+    assert task.result is None and not task.acked
+
+
+def test_spec_task_id_restored_on_replay():
+    state = RecoveredState()
+    state.apply({"k": "submit", "id": "t-1", "spec": {"command": "sleep"},
+                 "client": "c-1"})
+    assert state.tasks["t-1"].spec["task_id"] == "t-1"
+
+
+def test_recover_torn_tail_end_to_end(tmp_path):
+    lines = [
+        journal_line([_submit("t-1"), _submit("t-2")]),
+        journal_line({"k": "result", "id": "t-1", "outcome": "ok", "result": {}}),
+        journal_line({"k": "result", "id": "t-2", "outcome": "ok", "result": {}})[:-9],
+    ]
+    (tmp_path / "journal.jsonl").write_text("\n".join(lines) + "\n")
+    state = recover(tmp_path)
+    assert state.truncated == 1
+    assert state.tasks["t-1"].terminal
+    assert not state.tasks["t-2"].terminal  # its settle was in the torn line
+    assert [t.task_id for t in state.pending()] == ["t-2"]
+
+
+def test_journal_validation():
+    with pytest.raises(ValueError):
+        Journal("/tmp/x", flush_window=0)
+    with pytest.raises(ValueError):
+        Journal("/tmp/x", compact_every=0)
+
+
+def test_recovered_task_dict_round_trip():
+    task = RecoveredTask(
+        task_id="t-1", spec={"command": "sleep"}, client_id="c-1",
+        state="dispatched", attempts=2, executor_id="e-1",
+        result=None, acked=False, in_dlq=False,
+    )
+    assert RecoveredTask.from_dict(task.to_dict()) == task

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ReconnectError
 from repro.live import LocalFalkon, TaskFuture
 from repro.obs import SPAN_ORDER, render_prometheus
-from repro.types import Bundle, TaskSpec
+from repro.types import Bundle, TaskResult, TaskSpec
 
 
 class TestLiveTracing:
@@ -151,10 +151,17 @@ class TestFutureApi:
         with pytest.raises(TimeoutError):
             future.exception(timeout=0.01)
 
-    def test_cancellation_surface_always_declines(self):
+    def test_cancellation_follows_concurrent_futures(self):
+        # Local-abandon semantics (see tests/live/test_client_semantics.py
+        # for the full surface): a pending future cancels; a settled one
+        # is too late, exactly like concurrent.futures.Future.cancel.
         future = TaskFuture("nc-0")
-        assert future.cancel() is False
-        assert future.cancelled() is False
+        assert future.cancel() is True
+        assert future.cancelled() is True
+        settled = TaskFuture("nc-1")
+        settled._fulfill(TaskResult(task_id="nc-1"))
+        assert settled.cancel() is False
+        assert settled.cancelled() is False
 
 
 class TestClientConstructors:
