@@ -484,8 +484,15 @@ class LiveDispatcher:
                 record.state = (TaskState.COMPLETED if task.state == "completed"
                                 else TaskState.FAILED)
                 if task.result is not None:
-                    record.result = result_from_dict(task.result)
-                else:
+                    try:
+                        record.result = result_from_dict(task.result)
+                    except (KeyError, TypeError, ValueError):
+                        # A malformed journalled result (version skew,
+                        # corruption that passed the CRC) degrades to
+                        # the synthesized failure below — one bad
+                        # record must not abort the whole boot.
+                        record.result = None
+                if record.result is None:
                     record.result = TaskResult(
                         task.task_id, return_code=1,
                         error=task.dlq_error or "failed before crash",
@@ -595,37 +602,6 @@ class LiveDispatcher:
             "return_code": result.return_code if result is not None else 1,
             "quarantined_t_wall": time.time(),
         }
-
-    def _snapshot_tasks(self) -> list[dict]:
-        """A consistent journal-snapshot view of every record."""
-        with self._records_lock:
-            records = list(self._records.values())
-        with self._dlq_lock:
-            dlq = dict(self._dlq)
-        out: list[dict] = []
-        state_names = {
-            TaskState.QUEUED: "queued",
-            TaskState.DISPATCHED: "dispatched",
-            TaskState.COMPLETED: "completed",
-            TaskState.FAILED: "failed",
-        }
-        for record in records:
-            with record.lock:
-                entry = {
-                    "task_id": record.spec.task_id,
-                    "spec": task_to_dict(record.spec),
-                    "client_id": record.client_id,
-                    "state": state_names.get(record.state, "queued"),
-                    "attempts": record.attempts,
-                    "executor_id": record.executor_id,
-                    "result": (result_to_dict(record.result)
-                               if record.result is not None else None),
-                    "acked": record.acked,
-                    "in_dlq": record.spec.task_id in dlq,
-                    "dlq_error": dlq.get(record.spec.task_id, {}).get("error", ""),
-                }
-            out.append(entry)
-        return out
 
     def _maybe_crash(self, point: str) -> bool:
         """Fault-injected process death at a named protocol position."""
@@ -875,10 +851,13 @@ class LiveDispatcher:
             self._send_notify(executor)
         self._notify_clients(overdue_notifies)
         # Journal hygiene: fold a long tail into a snapshot off the hot
-        # path (the monitor thread), via atomic temp+rename.
+        # path (the monitor thread).  The journal compacts from its own
+        # durable contents (rotate + fold), so no dispatcher state view
+        # is captured here — there is no snapshot-vs-append race to get
+        # wrong.
         journal = self.journal
         if journal is not None and journal.should_compact():
-            journal.compact(self._snapshot_tasks())
+            journal.compact()
 
     def _sample_self(self, now: float) -> None:
         """Fold the dispatcher's own gauges into the time-series store.
@@ -972,7 +951,6 @@ class LiveDispatcher:
                 return
         now = self._now()
         bundle = len(tasks)
-        new_records: list[_LiveRecord] = []
         with self._records_lock:
             # Dedupe against known ids: a client retrying a SUBMIT whose
             # ack was lost (or rejected bundle it re-sends) must not
@@ -990,6 +968,36 @@ class LiveDispatcher:
             with record.lock:
                 if record.result is not None:
                     settled_dupes.append(record.result)
+        if self.journal is not None and fresh:
+            # Durable-before-accept: one group commit covers the bundle
+            # and runs before any dispatcher state changes, so a
+            # SUBMIT_ACK is a promise the tasks survive a crash.  Specs
+            # are stored default-stripped and the whole bundle is
+            # buffered under one lock — the WAL cost of a submit is a
+            # few dict keys per task, not a serialisation pass.
+            self.journal.append_many([
+                {"k": "submit", "id": spec.task_id,
+                 "spec": _journal_spec(spec),
+                 "client": client_id}
+                for spec in fresh
+            ])
+            if not self.journal.commit():
+                # The journal cannot confirm durability (fsync failure
+                # or commit timeout): acking anyway would silently void
+                # the whole crash-safety promise.  Refuse the bundle —
+                # the client's capped-backoff resubmission converges if
+                # the stall was transient, and nothing was enqueued, so
+                # no state needs unwinding.
+                self._m_rejects.inc()
+                self.events.emit(ev.SUBMIT_REJECT, client_id,
+                                 bundle=bundle, reason="journal")
+                session.conn.send(
+                    Message(MessageType.SUBMIT_REJECT, sender="dispatcher",
+                            payload={"retry_after": self.reject_retry_after,
+                                     "reason": "journal"})
+                )
+                return
+        new_records: list[_LiveRecord] = []
         for spec in fresh:
             record = _LiveRecord(spec=spec, client_id=client_id)
             record.timeline.submitted = now
@@ -1014,19 +1022,6 @@ class LiveDispatcher:
                 for record in new_records:
                     self.events.emit(ev.TASK_SUBMIT, record.spec.task_id,
                                      client=client_id, bundle=bundle)
-        if self.journal is not None and new_records:
-            # Durable-before-ack: one group commit covers the bundle,
-            # so a SUBMIT_ACK is a promise the tasks survive a crash.
-            # Specs are stored default-stripped and the whole bundle is
-            # buffered under one lock — the WAL cost of a submit is a
-            # few dict keys per task, not a serialisation pass.
-            self.journal.append_many([
-                {"k": "submit", "id": record.spec.task_id,
-                 "spec": _journal_spec(record.spec),
-                 "client": client_id}
-                for record in new_records
-            ])
-            self.journal.commit()
         idle_to_notify = self._pick_idle_executors(len(tasks))
         session.conn.send(
             Message(MessageType.SUBMIT_ACK, sender="dispatcher",

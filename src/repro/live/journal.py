@@ -30,9 +30,14 @@ Durability model (see ``docs/RELIABILITY.md``):
 * Every record line carries a CRC32 over its JSON body.  A torn or
   bit-rotten tail (the process died mid-write) truncates cleanly at
   the last good record instead of poisoning recovery.
-* Periodic compaction folds the log into ``snapshot.json`` via the
-  atomic temp+rename writer and truncates the tail, bounding both
-  recovery time and disk growth.
+* Periodic compaction *rotates* the tail aside (atomic rename), opens
+  a fresh tail for concurrent appends, folds old snapshot + rotated
+  segment into a new ``snapshot.json`` via the atomic temp+rename
+  writer, then deletes the segment.  No append — not even one racing
+  the compaction — ever lands in a file that gets destroyed: records
+  live in the rotated segment (folded) or the fresh tail (replayed).
+  A crash at any point leaves a recoverable triple of
+  snapshot + rotated segment + tail.
 
 Recovery (:func:`recover`) replays snapshot+tail into a
 :class:`RecoveredState`; the dispatcher re-enqueues every non-terminal
@@ -73,6 +78,11 @@ DEFAULT_COMPACT_EVERY = 50_000
 
 SNAPSHOT_NAME = "snapshot.json"
 TAIL_NAME = "journal.jsonl"
+#: A tail renamed aside by an in-progress compaction.  Exists only
+#: transiently (or after a crash mid-compaction, until the next boot
+#: or compaction folds it); recovery replays it between snapshot and
+#: tail — its records all precede the tail's.
+ROTATED_NAME = TAIL_NAME + ".compacting"
 
 
 # ---------------------------------------------------------------------------
@@ -321,29 +331,45 @@ class RecoveredState:
         )
 
 
-def recover(directory: Union[str, "os.PathLike[str]"]) -> RecoveredState:
-    """Rebuild dispatcher state from ``snapshot.json`` + tail replay."""
-    directory = os.fspath(directory)
-    state = RecoveredState()
-    snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+def _apply_snapshot(
+    state: RecoveredState, snapshot_path: Union[str, "os.PathLike[str]"]
+) -> None:
+    """Load ``snapshot.json`` entries into *state* (no-op if absent)."""
     try:
         with open(snapshot_path, "r", encoding="utf-8") as fh:
             snapshot = json.load(fh)
     except (FileNotFoundError, ValueError):
-        snapshot = None
-    if isinstance(snapshot, dict):
-        for entry in snapshot.get("tasks", ()):
-            try:
-                task = RecoveredTask.from_dict(entry)
-            except (KeyError, TypeError, ValueError):
-                continue
-            state.tasks[task.task_id] = task
-        state.from_snapshot = True
-    records, truncated = read_journal_tail(os.path.join(directory, TAIL_NAME))
-    for record in records:
-        state.apply(record)
-    state.replayed = len(records)
-    state.truncated = truncated
+        return
+    if not isinstance(snapshot, dict):
+        return
+    for entry in snapshot.get("tasks", ()):
+        try:
+            task = RecoveredTask.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            continue
+        state.tasks[task.task_id] = task
+    state.from_snapshot = True
+
+
+def recover(directory: Union[str, "os.PathLike[str]"]) -> RecoveredState:
+    """Rebuild dispatcher state from snapshot + rotated segment + tail.
+
+    The rotated segment only exists after a crash mid-compaction; its
+    records all precede the tail's, so replay order is snapshot, then
+    segment, then tail.  A segment already folded into the snapshot
+    (the crash hit between snapshot rename and segment unlink) is
+    replayed once more on top of it — record application converges
+    under exact re-sequencing, so the duplicate pass is harmless.
+    """
+    directory = os.fspath(directory)
+    state = RecoveredState()
+    _apply_snapshot(state, os.path.join(directory, SNAPSHOT_NAME))
+    for name in (ROTATED_NAME, TAIL_NAME):
+        records, truncated = read_journal_tail(os.path.join(directory, name))
+        for record in records:
+            state.apply(record)
+        state.replayed += len(records)
+        state.truncated += truncated
     return state
 
 
@@ -374,9 +400,23 @@ class Journal:
         self.compact_every = compact_every
         self.tail_path = os.path.join(self.directory, TAIL_NAME)
         self.snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
+        self.rotated_path = os.path.join(self.directory, ROTATED_NAME)
+        # Complete a compaction a previous incarnation died inside of:
+        # fold its rotated segment into the snapshot now, so recovery
+        # debt stays bounded and this incarnation's compactions never
+        # find a stale segment in the way of their rename.
+        try:
+            self._fold_rotated_segment()
+        except OSError:
+            pass  # recovery reads the segment in place; retried next compact
         self._fh = open(self.tail_path, "a", encoding="utf-8")
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
+        #: Serialises every touch of the tail file — the flusher's
+        #: write+fsync, compaction's close/rename/reopen, and the final
+        #: close.  Lock order: ``_io_lock`` may wrap ``_cond``, never
+        #: the reverse.
+        self._io_lock = threading.Lock()
         self._buffer: list[dict] = []
         self._appended = 0  # records ever appended (this incarnation)
         self._flushed = 0   # records durable on disk
@@ -384,6 +424,7 @@ class Journal:
         self._sync_requested = False
         self._closed = False
         self._abandoned = False
+        self._failed = False  # unrecoverable write/fsync error
         self.counters = {
             "records": 0,
             "commits": 0,
@@ -410,7 +451,7 @@ class Journal:
         record = {"k": kind, "id": task_id}
         record.update(fields)
         with self._cond:
-            if self._closed:
+            if self._closed or self._failed:
                 return
             self._buffer.append(record)
             self._appended += 1
@@ -425,7 +466,7 @@ class Journal:
         if not records:
             return
         with self._cond:
-            if self._closed:
+            if self._closed or self._failed:
                 return
             self._buffer.extend(records)
             self._appended += len(records)
@@ -434,20 +475,25 @@ class Journal:
     def commit(self, timeout: float = 5.0) -> bool:
         """Group-commit barrier: block until prior appends are durable.
 
-        Returns ``False`` on timeout or on a closed journal (callers
-        treat that as best-effort durability, never as an error on the
-        dispatch path).
+        Returns ``False`` on timeout and on a closed or *failed*
+        journal — a ``False`` means the appends are NOT known durable,
+        and callers who promised durability (the SUBMIT ack path) must
+        refuse rather than ack.  A failed journal returns immediately
+        instead of burning the timeout: once a write or fsync has
+        errored, no later barrier can ever succeed.
         """
         with self._cond:
-            if self._closed:
+            if self._closed or self._failed:
                 return False
             target = self._appended
             self.counters["commits"] += 1
             self._sync_requested = True
             self._cond.notify_all()
-            return self._cond.wait_for(
-                lambda: self._flushed >= target or self._closed, timeout
+            self._cond.wait_for(
+                lambda: self._flushed >= target or self._closed or self._failed,
+                timeout,
             )
+            return self._flushed >= target
 
     # -- flusher -------------------------------------------------------------
     def _flush_loop(self) -> None:
@@ -458,10 +504,10 @@ class Journal:
                 # occupancy would degrade group commit into one fsync
                 # per record under load — the opposite of batching.
                 self._cond.wait_for(
-                    lambda: self._sync_requested or self._closed,
+                    lambda: self._sync_requested or self._closed or self._failed,
                     self.flush_window,
                 )
-                if self._closed:
+                if self._closed or self._failed:
                     return
                 batch, self._buffer = self._buffer, []
                 self._sync_requested = False
@@ -473,20 +519,31 @@ class Journal:
                     self._cond.notify_all()
 
     def _write_batch(self, batch: list[dict]) -> None:
-        try:
-            # One array line per window: a single json.dumps amortises
-            # the per-record encoder overhead (~3x cheaper), and the
-            # whole window stays atomic under the line's CRC.
-            self._fh.write(journal_line(batch) + "\n")
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-        except (OSError, ValueError):
-            return  # disk trouble: records stay volatile; recovery truncates
-        with self._cond:
-            self._flushed += len(batch)
-            self._tail_records += len(batch)
-            self.counters["flushes"] += 1
-            self._cond.notify_all()
+        with self._io_lock:
+            try:
+                # One array line per window: a single json.dumps amortises
+                # the per-record encoder overhead (~3x cheaper), and the
+                # whole window stays atomic under the line's CRC.
+                self._fh.write(journal_line(batch) + "\n")
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                # A write or fsync error is fatal: _flushed can never
+                # catch _appended again, so pretending otherwise would
+                # leave every future commit() burning its full timeout
+                # while acks silently stop being durable.  Fail the
+                # journal loudly instead — commits return False at
+                # once and the dispatcher refuses new submits.
+                with self._cond:
+                    self._failed = True
+                    self._buffer.clear()
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._flushed += len(batch)
+                self._tail_records += len(batch)
+                self.counters["flushes"] += 1
+                self._cond.notify_all()
 
     # -- compaction ----------------------------------------------------------
     @property
@@ -496,40 +553,89 @@ class Journal:
 
     def should_compact(self) -> bool:
         with self._lock:
-            return self._tail_records >= self.compact_every and not self._closed
+            return (self._tail_records >= self.compact_every
+                    and not self._closed and not self._failed)
 
-    def compact(self, tasks: list[dict[str, Any]]) -> None:
-        """Write *tasks* as the new snapshot; truncate the tail.
+    def _fold_rotated_segment(self) -> None:
+        """Fold the rotated segment (if any) into ``snapshot.json``.
 
-        The snapshot goes through the atomic temp+rename writer, so a
-        crash mid-compaction leaves either the old snapshot + full
-        tail or the new snapshot + empty tail — never a torn mix.
-        The caller supplies a consistent view of every live record
-        (``RecoveredTask.to_dict`` shape).
+        The new snapshot is exactly old snapshot ⊕ segment records —
+        journal contents only, never the dispatcher's in-memory view,
+        so there is no window in which a durable record is absent from
+        both the snapshot and a surviving file.  The atomic temp+rename
+        writer makes the swap all-or-nothing; the segment is unlinked
+        only after the new snapshot is in place.
         """
+        if not os.path.exists(self.rotated_path):
+            return
         from repro.obs.exporters import atomic_writer
 
+        state = RecoveredState()
+        _apply_snapshot(state, self.snapshot_path)
+        records, _ = read_journal_tail(self.rotated_path)
+        for record in records:
+            state.apply(record)
+        with atomic_writer(self.snapshot_path) as fh:
+            json.dump(
+                {"version": 1,
+                 "tasks": [t.to_dict() for t in state.tasks.values()]},
+                fh, sort_keys=True,
+            )
+        os.unlink(self.rotated_path)
+
+    def compact(self) -> None:
+        """Fold the tail into ``snapshot.json`` without losing appends.
+
+        Rotation, not truncation: the tail is atomically renamed aside
+        and a fresh tail opened under the I/O lock, so a record
+        appended at *any* point during compaction lands either in the
+        rotated segment (drained there before the rename, hence folded
+        into the snapshot) or in the fresh tail (replayed on top of
+        it) — never in a file that gets destroyed.  Crash windows:
+        before the rename nothing has changed; after it, recovery
+        reads snapshot + segment + tail; between the snapshot swap and
+        the segment unlink, the segment is replayed once more over a
+        snapshot that already folds it, which converges (application
+        is idempotent under exact re-sequencing).
+        """
+        try:
+            # A segment left by an earlier failed fold must be cleared
+            # first — the rename below would silently clobber it.
+            self._fold_rotated_segment()
+        except OSError:
+            return
         with self._cond:
-            if self._closed:
+            if self._closed or self._failed:
                 return
-            # Drain the buffer into the old tail first so the snapshot
-            # supersedes everything written before it.
+            # Drain the buffer into the outgoing tail so the fold
+            # covers everything appended before the rotation point.
             batch, self._buffer = self._buffer, []
         if batch:
             self._write_batch(batch)
-        with atomic_writer(self.snapshot_path) as fh:
-            json.dump({"version": 1, "tasks": tasks}, fh, sort_keys=True)
         with self._cond:
-            if self._closed:
+            if self._closed or self._failed:
                 return
-            try:
-                self._fh.close()
-                self._fh = open(self.tail_path, "w", encoding="utf-8")
-                self._fh.flush()
-                os.fsync(self._fh.fileno())
-            except OSError:
-                return
-            self._tail_records = 0
+        with self._io_lock:
+            with self._cond:
+                if self._closed or self._failed:
+                    return
+                try:
+                    self._fh.close()
+                    os.replace(self.tail_path, self.rotated_path)
+                    self._fh = open(self.tail_path, "a", encoding="utf-8")
+                except OSError:
+                    self._failed = True
+                    self._cond.notify_all()
+                    return
+                self._tail_records = 0
+        try:
+            self._fold_rotated_segment()
+        except OSError:
+            # Disk trouble while snapshotting: the segment stays on
+            # disk, recovery replays it in place, and the next
+            # compaction (or boot) retries the fold.
+            return
+        with self._cond:
             self.counters["compactions"] += 1
 
     # -- lifecycle -----------------------------------------------------------
@@ -544,7 +650,7 @@ class Journal:
         if batch:
             self._write_batch(batch)
         self._flusher.join(timeout=2.0)
-        with self._cond:
+        with self._io_lock:
             try:
                 self._fh.flush()
                 self._fh.close()
@@ -566,7 +672,7 @@ class Journal:
             self._abandoned = True
             self._cond.notify_all()
         self._flusher.join(timeout=2.0)
-        with self._cond:
+        with self._io_lock:
             try:
                 self._fh.close()
             except (OSError, ValueError):
@@ -577,11 +683,19 @@ class Journal:
         with self._lock:
             return self._closed
 
+    @property
+    def failed(self) -> bool:
+        """True after an unrecoverable write/fsync error: appends are
+        dropped and every ``commit`` returns ``False`` immediately."""
+        with self._lock:
+            return self._failed
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             out = dict(self.counters)
             out["pending"] = len(self._buffer)
             out["tail_records"] = self._tail_records
+            out["failed"] = int(self._failed)
         return out
 
     def __enter__(self) -> "Journal":

@@ -168,13 +168,10 @@ def test_compaction_snapshots_and_truncates(tmp_path):
             journal.append("submit", f"t-{i}", spec={"command": "sleep"}, client="c")
         journal.commit()
         assert journal.should_compact()
-        tasks = [
-            RecoveredTask(task_id=f"t-{i}", spec={"command": "sleep"}, client_id="c").to_dict()
-            for i in range(6)
-        ]
-        journal.compact(tasks)
+        journal.compact()  # folds the tail's own records into the snapshot
         assert journal.tail_records == 0
         assert not journal.should_compact()
+        assert not os.path.exists(tmp_path / "journal.jsonl.compacting")
         # post-compaction records land in the fresh tail
         journal.append("result", "t-0", outcome="ok", result={})
         journal.commit()
@@ -185,6 +182,105 @@ def test_compaction_snapshots_and_truncates(tmp_path):
     assert len(state.tasks) == 6
     assert state.tasks["t-0"].state == "completed"
     assert state.replayed == 1  # only the post-snapshot record
+
+
+def test_compaction_never_loses_committed_records(tmp_path):
+    """Appends racing a compaction land in the rotated segment or the
+    fresh tail — never in a file the compaction destroys.  Every record
+    whose commit() returned True must survive recovery."""
+    import threading
+
+    journal = Journal(tmp_path, flush_window=0.001, compact_every=1)
+    committed = []
+
+    def churn():
+        for i in range(120):
+            task_id = f"t-{i:04d}"
+            journal.append("submit", task_id,
+                           spec={"command": "sleep"}, client="c")
+            if journal.commit(timeout=10.0):
+                committed.append(task_id)
+
+    thread = threading.Thread(target=churn)
+    thread.start()
+    while thread.is_alive():
+        journal.compact()
+    thread.join()
+    journal.close()
+    state = recover(tmp_path)
+    assert len(committed) == 120
+    missing = [t for t in committed if t not in state.tasks]
+    assert missing == []
+
+
+def test_recover_reads_interrupted_compaction_segment(tmp_path):
+    """Crash between the tail rotation and the snapshot swap: the
+    rotated segment holds records absent from both snapshot and tail,
+    and recovery must replay it between the two."""
+    snap_task = RecoveredTask(task_id="t-snap", spec={"command": "sleep"},
+                              client_id="c")
+    (tmp_path / "snapshot.json").write_text(
+        json.dumps({"version": 1, "tasks": [snap_task.to_dict()]}))
+    (tmp_path / "journal.jsonl.compacting").write_text(
+        journal_line({"k": "submit", "id": "t-rot",
+                      "spec": {"command": "sleep"}, "client": "c"}) + "\n")
+    (tmp_path / "journal.jsonl").write_text(
+        journal_line({"k": "submit", "id": "t-tail",
+                      "spec": {"command": "sleep"}, "client": "c"}) + "\n")
+    state = recover(tmp_path)
+    assert set(state.tasks) == {"t-snap", "t-rot", "t-tail"}
+
+    # Opening a Journal over the directory completes the interrupted
+    # compaction: the segment folds into the snapshot and disappears,
+    # with nothing lost.
+    with Journal(tmp_path) as journal:
+        assert not os.path.exists(tmp_path / "journal.jsonl.compacting")
+        assert journal.tail_records == 1  # t-tail only
+    state = recover(tmp_path)
+    assert set(state.tasks) == {"t-snap", "t-rot", "t-tail"}
+
+
+def test_recover_converges_when_segment_already_folded(tmp_path):
+    """Crash between the snapshot swap and the segment unlink: the
+    segment's records are replayed once more on top of a snapshot that
+    already folds them, and the state converges."""
+    records = [
+        {"k": "submit", "id": "t-1", "spec": {"command": "sleep"}, "client": "c"},
+        {"k": "dispatch", "id": "t-1", "attempt": 1, "executor": "e-1"},
+        {"k": "result", "id": "t-1", "outcome": "ok", "result": {}},
+    ]
+    folded = RecoveredState()
+    for record in records:
+        folded.apply(record)
+    (tmp_path / "snapshot.json").write_text(json.dumps(
+        {"version": 1, "tasks": [t.to_dict() for t in folded.tasks.values()]}))
+    (tmp_path / "journal.jsonl.compacting").write_text(
+        "\n".join(journal_line(r) for r in records) + "\n")
+    state = recover(tmp_path)
+    task = state.tasks["t-1"]
+    assert task.state == "completed" and task.attempts == 1
+    assert state.pending() == []
+
+
+def test_fsync_failure_fails_journal_and_commit(tmp_path, monkeypatch):
+    """A write/fsync error must fail the journal loudly: commit()
+    returns False at once (no 5 s stall per call) and later appends are
+    dropped instead of accumulating in a buffer that can never drain."""
+    journal = Journal(tmp_path, flush_window=0.001)
+    try:
+        monkeypatch.setattr("repro.live.journal.os.fsync",
+                            lambda fd: (_ for _ in ()).throw(OSError("disk gone")))
+        journal.append("submit", "t-1")
+        assert journal.commit(timeout=5.0) is False
+        assert journal.failed
+        assert journal.stats()["failed"] == 1
+        before = journal.stats()["records"]
+        journal.append("submit", "t-2")  # dropped: the journal is dead
+        assert journal.stats()["records"] == before
+        assert journal.commit(timeout=5.0) is False  # immediate, no stall
+    finally:
+        monkeypatch.undo()
+        journal.close()
 
 
 # -- replay fold ---------------------------------------------------------------

@@ -144,6 +144,52 @@ def test_kill_dash_nine_survives_with_exactly_once_visibility(tmp_path):
         child.stdout.close()
 
 
+def test_recovery_tolerates_malformed_result_record(tmp_path):
+    """One malformed journalled result (version skew, corruption that
+    passed the CRC) must degrade to a synthesized failure for that
+    task, not abort the whole dispatcher boot."""
+    with Journal(str(tmp_path)) as journal:
+        journal.append("submit", "bad-1",
+                       spec={"task_id": "bad-1", "command": "sleep", "args": ["0"]},
+                       client="c-1")
+        # A result payload that is not a wire dict at all.
+        journal.append("result", "bad-1", outcome="fail", result="corrupt")
+        journal.append("submit", "ok-1",
+                       spec={"task_id": "ok-1", "command": "sleep", "args": ["0"]},
+                       client="c-1")
+        journal.commit()
+    disp = LiveDispatcher(journal_dir=str(tmp_path))
+    try:
+        assert disp.recovered_tasks == 2
+        stats = disp.stats()
+        assert stats.failed == 1  # bad-1, with a synthesized failure result
+        assert stats.queued == 1  # ok-1 re-enqueued normally
+    finally:
+        disp.close()
+
+
+def test_submit_rejected_when_journal_cannot_commit(tmp_path):
+    """If the group commit cannot confirm durability, the dispatcher
+    must refuse the bundle instead of acking a promise it cannot keep
+    — and must not enqueue anything."""
+    disp = LiveDispatcher(journal_dir=str(tmp_path))
+    # Model a stalled/failed WAL: commit can no longer confirm.
+    disp.journal.commit = lambda timeout=5.0: False
+    client = LiveClient(disp.address, max_submit_retries=0)
+    try:
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            client.submit(specs(2, prefix="jf"))
+        assert client.submit_rejects == 1
+        stats = disp.stats()
+        assert stats.submit_rejects == 1
+        assert stats.queued == 0 and stats.accepted == 0
+    finally:
+        client.close()
+        disp.close()
+
+
 # ---------------------------------------------------------------- adoption
 def _seed_journal(journal_dir, task_id, attempts=1):
     """A journal whose one task was dispatched (attempt N) pre-crash."""
