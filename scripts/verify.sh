@@ -52,6 +52,14 @@ python -m repro bench --quick --telemetry
 echo "== journal overhead gate =="
 python -m repro bench --quick --journal
 
+# Scenario oracle gate: the ~30 s seeded mixed workload (heavy-tailed
+# runtimes, bursts, DAGs, poison, chaos, churn) replayed through the
+# sim AND live planes; exits non-zero if any invariant oracle —
+# conservation, exactly-once-visible, no stuck futures, journal/DLQ
+# consistency — is violated (docs/TESTING.md).
+echo "== scenario oracle gate =="
+python -m repro scenarios run --smoke
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== Figure 3 throughput smoke =="
     python -m pytest benchmarks/test_fig3_throughput.py -q

@@ -144,6 +144,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal-out", metavar="PATH", default="BENCH_journal.json",
                    help="where --journal records its measurement")
 
+    p = sub.add_parser(
+        "scenarios",
+        help="seeded workload scenarios: generate, replay with invariant "
+             "oracles, million-task soak",
+    )
+    scen_sub = p.add_subparsers(dest="scenarios_command", required=True)
+
+    def scenario_selector(q) -> None:
+        q.add_argument("--preset", default="mixed", metavar="NAME",
+                       help="named workload mix (see `repro scenarios list`)")
+        q.add_argument("--seed", type=int, default=0)
+        q.add_argument("--tasks", type=int, default=None, metavar="N",
+                       help="override the preset's task count")
+        q.add_argument("--executors", type=int, default=None, metavar="N",
+                       help="override the preset's executor pool size")
+
+    scen_sub.add_parser("list", help="show the available presets")
+
+    q = scen_sub.add_parser(
+        "generate", help="materialise a scenario; print its fingerprint")
+    scenario_selector(q)
+    q.add_argument("--out", metavar="PATH", default=None,
+                   help="write the full scenario JSON here")
+
+    q = scen_sub.add_parser(
+        "run", help="replay a scenario through sim + live planes, "
+                    "checking the invariant oracles (non-zero exit on "
+                    "violation)")
+    scenario_selector(q)
+    q.add_argument("--smoke", action="store_true",
+                   help="CI tier: the ~30 s 'smoke' preset on both planes")
+    q.add_argument("--plane", choices=["sim", "live", "both"], default="both")
+    q.add_argument("--timeout", type=float, default=180.0,
+                   help="live-plane completion deadline in seconds")
+    q.add_argument("--json", action="store_true",
+                   help="print the replay reports as JSON")
+
+    q = scen_sub.add_parser(
+        "soak", help="endurance run: waves of tasks through a journaled "
+                     "dispatcher with compaction cycling and chaos")
+    q.add_argument("--tasks", type=int, default=1_000_000)
+    q.add_argument("--wave", type=int, default=20_000, metavar="N",
+                   help="tasks submitted and drained per wave")
+    q.add_argument("--executors", type=int, default=6)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--pipeline", type=int, default=32, metavar="DEPTH")
+    q.add_argument("--out", metavar="PATH", default="BENCH_soak.json",
+                   help="where the throughput / RSS / oracle record lands")
+
     p = sub.add_parser("trace", help="print one task's span chain from a live run export")
     p.add_argument("task_id", help="task id, e.g. cli-000042")
     p.add_argument("--metrics", metavar="PATH", default="metrics",
@@ -177,6 +226,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "top": _cmd_top,
         "events": _cmd_events,
         "bench": _cmd_bench,
+        "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
         "export": _cmd_export,
         "figure": _cmd_figure,
@@ -769,6 +819,117 @@ def _bench_journal(args, n_tasks: int, one_round) -> int:
         return 1
     print("  OK: journal within budget")
     return 0
+
+
+def _cmd_scenarios(args) -> int:
+    """Seeded scenario tooling: list / generate / run / soak.
+
+    ``run`` replays the selected scenario through the requested planes
+    and exits 1 if any invariant oracle is violated — the verify gate
+    uses ``repro scenarios run --smoke``.  A failing scenario is fully
+    reproducible from the preset name and seed it prints.
+    """
+    import json
+
+    from repro.scenarios import (
+        PRESETS,
+        generate,
+        preset,
+        replay_live,
+        replay_sim,
+        run_soak,
+    )
+
+    if args.scenarios_command == "list":
+        from repro.metrics import Table
+
+        table = Table("scenario presets",
+                      ["Preset", "Tasks", "Runtime", "Arrival", "DAG",
+                       "Poison", "Chaos"])
+        for name in sorted(PRESETS):
+            s = PRESETS[name]
+            chaos = ("drop/dup/delay "
+                     f"{s.drop_rate:g}/{s.duplicate_rate:g}/{s.delay_rate:g}"
+                     f" churn {s.churn_events}" if s.chaotic else "-")
+            table.add_row(name, str(s.tasks), s.runtime_dist, s.arrival,
+                          f"{s.dag_fraction:g}", f"{s.poison_fraction:g}",
+                          chaos)
+        print(table.render())
+        return 0
+
+    if args.scenarios_command == "soak":
+        result = run_soak(
+            total_tasks=args.tasks,
+            wave_size=args.wave,
+            executors=args.executors,
+            seed=args.seed,
+            pipeline_depth=args.pipeline,
+            out=args.out,
+            progress=print,
+        )
+        d = result.to_dict()
+        print(f"soak: {d['completed']:,} completed / {d['total_tasks']:,} "
+              f"submitted in {d['duration_s']:.0f} s "
+              f"({d['throughput_tasks_per_s']:,.0f} tasks/s), "
+              f"peak RSS {d['peak_rss_mb']:.0f} MB, "
+              f"{d['journal_compactions']} journal compactions, "
+              f"DLQ {d['dlq']}")
+        print(f"  oracles: {result.oracles.summary()}")
+        print(f"  recorded -> {args.out}")
+        return 0 if result.ok else 1
+
+    # generate / run share the spec selection flags.
+    name = "smoke" if getattr(args, "smoke", False) else args.preset
+    overrides = {"seed": args.seed}
+    if args.tasks is not None:
+        overrides["tasks"] = args.tasks
+    if args.executors is not None:
+        overrides["executors"] = args.executors
+    spec = preset(name, **overrides)
+
+    if args.scenarios_command == "generate":
+        scenario = generate(spec)
+        print(f"scenario {spec.name} seed={spec.seed}: "
+              f"{len(scenario.tasks)} tasks "
+              f"({len(scenario.dag_tasks)} DAG, "
+              f"{len(scenario.poison_ids)} poison, "
+              f"{len(scenario.churn)} churn events)")
+        print(f"  fingerprint {scenario.fingerprint()}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(scenario.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"  scenario JSON -> {args.out}")
+        return 0
+
+    # run
+    scenario = generate(spec)
+    planes = ("sim", "live") if args.plane == "both" else (args.plane,)
+    print(f"scenario {spec.name} seed={spec.seed} "
+          f"fingerprint {scenario.fingerprint()[:16]}… "
+          f"on {', '.join(planes)}")
+    reports = []
+    for plane in planes:
+        report = (replay_sim(scenario) if plane == "sim"
+                  else replay_live(scenario, timeout=args.timeout))
+        reports.append(report)
+        status = "PASS" if report.ok else "FAIL"
+        print(f"  {plane}: {status} — {report.completed} completed, "
+              f"{report.failed} failed, {report.dlq} DLQ in "
+              f"{report.duration_s:.1f} s ({report.throughput:,.0f} tasks/s)")
+        if not report.ok:
+            for violation in report.oracles.violations:
+                print(f"    {violation}", file=sys.stderr)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    if all(r.ok for r in reports):
+        print(f"  all oracles passed; reproduce with: repro scenarios run "
+              f"--preset {name} --seed {spec.seed}")
+        return 0
+    print(f"  ORACLE VIOLATION — reproduce with: repro scenarios run "
+          f"--preset {name} --seed {spec.seed}", file=sys.stderr)
+    return 1
 
 
 def _cmd_trace(args) -> int:

@@ -152,7 +152,12 @@ class FalkonSystem:
         from repro.core.policies import NeverRelease
 
         release = NeverRelease()
-        rng = self.rngs.stream("static-pool")
+        # One independent stream per executor (split from the root seed
+        # by name, not a shared generator): each executor's jitter and
+        # failure draws are a pure function of (seed, pool index), so
+        # identical seeds reproduce identical per-executor timelines
+        # regardless of how the scheduler interleaves their draws.
+        pool_base = len(self._static_executors)
         executors = [
             SimExecutor(
                 self.env,
@@ -163,7 +168,7 @@ class FalkonSystem:
                 node=f"sim-node{(i // per_machine):05d}",
                 contention_factor=contention_factor,
                 overhead_jitter=overhead_jitter,
-                rng=rng,
+                rng=self.rngs.stream(f"executor:{pool_base + i:05d}"),
                 failure_rate=failure_rate,
             )
             for i in range(n_executors)

@@ -368,6 +368,20 @@ class LiveClient:
         futures = self._submit_many(list(tasks))
         return [f.result(timeout) for f in futures]
 
+    def release_settled(self) -> int:
+        """Forget settled futures; returns how many were dropped.
+
+        A long-running client (the soak harness submits millions of
+        tasks through one instance) would otherwise accrete one future
+        per task forever.  Dropping a done future also frees its task
+        id for resubmission; outstanding futures are untouched.
+        """
+        with self._lock:
+            done = [tid for tid, f in self._futures.items() if f.done()]
+            for tid in done:
+                del self._futures[tid]
+        return len(done)
+
     def close(self) -> None:
         self._user_closed = True
         try:

@@ -255,11 +255,14 @@ class LiveDispatcher:
         queue_limit: Optional[int] = None,
         reject_retry_after: float = 0.25,
         journal_compact_every: int = 50_000,
+        retain_settled: Optional[int] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if queue_limit is not None and queue_limit < 1:
             raise ValueError("queue_limit must be >= 1 when set")
+        if retain_settled is not None and retain_settled < 1:
+            raise ValueError("retain_settled must be >= 1 when set")
         if reject_retry_after <= 0:
             raise ValueError("reject_retry_after must be positive")
         if heartbeat_interval is not None and heartbeat_interval <= 0:
@@ -277,6 +280,15 @@ class LiveDispatcher:
         self.fault_plan = fault_plan
         self.queue_limit = queue_limit
         self.reject_retry_after = reject_retry_after
+        #: Bounded terminal-state retention: keep at most this many
+        #: acked, settled, non-DLQ records in memory (and prune the
+        #: same set from journal snapshots).  ``None`` retains
+        #: everything — the safe default; endurance runs set a cap so
+        #: RSS and compaction cost stay flat at millions of tasks.
+        #: Trade-off: an evicted task id resubmitted later runs again
+        #: instead of replaying its cached result.
+        self.retain_settled = retain_settled
+        self._settled_fifo: deque[str] = deque()
         if monitor_interval is None:
             deadlines = [d for d in (heartbeat_interval, replay_timeout) if d]
             monitor_interval = min([0.25] + [d / 2 for d in deadlines])
@@ -361,7 +373,11 @@ class LiveDispatcher:
         self.recovered_tasks = 0
         if journal_dir is not None:
             self._recover_from_journal(journal_dir)
-            self.journal = Journal(journal_dir, compact_every=journal_compact_every)
+            self.journal = Journal(
+                journal_dir,
+                compact_every=journal_compact_every,
+                prune_settled=retain_settled is not None,
+            )
 
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
@@ -1580,6 +1596,37 @@ class LiveDispatcher:
             self._journal_append(
                 "acked", "", ids=[result.task_id for result in results]
             )
+            self._evict_settled([result.task_id for result in results])
+
+    def _evict_settled(self, acked_ids: list[str]) -> None:
+        """Enforce ``retain_settled``: drop the oldest acked, settled,
+        non-DLQ records beyond the cap.
+
+        DLQ'd tasks are never evicted (``dlq retry`` needs the record);
+        a task whose state moved on since it entered the FIFO (a racing
+        ``dlq_retry`` re-queue) is kept.  No lock is held across
+        another — membership is re-checked under ``_records_lock``
+        before the pop.
+        """
+        cap = self.retain_settled
+        if cap is None:
+            return
+        self._settled_fifo.extend(acked_ids)
+        while len(self._settled_fifo) > cap:
+            task_id = self._settled_fifo.popleft()
+            with self._dlq_lock:
+                if task_id in self._dlq:
+                    continue
+            with self._records_lock:
+                record = self._records.get(task_id)
+            if record is None:
+                continue
+            with record.lock:
+                evictable = record.state.terminal and record.acked
+            if evictable:
+                with self._records_lock:
+                    if self._records.get(task_id) is record:
+                        del self._records[task_id]
 
     def _drop_executor(
         self,
@@ -1723,5 +1770,11 @@ class _Session:
         handler(self.dispatcher, self, msg)
         if self.role is not None and getattr(self.conn, "fault_role", None) is None:
             # Tag the connection for role-scoped fault plans once the
-            # first message reveals what this session is.
+            # first message reveals what this session is, and re-key
+            # its fault stream by stable actor identity (not the
+            # accept-order session number) so the same seed reproduces
+            # the same chaos timeline per actor across runs.
             self.conn.fault_role = self.role[0]
+            adopt = getattr(self.conn, "adopt_identity", None)
+            if adopt is not None:
+                adopt(f"{self.role[0]}:{self.role[1]}")

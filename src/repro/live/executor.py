@@ -160,6 +160,15 @@ class LiveExecutor:
         self._stop.set()
         self._inbox.put(Message(MessageType.SHUTDOWN))
 
+    def kill_connection(self) -> None:
+        """Abruptly close the dispatcher link — no deregister, no
+        goodbye.  The run loop notices and reconnects; churn harnesses
+        use this as a seeded stand-in for transient link death (the
+        dispatcher must replay whatever was in flight)."""
+        conn = self._conn
+        if conn is not None:
+            conn.close()
+
     def join(self, timeout: Optional[float] = None) -> None:
         self._thread.join(timeout)
 

@@ -236,6 +236,24 @@ class FaultyConnection(Connection):
         self.fault_role = fault_role
         self._frame_seq = itertools.count()
 
+    def adopt_identity(self, name: str) -> None:
+        """Re-key the fault stream to a stable actor identity.
+
+        Sessions are born with accept-order names (``session-N``), so a
+        plan keyed on those draws a different schedule whenever peers
+        connect in a different order.  Once the first message reveals
+        who the peer is, the dispatcher renames the link
+        (``executor:exec-1``) and the fault schedule becomes a pure
+        function of ``(plan seed, actor identity)`` — identical seeds
+        reproduce identical chaos timelines per actor regardless of
+        connect order.  The frame counter restarts so ``kill_at``
+        indices are relative to the stable name.
+        """
+        if name == self.name:
+            return
+        self.name = name
+        self._frame_seq = itertools.count()
+
     def send_encoded(self, frame: bytes) -> None:
         """Apply the fault plan to one already-encoded frame.
 

@@ -389,6 +389,7 @@ class Journal:
         directory: Union[str, "os.PathLike[str]"],
         flush_window: float = FLUSH_WINDOW,
         compact_every: int = DEFAULT_COMPACT_EVERY,
+        prune_settled: bool = False,
     ) -> None:
         if flush_window <= 0:
             raise ValueError("flush_window must be positive")
@@ -398,6 +399,15 @@ class Journal:
         os.makedirs(self.directory, exist_ok=True)
         self.flush_window = flush_window
         self.compact_every = compact_every
+        #: Drop acked, settled, non-DLQ tasks from the snapshot at fold
+        #: time.  Without this the snapshot accretes one entry per task
+        #: forever, making each compaction (and final recovery) O(total
+        #: tasks ever) — a million-task endurance run would spend its
+        #: time re-serialising history.  The acked bit means the result
+        #: already reached the client connection, so a recovered
+        #: dispatcher has nothing left to do for the task; DLQ'd tasks
+        #: are always retained for ``dlq retry``.
+        self.prune_settled = prune_settled
         self.tail_path = os.path.join(self.directory, TAIL_NAME)
         self.snapshot_path = os.path.join(self.directory, SNAPSHOT_NAME)
         self.rotated_path = os.path.join(self.directory, ROTATED_NAME)
@@ -575,10 +585,14 @@ class Journal:
         records, _ = read_journal_tail(self.rotated_path)
         for record in records:
             state.apply(record)
+        tasks = list(state.tasks.values())
+        if self.prune_settled:
+            tasks = [t for t in tasks
+                     if not (t.terminal and t.acked and not t.in_dlq)]
         with atomic_writer(self.snapshot_path) as fh:
             json.dump(
                 {"version": 1,
-                 "tasks": [t.to_dict() for t in state.tasks.values()]},
+                 "tasks": [t.to_dict() for t in tasks]},
                 fh, sort_keys=True,
             )
         os.unlink(self.rotated_path)

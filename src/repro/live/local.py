@@ -72,6 +72,14 @@ class LocalFalkon:
         Bound the dispatcher's ready queue; overflowing SUBMIT bundles
         get SUBMIT_REJECT backpressure (the client resubmits with
         capped backoff).
+    journal_compact_every:
+        Journal tail records between snapshot compactions (low values
+        make endurance runs cycle compaction continuously).
+    retain_settled:
+        Keep at most this many acked, settled, non-DLQ task records in
+        memory and in journal snapshots; ``None`` (default) retains
+        everything.  Endurance runs set a cap so RSS and compaction
+        cost stay flat at millions of tasks.
     """
 
     def __init__(
@@ -94,6 +102,8 @@ class LocalFalkon:
         heartbeat_stats: bool = True,
         journal_dir: Optional[str] = None,
         queue_limit: Optional[int] = None,
+        journal_compact_every: int = 50_000,
+        retain_settled: Optional[int] = None,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
@@ -115,6 +125,8 @@ class LocalFalkon:
             event_log=event_log,
             journal_dir=journal_dir,
             queue_limit=queue_limit,
+            journal_compact_every=journal_compact_every,
+            retain_settled=retain_settled,
         )
         self.http = None
         self.python_registry = python_registry or {}

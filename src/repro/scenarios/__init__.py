@@ -1,0 +1,43 @@
+"""Seeded scenario generation, replay, and endurance harnesses.
+
+One seed describes one workload: :class:`ScenarioSpec` (the schema),
+:func:`generate` (spec → byte-identical :class:`Scenario`),
+:func:`run_scenario` / :func:`replay_sim` / :func:`replay_live`
+(scenario → :class:`ReplayReport` with invariant oracles), and
+:func:`run_soak` (the million-task endurance run).  See
+``docs/TESTING.md`` for the seed-determinism contract.
+"""
+
+from repro.scenarios.generate import (
+    ChurnEvent,
+    Scenario,
+    ScenarioTask,
+    generate,
+)
+from repro.scenarios.oracles import OracleReport, Violation
+from repro.scenarios.replay import (
+    ReplayReport,
+    replay_live,
+    replay_sim,
+    run_scenario,
+)
+from repro.scenarios.soak import SoakResult, run_soak
+from repro.scenarios.spec import PRESETS, ScenarioSpec, preset
+
+__all__ = [
+    "ScenarioSpec",
+    "PRESETS",
+    "preset",
+    "Scenario",
+    "ScenarioTask",
+    "ChurnEvent",
+    "generate",
+    "OracleReport",
+    "Violation",
+    "ReplayReport",
+    "replay_sim",
+    "replay_live",
+    "run_scenario",
+    "SoakResult",
+    "run_soak",
+]

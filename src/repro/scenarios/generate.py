@@ -1,0 +1,277 @@
+"""Seeded workload generation: spec in, byte-identical scenario out.
+
+Every draw comes from a named :class:`repro.sim.rng.RngStreams` split
+of the scenario seed — one stream per concern (``runtime``,
+``arrival``, ``structure``, ``poison``, ``churn``) — so adding a new
+consumer of randomness never perturbs existing draws, and the same
+spec always yields the same workload down to the byte
+(:meth:`Scenario.workload_bytes`).
+
+The generated mix covers the adversarial axes the live plane must
+survive: heavy-tailed (lognormal/Pareto) service times, Poisson /
+burst / ramp arrivals, DAG fan-out/fan-in diamonds, poison tasks that
+always fail into the DLQ, and a seeded executor churn schedule.  The
+transport fault schedule is *not* materialised here — it lives in
+:class:`repro.live.faults.FaultPlan`, whose per-actor streams split
+from the same scenario seed (see :meth:`Scenario.fault_plan`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.sim.rng import RngStreams
+from repro.types import TaskSpec
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioTask", "ChurnEvent", "Scenario", "generate"]
+
+#: Registered python task used for poison tasks in the live plane; the
+#: replay harness installs it in the executor registry.
+POISON_COMMAND = "python:scenario-poison"
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """Split a child integer seed from ``seed`` the same way
+    :class:`RngStreams` names its streams (sha256 of ``seed:label``)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One generated task plus its scenario-plane metadata."""
+
+    spec: TaskSpec
+    arrival: float                 # seconds from scenario start
+    poison: bool = False
+    deps: tuple[str, ...] = ()     # task ids that must settle first
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled executor disturbance.
+
+    ``kind`` is ``"drop"`` (abrupt socket death; the executor
+    reconnects) or ``"restart"`` (stop the executor, start a fresh
+    one).  ``at`` is scenario seconds; ``executor_index`` picks the
+    victim from the pool.
+    """
+
+    at: float
+    kind: str
+    executor_index: int
+
+
+@dataclass
+class Scenario:
+    """A fully materialised workload: tasks, churn, fault seeds."""
+
+    spec: ScenarioSpec
+    tasks: list[ScenarioTask]
+    churn: list[ChurnEvent]
+
+    @property
+    def poison_ids(self) -> set[str]:
+        return {t.spec.task_id for t in self.tasks if t.poison}
+
+    @property
+    def dag_tasks(self) -> list[ScenarioTask]:
+        return [t for t in self.tasks if t.deps or t.spec.stage == "dag"]
+
+    @property
+    def makespan_hint(self) -> float:
+        """Last arrival plus the largest runtime — a lower bound."""
+        if not self.tasks:
+            return 0.0
+        return (max(t.arrival for t in self.tasks)
+                + max(t.spec.duration for t in self.tasks))
+
+    def fault_plan_seed(self) -> int:
+        """The fault plan's root seed, split from the scenario seed."""
+        return _derive_seed(self.spec.seed, "fault-plan")
+
+    def fault_plan(self, roles=("executor",)):
+        """A :class:`FaultPlan` for this scenario, or ``None`` when no
+        transport chaos is configured.
+
+        Per-actor decision streams split from the returned plan's root
+        seed by stable actor identity (the dispatcher re-keys each
+        session once its role is known), so two runs of the same
+        scenario batter each executor with the identical schedule.
+        """
+        spec = self.spec
+        if not (spec.drop_rate or spec.duplicate_rate or spec.delay_rate):
+            return None
+        from repro.live.faults import FaultPlan
+
+        return FaultPlan(
+            seed=self.fault_plan_seed(),
+            drop_rate=spec.drop_rate,
+            duplicate_rate=spec.duplicate_rate,
+            delay_rate=spec.delay_rate,
+            roles=roles,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "fault_plan_seed": self.fault_plan_seed(),
+            "tasks": [
+                {
+                    "task_id": t.spec.task_id,
+                    "command": t.spec.command,
+                    "args": list(t.spec.args),
+                    "duration": t.spec.duration,
+                    "stage": t.spec.stage,
+                    "arrival": t.arrival,
+                    "poison": t.poison,
+                    "deps": list(t.deps),
+                }
+                for t in self.tasks
+            ],
+            "churn": [
+                {"at": c.at, "kind": c.kind, "executor_index": c.executor_index}
+                for c in self.churn
+            ],
+        }
+
+    def workload_bytes(self) -> bytes:
+        """Canonical serialisation — the byte-identity of the workload."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.workload_bytes()).hexdigest()
+
+    def workflow(self):
+        """The DAG subset as a :class:`repro.dag.Workflow` (validated)."""
+        from repro.dag import Workflow
+
+        wf = Workflow(name=f"{self.spec.name}-{self.spec.seed}")
+        for task in self.tasks:
+            if task.deps or task.spec.stage == "dag":
+                wf.add_task(task.spec, after=task.deps)
+        return wf.validate()
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+def _runtimes(spec: ScenarioSpec, rngs: RngStreams, n: int) -> list[float]:
+    stream = rngs.stream("runtime")
+    if spec.runtime_dist == "fixed" or spec.runtime_scale == 0:
+        return [min(spec.runtime_scale, spec.runtime_cap)] * n
+    if spec.runtime_dist == "lognormal":
+        draws = stream.lognormal(mean=0.0, sigma=spec.runtime_sigma, size=n)
+    else:  # pareto
+        draws = 1.0 + stream.pareto(spec.pareto_alpha, size=n)
+    return [min(float(d) * spec.runtime_scale, spec.runtime_cap) for d in draws]
+
+
+def _arrivals(spec: ScenarioSpec, rngs: RngStreams, n: int) -> list[float]:
+    stream = rngs.stream("arrival")
+    if spec.arrival == "batch":
+        return [0.0] * n
+    if spec.arrival == "burst":
+        return [
+            (i // spec.burst_size) * spec.burst_gap for i in range(n)
+        ]
+    times: list[float] = []
+    t = 0.0
+    for i in range(n):
+        if spec.arrival == "poisson":
+            rate = spec.arrival_rate
+        else:  # ramp: rate climbs linearly from 1/2x to 2x the nominal
+            frac = i / max(1, n - 1)
+            rate = spec.arrival_rate * (0.5 + 1.5 * frac)
+        t += float(stream.exponential(1.0 / rate))
+        times.append(t)
+    return times
+
+
+def generate(spec: ScenarioSpec) -> Scenario:
+    """Materialise *spec* into a :class:`Scenario` (deterministic)."""
+    spec = spec.validate()
+    rngs = RngStreams(spec.seed)
+    prefix = f"{spec.name}-{spec.seed}"
+
+    runtimes = _runtimes(spec, rngs, spec.tasks)
+    arrivals = _arrivals(spec, rngs, spec.tasks)
+
+    # DAG structure first: diamonds (1 root -> width mids -> 1 sink)
+    # claim whole groups from the front of the index space; the
+    # remainder are plain tasks.  Poison is drawn over plain tasks only
+    # so DAG completion never depends on a task designed to fail.
+    group = 2 + spec.dag_width
+    n_dag_groups = int(spec.tasks * spec.dag_fraction) // group
+    n_dag = n_dag_groups * group
+    poison_stream = rngs.stream("poison")
+    poison_draws = poison_stream.random(spec.tasks - n_dag)
+
+    tasks: list[ScenarioTask] = []
+    index = 0
+    for g in range(n_dag_groups):
+        # Members of one diamond share the group's arrival instant (the
+        # engine releases them in dependency order anyway).
+        at = arrivals[index]
+        root_id = f"{prefix}-{index:06d}"
+        tasks.append(ScenarioTask(
+            spec=TaskSpec(task_id=root_id, command="sleep",
+                          args=(str(runtimes[index]),),
+                          duration=runtimes[index], stage="dag"),
+            arrival=at,
+        ))
+        index += 1
+        mid_ids = []
+        for _ in range(spec.dag_width):
+            tid = f"{prefix}-{index:06d}"
+            mid_ids.append(tid)
+            tasks.append(ScenarioTask(
+                spec=TaskSpec(task_id=tid, command="sleep",
+                              args=(str(runtimes[index]),),
+                              duration=runtimes[index], stage="dag"),
+                arrival=at, deps=(root_id,),
+            ))
+            index += 1
+        sink_id = f"{prefix}-{index:06d}"
+        tasks.append(ScenarioTask(
+            spec=TaskSpec(task_id=sink_id, command="sleep",
+                          args=(str(runtimes[index]),),
+                          duration=runtimes[index], stage="dag"),
+            arrival=at, deps=tuple(mid_ids),
+        ))
+        index += 1
+
+    for j in range(spec.tasks - n_dag):
+        tid = f"{prefix}-{index:06d}"
+        poison = bool(poison_draws[j] < spec.poison_fraction)
+        if poison:
+            task_spec = TaskSpec(task_id=tid, command=POISON_COMMAND,
+                                 args=(tid,), stage="poison")
+        else:
+            task_spec = TaskSpec(task_id=tid, command="sleep",
+                                 args=(str(runtimes[index]),),
+                                 duration=runtimes[index])
+        tasks.append(ScenarioTask(spec=task_spec, arrival=arrivals[index],
+                                  poison=poison))
+        index += 1
+
+    # Churn schedule: event times spread over the middle of the arrival
+    # window (disturbing an empty or finished system tests nothing).
+    churn: list[ChurnEvent] = []
+    if spec.churn_events:
+        churn_stream = rngs.stream("churn")
+        span = max(arrivals[-1], 1e-3) if arrivals else 1e-3
+        for k in range(spec.churn_events):
+            at = float(0.2 * span + 0.6 * span * churn_stream.random())
+            victim = int(churn_stream.integers(0, spec.executors))
+            kind = "drop" if float(churn_stream.random()) < 0.5 else "restart"
+            churn.append(ChurnEvent(at=at, kind=kind, executor_index=victim))
+        churn.sort(key=lambda c: (c.at, c.executor_index))
+
+    return Scenario(spec=spec, tasks=tasks, churn=churn)

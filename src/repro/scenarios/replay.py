@@ -1,0 +1,364 @@
+"""Replay a generated scenario through both execution planes.
+
+``replay_sim`` drives the discrete-event plane: plain tasks through
+:meth:`FalkonSystem.run_workload`, the DAG subset through the
+:class:`~repro.dag.WorkflowEngine`, and executor churn as seeded crash
++ replace events in simulated time.
+
+``replay_live`` drives the real thing: a journaled
+:class:`~repro.live.local.LocalFalkon` with pipelining, telemetry,
+transport chaos from the scenario's :class:`FaultPlan`, a paced
+submitter that honours the generated arrival schedule and DAG
+dependencies, and a churn thread that kills executor links or whole
+executors on the generated schedule.
+
+Both replays feed the same invariant oracles (:mod:`.oracles`); a
+scenario "passes" only when every oracle holds on both planes.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.scenarios.generate import Scenario, generate
+from repro.scenarios.oracles import (
+    OracleReport,
+    check_conservation,
+    check_exactly_once,
+    check_journal_consistency,
+    check_no_stuck,
+    check_sim_workload,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ReplayReport", "replay_sim", "replay_live", "run_scenario"]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one scenario replay on one plane."""
+
+    plane: str
+    scenario: str
+    fingerprint: str
+    submitted: int
+    completed: int
+    failed: int
+    dlq: int
+    duration_s: float
+    throughput: float
+    oracles: OracleReport
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.oracles.ok
+
+    def to_dict(self) -> dict:
+        return {
+            "plane": self.plane,
+            "scenario": self.scenario,
+            "fingerprint": self.fingerprint,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "dlq": self.dlq,
+            "duration_s": round(self.duration_s, 3),
+            "throughput": round(self.throughput, 1),
+            "oracles": self.oracles.to_dict(),
+            "extras": self.extras,
+        }
+
+
+def _poison_task(task_id: str = "?") -> None:
+    """The registered live-plane poison callable: always raises."""
+    raise RuntimeError(f"poison task {task_id} fails by design")
+
+
+# ---------------------------------------------------------------------------
+# simulation plane
+# ---------------------------------------------------------------------------
+def replay_sim(scenario: Scenario) -> ReplayReport:
+    """Run *scenario* through the discrete-event plane with oracles.
+
+    Poison tasks execute like any other task here — the sim plane has
+    no subprocess to fail — so the sim oracles check scheduling and
+    conservation; DLQ semantics are the live replay's job.
+    """
+    from repro.config import FalkonConfig
+    from repro.core.system import FalkonSystem
+    from repro.dag import FalkonProvider, WorkflowEngine
+
+    spec = scenario.spec
+    system = FalkonSystem(
+        config=FalkonConfig(),
+        cluster_nodes=max(64, spec.executors),
+        seed=spec.seed,
+    )
+    system.static_pool(spec.executors, startup_delay=0.0)
+
+    # Churn: both flavours map to crash + replace in simulated time (a
+    # transient link drop has no separate meaning without sockets).
+    def churn_driver(event) -> Generator:
+        yield system.env.timeout(max(event.at, 1e-6))
+        pool = system._static_executors
+        victim = pool[event.executor_index % len(pool)]
+        if victim.is_alive:
+            victim.crash()
+            system.static_pool(1, startup_delay=0.0)
+
+    for event in scenario.churn:
+        system.env.process(churn_driver(event), name=f"churn-{event.at:.3f}")
+
+    plain = [t.spec for t in scenario.tasks if not t.deps and t.spec.stage != "dag"]
+    started = time.monotonic()
+    completed = failed = 0
+    if plain:
+        result = system.run_workload(plain, bundle_size=spec.bundle_size)
+        completed += result.completed
+        failed += result.failed
+
+    workflow = scenario.workflow()
+    if len(workflow):
+        engine = WorkflowEngine(
+            system.env, FalkonProvider(system.env, system.dispatcher)
+        )
+        wf_result = engine.run_to_completion(workflow)
+        completed += sum(1 for r in wf_result.results.values() if r.ok)
+        failed += sum(1 for r in wf_result.results.values() if not r.ok)
+
+    duration = time.monotonic() - started
+    report = OracleReport()
+    check_sim_workload(report, len(scenario.tasks), completed, failed)
+    if failed:
+        report.fail("conservation",
+                    f"sim replay failed {failed} tasks (expected 0: the sim "
+                    "plane replays crashed executors' work)")
+    return ReplayReport(
+        plane="sim",
+        scenario=spec.name,
+        fingerprint=scenario.fingerprint(),
+        submitted=len(scenario.tasks),
+        completed=completed,
+        failed=failed,
+        dlq=0,
+        duration_s=duration,
+        throughput=(completed / duration if duration > 0 else 0.0),
+        oracles=report,
+        extras={
+            "sim_makespan": round(system.env.now, 4),
+            "churn_events": len(scenario.churn),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# live plane
+# ---------------------------------------------------------------------------
+def replay_live(
+    scenario: Scenario,
+    journal_dir: Optional[str] = None,
+    time_scale: float = 1.0,
+    timeout: float = 180.0,
+) -> ReplayReport:
+    """Run *scenario* through a journaled live deployment with oracles."""
+    import threading
+
+    from repro.live.executor import LiveExecutor
+    from repro.live.journal import recover as recover_journal
+    from repro.live.local import LocalFalkon
+
+    spec = scenario.spec
+    own_journal = journal_dir is None
+    jdir = journal_dir or tempfile.mkdtemp(prefix="scenario-journal-")
+    registry = {"scenario-poison": _poison_task}
+    chaotic = scenario.spec.chaotic
+    heartbeat = 0.2 if chaotic else None
+    replay_timeout = 0.75 if chaotic else None
+
+    settle_counts: Counter = Counter()
+    settle_lock = threading.Lock()
+
+    def on_done(fut) -> None:
+        with settle_lock:
+            settle_counts[fut.task_id] += 1
+
+    falkon = LocalFalkon(
+        executors=spec.executors,
+        python_registry=registry,
+        bundle_size=spec.bundle_size,
+        max_retries=spec.max_retries,
+        heartbeat_interval=heartbeat,
+        heartbeat_miss_budget=3,
+        replay_timeout=replay_timeout,
+        fault_plan=scenario.fault_plan(),
+        pipeline_depth=spec.pipeline_depth,
+        journal_dir=jdir,
+        queue_limit=spec.queue_limit or None,
+        journal_compact_every=spec.journal_compact_every,
+    )
+    started = time.monotonic()
+    futures: dict = {}
+    stop_churn = threading.Event()
+
+    def churn_loop() -> None:
+        for event in scenario.churn:
+            delay = started + event.at * time_scale - time.monotonic()
+            if delay > 0 and stop_churn.wait(delay):
+                return
+            victim = falkon.executors[event.executor_index % len(falkon.executors)]
+            if event.kind == "drop":
+                victim.kill_connection()
+            else:
+                victim.stop()
+                replacement = LiveExecutor(
+                    falkon.dispatcher.address,
+                    python_registry=registry,
+                    heartbeat_interval=heartbeat,
+                    pipeline=spec.pipeline_depth,
+                ).start()
+                falkon.executors[
+                    event.executor_index % len(falkon.executors)
+                ] = replacement
+                victim.join(timeout=5.0)
+
+    churn_thread = None
+    if scenario.churn:
+        churn_thread = threading.Thread(
+            target=churn_loop, name="scenario-churn", daemon=True
+        )
+        churn_thread.start()
+
+    try:
+        # Paced submission: honour the arrival schedule, batch
+        # dependency-free tasks that are already due, and hold a DAG
+        # node back until its parents settled (the live plane has no
+        # workflow engine — the harness is the Swift-like driver).
+        ordered = sorted(
+            scenario.tasks, key=lambda t: (t.arrival, t.spec.task_id)
+        )
+        batch = []
+
+        def flush_batch() -> None:
+            if not batch:
+                return
+            for fut in falkon.client.submit([t.spec for t in batch]):
+                futures[fut.task_id] = fut
+                fut.add_done_callback(on_done)
+            batch.clear()
+
+        for task in ordered:
+            due = started + task.arrival * time_scale
+            now = time.monotonic()
+            if task.deps or now < due:
+                flush_batch()
+            if now < due:
+                time.sleep(due - now)
+            deadline = time.monotonic() + timeout
+            for dep in task.deps:
+                dep_future = futures.get(dep)
+                while dep_future is not None and not dep_future.done():
+                    if time.monotonic() > deadline:
+                        break
+                    time.sleep(0.002)
+            batch.append(task)
+        flush_batch()
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(f.done() for f in futures.values()):
+                break
+            time.sleep(0.02)
+        duration = time.monotonic() - started
+
+        stats = falkon.dispatcher.stats()
+        dlq_ids = [e["task_id"] for e in falkon.dispatcher.dlq_list()]
+        stuck = [tid for tid, f in futures.items() if not f.done()]
+        fault_counters = (
+            scenario.fault_plan() and falkon.dispatcher.fault_plan.snapshot()
+        ) or {}
+        reconnects = stats.reconnects
+    finally:
+        stop_churn.set()
+        if churn_thread is not None:
+            churn_thread.join(timeout=10.0)
+        falkon.close()
+
+    report = OracleReport()
+    check_conservation(
+        report,
+        submitted=len(scenario.tasks),
+        stats=stats,
+        expected_poison=len(scenario.poison_ids),
+    )
+    check_exactly_once(
+        report,
+        expected_ids=[t.spec.task_id for t in scenario.tasks],
+        settle_counts=dict(settle_counts),
+    )
+    check_no_stuck(report, stuck)
+    if set(dlq_ids) != scenario.poison_ids:
+        report.fail(
+            "conservation",
+            f"DLQ {sorted(set(dlq_ids) ^ scenario.poison_ids)[:5]} does not "
+            "match the generated poison set",
+        )
+    recovered = recover_journal(jdir)
+    check_journal_consistency(
+        report,
+        recovered,
+        dlq_ids=dlq_ids,
+        accepted=stats.accepted,
+        pruned=False,
+        clean_close=True,
+    )
+    if own_journal:
+        shutil.rmtree(jdir, ignore_errors=True)
+
+    completed = stats.completed
+    return ReplayReport(
+        plane="live",
+        scenario=spec.name,
+        fingerprint=scenario.fingerprint(),
+        submitted=len(scenario.tasks),
+        completed=completed,
+        failed=stats.failed,
+        dlq=len(dlq_ids),
+        duration_s=duration,
+        throughput=(completed / duration if duration > 0 else 0.0),
+        oracles=report,
+        extras={
+            "retries": stats.retries,
+            "reconnects": reconnects,
+            "submit_rejects": stats.submit_rejects,
+            "journal_records": stats.journal_records,
+            "fault_counters": fault_counters,
+            "churn_events": len(scenario.churn),
+        },
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    planes: tuple[str, ...] = ("sim", "live"),
+    time_scale: float = 1.0,
+    timeout: float = 180.0,
+) -> list[ReplayReport]:
+    """Generate *spec* once and replay it on the requested planes."""
+    scenario = generate(spec)
+    reports = []
+    for plane in planes:
+        if plane == "sim":
+            reports.append(replay_sim(scenario))
+        elif plane == "live":
+            reports.append(replay_live(
+                scenario, time_scale=time_scale, timeout=timeout
+            ))
+        else:
+            raise ValueError(f"unknown plane {plane!r}")
+    return reports

@@ -1,0 +1,170 @@
+"""Scenario schema: one seed, one reproducible workload description.
+
+A :class:`ScenarioSpec` is a small, serialisable value object: every
+knob that shapes a generated workload — runtime distribution, arrival
+process, DAG mix, poison fraction, chaos rates, executor churn — plus
+the single root seed everything derives from.  The contract (asserted
+in ``tests/scenarios``): two generators fed the same spec produce
+byte-identical workloads and identical fault schedules, so a failing
+scenario is fully described by its spec dict (or just its preset name
+and seed).
+
+Presets cover the mixes the paper's endurance and application sections
+exercise: heavy-tailed runtimes (lognormal/Pareto service times are
+the standard model for scientific task farms), bursty and ramping
+arrivals, DAG fan-out/fan-in, poison tasks destined for the DLQ, and
+executor churn.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+
+__all__ = ["ScenarioSpec", "PRESETS", "preset"]
+
+_RUNTIME_DISTS = ("fixed", "lognormal", "pareto")
+_ARRIVALS = ("batch", "poisson", "burst", "ramp")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything a scenario's generation depends on.
+
+    All randomness in the generated workload derives from ``seed`` via
+    named :class:`repro.sim.rng.RngStreams` splits — never from global
+    RNG state — so the spec *is* the workload.
+    """
+
+    name: str = "mixed"
+    seed: int = 0
+    tasks: int = 400
+    executors: int = 4
+
+    # -- runtime distribution (seconds of simulated/real sleep) -----------
+    runtime_dist: str = "lognormal"
+    runtime_scale: float = 0.002   # median-ish service time
+    runtime_sigma: float = 1.0     # lognormal sigma (heavy tail knob)
+    pareto_alpha: float = 2.0      # pareto shape (lower = heavier tail)
+    runtime_cap: float = 0.25      # hard cap so live replays stay fast
+
+    # -- arrival process ---------------------------------------------------
+    arrival: str = "poisson"
+    arrival_rate: float = 2000.0   # tasks/s (poisson; ramp peaks at 2x)
+    burst_size: int = 50
+    burst_gap: float = 0.05        # seconds between bursts
+
+    # -- workload mix ------------------------------------------------------
+    dag_fraction: float = 0.2      # fraction of tasks in fan-out/fan-in DAGs
+    dag_width: int = 4             # parallel middle stage per DAG diamond
+    poison_fraction: float = 0.02  # tasks that always fail -> DLQ
+
+    # -- chaos -------------------------------------------------------------
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    churn_events: int = 0          # executor link-kill / restart events
+
+    # -- live-plane knobs --------------------------------------------------
+    bundle_size: int = 300
+    pipeline_depth: int = 8
+    max_retries: int = 12
+    queue_limit: int = 0           # 0 = unbounded (JSON-friendly sentinel)
+    journal_compact_every: int = 50_000
+
+    def validate(self) -> "ScenarioSpec":
+        if self.tasks < 1:
+            raise ValueError("tasks must be >= 1")
+        if self.executors < 1:
+            raise ValueError("executors must be >= 1")
+        if self.runtime_dist not in _RUNTIME_DISTS:
+            raise ValueError(f"runtime_dist must be one of {_RUNTIME_DISTS}")
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(f"arrival must be one of {_ARRIVALS}")
+        if not 0.0 <= self.dag_fraction <= 1.0:
+            raise ValueError("dag_fraction must be in [0, 1]")
+        if not 0.0 <= self.poison_fraction <= 1.0:
+            raise ValueError("poison_fraction must be in [0, 1]")
+        if self.dag_width < 1:
+            raise ValueError("dag_width must be >= 1")
+        rates = (self.drop_rate, self.duplicate_rate, self.delay_rate)
+        if any(r < 0 for r in rates) or sum(rates) > 1.0:
+            raise ValueError("chaos rates must be >= 0 and sum to <= 1")
+        if self.churn_events < 0:
+            raise ValueError("churn_events must be >= 0")
+        if self.runtime_scale < 0 or self.runtime_cap <= 0:
+            raise ValueError("runtime_scale must be >= 0 and runtime_cap > 0")
+        if self.arrival_rate <= 0 or self.burst_size < 1 or self.burst_gap < 0:
+            raise ValueError("arrival parameters out of range")
+        if self.bundle_size < 1 or self.pipeline_depth < 1 or self.max_retries < 0:
+            raise ValueError("live-plane knobs out of range")
+        if self.queue_limit < 0 or self.journal_compact_every < 1:
+            raise ValueError("queue_limit/journal_compact_every out of range")
+        return self
+
+    @property
+    def chaotic(self) -> bool:
+        """Whether any transport fault or churn is scheduled."""
+        return bool(self.drop_rate or self.duplicate_rate
+                    or self.delay_rate or self.churn_events)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**data).validate()
+
+    def canonical_json(self) -> str:
+        """Stable serialisation (sorted keys, shortest-round-trip
+        floats) — the hashable identity of this spec."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+#: Named workload mixes.  ``preset(name, seed=...)`` instantiates one.
+PRESETS: dict[str, ScenarioSpec] = {
+    # ~30 s CI tier: a bit of everything, sized for the verify gate.
+    "smoke": ScenarioSpec(
+        name="smoke", tasks=300, executors=4, runtime_dist="lognormal",
+        runtime_scale=0.001, runtime_sigma=1.0, arrival="burst",
+        arrival_rate=4000.0, burst_size=60, burst_gap=0.01,
+        dag_fraction=0.2, dag_width=3, poison_fraction=0.02,
+        drop_rate=0.02, duplicate_rate=0.01, churn_events=1,
+        pipeline_depth=8,
+    ),
+    "mixed": ScenarioSpec(name="mixed"),
+    "heavy-tail": ScenarioSpec(
+        name="heavy-tail", runtime_dist="pareto", pareto_alpha=1.5,
+        runtime_scale=0.003, dag_fraction=0.0, poison_fraction=0.0,
+    ),
+    "bursty": ScenarioSpec(
+        name="bursty", arrival="burst", burst_size=100, burst_gap=0.1,
+        dag_fraction=0.0,
+    ),
+    "ramp": ScenarioSpec(name="ramp", arrival="ramp", dag_fraction=0.0),
+    "dag": ScenarioSpec(
+        name="dag", dag_fraction=0.8, dag_width=6, poison_fraction=0.0,
+    ),
+    "poison": ScenarioSpec(
+        name="poison", poison_fraction=0.1, dag_fraction=0.0, max_retries=2,
+    ),
+    "churn": ScenarioSpec(
+        name="churn", churn_events=3, drop_rate=0.05, dag_fraction=0.0,
+        executors=6,
+    ),
+}
+
+
+def preset(name: str, **overrides) -> ScenarioSpec:
+    """A copy of the named preset with *overrides* applied."""
+    try:
+        base = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return replace(base, **overrides).validate() if overrides else base

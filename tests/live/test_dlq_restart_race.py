@@ -1,0 +1,163 @@
+"""DLQ retry racing a dispatcher kill-and-recover.
+
+An operator's ``dlq retry`` (direct API, ``POST /dlq/<id>/retry``, or
+``repro dlq retry --http``) around a crash must never duplicate the
+task and never lose it: after recovery the task exists exactly once —
+re-queued if the retry was journalled first, still quarantined if the
+crash won — and exactly one completion is ever recorded for it.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.live import LiveClient, LiveDispatcher, LiveExecutor
+from repro.live.journal import recover
+from repro.types import TaskSpec
+
+from tests.live.util import wait_until
+
+
+def flaky_registry(healed: dict):
+    """``python:flaky`` fails until ``healed['ok']`` flips true."""
+
+    def flaky(*_args):
+        if not healed.get("ok"):
+            raise RuntimeError("poison until the operator intervenes")
+        return "recovered"
+
+    return {"flaky": flaky}
+
+
+def quarantine_one(journal_dir: str, healed: dict, task_id: str = "race-1"):
+    """Run one flaky task into the DLQ; returns the closed dispatcher's
+    port with the journal holding submit → failures → dlq."""
+    disp = LiveDispatcher(journal_dir=journal_dir, max_retries=1)
+    executor = LiveExecutor(disp.address,
+                            python_registry=flaky_registry(healed)).start()
+    executor.wait_registered()
+    client = LiveClient(disp.address)
+    future = client.submit(TaskSpec(task_id=task_id, command="python:flaky"))
+    result = future.result(timeout=30.0)
+    assert not result.ok
+    assert wait_until(
+        lambda: [e["task_id"] for e in disp.dlq_list()] == [task_id],
+        timeout=10.0,
+    )
+    executor.stop()
+    client.close()
+    # Pin the dlq record into the durable window: ``simulate_crash``
+    # drops unflushed appends, and this race's ordering must be exact.
+    assert disp.journal.commit()
+    return disp
+
+
+def test_retry_journalled_then_crash_task_survives_once(tmp_path):
+    """Retry wins the race: ``dlq-retry`` hits the journal, then the
+    dispatcher dies before the task runs.  The successor must recover
+    the task exactly once, re-queued (not in the DLQ, not lost), and
+    complete it exactly once."""
+    healed = {"ok": False}
+    journal_dir = str(tmp_path)
+    disp = quarantine_one(journal_dir, healed)
+    try:
+        healed["ok"] = True
+        assert disp.dlq_retry("race-1") is True
+        # The retry is journalled (durable) but no executor is
+        # attached, so the task is still queued when the process dies.
+        assert disp.journal.commit()
+        disp.simulate_crash()
+    finally:
+        disp.close()
+
+    state = recover(journal_dir)
+    assert "race-1" in state.tasks
+    pending = [t.task_id for t in state.pending()]
+    assert pending.count("race-1") == 1  # exactly once, not lost
+    assert not state.tasks["race-1"].in_dlq
+
+    successor = LiveDispatcher(journal_dir=journal_dir)
+    executor = LiveExecutor(successor.address,
+                            python_registry=flaky_registry(healed)).start()
+    try:
+        executor.wait_registered()
+        assert successor.recovered_tasks >= 1
+        assert successor.dlq_list() == []
+        assert wait_until(lambda: successor.stats().completed == 1, timeout=30.0)
+        # No duplicate execution sneaks in afterwards.
+        assert not wait_until(lambda: successor.stats().completed > 1, timeout=1.0)
+        assert successor.stats().queued == 0
+    finally:
+        executor.stop()
+        successor.close()
+
+
+def test_crash_then_retry_over_http_completes_once(tmp_path):
+    """Crash wins the race: the dispatcher dies with the task
+    quarantined.  The successor recovers the DLQ entry intact, and an
+    operator retry over ``POST /dlq/<id>/retry`` re-runs it exactly
+    once."""
+    healed = {"ok": False}
+    journal_dir = str(tmp_path)
+    disp = quarantine_one(journal_dir, healed)
+    disp.simulate_crash()
+    disp.close()
+
+    successor = LiveDispatcher(journal_dir=journal_dir)
+    http = successor.serve_http(port=0)
+    base = f"http://127.0.0.1:{http.port}"
+    executor = LiveExecutor(successor.address,
+                            python_registry=flaky_registry(healed)).start()
+    try:
+        executor.wait_registered()
+        # The quarantine survived the crash — retrying is possible at all.
+        assert [e["task_id"] for e in successor.dlq_list()] == ["race-1"]
+        healed["ok"] = True
+        request = urllib.request.Request(f"{base}/dlq/race-1/retry", method="POST")
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert json.load(response).get("requeued") is True
+        assert wait_until(lambda: successor.stats().completed == 1, timeout=30.0)
+        assert successor.dlq_list() == []
+        # A second retry of the now-healthy task is a no-op, not a
+        # duplicate submission.
+        request = urllib.request.Request(f"{base}/dlq/race-1/retry", method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                assert json.load(response).get("requeued") is not True
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        assert not wait_until(lambda: successor.stats().completed > 1, timeout=1.0)
+    finally:
+        executor.stop()
+        successor.close()
+
+
+def test_crash_then_retry_via_cli(tmp_path, capsys):
+    """The full operator path: ``repro dlq retry --http`` against a
+    recovered dispatcher re-queues the quarantined task exactly once."""
+    from repro.cli import main
+
+    healed = {"ok": False}
+    journal_dir = str(tmp_path)
+    disp = quarantine_one(journal_dir, healed)
+    disp.simulate_crash()
+    disp.close()
+
+    successor = LiveDispatcher(journal_dir=journal_dir)
+    http = successor.serve_http(port=0)
+    base = f"http://127.0.0.1:{http.port}"
+    executor = LiveExecutor(successor.address,
+                            python_registry=flaky_registry(healed)).start()
+    try:
+        executor.wait_registered()
+        healed["ok"] = True
+        assert main(["dlq", "retry", "race-1", "--http", base]) == 0
+        assert "re-queued" in capsys.readouterr().out
+        assert wait_until(lambda: successor.stats().completed == 1, timeout=30.0)
+        assert successor.dlq_list() == []
+        # Retrying a task that is no longer quarantined fails cleanly.
+        assert main(["dlq", "retry", "race-1", "--http", base]) != 0
+        assert successor.stats().completed == 1
+    finally:
+        executor.stop()
+        successor.close()

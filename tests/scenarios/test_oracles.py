@@ -1,0 +1,137 @@
+"""Unit tests for the invariant oracles over fabricated states.
+
+Each oracle must catch its violation and stay quiet on a consistent
+state — the replay harnesses are only as trustworthy as these checks.
+"""
+
+from types import SimpleNamespace
+
+from repro.scenarios.oracles import (
+    OracleReport,
+    check_conservation,
+    check_exactly_once,
+    check_journal_consistency,
+    check_no_stuck,
+    check_sim_workload,
+)
+
+
+def stats(accepted=10, completed=9, failed=1, dlq_total=1):
+    return SimpleNamespace(
+        accepted=accepted, completed=completed, failed=failed,
+        dlq_total=dlq_total,
+    )
+
+
+class FakeRecovered:
+    def __init__(self, tasks, truncated=0):
+        self.tasks = {t.task_id: t for t in tasks}
+        self.truncated = truncated
+
+    def pending(self):
+        return [t for t in self.tasks.values() if not t.terminal]
+
+
+def rec(task_id, terminal=True, in_dlq=False):
+    return SimpleNamespace(task_id=task_id, terminal=terminal, in_dlq=in_dlq)
+
+
+def test_conservation_passes_on_consistent_stats():
+    report = OracleReport()
+    check_conservation(report, submitted=10, stats=stats(), expected_poison=1)
+    assert report.ok
+    assert "conservation" in report.checked
+
+
+def test_conservation_catches_lost_and_unquarantined_tasks():
+    report = OracleReport()
+    check_conservation(report, submitted=10, stats=stats(completed=8))
+    assert not report.ok  # completed + failed != accepted
+
+    report = OracleReport()
+    check_conservation(report, submitted=10, stats=stats(dlq_total=0))
+    assert not report.ok  # terminal failure bypassed the DLQ
+
+    report = OracleReport()
+    check_conservation(report, submitted=12, stats=stats())
+    assert not report.ok  # accepted != submitted
+
+    report = OracleReport()
+    check_conservation(report, submitted=10, stats=stats(), expected_poison=3)
+    assert not report.ok  # healthy task died
+
+
+def test_exactly_once_flags_duplicates_losses_and_phantoms():
+    ids = ["a", "b", "c"]
+    report = OracleReport()
+    check_exactly_once(report, ids, {"a": 1, "b": 1, "c": 1})
+    assert report.ok
+
+    report = OracleReport()
+    check_exactly_once(report, ids, {"a": 2, "b": 1, "c": 0})
+    details = "".join(str(v) for v in report.violations)
+    assert "a settled 2" in details and "c settled 0" in details
+
+    report = OracleReport()
+    check_exactly_once(report, ids, {"a": 1, "b": 1, "c": 1, "ghost": 1})
+    assert any("ghost" in str(v) for v in report.violations)
+
+
+def test_no_stuck_reports_counts_and_truncates_long_lists():
+    report = OracleReport()
+    check_no_stuck(report, [])
+    assert report.ok
+
+    report = OracleReport()
+    check_no_stuck(report, [f"t{i}" for i in range(8)])
+    assert not report.ok
+    assert "8 futures" in str(report.violations[0])
+    assert "+3 more" in str(report.violations[0])
+
+
+def test_journal_consistency_passes_on_agreement():
+    recovered = FakeRecovered([rec("a"), rec("b", in_dlq=True)])
+    report = OracleReport()
+    check_journal_consistency(report, recovered, dlq_ids=["b"], accepted=2)
+    assert report.ok
+
+
+def test_journal_consistency_catches_dlq_mismatch_and_pending():
+    recovered = FakeRecovered([rec("a"), rec("b", in_dlq=True)])
+    report = OracleReport()
+    check_journal_consistency(report, recovered, dlq_ids=[], accepted=2)
+    assert any("DLQ mismatch" in str(v) for v in report.violations)
+
+    recovered = FakeRecovered([rec("a", terminal=False)])
+    report = OracleReport()
+    check_journal_consistency(report, recovered, dlq_ids=[], accepted=1)
+    assert any("pending" in str(v) for v in report.violations)
+
+
+def test_journal_consistency_torn_records_and_pruning():
+    recovered = FakeRecovered([rec("a")], truncated=2)
+    report = OracleReport()
+    check_journal_consistency(report, recovered, dlq_ids=[], accepted=1)
+    assert any("torn" in str(v) for v in report.violations)
+
+    # A pruned journal legitimately forgets settled tasks: only DLQ and
+    # pending agreement are required.
+    recovered = FakeRecovered([rec("b", in_dlq=True)])
+    report = OracleReport()
+    check_journal_consistency(
+        report, recovered, dlq_ids=["b"], accepted=1000, pruned=True
+    )
+    assert report.ok
+
+
+def test_sim_workload_and_report_shape():
+    report = OracleReport()
+    check_sim_workload(report, 5, completed=5, failed=0)
+    assert report.ok
+
+    check_sim_workload(report, 5, completed=3, failed=1)
+    assert not report.ok
+    shaped = report.to_dict()
+    assert shaped["ok"] is False
+    assert shaped["violations"][0]["oracle"] == "conservation"
+    assert "conservation" in report.summary()

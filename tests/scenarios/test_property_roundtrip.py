@@ -1,0 +1,214 @@
+"""Seeded property tests for the two persistence codecs.
+
+Stdlib-only fuzzing (``random.Random`` with fixed seeds — no hypothesis
+dependency): generate adversarial specs/results/payloads and assert the
+round-trip laws the journal and the wire rely on:
+
+* ``parse_journal_line(journal_line(x)) == x`` for records and batches,
+  and any single-character corruption is detected (CRC), never
+  mis-parsed.
+* ``strip_defaults`` + the wire parsers reconstruct the exact
+  ``TaskSpec`` / ``TaskResult``, including unicode, large blobs, and
+  defaults-stripped forms.
+* ``FrameReader`` re-assembles signed frames fed in arbitrary chunkings
+  and rejects any tampered signed body.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.live.journal import (
+    RESULT_DEFAULTS,
+    SPEC_DEFAULTS,
+    journal_line,
+    parse_journal_line,
+    strip_defaults,
+)
+from repro.live.protocol import (
+    result_from_dict,
+    result_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.net.wire import FrameReader, decode_frame, encode_frame
+from repro.types import DataLocation, DataRef, TaskSpec
+
+ROUNDS = 60
+
+# Deliberately nasty strings: unicode planes, JSON metacharacters,
+# newlines (the journal is line-framed), and long runs.
+NASTY = [
+    "",
+    "plain",
+    "späce-ü-ß",
+    "日本語のタスク",
+    "emoji-🧪🔥",
+    'quote-"-and-\\backslash',
+    "newline-\n-embedded",
+    "tab-\t-and-\r",
+    "null-\x00-byte" if False else "ctrl-\x1f",
+    "x" * 2048,
+]
+
+
+def rand_text(rng: random.Random) -> str:
+    base = rng.choice(NASTY)
+    if rng.random() < 0.3:
+        base += "".join(chr(rng.randrange(32, 0x2FA0)) for _ in range(rng.randrange(0, 16)))
+    return base
+
+
+def rand_spec(rng: random.Random) -> TaskSpec:
+    refs = tuple(
+        DataRef(f"ref-{i}-{rand_text(rng)[:8]}", rng.randrange(0, 10**9),
+                rng.choice(list(DataLocation)))
+        for i in range(rng.randrange(0, 3))
+    )
+    return TaskSpec(
+        task_id=f"t-{rng.randrange(10**9)}",
+        command=rng.choice(["sleep", "echo", "python:job", rand_text(rng) or "x"]),
+        args=tuple(rand_text(rng) for _ in range(rng.randrange(0, 4))),
+        working_dir=rng.choice([".", "/tmp", "rel/dir", rand_text(rng) or "."]),
+        env=tuple((f"K{i}", rand_text(rng)) for i in range(rng.randrange(0, 3))),
+        duration=rng.choice([0.0, rng.random() * 100]),
+        reads=refs,
+        writes=refs[:1],
+        runtime_estimate=rng.choice([None, rng.random() * 10]),
+        stage=rng.choice(["", "stage-1", rand_text(rng)]),
+    )
+
+
+def rand_result(rng: random.Random):
+    from repro.types import TaskResult
+
+    return TaskResult(
+        task_id=f"t-{rng.randrange(10**9)}",
+        return_code=rng.choice([0, 1, -9, 137]),
+        stdout=rand_text(rng),
+        stderr=rand_text(rng),
+        executor_id=rng.choice(["", f"exec-{rng.randrange(100):04d}"]),
+        error=rng.choice(["", rand_text(rng)]),
+        attempts=rng.randrange(1, 20),
+    )
+
+
+# ---------------------------------------------------------------------------
+# journal record codec
+# ---------------------------------------------------------------------------
+def test_journal_line_round_trips_single_records_and_batches():
+    rng = random.Random(0xFA15E)
+    for _ in range(ROUNDS):
+        record = {
+            "kind": rng.choice(["submit", "result", "acked", "dlq"]),
+            "task_id": rand_text(rng),
+            "n": rng.randrange(-(10**9), 10**9),
+            "nested": {"unicode": rand_text(rng), "list": [1, None, True]},
+        }
+        assert parse_journal_line(journal_line(record)) == [record]
+        batch = [dict(record, i=i) for i in range(rng.randrange(1, 6))]
+        assert parse_journal_line(journal_line(batch)) == batch
+
+
+def test_journal_line_detects_any_single_character_corruption():
+    rng = random.Random(0xC0FFEE)
+    line = journal_line({"kind": "submit", "task_id": "t-ünïcode-1", "a": [1, 2]})
+    for _ in range(ROUNDS):
+        pos = rng.randrange(len(line))
+        flipped = chr((ord(line[pos]) + rng.randrange(1, 64)) % 0x7F or 0x21)
+        corrupted = line[:pos] + flipped + line[pos:][1:]
+        parsed = parse_journal_line(corrupted)
+        # Either rejected outright, or (CRC-digit flip that still
+        # matches? impossible: body unchanged ⇒ crc mismatch) — so:
+        assert parsed is None or corrupted == line
+
+
+def test_journal_line_rejects_torn_and_non_record_lines():
+    line = journal_line({"kind": "submit"})
+    for torn in (line[: len(line) // 2], line[9:], "", "zz", "0" * 8):
+        assert parse_journal_line(torn) is None
+    # Valid CRC over a non-object body must not produce records.
+    import zlib
+
+    body = json.dumps(["not-a-dict", 3])
+    crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+    assert parse_journal_line(f"{crc:08x} {body}") is None
+
+
+def test_defaults_stripped_specs_round_trip_exactly():
+    rng = random.Random(0x5EED)
+    for _ in range(ROUNDS):
+        spec = rand_spec(rng)
+        wire = strip_defaults(task_to_dict(spec), SPEC_DEFAULTS)
+        via_journal = parse_journal_line(journal_line(wire))[0]
+        assert task_from_dict(via_journal) == spec
+
+
+def test_defaults_stripped_results_round_trip_exactly():
+    rng = random.Random(0xBEEF)
+    for _ in range(ROUNDS):
+        result = rand_result(rng)
+        wire = strip_defaults(result_to_dict(result), RESULT_DEFAULTS)
+        parsed = result_from_dict(parse_journal_line(journal_line(wire))[0])
+        # timeline is dispatcher-side state, excluded from the codec
+        assert result_to_dict(parsed) == result_to_dict(result)
+
+
+# ---------------------------------------------------------------------------
+# wire frame codec
+# ---------------------------------------------------------------------------
+KEY = b"property-test-shared-key"
+
+
+def test_signed_frames_round_trip_through_chunked_reader():
+    rng = random.Random(0xF00D)
+    payloads = [
+        {"type": "WORK", "tasks": [task_to_dict(rand_spec(rng))
+                                   for _ in range(rng.randrange(1, 4))]}
+        for _ in range(20)
+    ]
+    stream = b"".join(encode_frame(p, key=KEY) for p in payloads)
+    for _ in range(10):
+        reader = FrameReader(key=KEY)
+        out = []
+        i = 0
+        while i < len(stream):
+            step = rng.randrange(1, 97)
+            out.extend(reader.feed(stream[i : i + step]))
+            i += step
+        assert out == payloads
+        assert reader.pending_bytes == 0
+
+
+def test_unsigned_frames_round_trip():
+    rng = random.Random(0xD00D)
+    for _ in range(ROUNDS):
+        payload = {"s": rand_text(rng), "n": rng.random(), "l": [rand_text(rng)]}
+        assert decode_frame(encode_frame(payload)) == payload
+
+
+def test_tampered_signed_body_is_rejected():
+    rng = random.Random(0xBAD)
+    payload = {"type": "WORK", "task_id": "t-42", "secret": "ünïcode"}
+    frame = encode_frame(payload, key=KEY)
+    for _ in range(ROUNDS):
+        pos = rng.randrange(4, len(frame))  # keep the length prefix intact
+        delta = rng.randrange(1, 255)
+        tampered = frame[:pos] + bytes([(frame[pos] + delta) % 256]) + frame[pos + 1 :]
+        reader = FrameReader(key=KEY)
+        try:
+            out = list(reader.feed(tampered))
+        except Exception:
+            continue  # ProtocolError (bad JSON) or SecurityError: both fine
+        # A flip that survives parsing must never verify as authentic
+        # unless it produced the identical payload bytes.
+        assert out == [payload] and tampered == frame
+
+
+def test_wrong_key_never_verifies():
+    frame = encode_frame({"a": 1}, key=KEY)
+    reader = FrameReader(key=b"some-other-key")
+    with pytest.raises(SecurityError):
+        list(reader.feed(frame))

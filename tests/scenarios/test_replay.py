@@ -1,0 +1,61 @@
+"""Replay harness tests: small scenarios through both planes.
+
+The live cases are sized to keep tier-1 fast while still crossing the
+interesting machinery: DAG dependency pacing, poison → DLQ, transport
+chaos, executor churn, and the post-run journal-consistency recovery
+parse.
+"""
+
+import pytest
+
+from repro.scenarios import generate, preset, replay_live, replay_sim, run_scenario
+
+
+def test_sim_replay_mixed_scenario_passes_oracles():
+    report = replay_sim(generate(preset("mixed", seed=11, tasks=120)))
+    assert report.ok, report.oracles.summary()
+    assert report.completed == 120
+    assert report.plane == "sim"
+    assert report.extras["sim_makespan"] > 0
+
+
+def test_sim_replay_with_churn_still_completes_everything():
+    spec = preset("churn", seed=4, tasks=100, executors=4)
+    report = replay_sim(generate(spec))
+    assert report.ok, report.oracles.summary()
+    assert report.completed == 100
+
+
+def test_live_replay_clean_scenario():
+    spec = preset("mixed", seed=21, tasks=80, executors=2)
+    report = replay_live(generate(spec), timeout=60.0)
+    assert report.ok, report.oracles.summary()
+    assert report.completed + report.failed == 80
+    assert report.dlq == report.failed  # every failure is a poison task
+    checked = set(report.oracles.checked)
+    assert {"conservation", "exactly-once-visible", "no-stuck-futures",
+            "journal-consistency"} <= checked
+
+
+def test_live_replay_smoke_preset_with_chaos_and_churn():
+    spec = preset("smoke", seed=13, tasks=150)
+    scenario = generate(spec)
+    report = replay_live(scenario, timeout=90.0)
+    assert report.ok, report.oracles.summary()
+    assert report.submitted == 150
+    assert report.fingerprint == scenario.fingerprint()
+
+
+def test_run_scenario_drives_both_planes():
+    spec = preset("poison", seed=8, tasks=60, executors=2)
+    reports = run_scenario(spec, timeout=60.0)
+    assert [r.plane for r in reports] == ["sim", "live"]
+    for report in reports:
+        assert report.ok, f"{report.plane}: {report.oracles.summary()}"
+    live = reports[1]
+    assert live.dlq == len(generate(spec).poison_ids)
+
+
+def test_run_scenario_rejects_unknown_plane():
+    with pytest.raises(ValueError):
+        run_scenario(preset("mixed", seed=0, tasks=10), planes=("warp",))
