@@ -52,6 +52,13 @@ python -m repro bench --quick --telemetry
 echo "== journal overhead gate =="
 python -m repro bench --quick --journal
 
+# Shard-scaling gate: 2 dispatcher shards behind a ShardRouter must
+# deliver >= 1.5x the 1-shard aggregate capacity on fixed-duration
+# tasks (docs/API.md, "Benchmark methodology"); the measurement
+# accumulates under "shard_scaling" in BENCH_dispatch.json.
+echo "== shard scaling gate =="
+python -m repro bench --quick --shards 2
+
 # Scenario oracle gate: the ~30 s seeded mixed workload (heavy-tailed
 # runtimes, bursts, DAGs, poison, chaos, churn) replayed through the
 # sim AND live planes; exits non-zero if any invariant oracle —
@@ -59,6 +66,13 @@ python -m repro bench --quick --journal
 # consistency — is violated (docs/TESTING.md).
 echo "== scenario oracle gate =="
 python -m repro scenarios run --smoke
+
+# Federated scenario oracle gate: the same smoke seed replayed across
+# a 2-shard federation, including a mid-run shard kill -9 + restart;
+# the oracles must hold from the client's vantage (docs/PROTOCOL.md,
+# "Federation (wire v3)").
+echo "== federated scenario oracle gate =="
+python -m repro scenarios run --smoke --shards 2
 
 if [[ "${1:-}" != "--quick" ]]; then
     echo "== Figure 3 throughput smoke =="

@@ -38,8 +38,19 @@ Quickstart (live plane — real processes on this machine)::
 
     with LocalFalkon(executors=4) as falkon:
         results = falkon.map_shell(["echo hello"] * 8)
+
+Quickstart (unified facade — one API over every deployment shape)::
+
+    import repro
+
+    with repro.connect("local", executors=4) as falkon:            # in-process
+        results = falkon.map(specs)
+    with repro.connect("falkon://a:9000,falkon://b:9000") as fed:  # federation
+        results = fed.map(specs)
 """
 
+from repro.api import FalkonClient, as_completed, connect
+from repro.live.endpoint import Endpoint
 from repro.config import (
     AcquisitionPolicyName,
     DispatchPolicyName,
@@ -53,6 +64,10 @@ from repro.types import Bundle, DataLocation, DataRef, TaskResult, TaskSpec, Tas
 __version__ = "1.0.0"
 
 __all__ = [
+    "FalkonClient",
+    "connect",
+    "as_completed",
+    "Endpoint",
     "FalkonConfig",
     "SecurityMode",
     "DispatchPolicyName",

@@ -1,0 +1,131 @@
+"""The unified client facade.
+
+Every way of talking to a Falkon deployment — one live dispatcher
+(:class:`~repro.live.client.LiveClient`), an in-process deployment
+(:class:`~repro.live.local.LocalFalkon`), or a sharded federation
+(:class:`~repro.live.federation.ShardRouter`) — implements the same
+:class:`FalkonClient` protocol, and :func:`connect` picks the right
+implementation from the target string::
+
+    with repro.connect("falkon://10.0.0.1:9000") as falkon:          # one dispatcher
+        ...
+    with repro.connect("falkon://a:9000,falkon://b:9000") as falkon: # a federation
+        ...
+    with repro.connect("local", executors=4) as falkon:              # in-process
+        results = falkon.map(specs)
+
+The protocol surface:
+
+``submit(tasks)``
+    One spec returns its future; a sequence returns a list of futures.
+``map(tasks, timeout=None)``
+    Submit and wait; results in task order.
+``as_completed(futures, timeout=None)``
+    Yield futures in settlement order.
+``shutdown()``
+    Release the client (and, for ``local`` targets, the deployment).
+``with ...:``
+    Context management calls ``shutdown()`` on exit.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import time
+from typing import Iterable, Iterator, Optional, Protocol, Union, runtime_checkable
+
+from repro.live.client import TaskFuture
+from repro.live.endpoint import Endpoint
+from repro.types import TaskResult, TaskSpec
+
+__all__ = ["FalkonClient", "as_completed", "connect"]
+
+
+@runtime_checkable
+class FalkonClient(Protocol):
+    """What every Falkon client facade speaks (structural typing —
+    implementations don't inherit from this, they just conform)."""
+
+    def submit(
+        self, tasks: Union[TaskSpec, Iterable[TaskSpec]]
+    ) -> Union[TaskFuture, list[TaskFuture]]: ...
+
+    def map(
+        self, tasks: Iterable[TaskSpec], timeout: Optional[float] = None
+    ) -> list[TaskResult]: ...
+
+    def as_completed(
+        self, futures: Iterable[TaskFuture], timeout: Optional[float] = None
+    ) -> Iterator[TaskFuture]: ...
+
+    def shutdown(self) -> None: ...
+
+    def __enter__(self) -> "FalkonClient": ...
+
+    def __exit__(self, *exc) -> None: ...
+
+
+def as_completed(
+    futures: Iterable[TaskFuture], timeout: Optional[float] = None
+) -> Iterator[TaskFuture]:
+    """Yield futures as they settle (fulfilled, failed or cancelled),
+    like :func:`concurrent.futures.as_completed`.
+
+    ``timeout`` bounds the whole iteration; expiry raises
+    ``TimeoutError`` with the number of futures still pending.
+    """
+    pending = list(futures)
+    done_queue: _queue.SimpleQueue = _queue.SimpleQueue()
+    for future in pending:
+        future.add_done_callback(done_queue.put)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for i in range(len(pending)):
+        remaining = None if deadline is None else deadline - time.monotonic()
+        if remaining is not None and remaining <= 0:
+            raise TimeoutError(
+                f"{len(pending) - i} futures unfinished after {timeout}s")
+        try:
+            yield done_queue.get(timeout=remaining)
+        except _queue.Empty:
+            raise TimeoutError(
+                f"{len(pending) - i} futures unfinished after {timeout}s"
+            ) from None
+
+
+def connect(target: str = "local", key: Optional[bytes] = None, **kwargs):
+    """Open a :class:`FalkonClient` for *target*.
+
+    ``"local"``
+        Stand up an in-process deployment
+        (:class:`~repro.live.local.LocalFalkon`; ``kwargs`` are its
+        constructor arguments, e.g. ``executors=4``).
+    ``"falkon://host:port"`` (or bare ``host:port``)
+        Dial one live dispatcher
+        (:class:`~repro.live.client.LiveClient`).
+    ``"falkon://h1:p1,falkon://h2:p2,..."``
+        A federation: route across the listed shards
+        (:class:`~repro.live.federation.ShardRouter`).
+    """
+    if not isinstance(target, str):
+        raise TypeError(f"connect target must be a string, got {type(target).__name__}")
+    if target == "local" or target.startswith("local?"):
+        from repro.live.local import LocalFalkon
+
+        if target.startswith("local?"):
+            for pair in target[len("local?"):].split("&"):
+                if not pair:
+                    continue
+                name, _, value = pair.partition("=")
+                kwargs.setdefault(name, int(value) if value.isdigit() else value)
+        if key is not None:
+            raise ValueError("'local' targets manage their own key; "
+                             "pass security=... instead")
+        return LocalFalkon(**kwargs)
+    endpoints = Endpoint.parse_list(target)
+    if len(endpoints) > 1:
+        from repro.live.federation import ShardRouter
+
+        return ShardRouter(endpoints, key=key, **kwargs)
+    from repro.live.client import LiveClient
+
+    return LiveClient(endpoints[0], key=key, **kwargs)

@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro events replay run.jsonl       # timeline from an event log
     python -m repro bench --quick                 # regression-gated dispatch bench
     python -m repro bench --telemetry             # telemetry overhead budget gate
+    python -m repro live --shards 2               # federated: 2 dispatcher shards
+    python -m repro bench --quick --shards 2      # federation scaling gate
     python -m repro export --out results/ [--quick]
 
 Every command is a thin wrapper over the public library API; the
@@ -56,7 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("live", help="real tasks through live TCP Falkon on this host")
-    p.add_argument("--executors", type=int, default=4)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="run N federated dispatcher shards (subprocesses) "
+                        "behind one ShardRouter instead of one in-process "
+                        "dispatcher (docs/API.md)")
+    p.add_argument("--executors", type=int, default=4,
+                   help="executor pool size (per shard with --shards)")
     p.add_argument("--tasks", type=int, default=2000)
     p.add_argument("--bundle", type=int, default=300)
     p.add_argument("--pipeline", type=int, default=1, metavar="DEPTH",
@@ -143,6 +150,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "(with --journal)")
     p.add_argument("--journal-out", metavar="PATH", default="BENCH_journal.json",
                    help="where --journal records its measurement")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="federation scaling bench: N subprocess shards behind "
+                        "a ShardRouter, measured against a 1-shard run in the "
+                        "same invocation and gated on the speedup ratio")
+    p.add_argument("--shard-gate", type=float, default=None, metavar="RATIO",
+                   help="minimum N-shard/1-shard speedup (default: 1.5 at 2 "
+                        "shards, 2.5 at 4, interpolated elsewhere)")
+    p.add_argument("--dispatch-out", metavar="PATH", default="BENCH_dispatch.json",
+                   help="where --shards appends its scaling measurements")
+
+    p = sub.add_parser(
+        "shard",
+        help="run one federation shard (dispatcher + executors + peer links); "
+             "normally spawned by `repro live/bench --shards N`",
+    )
+    p.add_argument("--shard-id", required=True, metavar="ID")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--peers", default="", metavar="ID=HOST:PORT,...",
+                   help="sibling shards (full mesh map, this shard excluded)")
+    p.add_argument("--executors", type=int, default=2)
+    p.add_argument("--pipeline", type=int, default=1, metavar="DEPTH")
+    p.add_argument("--journal", metavar="DIR", default=None,
+                   help="crash-safe journal directory for this shard")
+    p.add_argument("--queue-limit", type=int, default=None, metavar="N")
 
     p = sub.add_parser(
         "scenarios",
@@ -176,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--smoke", action="store_true",
                    help="CI tier: the ~30 s 'smoke' preset on both planes")
     q.add_argument("--plane", choices=["sim", "live", "both"], default="both")
+    q.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="replay the live plane through an N-shard federation "
+                        "(oracles fold per-shard stats; sim plane unchanged)")
     q.add_argument("--timeout", type=float, default=180.0,
                    help="live-plane completion deadline in seconds")
     q.add_argument("--json", action="store_true",
@@ -199,7 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spans.jsonl file, or the --metrics-out directory holding it")
     p.add_argument("--http", metavar="URL", default=None,
                    help="fetch the chain from a live dispatcher's /tasks/<id> "
-                        "instead of a file export")
+                        "instead of a file export; a comma list of shard URLs "
+                        "asks each in turn (federated runs)")
 
     p = sub.add_parser("export", help="regenerate all figures/tables as CSV")
     p.add_argument("--out", default="results")
@@ -226,6 +261,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "top": _cmd_top,
         "events": _cmd_events,
         "bench": _cmd_bench,
+        "shard": _cmd_shard,
         "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
         "export": _cmd_export,
@@ -375,6 +411,9 @@ def _cmd_live(args) -> int:
     from repro.metrics import timeline_summary
     from repro.types import TaskSpec
 
+    if args.shards > 1:
+        return _cmd_live_federated(args)
+
     # The HTTP status surface is only interesting when stats stream:
     # default a heartbeat in when --http-port is given without one.
     heartbeat = 0.5 if args.http_port is not None else None
@@ -413,6 +452,169 @@ def _cmd_live(args) -> int:
               f"(replay with `repro events replay {args.events_out}`)")
     if args.metrics_out:
         timeline_summary(results, title="Live run latencies").print()
+    return 0 if ok == len(results) else 1
+
+
+def _cmd_shard(args) -> int:
+    """One federation shard as a process (see ``shard_main``)."""
+    from repro.live.federation import shard_main
+
+    peers: dict[str, str] = {}
+    if args.peers:
+        for item in args.peers.split(","):
+            if not item:
+                continue
+            peer_id, _, hostport = item.partition("=")
+            if not peer_id or ":" not in hostport:
+                print(f"bad --peers entry {item!r} (want ID=HOST:PORT)",
+                      file=sys.stderr)
+                return 2
+            peers[peer_id] = hostport
+    shard_main(
+        args.shard_id,
+        args.port,
+        peers,
+        executors=args.executors,
+        pipeline=args.pipeline,
+        journal_dir=args.journal,
+        queue_limit=args.queue_limit,
+    )
+    return 0
+
+
+class _ShardFleet:
+    """N ``repro shard`` subprocesses wired into a full peer mesh.
+
+    Subprocesses, not threads: in-process shards share the GIL, so
+    scaling measurements need real OS-level parallelism.  Each child
+    couples its lifetime to ours through stdin (EOF stops the shard)
+    and reports ``READY <id> <url>`` on stdout before we route to it.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        executors: int,
+        pipeline: int,
+        journal_root: Optional[str] = None,
+        queue_limit: Optional[int] = None,
+    ) -> None:
+        import os
+        import socket
+        import subprocess
+
+        sockets = []
+        ports = []
+        for _ in range(shards):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            ports.append(sock.getsockname()[1])
+            sockets.append(sock)
+        for sock in sockets:
+            sock.close()
+        self.shard_ids = [f"s{i}" for i in range(shards)]
+        self.urls = [f"falkon://127.0.0.1:{port}" for port in ports]
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.procs = []
+        for shard_id, port in zip(self.shard_ids, ports):
+            peers = ",".join(
+                f"{pid}=127.0.0.1:{pport}"
+                for pid, pport in zip(self.shard_ids, ports)
+                if pid != shard_id
+            )
+            cmd = [
+                sys.executable, "-m", "repro", "shard",
+                "--shard-id", shard_id, "--port", str(port),
+                "--peers", peers,
+                "--executors", str(executors),
+                "--pipeline", str(pipeline),
+            ]
+            if journal_root is not None:
+                cmd += ["--journal", os.path.join(journal_root, shard_id)]
+            if queue_limit is not None:
+                cmd += ["--queue-limit", str(queue_limit)]
+            self.procs.append(
+                subprocess.Popen(cmd, stdin=subprocess.PIPE,
+                                 stdout=subprocess.PIPE, text=True, env=env)
+            )
+
+    def wait_ready(self, timeout: float = 30.0) -> "_ShardFleet":
+        import select
+
+        deadline = time.monotonic() + timeout
+        for proc in self.procs:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.close()
+                    raise RuntimeError("shard did not report READY in time")
+                readable, _, _ = select.select([proc.stdout], [], [], remaining)
+                if not readable:
+                    continue
+                line = proc.stdout.readline()
+                if not line:
+                    rc = proc.poll()
+                    self.close()
+                    raise RuntimeError(f"shard exited before READY (rc={rc})")
+                if line.startswith("READY"):
+                    break
+        return self
+
+    def close(self) -> None:
+        for proc in self.procs:
+            try:
+                proc.stdin.close()  # EOF: the shard_main loop exits
+            except OSError:
+                pass
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=10.0)
+            except Exception:
+                proc.kill()
+
+    def __enter__(self) -> "_ShardFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _cmd_live_federated(args) -> int:
+    """``repro live --shards N``: subprocess shards behind a router."""
+    from repro.live.federation import ShardRouter
+    from repro.types import TaskSpec
+
+    for flag in ("metrics_out", "http_port", "events_out"):
+        if getattr(args, flag, None) is not None:
+            print(f"--{flag.replace('_', '-')} is not supported with "
+                  f"--shards; ignoring", file=sys.stderr)
+    with _ShardFleet(args.shards, executors=args.executors,
+                     pipeline=args.pipeline, journal_root=args.journal,
+                     queue_limit=args.queue_limit).wait_ready() as fleet:
+        print(f"{args.shards} shards up: {', '.join(fleet.urls)}")
+        router = ShardRouter(fleet.urls, bundle_size=args.bundle)
+        try:
+            tasks = [TaskSpec.sleep(0, task_id=f"cli-{i:06d}")
+                     for i in range(args.tasks)]
+            started = time.monotonic()
+            results = router.run(tasks, timeout=300)
+            elapsed = time.monotonic() - started
+            retargets, resubmits = router.retargets, router.resubmits
+        finally:
+            router.shutdown()
+        if args.linger > 0:
+            print(f"lingering {args.linger:g} s (Ctrl-C to stop)")
+            try:
+                time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+    ok = sum(1 for r in results if r.ok)
+    print(f"{ok}/{len(results)} tasks ok across {args.shards} shards "
+          f"({args.executors} executors each): "
+          f"{len(results) / elapsed:,.0f} tasks/s ({elapsed:.2f} s); "
+          f"retargets={retargets} resubmits={resubmits}")
     return 0 if ok == len(results) else 1
 
 
@@ -637,6 +839,9 @@ def _cmd_bench(args) -> int:
     from repro.live import LocalFalkon
     from repro.types import TaskSpec
 
+    if args.shards:
+        return _bench_shards(args)
+
     n_tasks = 1500 if args.quick else 5000
 
     def one_round(round_index: int, **deploy_kwargs) -> dict:
@@ -700,6 +905,103 @@ def _cmd_bench(args) -> int:
     if rate < floor:
         print(f"  dispatch throughput regressed more than {args.tolerance:.0%} "
               f"against the recorded baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_shards(args) -> int:
+    """Federation scaling bench: N subprocess shards vs 1, ratio-gated.
+
+    Both configurations run in the *same invocation* — same machine
+    state, same subprocess topology (router in this process, shards as
+    children) — so the ratio isolates what federation adds.  Per-shard
+    resources are held constant and the tasks carry a fixed nonzero
+    runtime (the paper's task-length framing, Figure 7): a single
+    shard's capacity is ``executors / task_seconds``, federation
+    multiplies the deployment, and the ratio shows aggregate capacity
+    scaling rather than single-core dispatch CPU (which cannot scale
+    on a one-core box).  The gate is the acceptance ratio from
+    docs/API.md: 1.5x at 2 shards, 2.5x at 4, linear in between
+    (``--shard-gate`` overrides).
+    """
+    import json
+    import os
+
+    from repro.live.federation import ShardRouter
+    from repro.types import TaskSpec
+
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    task_seconds = 0.005
+    n_tasks = 2000 if args.quick else 4000
+
+    def measure(shards: int) -> float:
+        best = 0.0
+        with _ShardFleet(shards, executors=args.executors,
+                         pipeline=args.pipeline).wait_ready() as fleet:
+            router = ShardRouter(fleet.urls, bundle_size=500)
+            try:
+                for round_index in range(2):
+                    tasks = [
+                        TaskSpec.sleep(
+                            task_seconds,
+                            task_id=f"bench{shards}-{round_index}-{i:06d}")
+                        for i in range(n_tasks)
+                    ]
+                    started = time.perf_counter()
+                    results = router.run(tasks, timeout=300)
+                    elapsed = time.perf_counter() - started
+                    if not all(r.ok for r in results):
+                        raise RuntimeError("benchmark tasks failed")
+                    best = max(best, n_tasks / elapsed)
+            finally:
+                router.shutdown()
+        return best
+
+    base = measure(1)
+    print(f"federation bench ({'quick, ' if args.quick else ''}{n_tasks} "
+          f"sleep-{task_seconds * 1e3:g}ms tasks, {args.executors} "
+          f"executors/shard, pipeline depth {args.pipeline}, "
+          f"best of 2 rounds):")
+    print(f"  1 shard   {base:,.0f} tasks/s")
+    rates = {"1": base}
+    ratios: dict[str, float] = {}
+    failed = False
+    if args.shards > 1:
+        rate = measure(args.shards)
+        ratio = rate / base
+        gate = (args.shard_gate if args.shard_gate is not None
+                else 1.5 + max(0, args.shards - 2) * 0.5)
+        rates[str(args.shards)] = rate
+        ratios[str(args.shards)] = ratio
+        verdict = "OK" if ratio >= gate else "BELOW GATE"
+        print(f"  {args.shards} shards  {rate:,.0f} tasks/s -> "
+              f"{ratio:.2f}x (gate {gate:.2f}x): {verdict}")
+        failed = ratio < gate
+
+    # Merge into the dispatch record so repeated invocations
+    # (--shards 2, then --shards 4) accumulate one scaling curve.
+    data = {}
+    if os.path.exists(args.dispatch_out):
+        try:
+            with open(args.dispatch_out) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    scaling = data.setdefault("shard_scaling", {})
+    scaling.setdefault("rates_tasks_per_s", {}).update(rates)
+    scaling.setdefault("ratios_vs_1_shard", {}).update(ratios)
+    scaling.update(n_tasks=n_tasks, executors_per_shard=args.executors,
+                   pipeline=args.pipeline, quick=args.quick,
+                   task_seconds=task_seconds)
+    with open(args.dispatch_out, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  recorded -> {args.dispatch_out}")
+    if failed:
+        print(f"  federation speedup below the acceptance gate",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -836,6 +1138,7 @@ def _cmd_scenarios(args) -> int:
         generate,
         preset,
         replay_live,
+        replay_live_federated,
         replay_sim,
         run_soak,
     )
@@ -905,13 +1208,21 @@ def _cmd_scenarios(args) -> int:
     # run
     scenario = generate(spec)
     planes = ("sim", "live") if args.plane == "both" else (args.plane,)
+    shards = getattr(args, "shards", 1)
+    plane_note = (f" (live plane federated across {shards} shards)"
+                  if shards > 1 else "")
     print(f"scenario {spec.name} seed={spec.seed} "
           f"fingerprint {scenario.fingerprint()[:16]}… "
-          f"on {', '.join(planes)}")
+          f"on {', '.join(planes)}{plane_note}")
     reports = []
     for plane in planes:
-        report = (replay_sim(scenario) if plane == "sim"
-                  else replay_live(scenario, timeout=args.timeout))
+        if plane == "sim":
+            report = replay_sim(scenario)
+        elif shards > 1:
+            report = replay_live_federated(
+                scenario, shards=shards, timeout=args.timeout)
+        else:
+            report = replay_live(scenario, timeout=args.timeout)
         reports.append(report)
         status = "PASS" if report.ok else "FAIL"
         print(f"  {plane}: {status} — {report.completed} completed, "
@@ -967,33 +1278,47 @@ def _cmd_trace(args) -> int:
 
 
 def _trace_http(args) -> int:
-    """Fetch a span chain from a live dispatcher's /tasks/<id>."""
+    """Fetch a span chain from live dispatcher(s)' /tasks/<id>.
+
+    A comma list of shard URLs (a federated run) is asked in turn:
+    the shard holding the task — home *or* thief — answers; siblings
+    404 and the resolver moves on, so a stolen task still traces.
+    """
     import urllib.error
 
-    url = args.http.rstrip("/") + f"/tasks/{args.task_id}"
-    try:
-        payload = _fetch_json(url)
-    except urllib.error.HTTPError as exc:
-        if exc.code == 404:
-            print(f"no trace recorded for task {args.task_id!r} at {args.http}",
-                  file=sys.stderr)
-            return 1
-        print(f"cannot fetch {url}: HTTP {exc.code}", file=sys.stderr)
+    bases = [u.strip().rstrip("/") for u in args.http.split(",") if u.strip()]
+    unreachable = 0
+    for base in bases:
+        url = base + f"/tasks/{args.task_id}"
+        try:
+            payload = _fetch_json(url)
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                continue
+            print(f"cannot fetch {url}: HTTP {exc.code}", file=sys.stderr)
+            return 2
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"cannot fetch {url}: {exc} "
+                  f"(is a dispatcher running with --http-port?)", file=sys.stderr)
+            unreachable += 1
+            continue
+        spans = payload.get("spans", [])
+        where = f"live, {base}" if len(bases) > 1 else "live"
+        print(f"trace for {args.task_id} ({len(spans)} spans, {where})")
+        for span in spans:
+            name = span.get("name", "?")
+            start = span.get("start", 0.0)
+            end = span.get("end", start)
+            attrs = span.get("attrs", {})
+            extras = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            print(f"  {name:<8} t={start:.6f}s dur={(end - start) * 1e3:.3f}ms {extras}")
+        return 0
+    if unreachable == len(bases):
         return 2
-    except (urllib.error.URLError, OSError, ValueError) as exc:
-        print(f"cannot fetch {url}: {exc} "
-              f"(is a dispatcher running with --http-port?)", file=sys.stderr)
-        return 2
-    spans = payload.get("spans", [])
-    print(f"trace for {args.task_id} ({len(spans)} spans, live)")
-    for span in spans:
-        name = span.get("name", "?")
-        start = span.get("start", 0.0)
-        end = span.get("end", start)
-        attrs = span.get("attrs", {})
-        extras = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
-        print(f"  {name:<8} t={start:.6f}s dur={(end - start) * 1e3:.3f}ms {extras}")
-    return 0
+    shard_note = f" on any of {len(bases)} shards" if len(bases) > 1 else ""
+    print(f"no trace recorded for task {args.task_id!r}{shard_note} "
+          f"at {args.http}", file=sys.stderr)
+    return 1
 
 
 def _cmd_export(args) -> int:

@@ -22,6 +22,12 @@ and sockets instead of simulated time:
 * :mod:`repro.live.journal` — the dispatcher's crash-safe write-ahead
   journal (CRC-per-record JSONL, group commit, snapshot compaction)
   and restart recovery (``docs/RELIABILITY.md``).
+* :mod:`repro.live.endpoint` — :class:`Endpoint`, the typed
+  ``falkon://host:port`` address used across the live plane.
+* :mod:`repro.live.federation` — multi-dispatcher federation: the
+  consistent-hash :class:`ShardRouter` facade, shard-to-shard work
+  stealing (wire v3) and :class:`LocalFederation` for in-process
+  multi-shard deployments (``docs/API.md``).
 """
 
 from repro.live.protocol import (
@@ -33,12 +39,20 @@ from repro.live.protocol import (
 )
 from repro.live.faults import FaultAction, FaultPlan, FaultyConnection
 from repro.live.journal import Journal, RecoveredState, RecoveredTask, recover
+from repro.live.endpoint import Endpoint, as_endpoint
 from repro.live.dispatcher import LiveDispatcher
 from repro.live.executor import LiveExecutor
 from repro.live.client import LiveClient, TaskFuture
 from repro.live.provisioner import LocalProvisioner
 from repro.live.forwarder import LiveForwarder
 from repro.live.local import LocalFalkon
+from repro.live.federation import (
+    FederationStats,
+    HashRing,
+    LocalFederation,
+    ShardRouter,
+    aggregate_stats,
+)
 
 __all__ = [
     "Connection",
@@ -60,4 +74,11 @@ __all__ = [
     "LocalProvisioner",
     "LiveForwarder",
     "LocalFalkon",
+    "Endpoint",
+    "as_endpoint",
+    "HashRing",
+    "ShardRouter",
+    "FederationStats",
+    "aggregate_stats",
+    "LocalFederation",
 ]

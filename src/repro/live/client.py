@@ -28,6 +28,7 @@ from concurrent.futures import CancelledError
 from typing import Callable, Iterable, Optional, Sequence, Union, overload
 
 from repro.errors import ProtocolError, ReconnectError
+from repro.live.endpoint import Endpoint, EndpointLike, as_endpoint
 from repro.live.protocol import Connection, result_from_dict, task_to_dict
 from repro.net.message import Message, MessageType
 from repro.types import Bundle, TaskResult, TaskSpec, TaskTimeline
@@ -168,7 +169,7 @@ class LiveClient:
 
     def __init__(
         self,
-        address: tuple[str, int],
+        address: EndpointLike,
         key: Optional[bytes] = None,
         bundle_size: int = 300,
         max_reconnects: int = 5,
@@ -184,7 +185,11 @@ class LiveClient:
             raise ValueError("need 0 < backoff_base <= backoff_cap")
         if max_submit_retries < 0:
             raise ValueError("max_submit_retries must be >= 0")
-        self.address = address
+        #: The dispatcher's address as an :class:`Endpoint`; a legacy
+        #: ``(host, port)`` tuple still works but warns (one-release
+        #: deprecation shim).
+        self.endpoint = as_endpoint(address, owner="LiveClient")
+        self.address = self.endpoint.address
         self.key = key
         self.bundle_size = bundle_size
         self.max_reconnects = max_reconnects
@@ -218,11 +223,11 @@ class LiveClient:
     def connect(cls, host: str, port: int, **kwargs) -> "LiveClient":
         """Dial ``host:port`` and return a connected client.
 
-        Equivalent to ``LiveClient((host, port), **kwargs)`` — the
-        named constructor reads better at call sites and keeps the
-        address tuple an implementation detail.
+        Equivalent to ``LiveClient(Endpoint(host, port), **kwargs)`` —
+        the named constructor reads better at call sites and keeps the
+        address value an implementation detail.
         """
-        return cls((host, port), **kwargs)
+        return cls(Endpoint(host, int(port)), **kwargs)
 
     # -- connection management -------------------------------------------------
     def _connect(self) -> Connection:
@@ -368,6 +373,20 @@ class LiveClient:
         futures = self._submit_many(list(tasks))
         return [f.result(timeout) for f in futures]
 
+    def map(
+        self, tasks: Iterable[TaskSpec], timeout: Optional[float] = None
+    ) -> list[TaskResult]:
+        """Alias of :meth:`run` — the :class:`~repro.api.FalkonClient`
+        protocol name for submit-and-wait."""
+        return self.run(tasks, timeout=timeout)
+
+    def as_completed(self, futures, timeout: Optional[float] = None):
+        """Yield futures in settlement order (see
+        :func:`repro.api.as_completed`)."""
+        from repro.api import as_completed
+
+        return as_completed(futures, timeout=timeout)
+
     def release_settled(self) -> int:
         """Forget settled futures; returns how many were dropped.
 
@@ -390,6 +409,9 @@ class LiveClient:
         except Exception:
             pass
         self._conn.close()
+
+    #: FalkonClient protocol spelling of :meth:`close`.
+    shutdown = close
 
     def __enter__(self) -> "LiveClient":
         return self

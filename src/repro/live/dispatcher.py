@@ -72,6 +72,20 @@ bundles into SUBMIT_REJECT frames carrying a ``retry_after`` hint —
 backpressure instead of OOM.  Poison tasks that exhaust their retry
 budget land in a dead-letter queue (``repro dlq list|show|retry``)
 instead of cycling through executor evictions forever.
+
+Federation (wire v3, see ``repro.live.federation``): with ``shard_id``
+set, the dispatcher is one shard of a multi-dispatcher deployment.
+Peer shards gossip queue depths over the HEARTBEAT stats leg, and an
+idle shard steals bounded batches of *queued* tasks from the deepest
+peer (STEAL_REQUEST / STEAL_GRANT).  The donor models the thief as a
+pseudo-executor session (``peer:<shard>``), so stolen work reuses the
+entire executor machinery: attempt-echoed results, stale-result
+dropping, and in-flight replay when the peer link dies — exactly-once-
+visible completion therefore holds across steals with no new
+invariants.  The thief journals stolen tasks (with their donor origin)
+before running them and returns results over its peer link; stolen
+tasks never retry or dead-letter locally — the donor owns the retry
+budget and the DLQ, so each task has exactly one home.
 """
 
 from __future__ import annotations
@@ -85,6 +99,7 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ProtocolError
+from repro.live.endpoint import Endpoint
 from repro.live.ioloop import IOLoop
 from repro.live.journal import (
     Journal,
@@ -120,10 +135,20 @@ from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
 if TYPE_CHECKING:  # pragma: no cover
     from repro.live.faults import FaultPlan
 
-__all__ = ["LiveDispatcher"]
+__all__ = ["LiveDispatcher", "PEER_PREFIX"]
 
 #: Sanity cap on an executor's advertised pipeline depth.
 MAX_PIPELINE_DEPTH = 64
+
+#: Identity prefix for peer shards: the donor registers a thief as a
+#: pseudo-executor ``peer:<shard-id>`` and the thief records the donor
+#: as pseudo-client ``peer:<shard-id>`` on stolen records.
+PEER_PREFIX = "peer:"
+
+#: Ignore gossiped peer depths older than this many seconds when
+#: choosing a steal victim — a stale depth must not trigger a raid on
+#: a shard that already drained.
+PEER_DEPTH_TTL = 2.0
 
 
 def _journal_spec(spec: TaskSpec) -> dict:
@@ -162,6 +187,11 @@ class _LiveRecord:
     #: Whether the settled result's CLIENT_NOTIFY left this process
     #: (journalled as ``acked``; delivery-guarantee bookkeeping).
     acked: bool = False
+    #: Federation: non-empty on tasks stolen *from* a peer shard — the
+    #: donor's shard id and the donor-side attempt number this shard's
+    #: eventual result must echo (the donor dedupes by attempt).
+    origin_shard: str = ""
+    origin_attempt: int = 0
     #: Guards every mutable field above (fine-grained locking).
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -256,9 +286,16 @@ class LiveDispatcher:
         reject_retry_after: float = 0.25,
         journal_compact_every: int = 50_000,
         retain_settled: Optional[int] = None,
+        shard_id: Optional[str] = None,
+        steal_batch_max: int = 32,
+        steal_min_queue: int = 2,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if steal_batch_max < 1:
+            raise ValueError("steal_batch_max must be >= 1")
+        if steal_min_queue < 0:
+            raise ValueError("steal_min_queue must be >= 0")
         if queue_limit is not None and queue_limit < 1:
             raise ValueError("queue_limit must be >= 1 when set")
         if retain_settled is not None and retain_settled < 1:
@@ -280,6 +317,16 @@ class LiveDispatcher:
         self.fault_plan = fault_plan
         self.queue_limit = queue_limit
         self.reject_retry_after = reject_retry_after
+        #: Federation identity: ``None`` keeps the classic single-shard
+        #: dispatcher (gossip HEARTBEATs are ignored, STEAL frames are
+        #: refused — the v2 interop posture).
+        self.shard_id = shard_id
+        #: Most tasks one STEAL_GRANT may hand over.
+        self.steal_batch_max = steal_batch_max
+        #: Queue depth below which this shard neither grants steals nor
+        #: raids peers (the last few tasks are cheaper run locally than
+        #: shipped).
+        self.steal_min_queue = steal_min_queue
         #: Bounded terminal-state retention: keep at most this many
         #: acked, settled, non-DLQ records in memory (and prune the
         #: same set from journal snapshots).  ``None`` retains
@@ -303,6 +350,12 @@ class LiveDispatcher:
         self._records: dict[str, _LiveRecord] = {}
         self._executors: dict[str, _ExecutorSession] = {}
         self._clients: dict[str, _ClientSession] = {}
+        # Federation plane: gossiped peer depths (shard id ->
+        # {"queued": n, "t": monotonic}) and the outbound peer links
+        # installed by the federation wiring (shard id -> PeerLink).
+        self._peer_lock = threading.Lock()
+        self._peer_depths: dict[str, dict] = {}
+        self._peer_links: dict[str, object] = {}
         self._client_seq = itertools.count(1)
         self._session_seq = itertools.count(1)
         self._started = time.monotonic()
@@ -314,7 +367,11 @@ class LiveDispatcher:
         # The observability plane: typed instruments replace the old
         # hand-rolled integer attributes (kept readable via properties),
         # and every task grows an ordered span chain in the collector.
-        self.metrics = MetricsRegistry(prefix="dispatcher")
+        # Federated shards get a per-shard metric prefix so N shards'
+        # registries render side by side without name collisions.
+        prefix = ("dispatcher" if shard_id is None
+                  else "dispatcher_" + shard_id.replace("-", "_"))
+        self.metrics = MetricsRegistry(prefix=prefix)
         self.spans = SpanCollector()
         # The live telemetry plane: heartbeat-carried executor stats and
         # the monitor's self-samples fold into bounded rolling series;
@@ -322,6 +379,11 @@ class LiveDispatcher:
         self.timeseries = TimeSeriesStore()
         self.events = event_log if event_log is not None else EventLog(enabled=False)
         self._http: Optional[StatusServer] = None
+        #: Optional cross-shard trace resolver: called with a task id
+        #: when the local span store has no chain, so ``/tasks/<id>``
+        #: on any shard of a federation resolves the owning shard
+        #: instead of 404ing (set by the federation wiring).
+        self.trace_fallback = None
         self._m_accepted = self.metrics.counter(
             "tasks_accepted", help="Tasks accepted from clients")
         self._m_completed = self.metrics.counter(
@@ -345,6 +407,19 @@ class LiveDispatcher:
         self._m_adopted = self.metrics.counter(
             "inflight_adopted",
             help="Dispatched tasks adopted from executors' REGISTER inflight echo")
+        # Federation instruments (flat zero on single-shard deployments).
+        self._m_steals_granted = self.metrics.counter(
+            "steals_granted", help="Non-empty STEAL_GRANTs sent to peer shards")
+        self._m_stolen_out = self.metrics.counter(
+            "tasks_stolen_out", help="Queued tasks handed to peer shards")
+        self._m_stolen_in = self.metrics.counter(
+            "tasks_stolen_in", help="Tasks accepted from peer shards via steals")
+        self._m_stolen_done = self.metrics.counter(
+            "stolen_completed", help="Stolen tasks settled ok on behalf of a peer")
+        self._m_stolen_failed = self.metrics.counter(
+            "stolen_failed", help="Stolen tasks settled failed on behalf of a peer")
+        self.metrics.gauge("peers", help="Peer shards with fresh gossip",
+                           fn=lambda: len(self._peer_depths))
         self.metrics.gauge("dlq_size", help="Tasks currently quarantined",
                            fn=lambda: len(self._dlq))
         self.metrics.gauge("queued", help="Tasks in the wait queue",
@@ -394,6 +469,11 @@ class LiveDispatcher:
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
+    @property
+    def endpoint(self) -> Endpoint:
+        """This dispatcher's address as a typed :class:`Endpoint`."""
+        return Endpoint(self.host, self.port)
+
     def _now(self) -> float:
         """Seconds since dispatcher start (the span/timeline clock)."""
         return time.monotonic() - self._started
@@ -433,7 +513,12 @@ class LiveDispatcher:
             self.fault_plan.snapshot()["frames_dropped"] if self.fault_plan else 0
         )
         with self._exec_lock:
-            executors = list(self._executors.values())
+            # Peer pseudo-executors are shard links, not workers — they
+            # are excluded so registered/busy/idle describe real agents.
+            executors = [
+                e for eid, e in self._executors.items()
+                if not eid.startswith(PEER_PREFIX)
+            ]
         busy = 0
         for executor in executors:
             with executor.lock:
@@ -459,6 +544,11 @@ class LiveDispatcher:
             dlq_total=self._m_dlq.value,
             recovered=self._m_recovered.value,
             inflight_adopted=self._m_adopted.value,
+            stolen_in=self._m_stolen_in.value,
+            stolen_out=self._m_stolen_out.value,
+            stolen_completed=self._m_stolen_done.value,
+            stolen_failed=self._m_stolen_failed.value,
+            steals_granted=self._m_steals_granted.value,
             journal_records=(self.journal.stats()["records"]
                              if self.journal is not None else 0),
             dispatch_latency_p50=self._h_dispatch.p50,
@@ -496,6 +586,16 @@ class LiveDispatcher:
             record = _LiveRecord(spec=spec, client_id=task.client_id)
             record.attempts = task.attempts
             record.acked = task.acked
+            if task.origin is not None:
+                # A task stolen from a peer shard: restore the donor
+                # identity so the eventual (re-)execution still returns
+                # its result with the right attempt echo.
+                record.origin_shard = str(task.origin.get("shard", ""))
+                try:
+                    record.origin_attempt = int(task.origin.get("attempt", 0))
+                except (TypeError, ValueError):
+                    record.origin_attempt = 0
+                self._m_stolen_in.inc()
             if task.terminal:
                 record.state = (TaskState.COMPLETED if task.state == "completed"
                                 else TaskState.FAILED)
@@ -710,7 +810,14 @@ class LiveDispatcher:
 
         def task(task_id: str):
             chain = self.spans.chain(task_id)
-            return [span.to_dict() for span in chain] if chain else None
+            if chain:
+                return [span.to_dict() for span in chain]
+            if self.trace_fallback is not None:
+                # Federated runs: the task may live on (or have been
+                # stolen by) a sibling shard — ask the federation
+                # wiring before answering 404.
+                return self.trace_fallback(task_id)
+            return None
 
         self._http = StatusServer(
             metrics_text=metrics_text,
@@ -773,6 +880,23 @@ class LiveDispatcher:
             "dlq": self.dlq_list(),
             "uptime_s": now - self._started,
         }
+        if self.shard_id is not None:
+            with self._peer_lock:
+                peers = {
+                    shard: {"queued": info["queued"],
+                            "age_s": max(0.0, now - info["t"]),
+                            "caps": list(info.get("caps", ()))}
+                    for shard, info in self._peer_depths.items()
+                }
+            snapshot["federation"] = {
+                "shard_id": self.shard_id,
+                "peers": peers,
+                "steals_granted": self._m_steals_granted.value,
+                "stolen_in": self._m_stolen_in.value,
+                "stolen_out": self._m_stolen_out.value,
+                "stolen_completed": self._m_stolen_done.value,
+                "stolen_failed": self._m_stolen_failed.value,
+            }
         return snapshot
 
     def close(self) -> None:
@@ -780,6 +904,11 @@ class LiveDispatcher:
         if self._closing.is_set():
             return
         self._closing.set()
+        with self._peer_lock:
+            links = list(self._peer_links.values())
+            self._peer_links.clear()
+        for link in links:
+            link.close()
         if self._http is not None:
             self._http.close()
         self.events.close()
@@ -866,6 +995,8 @@ class LiveDispatcher:
         for executor in wake:
             self._send_notify(executor)
         self._notify_clients(overdue_notifies)
+        if self.shard_id is not None:
+            self._federation_tick(now, qlen)
         # Journal hygiene: fold a long tail into a snapshot off the hot
         # path (the monitor thread).  The journal compacts from its own
         # durable contents (rotate + fold), so no dispatcher state view
@@ -1135,11 +1266,318 @@ class LiveDispatcher:
         # that completed REGISTER may write — a raw peer spraying junk
         # heartbeats must not mint series.
         role = session.role
+        shard = msg.payload.get("shard")
+        if (
+            self.shard_id is not None
+            and isinstance(shard, dict)
+            and shard.get("id")
+            and (role is None or role[0] == "peer")
+        ):
+            # Wire v3 federation gossip.  A non-federated dispatcher
+            # (``shard_id is None``) skips this branch, falls through,
+            # and drops the frame on the unregistered-session floor —
+            # it never advertises the "steal" capability, so a v3 peer
+            # never sends it a STEAL frame: v2 interop is untouched.
+            self._on_peer_gossip(session, msg, shard)
+            return
         if role is None or role[0] != "executor":
             return
         stats = stats_from_payload(msg.payload)
         if stats is not None:
             self.timeseries.ingest(role[1], time.monotonic(), stats)
+
+    # -- federation protocol (wire v3) ----------------------------------------
+    def _gossip_message(self, rsvp: bool) -> Message:
+        """Our side of the depth gossip, as a HEARTBEAT frame."""
+        with self._queue_lock:
+            qlen = len(self._queue)
+        payload: dict = {
+            "shard": {
+                "id": self.shard_id,
+                "caps": ["steal"],
+                "stats": {"queued": qlen},
+            }
+        }
+        if rsvp:
+            # Ask the receiver for its gossip in return.  Replies never
+            # set it, so gossip cannot ping-pong forever.
+            payload["rsvp"] = True
+        return Message(MessageType.HEARTBEAT, sender="dispatcher", payload=payload)
+
+    def _on_peer_gossip(self, session: "_Session", msg: Message, shard: dict) -> None:
+        """An inbound peer shard's depth gossip (HEARTBEAT + ``shard``).
+
+        The first gossip frame on a session is its REGISTER: the
+        session becomes a ``peer`` role and the peer a pseudo-executor
+        ``peer:<id>`` so stolen-out tasks reuse the executor machinery
+        (busy accounting, in-flight replay on drop, liveness eviction).
+        """
+        peer_id = str(shard.get("id"))
+        if peer_id == self.shard_id:
+            return
+        if session.role is None:
+            session.role = ("peer", peer_id)
+            self.events.emit(ev.PEER_GOSSIP, peer_id, first=True)
+        elif session.role[1] != peer_id:
+            return  # a session cannot change shard identity mid-stream
+        self._ensure_peer_session(peer_id, session.conn)
+        self._touch(PEER_PREFIX + peer_id)
+        caps = [c for c in (shard.get("caps") or ()) if isinstance(c, str)]
+        self._note_peer_depth(peer_id, shard.get("stats") or {}, caps)
+        if msg.payload.get("rsvp"):
+            session.conn.send(self._gossip_message(rsvp=False))
+
+    def _ensure_peer_session(self, peer_id: str, conn: Connection) -> _ExecutorSession:
+        """Register (or refresh) the pseudo-executor for a peer shard."""
+        executor_id = PEER_PREFIX + peer_id
+        with self._exec_lock:
+            existing = self._executors.get(executor_id)
+        if existing is not None:
+            if existing.conn is conn:
+                return existing
+            # A reconnecting peer supersedes its old (likely half-open)
+            # session; its in-flight stolen-out tasks replay here.
+            self._drop_executor(executor_id, reason="peer-reconnect")
+        executor = _ExecutorSession(executor_id, conn,
+                                    pipeline=max(2, self.steal_batch_max))
+        with self._exec_lock:
+            self._executors[executor_id] = executor
+        return executor
+
+    def _note_peer_depth(self, peer_id: str, stats: dict, caps: list[str]) -> None:
+        """Record a peer's gossiped queue depth (thief-side input to
+        the steal decision; stale entries age out via PEER_DEPTH_TTL)."""
+        try:
+            queued = int(stats.get("queued", 0))
+        except (TypeError, ValueError):
+            queued = 0
+        with self._peer_lock:
+            self._peer_depths[peer_id] = {
+                "queued": max(0, queued),
+                "caps": caps,
+                "t": time.monotonic(),
+            }
+
+    def _local_idle_capacity(self) -> int:
+        """Spare slots on real (non-peer) executors — what a steal
+        could actually put to work right now."""
+        with self._exec_lock:
+            executors = [e for executor_id, e in self._executors.items()
+                         if not executor_id.startswith(PEER_PREFIX)]
+        return sum(executor.capacity() for executor in executors)
+
+    def _on_steal_request(self, session: "_Session", msg: Message) -> None:
+        """Donor side of work stealing: grant queued (never in-flight)
+        tasks to an idle peer, bounded by our own surplus."""
+        role = session.role
+        if role is None or role[0] != "peer" or self.shard_id is None:
+            return
+        peer_id = role[1]
+        executor = self._ensure_peer_session(peer_id, session.conn)
+        try:
+            want = int(msg.payload.get("want", 0))
+        except (TypeError, ValueError):
+            want = 0
+        granted: list[_LiveRecord] = []
+        if want > 0:
+            with self._queue_lock:
+                qlen = len(self._queue)
+            # Keep enough queued work to feed our own idle capacity
+            # (plus the configured floor); only the surplus travels.
+            surplus = qlen - max(self._local_idle_capacity(), self.steal_min_queue)
+            grant = min(want, self.steal_batch_max, surplus)
+            if grant > 0:
+                granted = self._claim_many(executor, grant, mode="steal")
+        reply = Message(
+            MessageType.STEAL_GRANT, sender="dispatcher",
+            payload={
+                "shard": self.shard_id,
+                # The attempt echo: the thief returns it with each
+                # result so a donor-side replay in the meantime makes
+                # the late result stale instead of double-settling.
+                "tasks": [{"task": task_to_dict(record.spec),
+                           "attempt": record.attempts}
+                          for record in granted],
+            },
+        )
+        # An empty grant still goes out: it clears the thief's
+        # outstanding-request flag so it can try another peer.
+        session.conn.send(reply)
+        for record in granted:
+            self._mark_delivered(record, executor.executor_id)
+        if granted:
+            self._m_steals_granted.inc()
+            self._m_stolen_out.inc(len(granted))
+            self.events.emit(ev.STEAL_GRANT, peer_id, tasks=len(granted))
+
+    def _ingest_stolen(self, donor_shard: str, entries: list) -> int:
+        """Thief side: accept a STEAL_GRANT's tasks into our own
+        queue, journalled with their origin before the first dispatch.
+
+        Journalling is append-only (no commit barrier — this runs on
+        the IOLoop thread): a crash inside the flush window loses the
+        steal, which the donor's replay timeout covers.  Duplicate
+        grants (donor replayed after dropping us) refresh the attempt
+        echo; a duplicate of an already-settled task immediately
+        re-returns the stored result so both shards converge.
+        """
+        accepted: list[_LiveRecord] = []
+        resend: list[tuple[str, TaskResult]] = []
+        now = self._now()
+        client_id = PEER_PREFIX + donor_shard
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            try:
+                spec = task_from_dict(entry.get("task") or {})
+                attempt = int(entry.get("attempt", 0))
+            except (KeyError, TypeError, ValueError):
+                continue
+            with self._records_lock:
+                record = self._records.get(spec.task_id)
+            if record is not None:
+                with record.lock:
+                    record.origin_attempt = attempt
+                    stored = record.result if record.state.terminal else None
+                if stored is not None:
+                    resend.append((record.client_id, stored))
+                continue
+            record = _LiveRecord(spec=spec, client_id=client_id)
+            record.origin_shard = donor_shard
+            record.origin_attempt = attempt
+            record.timeline.submitted = now
+            self.spans.begin(spec.task_id)
+            self.spans.record(spec.task_id, "submit", now,
+                              client=client_id, stolen=True)
+            self.spans.record(spec.task_id, "enqueue", now, attempt=1,
+                              reason="stolen")
+            accepted.append(record)
+        if self.journal is not None and accepted:
+            self.journal.append_many([
+                {"k": "submit", "id": record.spec.task_id,
+                 "spec": _journal_spec(record.spec),
+                 "client": client_id,
+                 "origin": {"shard": donor_shard,
+                            "attempt": record.origin_attempt}}
+                for record in accepted
+            ])
+        with self._records_lock:
+            for record in accepted:
+                self._records[record.spec.task_id] = record
+        with self._queue_lock:
+            self._queue.extend(record.spec.task_id for record in accepted)
+        if accepted:
+            self._m_accepted.inc(len(accepted))
+            self._m_stolen_in.inc(len(accepted))
+            self.events.emit(ev.STEAL_INGEST, donor_shard, tasks=len(accepted))
+            for executor in self._pick_idle_executors(len(accepted)):
+                self._send_notify(executor)
+        if resend:
+            self._notify_clients(resend)
+        return len(accepted)
+
+    def _return_stolen(self, donor_shard: str, results: list[TaskResult]) -> None:
+        """Send settled stolen-task results home over the donor's peer
+        link.  Delivered results are acked + evicted like client
+        notifies; an unreachable donor leaves them terminal and
+        un-acked, so a re-grant after the donor recovers re-returns
+        the stored result instead of re-running the task."""
+        from repro.live.protocol import result_to_dict
+
+        with self._peer_lock:
+            link = self._peer_links.get(donor_shard)
+        entries = []
+        for result in results:
+            with self._records_lock:
+                record = self._records.get(result.task_id)
+            attempt = None
+            exec_seconds = 0.0
+            if record is not None:
+                with record.lock:
+                    attempt = record.origin_attempt
+                    if record.timeline.dispatched:
+                        exec_seconds = max(
+                            0.0,
+                            record.timeline.completed - record.timeline.dispatched,
+                        )
+            entries.append({"result": result_to_dict(result),
+                            "attempt": attempt,
+                            "exec": {"seconds": exec_seconds}})
+        if link is None or not link.send_results(entries):
+            return
+        acked_ids = []
+        for result in results:
+            with self._records_lock:
+                record = self._records.get(result.task_id)
+            if record is not None:
+                with record.lock:
+                    record.acked = True
+            acked_ids.append(result.task_id)
+        self._journal_append("acked", "", ids=acked_ids)
+        self._evict_settled(acked_ids)
+
+    def add_peer(self, shard_id: str, endpoint) -> None:
+        """Join this shard to a peer (one direction of the mesh).
+
+        Creates the outbound :class:`~repro.live.federation.PeerLink`
+        this shard gossips over and steals through; the peer learns of
+        us from the link's first gossip frame.  A full mesh is
+        N*(N-1) calls, made by the federation wiring, not by users.
+        """
+        if self.shard_id is None:
+            raise RuntimeError("add_peer() requires a dispatcher with a shard_id")
+        from repro.live.federation import PeerLink
+
+        target = Endpoint.parse(endpoint)
+        with self._peer_lock:
+            if shard_id in self._peer_links:
+                return
+            self._peer_links[shard_id] = PeerLink(
+                self, shard_id, target, key=self.key)
+
+    def _federation_tick(self, now: float, qlen: int) -> None:
+        """Per-sweep federation duties: gossip over every peer link,
+        then steal when this shard is starved (empty queue, spare
+        executor capacity) and a fresh-depth peer advertises work."""
+        with self._peer_lock:
+            links = list(self._peer_links.items())
+        for _, link in links:
+            link.tick(now)
+        if qlen:
+            return
+        idle = self._local_idle_capacity()
+        if idle <= 0:
+            return
+        depth_floor = max(1, self.steal_min_queue)
+        with self._peer_lock:
+            depths = {shard: dict(info)
+                      for shard, info in self._peer_depths.items()}
+        target = None
+        best = 0
+        for shard, link in links:
+            info = depths.get(shard)
+            if info is None or now - info["t"] > PEER_DEPTH_TTL:
+                continue  # never steal on stale gossip
+            if "steal" not in info.get("caps", ()):
+                continue  # the peer did not negotiate wire v3
+            if not link.ready:
+                continue
+            if info["queued"] >= depth_floor and info["queued"] > best:
+                best = info["queued"]
+                target = link
+        if target is not None:
+            target.maybe_steal(min(idle, self.steal_batch_max))
+
+    def _steal_hint(self, link) -> None:
+        """A donor NOTIFYed our peer link: it has queued work.  Steal
+        eagerly if we are starved — without waiting for the next sweep."""
+        with self._queue_lock:
+            qlen = len(self._queue)
+        if qlen:
+            return
+        idle = self._local_idle_capacity()
+        if idle > 0 and link.ready:
+            link.maybe_steal(min(idle, self.steal_batch_max))
 
     def _on_get_work(self, session: "_Session", msg: Message) -> None:
         role = session.role
@@ -1167,14 +1605,18 @@ class LiveDispatcher:
 
     def _on_result(self, session: "_Session", msg: Message) -> None:
         role = session.role
-        if role is None or role[0] != "executor":
+        if role is None or role[0] not in ("executor", "peer"):
             return
         # Chaos hook: die with a RESULT frame in hand but unprocessed —
         # the executor did the work, but no settle/ack/journal record
         # exists; recovery must not lose or double-complete the task.
         if self._maybe_crash("before-result"):
             return
-        executor_id = role[1]
+        # A peer session returns results for tasks it stole from us;
+        # they settle through the same pseudo-executor that carried
+        # the grant, so busy accounting and attempt echoes line up.
+        is_peer = role[0] == "peer"
+        executor_id = PEER_PREFIX + role[1] if is_peer else role[1]
         # v1: one completion under "result"/"attempt"/"exec".  v2
         # pipelining: a "results" list whose entries each carry their
         # own attempt echo and exec window — one frame (and one ack)
@@ -1200,7 +1642,10 @@ class LiveDispatcher:
         settled: list[_LiveRecord] = []
         for result_payload, echoed_attempt, exec_info in entries:
             result = result_from_dict(result_payload)
-            result.executor_id = executor_id
+            if not (is_peer and result.executor_id):
+                # Peer-returned results keep the remote executor's
+                # identity when the thief filled it in.
+                result.executor_id = executor_id
             with self._records_lock:
                 record = self._records.get(result.task_id)
             if record is None:
@@ -1238,9 +1683,11 @@ class LiveDispatcher:
                     settled.append(record)
         # Piggy-back queued work on the acknowledgement {7}: one task
         # for legacy peers, up to the pipeline's remaining capacity for
-        # peers that advertised a depth (§3.4 extended).
+        # peers that advertised a depth (§3.4 extended).  Never to a
+        # federation peer: stealing is explicit-request-only, a
+        # piggy-backed task would be a push the thief never asked for.
         claimed: list[_LiveRecord] = []
-        if self.piggyback and executor is not None:
+        if self.piggyback and executor is not None and not is_peer:
             claimed = self._claim_many(executor, executor.capacity(), mode="piggyback")
         wake: list[_ExecutorSession] = []
         if not claimed:
@@ -1439,7 +1886,12 @@ class LiveDispatcher:
 
     def _settle(self, record: _LiveRecord, result: TaskResult):
         """Finalize or retry (record lock held).  Returns client-notify args."""
-        if result.ok or record.attempts > self.max_retries:
+        # A stolen task settles on its FIRST result, pass or fail: the
+        # donor shard owns the retry budget and the DLQ (each task has
+        # exactly one home), so retrying or quarantining here would
+        # double-count both.  The failure travels back instead.
+        stolen = bool(record.origin_shard)
+        if result.ok or stolen or record.attempts > self.max_retries:
             record.state = TaskState.COMPLETED if result.ok else TaskState.FAILED
             record.timeline.completed = self._now()
             result.attempts = record.attempts
@@ -1447,8 +1899,12 @@ class LiveDispatcher:
             record.result = result
             if result.ok:
                 self._m_completed.inc()
+                if stolen:
+                    self._m_stolen_done.inc()
             else:
                 self._m_failed.inc()
+                if stolen:
+                    self._m_stolen_failed.inc()
             self._h_e2e.observe(record.timeline.completed - record.timeline.submitted)
             if self.events.enabled:
                 self.events.emit(
@@ -1461,7 +1917,7 @@ class LiveDispatcher:
                 outcome="ok" if result.ok else "fail",
                 result=_journal_result(result),
             )
-            if not result.ok:
+            if not result.ok and not stolen:
                 # Poison task: the retry budget is spent.  The client
                 # still sees the terminal failure (no hanging futures);
                 # the task is additionally quarantined for inspection
@@ -1555,8 +2011,17 @@ class LiveDispatcher:
         from repro.live.protocol import result_to_dict
 
         by_client: dict[str, list[TaskResult]] = {}
+        stolen_home: dict[str, list[TaskResult]] = {}
         for client_id, result in notifies:
-            by_client.setdefault(client_id, []).append(result)
+            if client_id.startswith(PEER_PREFIX):
+                # A settled stolen task: its "client" is the donor
+                # shard, and the result goes home over the peer link.
+                stolen_home.setdefault(
+                    client_id[len(PEER_PREFIX):], []).append(result)
+            else:
+                by_client.setdefault(client_id, []).append(result)
+        for donor_shard, results in stolen_home.items():
+            self._return_stolen(donor_shard, results)
         for client_id, results in by_client.items():
             with self._client_lock:
                 client = self._clients.get(client_id)
@@ -1648,6 +2113,10 @@ class LiveDispatcher:
             if only_conn is not None and executor.conn is not only_conn:
                 return False
             del self._executors[executor_id]
+        if executor_id.startswith(PEER_PREFIX):
+            # A dead peer's gossiped depth is no longer a steal target.
+            with self._peer_lock:
+                self._peer_depths.pop(executor_id[len(PEER_PREFIX):], None)
         # Telemetry convergence: the dead agent's series disappear so
         # the status surface never shows stuck gauges for it.
         self.timeseries.forget(executor_id)
@@ -1701,6 +2170,11 @@ class LiveDispatcher:
         kind, name = role
         if kind == "executor":
             self._drop_executor(name, only_conn=session.conn)
+        elif kind == "peer":
+            # The peer's in-flight stolen-out tasks replay here, same
+            # as an executor loss — the grant was at-least-once.
+            self._drop_executor(PEER_PREFIX + name, only_conn=session.conn,
+                                reason="peer-connection-closed")
         elif kind == "client":
             with self._client_lock:
                 current = self._clients.get(name)
@@ -1726,6 +2200,7 @@ class _Session:
         MessageType.GET_WORK: LiveDispatcher._on_get_work,
         MessageType.RESULT: LiveDispatcher._on_result,
         MessageType.STATUS: LiveDispatcher._on_status,
+        MessageType.STEAL_REQUEST: LiveDispatcher._on_steal_request,
     }
 
     def __init__(self, dispatcher: LiveDispatcher, sock: socket.socket) -> None:
@@ -1761,6 +2236,8 @@ class _Session:
         if self.role is not None and self.role[0] == "executor":
             # Any traffic proves liveness, not just heartbeats.
             self.dispatcher._touch(self.role[1])
+        elif self.role is not None and self.role[0] == "peer":
+            self.dispatcher._touch(PEER_PREFIX + self.role[1])
         handler = self._HANDLERS.get(msg.type)
         if handler is None:
             self.conn.send(

@@ -1,0 +1,140 @@
+"""Unified addressing for the live plane.
+
+Every live component used to take a bare ``(host, port)`` tuple; the
+federation work multiplies the number of addresses flying around
+(N shards, peer meshes, router target lists), so addresses become a
+first-class value: :class:`Endpoint` parses and prints the
+``falkon://host:port`` form, and :func:`Endpoint.parse_list` handles
+the comma-separated shard lists the :class:`~repro.live.federation.ShardRouter`
+takes.
+
+``Endpoint`` deliberately iterates like the legacy 2-tuple, so it can
+be handed straight to ``socket.create_connection`` and to any code
+still unpacking ``host, port = address``.  Constructors that used to
+take tuples now accept either form through :func:`as_endpoint`; the
+bare-tuple spelling is deprecated (one-release shim) and warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+__all__ = ["Endpoint", "EndpointLike", "as_endpoint"]
+
+SCHEME = "falkon"
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """One live-plane address, canonically ``falkon://host:port``."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("endpoint host must be non-empty")
+        if not isinstance(self.port, int) or isinstance(self.port, bool):
+            raise ValueError(f"endpoint port must be an int, got {self.port!r}")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"endpoint port out of range: {self.port}")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def parse(cls, text: Union[str, "Endpoint", Sequence]) -> "Endpoint":
+        """Parse ``falkon://host:port`` or bare ``host:port``.
+
+        Also accepts an existing :class:`Endpoint` (returned as-is) and
+        a legacy 2-tuple (converted silently — parse is the coercion
+        point, the deprecation warning belongs to :func:`as_endpoint`).
+        """
+        if isinstance(text, Endpoint):
+            return text
+        if isinstance(text, (tuple, list)):
+            host, port = text
+            return cls(str(host), int(port))
+        if not isinstance(text, str):
+            raise TypeError(f"cannot parse endpoint from {type(text).__name__}")
+        spec = text.strip()
+        if "://" in spec:
+            scheme, _, rest = spec.partition("://")
+            if scheme != SCHEME:
+                raise ValueError(
+                    f"unsupported scheme {scheme!r} in {text!r} (want {SCHEME}://)")
+            spec = rest
+        spec = spec.rstrip("/")
+        host, sep, port_text = spec.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"endpoint {text!r} must be host:port")
+        # Bracketed IPv6 literals: [::1]:9000.
+        if host.startswith("[") and host.endswith("]"):
+            host = host[1:-1]
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"endpoint {text!r} has a non-numeric port") from None
+        return cls(host, port)
+
+    @classmethod
+    def parse_list(
+        cls, text: Union[str, Iterable[Union[str, "Endpoint", Sequence]]]
+    ) -> list["Endpoint"]:
+        """Parse a comma-separated shard list (or any iterable of
+        endpoint-likes) into endpoints, order preserved."""
+        if isinstance(text, str):
+            parts: Iterable = [p for p in (s.strip() for s in text.split(",")) if p]
+        else:
+            parts = text
+        endpoints = [cls.parse(part) for part in parts]
+        if not endpoints:
+            raise ValueError(f"no endpoints in {text!r}")
+        return endpoints
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"{SCHEME}://{self.host}:{self.port}"
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The legacy tuple view."""
+        return (self.host, self.port)
+
+    def __iter__(self) -> Iterator:
+        # Unpacks like the legacy tuple: ``host, port = endpoint`` and
+        # ``socket.create_connection(endpoint)`` both keep working.
+        return iter((self.host, self.port))
+
+    def __str__(self) -> str:
+        return self.url
+
+
+EndpointLike = Union[Endpoint, str, tuple, list]
+
+
+def as_endpoint(value: EndpointLike, owner: str = "this constructor") -> Endpoint:
+    """Coerce an address argument to an :class:`Endpoint`.
+
+    Accepts an :class:`Endpoint`, a ``falkon://host:port`` /
+    ``host:port`` string, or the legacy ``(host, port)`` tuple.  The
+    tuple form is a one-release deprecation shim: it still works but
+    warns, so callers migrate before the tuple kwargs disappear.
+    """
+    if isinstance(value, Endpoint):
+        return value
+    if isinstance(value, str):
+        return Endpoint.parse(value)
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        warnings.warn(
+            f"passing a (host, port) tuple to {owner} is deprecated; "
+            "pass an Endpoint or a 'falkon://host:port' string",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        host, port = value
+        return Endpoint(str(host), int(port))
+    raise TypeError(
+        f"cannot use {value!r} as an endpoint (want Endpoint, "
+        "'falkon://host:port', or a legacy (host, port) tuple)")

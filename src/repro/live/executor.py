@@ -43,6 +43,7 @@ import threading
 import time
 from typing import Callable, Optional, TYPE_CHECKING
 
+from repro.live.endpoint import EndpointLike, as_endpoint
 from repro.live.protocol import Connection, result_to_dict, task_from_dict
 from repro.net.message import Message, MessageType
 from repro.obs import ExecutorStats, MetricsRegistry
@@ -72,7 +73,7 @@ class LiveExecutor:
 
     def __init__(
         self,
-        address: tuple[str, int],
+        address: "EndpointLike",
         key: Optional[bytes] = None,
         executor_id: Optional[str] = None,
         idle_timeout: Optional[float] = None,
@@ -96,7 +97,11 @@ class LiveExecutor:
             raise ValueError("need 0 < backoff_base <= backoff_cap")
         if pipeline < 1:
             raise ValueError("pipeline must be >= 1")
-        self.address = address
+        #: The dispatcher's address as an :class:`Endpoint`; a legacy
+        #: ``(host, port)`` tuple still works but warns (one-release
+        #: deprecation shim).
+        self.endpoint = as_endpoint(address, owner="LiveExecutor")
+        self.address = self.endpoint.address
         self.key = key
         #: Advertised pipelining depth: how many queued tasks the
         #: dispatcher may stack on one WORK/RESULT_ACK frame (§3.4

@@ -213,13 +213,19 @@ class RecoveredTask:
     acked: bool = False
     in_dlq: bool = False
     dlq_error: str = ""
+    #: Federation: set on tasks stolen from a peer shard —
+    #: ``{"shard": donor_shard_id, "attempt": donor_attempt}``.  The
+    #: receiving shard journals the steal as a submit record carrying
+    #: this origin, so a recovered thief still knows which donor (and
+    #: which donor-side attempt) its eventual result must echo.
+    origin: Optional[dict[str, Any]] = None
 
     @property
     def terminal(self) -> bool:
         return self.state in ("completed", "failed")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "task_id": self.task_id,
             "spec": self.spec,
             "client_id": self.client_id,
@@ -231,6 +237,9 @@ class RecoveredTask:
             "in_dlq": self.in_dlq,
             "dlq_error": self.dlq_error,
         }
+        if self.origin is not None:
+            data["origin"] = self.origin
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RecoveredTask":
@@ -245,6 +254,7 @@ class RecoveredTask:
             acked=bool(data.get("acked", False)),
             in_dlq=bool(data.get("in_dlq", False)),
             dlq_error=str(data.get("dlq_error", "")),
+            origin=data.get("origin") if isinstance(data.get("origin"), dict) else None,
         )
 
 
@@ -280,10 +290,12 @@ class RecoveredState:
                 # Writers drop the spec's task_id (the record's "id"
                 # carries it); restore it for the wire-dict parsers.
                 spec.setdefault("task_id", task_id)
+                origin = record.get("origin")
                 self.tasks[task_id] = RecoveredTask(
                     task_id=task_id,
                     spec=spec,
                     client_id=str(record.get("client", "")),
+                    origin=origin if isinstance(origin, dict) else None,
                 )
             return
         task = self.tasks.get(task_id)

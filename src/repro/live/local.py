@@ -134,12 +134,12 @@ class LocalFalkon:
         self.provisioner: Optional[LocalProvisioner] = None
         if provision:
             self.provisioner = LocalProvisioner(
-                self.dispatcher.address,
+                self.dispatcher.endpoint,
                 key=key,
                 max_executors=max_executors,
                 idle_timeout=idle_timeout,
                 executor_factory=lambda **kw: LiveExecutor(
-                    self.dispatcher.address,
+                    self.dispatcher.endpoint,
                     key=key,
                     python_registry=self.python_registry,
                     heartbeat_interval=heartbeat_interval,
@@ -151,7 +151,7 @@ class LocalFalkon:
         else:
             for _ in range(executors):
                 executor = LiveExecutor(
-                    self.dispatcher.address,
+                    self.dispatcher.endpoint,
                     key=key,
                     python_registry=self.python_registry,
                     heartbeat_interval=heartbeat_interval,
@@ -161,7 +161,7 @@ class LocalFalkon:
                 self.executors.append(executor)
             for executor in self.executors:
                 executor.wait_registered()
-        self.client = LiveClient(self.dispatcher.address, key=key, bundle_size=bundle_size)
+        self.client = LiveClient(self.dispatcher.endpoint, key=key, bundle_size=bundle_size)
         if http_port is not None:
             # Started last: the registries closure re-reads the pool on
             # every scrape, so provisioned executors appear without
@@ -174,6 +174,26 @@ class LocalFalkon:
     def run(self, tasks: list[TaskSpec], timeout: Optional[float] = None) -> list[TaskResult]:
         """Submit specs and wait for all results."""
         return self.client.run(tasks, timeout=timeout)
+
+    # FalkonClient protocol surface (docs/API.md): LocalFalkon, LiveClient
+    # and ShardRouter are interchangeable behind repro.connect().
+    def submit(self, tasks):
+        """Submit specs without waiting; returns one future per spec."""
+        return self.client.submit(tasks)
+
+    def map(self, tasks: list[TaskSpec], timeout: Optional[float] = None) -> list[TaskResult]:
+        """Alias of :meth:`run` (FalkonClient protocol name)."""
+        return self.run(tasks, timeout=timeout)
+
+    def as_completed(self, futures, timeout: Optional[float] = None):
+        """Yield futures as they settle (see :func:`repro.api.as_completed`)."""
+        from repro.api import as_completed
+
+        return as_completed(futures, timeout=timeout)
+
+    def shutdown(self) -> None:
+        """Alias of :meth:`close` (FalkonClient protocol name)."""
+        self.close()
 
     def map_shell(self, commands: list[str], timeout: Optional[float] = None) -> list[TaskResult]:
         """Run shell command lines (tokenised with shlex, no shell)."""

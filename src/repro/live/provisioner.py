@@ -15,6 +15,7 @@ import socket
 import threading
 from typing import Callable, Optional
 
+from repro.live.endpoint import EndpointLike, as_endpoint
 from repro.live.executor import LiveExecutor
 from repro.live.protocol import Connection
 from repro.net.message import Message, MessageType
@@ -28,7 +29,7 @@ class LocalProvisioner:
 
     def __init__(
         self,
-        address: tuple[str, int],
+        address: "EndpointLike",
         key: Optional[bytes] = None,
         min_executors: int = 0,
         max_executors: int = 4,
@@ -45,7 +46,11 @@ class LocalProvisioner:
             raise ValueError("timeouts must be positive")
         if max_reconnects < 0:
             raise ValueError("max_reconnects must be >= 0")
-        self.address = address
+        #: The dispatcher's address as an :class:`Endpoint`; a legacy
+        #: ``(host, port)`` tuple still works but warns (one-release
+        #: deprecation shim).
+        self.endpoint = as_endpoint(address, owner="LocalProvisioner")
+        self.address = self.endpoint.address
         self.key = key
         self.min_executors = min_executors
         self.max_executors = max_executors
@@ -71,7 +76,7 @@ class LocalProvisioner:
         self._conn: Optional[Connection] = None
 
     def _default_factory(self, **kwargs) -> LiveExecutor:
-        return LiveExecutor(self.address, key=self.key, **kwargs)
+        return LiveExecutor(self.endpoint, key=self.key, **kwargs)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "LocalProvisioner":

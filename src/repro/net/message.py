@@ -31,7 +31,18 @@ __all__ = ["PROTOCOL_VERSION", "MessageType", "Message"]
 #: field (``trace: {tid, sid}``) that rides WORK / RESULT_ACK / RESULT
 #: frames for end-to-end task tracing; v1 peers simply ignore it and
 #: omit it, which v2 ends tolerate (spans degrade, nothing breaks).
-PROTOCOL_VERSION = 2
+#:
+#: v3 adds the federation leg (``docs/PROTOCOL.md`` §wire-v3): an
+#: optional ``shard`` object on HEARTBEAT frames (``{id, caps,
+#: stats}``) that shards gossip queue depths with, plus the
+#: STEAL_REQUEST / STEAL_GRANT exchange for work stealing.  The whole
+#: leg is capability-negotiated: a shard sends STEAL frames only after
+#: the peer's gossip reply advertised ``"steal"`` in ``shard.caps``.
+#: A v2 single-shard dispatcher ignores the unsolicited gossip
+#: HEARTBEAT (unregistered sessions cannot mint state), never replies
+#: with a capability, and therefore never sees a STEAL frame — v2
+#: peers interoperate untouched.
+PROTOCOL_VERSION = 3
 
 _msg_counter = itertools.count(1)
 
@@ -71,6 +82,13 @@ class MessageType(Enum):
     # provisioner poll {POLL}
     STATUS = "status"
     STATUS_REPLY = "status-reply"
+
+    # dispatcher <-> dispatcher federation (wire v3, capability-gated)
+    #: An idle shard asks a deeper peer for up to ``want`` queued tasks.
+    STEAL_REQUEST = "steal-request"
+    #: The donor's answer: ``tasks`` entries (task + attempt echo),
+    #: possibly empty when the donor has no surplus.
+    STEAL_GRANT = "steal-grant"
 
     # transport control
     SHUTDOWN = "shutdown"

@@ -80,6 +80,18 @@ class DispatcherStats(StatsSnapshot):
     #: dispatched tasks adopted from executors' REGISTER inflight echo.
     recovered: int = 0
     inflight_adopted: int = 0
+    #: Federation (wire v3): work-stealing traffic.  ``stolen_in``
+    #: tasks were accepted from peers (and count in ``accepted``);
+    #: ``stolen_completed``/``stolen_failed`` settled here on a peer's
+    #: behalf (and count in ``completed``/``failed``).  Aggregators
+    #: subtract them so a stolen task is attributed to its home shard
+    #: exactly once; all four are 0 on single-shard deployments.
+    stolen_in: int = 0
+    stolen_out: int = 0
+    stolen_completed: int = 0
+    stolen_failed: int = 0
+    #: STEAL_REQUESTs this shard answered with a non-empty grant.
+    steals_granted: int = 0
     #: Journal records appended this incarnation (0 = journal off).
     journal_records: int = 0
     dispatch_latency_p50: float = math.nan

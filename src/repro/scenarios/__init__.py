@@ -18,6 +18,7 @@ from repro.scenarios.oracles import OracleReport, Violation
 from repro.scenarios.replay import (
     ReplayReport,
     replay_live,
+    replay_live_federated,
     replay_sim,
     run_scenario,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "ReplayReport",
     "replay_sim",
     "replay_live",
+    "replay_live_federated",
     "run_scenario",
     "SoakResult",
     "run_soak",

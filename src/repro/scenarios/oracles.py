@@ -30,6 +30,7 @@ __all__ = [
     "Violation",
     "OracleReport",
     "check_conservation",
+    "check_federation_conservation",
     "check_exactly_once",
     "check_no_stuck",
     "check_journal_consistency",
@@ -115,6 +116,41 @@ def check_conservation(
         report.fail("conservation",
                     f"failed({failed}) != poison tasks({expected_poison}) — "
                     "a healthy task died or a poison task slipped through")
+
+
+def check_federation_conservation(
+    report: OracleReport,
+    submitted: int,
+    settled_ok: int,
+    settled_failed: int,
+    dlq_ids: Iterable[str],
+    poison_ids: Iterable[str],
+) -> None:
+    """Client-vantage conservation for federated runs.
+
+    A shard killed mid-run loses its unflushed counter state (and a
+    resubmitted task is legitimately accepted twice — once by the dead
+    shard's journal, once by the survivor), so per-shard counter sums
+    cannot balance.  What *must* still balance is the router's view:
+    every submitted task settles exactly once, the only failures are
+    the designed poison set, and the cross-shard DLQ union quarantines
+    exactly that set.
+    """
+    report.record("conservation")
+    dlq = set(dlq_ids)
+    poison = set(poison_ids)
+    if settled_ok + settled_failed != submitted:
+        report.fail("conservation",
+                    f"settled ok({settled_ok}) + failed({settled_failed}) "
+                    f"!= submitted({submitted})")
+    if settled_failed != len(poison):
+        report.fail("conservation",
+                    f"failed({settled_failed}) != poison tasks({len(poison)})"
+                    " — a healthy task died or a poison task slipped through")
+    if dlq != poison:
+        report.fail("conservation",
+                    f"DLQ union {sorted(dlq ^ poison)[:5]} does not match "
+                    "the generated poison set")
 
 
 def check_exactly_once(

@@ -18,6 +18,7 @@ scenario "passes" only when every oracle holds on both planes.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 import time
@@ -30,13 +31,20 @@ from repro.scenarios.oracles import (
     OracleReport,
     check_conservation,
     check_exactly_once,
+    check_federation_conservation,
     check_journal_consistency,
     check_no_stuck,
     check_sim_workload,
 )
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["ReplayReport", "replay_sim", "replay_live", "run_scenario"]
+__all__ = [
+    "ReplayReport",
+    "replay_sim",
+    "replay_live",
+    "replay_live_federated",
+    "run_scenario",
+]
 
 
 @dataclass
@@ -217,7 +225,7 @@ def replay_live(
             else:
                 victim.stop()
                 replacement = LiveExecutor(
-                    falkon.dispatcher.address,
+                    falkon.dispatcher.endpoint,
                     python_registry=registry,
                     heartbeat_interval=heartbeat,
                     pipeline=spec.pipeline_depth,
@@ -343,22 +351,295 @@ def replay_live(
     )
 
 
+def replay_live_federated(
+    scenario: Scenario,
+    shards: int = 2,
+    journal_root: Optional[str] = None,
+    time_scale: float = 1.0,
+    timeout: float = 180.0,
+    shard_crash: Optional[bool] = None,
+) -> ReplayReport:
+    """Run *scenario* through an N-shard :class:`LocalFederation`.
+
+    Chaos here is *topological*: executor churn spread across shards
+    plus — for chaotic scenarios (or ``shard_crash=True``) — one shard
+    killed ``kill -9``-style mid-run and restarted on its journal,
+    while the router retargets and resubmits around the hole.  The
+    single-dispatcher transport chaos (drop/duplicate fault plans)
+    stays with :func:`replay_live`; installing it on a mesh would also
+    corrupt shard-to-shard gossip, which is a different experiment.
+
+    Oracles: when a shard crashed, per-shard counters are not
+    trustworthy (the journal window died with the process), so
+    conservation is checked from the client's vantage
+    (:func:`check_federation_conservation`); crash-free runs
+    additionally balance the aggregated per-shard counters.
+    """
+    import threading
+
+    from repro.live.executor import LiveExecutor
+    from repro.live.federation import LocalFederation
+    from repro.live.journal import recover as recover_journal
+
+    spec = scenario.spec
+    if shards < 2:
+        raise ValueError("federated replay needs shards >= 2")
+    own_journal = journal_root is None
+    jroot = journal_root or tempfile.mkdtemp(prefix="scenario-fed-journal-")
+    registry = {"scenario-poison": _poison_task}
+    chaotic = spec.chaotic
+    crash = chaotic if shard_crash is None else shard_crash
+    heartbeat = 0.2 if chaotic else None
+    replay_timeout = 0.75 if chaotic else None
+
+    settle_counts: Counter = Counter()
+    settle_lock = threading.Lock()
+    settled = threading.Event()
+
+    def on_done(fut) -> None:
+        with settle_lock:
+            settle_counts[fut.task_id] += 1
+        settled.set()
+
+    fed = LocalFederation(
+        shards=shards,
+        executors_per_shard=max(1, -(-spec.executors // shards)),
+        python_registry=registry,
+        bundle_size=spec.bundle_size,
+        max_retries=spec.max_retries,
+        heartbeat_interval=heartbeat,
+        heartbeat_miss_budget=3,
+        replay_timeout=replay_timeout,
+        pipeline_depth=spec.pipeline_depth,
+        journal_root=jroot,
+        queue_limit=spec.queue_limit or None,
+        monitor_interval=0.05 if chaotic else None,
+    )
+    # Endpoints survive a kill/restart cycle (same port), so capture
+    # them up front for churn replacements during a shard's dead window.
+    endpoints = {sid: fed.dispatchers[sid].endpoint for sid in fed.shard_ids}
+    victims = [(sid, i) for sid in fed.shard_ids
+               for i in range(len(fed.executors[sid]))]
+    started = time.monotonic()
+    futures: dict = {}
+    stop_chaos = threading.Event()
+    crashed_shards: list[str] = []
+
+    def churn_loop() -> None:
+        for event in scenario.churn:
+            delay = started + event.at * time_scale - time.monotonic()
+            if delay > 0 and stop_chaos.wait(delay):
+                return
+            shard_id, index = victims[event.executor_index % len(victims)]
+            victim = fed.executors[shard_id][index]
+            if event.kind == "drop":
+                victim.kill_connection()
+            else:
+                victim.stop()
+                replacement = LiveExecutor(
+                    endpoints[shard_id],
+                    python_registry=registry,
+                    heartbeat_interval=heartbeat,
+                    pipeline=spec.pipeline_depth,
+                ).start()
+                fed.executors[shard_id][index] = replacement
+                victim.join(timeout=5.0)
+
+    def crash_loop() -> None:
+        # Kill the last shard once a quarter of the work has settled —
+        # guaranteed mid-run whatever the scenario's pacing — then
+        # restart it on its own journal after a visible dead window.
+        victim_shard = fed.shard_ids[-1]
+        target = max(1, len(scenario.tasks) // 4)
+        deadline = time.monotonic() + timeout * 0.5
+        while time.monotonic() < deadline and not stop_chaos.is_set():
+            with settle_lock:
+                done = sum(settle_counts.values())
+            if done >= target:
+                break
+            settled.wait(0.02)
+            settled.clear()
+        if stop_chaos.is_set():
+            return
+        crashed_shards.append(victim_shard)
+        fed.kill_shard(victim_shard)
+        if stop_chaos.wait(0.6 * time_scale):
+            return
+        fed.restart_shard(victim_shard)
+
+    chaos_threads: list[threading.Thread] = []
+    if scenario.churn:
+        chaos_threads.append(threading.Thread(
+            target=churn_loop, name="scenario-churn", daemon=True))
+    if crash:
+        chaos_threads.append(threading.Thread(
+            target=crash_loop, name="scenario-shard-crash", daemon=True))
+    for thread in chaos_threads:
+        thread.start()
+
+    try:
+        ordered = sorted(
+            scenario.tasks, key=lambda t: (t.arrival, t.spec.task_id)
+        )
+        batch = []
+
+        def flush_batch() -> None:
+            if not batch:
+                return
+            for fut in fed.submit([t.spec for t in batch]):
+                futures[fut.task_id] = fut
+                fut.add_done_callback(on_done)
+            batch.clear()
+
+        for task in ordered:
+            due = started + task.arrival * time_scale
+            now = time.monotonic()
+            if task.deps or now < due:
+                flush_batch()
+            if now < due:
+                time.sleep(due - now)
+            dep_deadline = time.monotonic() + timeout
+            for dep in task.deps:
+                dep_future = futures.get(dep)
+                while dep_future is not None and not dep_future.done():
+                    if time.monotonic() > dep_deadline:
+                        break
+                    time.sleep(0.002)
+            batch.append(task)
+        flush_batch()
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(f.done() for f in futures.values()):
+                break
+            time.sleep(0.02)
+        for thread in chaos_threads:
+            thread.join(timeout=max(5.0, timeout * 0.5))
+
+        # A restarted shard replays journalled work the router already
+        # resettled elsewhere; drain it so the final journal state and
+        # DLQ union are quiescent before the oracles read them.
+        drain_deadline = time.monotonic() + min(30.0, timeout)
+        while time.monotonic() < drain_deadline:
+            per_shard = [d.stats() for d in fed.dispatchers.values()
+                         if d is not None]
+            if all(s.queued == 0 and s.busy == 0
+                   and s.completed + s.failed >= s.accepted
+                   for s in per_shard):
+                break
+            time.sleep(0.05)
+        duration = time.monotonic() - started
+
+        agg = fed.stats()
+        shard_stats = {sid: s for sid, s in fed.shard_stats().items()
+                       if s is not None}
+        shard_dlqs = {
+            sid: [e["task_id"] for e in d.dlq_list()]
+            for sid, d in fed.dispatchers.items() if d is not None
+        }
+        dlq_ids = sorted(fed.dlq_union())
+        stuck = [tid for tid, f in futures.items() if not f.done()]
+        retargets, resubmits = fed.router.retargets, fed.router.resubmits
+        with settle_lock:
+            counts = dict(settle_counts)
+        results_ok = sum(
+            1 for f in futures.values()
+            if f.done() and not f.cancelled() and f.result(0).ok)
+        results_failed = len(futures) - len(stuck) - results_ok
+    finally:
+        stop_chaos.set()
+        settled.set()
+        for thread in chaos_threads:
+            thread.join(timeout=10.0)
+        fed.close()
+
+    report = OracleReport()
+    check_federation_conservation(
+        report,
+        submitted=len(scenario.tasks),
+        settled_ok=results_ok,
+        settled_failed=results_failed,
+        dlq_ids=dlq_ids,
+        poison_ids=scenario.poison_ids,
+    )
+    if not crashed_shards:
+        # Counters survived everywhere: the aggregated per-shard stats
+        # must balance too (steal attribution folds to home shards).
+        check_conservation(
+            report,
+            submitted=len(scenario.tasks),
+            stats=agg,
+            expected_poison=len(scenario.poison_ids),
+        )
+    check_exactly_once(
+        report,
+        expected_ids=[t.spec.task_id for t in scenario.tasks],
+        settle_counts=counts,
+    )
+    check_no_stuck(report, stuck)
+    for shard_id in fed.shard_ids:
+        recovered = recover_journal(os.path.join(jroot, shard_id))
+        stats = shard_stats.get(shard_id)
+        check_journal_consistency(
+            report,
+            recovered,
+            dlq_ids=shard_dlqs.get(shard_id, []),
+            accepted=stats.accepted if stats is not None else 0,
+            pruned=shard_id in crashed_shards or agg.stolen_tasks > 0,
+            clean_close=shard_id not in crashed_shards,
+        )
+    if own_journal:
+        shutil.rmtree(jroot, ignore_errors=True)
+
+    return ReplayReport(
+        plane=f"live-fed{shards}",
+        scenario=spec.name,
+        fingerprint=scenario.fingerprint(),
+        submitted=len(scenario.tasks),
+        completed=results_ok,
+        failed=results_failed,
+        dlq=len(dlq_ids),
+        duration_s=duration,
+        throughput=(results_ok / duration if duration > 0 else 0.0),
+        oracles=report,
+        extras={
+            "shards": shards,
+            "shard_crashes": list(crashed_shards),
+            "retargets": retargets,
+            "resubmits": resubmits,
+            "stolen_tasks": agg.stolen_tasks,
+            "churn_events": len(scenario.churn),
+        },
+    )
+
+
 def run_scenario(
     spec: ScenarioSpec,
     planes: tuple[str, ...] = ("sim", "live"),
     time_scale: float = 1.0,
     timeout: float = 180.0,
+    shards: int = 1,
 ) -> list[ReplayReport]:
-    """Generate *spec* once and replay it on the requested planes."""
+    """Generate *spec* once and replay it on the requested planes.
+
+    ``shards > 1`` routes the live plane through
+    :func:`replay_live_federated` (the sim plane is unsharded).
+    """
     scenario = generate(spec)
     reports = []
     for plane in planes:
         if plane == "sim":
             reports.append(replay_sim(scenario))
         elif plane == "live":
-            reports.append(replay_live(
-                scenario, time_scale=time_scale, timeout=timeout
-            ))
+            if shards > 1:
+                reports.append(replay_live_federated(
+                    scenario, shards=shards, time_scale=time_scale,
+                    timeout=timeout,
+                ))
+            else:
+                reports.append(replay_live(
+                    scenario, time_scale=time_scale, timeout=timeout
+                ))
         else:
             raise ValueError(f"unknown plane {plane!r}")
     return reports
