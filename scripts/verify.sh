@@ -31,13 +31,27 @@ python -m pytest -x -q
 # an error, not a skip: `repro bench` would silently record a fresh
 # baseline and pass, which is exactly how a regression sneaks through
 # a wiped checkout.  Record one deliberately instead.
-echo "== dispatch bench gate =="
+echo "== dispatch bench gate (wire v4 binary) =="
 if [[ ! -f BENCH_baseline.json ]]; then
     echo "ERROR: BENCH_baseline.json is missing — the bench gate has nothing to compare against." >&2
     echo "Record a baseline first:  PYTHONPATH=src python -m repro bench --quick --update-baseline" >&2
     exit 1
 fi
-python -m repro bench --quick
+python -m repro bench --quick --wire binary
+
+# The JSON path stays first-class: v1-v3 peers negotiate down to it,
+# so it gets its own regression gate against the same baseline.  The
+# wider tolerance absorbs the measured v4-over-JSON framing delta
+# (~10%, docs/PERFORMANCE.md) on top of ordinary host noise.
+echo "== dispatch bench gate (wire JSON fallback) =="
+python -m repro bench --quick --wire json --tolerance 0.35
+
+# IOLoop sharding microbench: echoed frames/s with 1 vs 4 selector
+# loops, recorded under "ioloop_scaling" in BENCH_dispatch.json.
+# Informational (no ratio gate): on a one-core host the ratio is
+# honestly <= 1 (docs/PERFORMANCE.md, "Multi-core I/O").
+echo "== ioloop scaling microbench =="
+python -m repro bench --quick --io-microbench --io-threads 4
 
 # Telemetry overhead gate: the live telemetry plane (heartbeat-carried
 # stats + HTTP status surface) must cost < 5% of sleep-0 throughput.

@@ -126,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smaller run (1500 tasks) for the verify gate")
     p.add_argument("--executors", type=int, default=4)
     p.add_argument("--pipeline", type=int, default=32, metavar="DEPTH")
+    p.add_argument("--profile", action="store_true",
+                   help="run one quick round under an all-thread cProfile "
+                        "and print the top-20 cumulative frames (no gate)")
+    p.add_argument("--wire", choices=("binary", "json"), default="binary",
+                   help="wire codec under test: 'binary' negotiates the v4 "
+                        "fast path (default), 'json' pins the v1-v3 framing")
+    p.add_argument("--io-threads", type=int, default=1, metavar="N",
+                   help="dispatcher IOLoopGroup size (connections sharded "
+                        "across N selector threads)")
+    p.add_argument("--io-microbench", action="store_true",
+                   help="IOLoop scaling microbench: echo frames across "
+                        "sharded connections with 1 vs N loops and record "
+                        "the ratio in --dispatch-out")
     p.add_argument("--baseline", metavar="PATH", default="BENCH_baseline.json",
                    help="recorded-baseline file (created on first run)")
     p.add_argument("--tolerance", type=float, default=0.20,
@@ -841,10 +854,17 @@ def _cmd_bench(args) -> int:
 
     if args.shards:
         return _bench_shards(args)
+    if args.io_microbench:
+        return _bench_ioloop(args)
 
     n_tasks = 1500 if args.quick else 5000
+    wire_kwargs: dict = {"wire_binary": args.wire == "binary"}
+    if args.io_threads > 1:
+        wire_kwargs["io_threads"] = args.io_threads
 
     def one_round(round_index: int, **deploy_kwargs) -> dict:
+        for key, value in wire_kwargs.items():
+            deploy_kwargs.setdefault(key, value)
         with LocalFalkon(
             executors=args.executors,
             bundle_size=500,
@@ -867,6 +887,8 @@ def _cmd_bench(args) -> int:
             "dispatch_p99_s": stats.dispatch_latency_p99,
         }
 
+    if args.profile:
+        return _bench_profile(args, n_tasks, one_round)
     if args.telemetry:
         return _bench_telemetry(args, n_tasks, one_round)
     if args.journal:
@@ -875,7 +897,8 @@ def _cmd_bench(args) -> int:
     best = max((one_round(i) for i in range(2)), key=lambda r: r["tasks_per_s"])
     rate = best["tasks_per_s"]
     print(f"dispatch bench ({'quick, ' if args.quick else ''}{n_tasks} sleep-0 tasks, "
-          f"{args.executors} executors, pipeline depth {args.pipeline}):")
+          f"{args.executors} executors, pipeline depth {args.pipeline}, "
+          f"wire {args.wire}):")
     print(f"  {rate:,.0f} tasks/s, dispatch p50 {best['dispatch_p50_s'] * 1e3:.1f} ms, "
           f"p99 {best['dispatch_p99_s'] * 1e3:.1f} ms")
 
@@ -906,6 +929,29 @@ def _cmd_bench(args) -> int:
         print(f"  dispatch throughput regressed more than {args.tolerance:.0%} "
               f"against the recorded baseline", file=sys.stderr)
         return 1
+    return 0
+
+
+def _bench_profile(args, n_tasks: int, one_round) -> int:
+    """One bench round under an all-thread cProfile; top-20 frames.
+
+    Evidence, not a gate: the point is to rank where dispatch CPU goes
+    (wire codec, selector loop, span recording, ...) before attacking
+    it.  The shared outbound IOLoop is stopped before merging so its
+    selector thread flushes its profile; it is recreated on demand by
+    the next user.
+    """
+    from repro.live import ioloop
+    from repro.obs.profiling import print_top, profile_all_threads
+
+    with profile_all_threads() as collect:
+        result = one_round(0)
+        ioloop.default_loop().stop()
+    stats = collect()
+    print(f"profiled bench round ({n_tasks} sleep-0 tasks, {args.executors} "
+          f"executors, pipeline depth {args.pipeline}, wire {args.wire}): "
+          f"{result['tasks_per_s']:,.0f} tasks/s under instrumentation")
+    print(print_top(stats, 20), end="")
     return 0
 
 
@@ -1006,13 +1052,155 @@ def _bench_shards(args) -> int:
     return 0
 
 
+def _bench_ioloop(args) -> int:
+    """IOLoop scaling microbench: echo frames across sharded connections.
+
+    The task benchmark cannot isolate the I/O plane — dispatch CPU
+    (codec, span recording, scheduling) dominates and the GIL caps the
+    whole process at one core.  This bench strips everything but the
+    selector loops: an echo server shards inbound connections across an
+    :class:`IOLoopGroup` (SO_REUSEPORT acceptors where the platform has
+    them, round-robin handoff otherwise), clients pump pre-framed
+    messages, and the measured quantity is echoed frames/s with 1 loop
+    versus ``--io-threads`` loops on identical connection counts.  The
+    ratio lands in ``--dispatch-out`` next to the shard-scaling curve;
+    on a one-core container expect ~1.0x (the syscalls that release the
+    GIL still serialise onto one core) — the bench demonstrates the
+    sharding machinery and measures what the host can actually give.
+    """
+    import json
+    import os
+    import socket as socket_mod
+    import threading
+
+    from repro.live.ioloop import IOLoopGroup, create_reuseport_servers
+    from repro.live.protocol import Connection
+    from repro.net.message import Message, MessageType
+
+    threads = max(2, args.io_threads)
+    n_conns = max(4, threads * 2)
+    n_frames = 500 if args.quick else 2000  # per connection, each way
+    binary = args.wire == "binary"
+
+    def measure(loop_count: int) -> float:
+        server_group = IOLoopGroup(threads=loop_count, name="bench-srv").start()
+        client_group = IOLoopGroup(threads=loop_count, name="bench-cli").start()
+        server_conns: list[Connection] = []
+        client_conns: list[Connection] = []
+        listeners: list[socket_mod.socket] = []
+        total = n_conns * n_frames
+        done = threading.Event()
+        received = [0]
+        recv_lock = threading.Lock()
+
+        def accept_on(loop):
+            def on_accept(sock: socket_mod.socket) -> None:
+                conn = Connection(sock, handler=lambda m: None,
+                                  name="echo-srv", loop=loop)
+                conn.wire_v4 = binary
+                conn.handler = conn.send  # echo every frame straight back
+                server_conns.append(conn)
+                conn.start()
+            return on_accept
+
+        try:
+            try:
+                listeners = create_reuseport_servers("127.0.0.1", 0, loop_count)
+                port = listeners[0].getsockname()[1]
+                for sock, loop in zip(listeners, server_group.loops):
+                    loop.add_server(sock, accept_on(loop))
+            except OSError:
+                sock = socket_mod.socket(socket_mod.AF_INET,
+                                         socket_mod.SOCK_STREAM)
+                sock.bind(("127.0.0.1", 0))
+                sock.listen(128)
+                port = sock.getsockname()[1]
+                listeners = [sock]
+                server_group.add_server(
+                    sock,
+                    lambda client: accept_on(server_group.next_loop())(client))
+
+            def on_echo(message: Message) -> None:
+                with recv_lock:
+                    received[0] += 1
+                    if received[0] >= total:
+                        done.set()
+
+            for index in range(n_conns):
+                sock = socket_mod.create_connection(("127.0.0.1", port),
+                                                    timeout=10)
+                conn = Connection(sock, handler=on_echo,
+                                  name=f"echo-cli-{index}",
+                                  loop=client_group.next_loop())
+                conn.wire_v4 = binary
+                client_conns.append(conn)
+                conn.start()
+
+            started = time.perf_counter()
+            for conn in client_conns:
+                for seq in range(n_frames):
+                    conn.send(Message(MessageType.HEARTBEAT, sender="bench",
+                                      payload={"seq": seq}))
+            if not done.wait(timeout=120):
+                raise RuntimeError(
+                    f"ioloop bench stalled: {received[0]}/{total} echoes")
+            elapsed = time.perf_counter() - started
+            return total / elapsed
+        finally:
+            for conn in client_conns + server_conns:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for sock in listeners:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            client_group.stop()
+            server_group.stop()
+
+    base = max(measure(1) for _ in range(2))
+    multi = max(measure(threads) for _ in range(2))
+    ratio = multi / base
+    cores = os.cpu_count() or 1
+    print(f"ioloop scaling bench ({'quick, ' if args.quick else ''}{n_conns} "
+          f"connections x {n_frames} echoed frames, wire {args.wire}, "
+          f"best of 2 rounds, {cores} core(s) visible):")
+    print(f"  1 loop    {base:,.0f} frames/s")
+    print(f"  {threads} loops   {multi:,.0f} frames/s -> {ratio:.2f}x")
+
+    data = {}
+    if os.path.exists(args.dispatch_out):
+        try:
+            with open(args.dispatch_out) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    scaling = data.setdefault("ioloop_scaling", {})
+    scaling.setdefault("frames_per_s", {}).update(
+        {"1": base, str(threads): multi})
+    scaling.update(ratio_vs_1_loop=ratio, io_threads=threads,
+                   connections=n_conns, frames_per_conn=n_frames,
+                   wire=args.wire, quick=args.quick, cores_visible=cores)
+    with open(args.dispatch_out, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  recorded -> {args.dispatch_out}")
+    return 0
+
+
 def _bench_telemetry(args, n_tasks: int, one_round) -> int:
     """Measure what the live telemetry plane costs, and gate it.
 
     Interleaved A/B rounds (base, telemetry, base, telemetry, ...) so
-    machine-load drift hits both configurations equally; best-of per
-    configuration; the gate fires only when the telemetry configuration
-    costs more than ``--budget`` of sleep-0 throughput.
+    machine-load drift hits both configurations equally; the gate
+    compares each telemetry round against its *adjacent* base round
+    and takes the best pairing, exactly like the journal bench: the
+    first in-process round is measurably faster than every later one
+    (allocator/GC state), so an unpaired best-vs-best ratio charges
+    that decay to the telemetry plane and inflates the overhead by
+    more than the plane itself costs.
     """
     import json
 
@@ -1022,13 +1210,14 @@ def _bench_telemetry(args, n_tasks: int, one_round) -> int:
     # per run (`--events-out`) and documented as outside this budget.
     telemetry_kwargs = {"heartbeat_interval": 0.25, "http_port": 0}
     rounds = 3
-    base_best = telem_best = 0.0
+    pairs: list[tuple[float, float]] = []
     for i in range(rounds):
-        base_best = max(base_best, one_round(2 * i)["tasks_per_s"])
-        telem_best = max(
-            telem_best, one_round(2 * i + 1, **telemetry_kwargs)["tasks_per_s"]
-        )
-    overhead = max(0.0, 1.0 - telem_best / base_best)
+        base_rate = one_round(2 * i)["tasks_per_s"]
+        telem_rate = one_round(2 * i + 1, **telemetry_kwargs)["tasks_per_s"]
+        pairs.append((base_rate, telem_rate))
+    overhead = min(max(0.0, 1.0 - t / b) for b, t in pairs)
+    base_best = max(b for b, _ in pairs)
+    telem_best = max(t for _, t in pairs)
     record = {
         "base_tasks_per_s": base_best,
         "telemetry_tasks_per_s": telem_best,
@@ -1047,11 +1236,12 @@ def _bench_telemetry(args, n_tasks: int, one_round) -> int:
         fh.write("\n")
     print(f"telemetry overhead bench ({n_tasks} sleep-0 tasks, "
           f"{args.executors} executors, pipeline depth {args.pipeline}, "
-          f"best of {rounds} interleaved rounds):")
+          f"{rounds} interleaved round pairs):")
     print(f"  base      {base_best:,.0f} tasks/s")
     print(f"  telemetry {telem_best:,.0f} tasks/s "
           f"(heartbeat stats @0.25s + HTTP surface)")
-    print(f"  overhead  {overhead:.1%} (budget {args.budget:.0%}) -> {args.out}")
+    print(f"  overhead  {overhead:.1%} best adjacent pair "
+          f"(budget {args.budget:.0%}) -> {args.out}")
     if overhead > args.budget:
         print(f"  telemetry plane exceeds its overhead budget "
               f"({overhead:.1%} > {args.budget:.0%})", file=sys.stderr)

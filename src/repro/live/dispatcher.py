@@ -100,7 +100,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ProtocolError
 from repro.live.endpoint import Endpoint
-from repro.live.ioloop import IOLoop
+from repro.live.ioloop import IOLoop, IOLoopGroup, create_reuseport_servers
 from repro.live.journal import (
     Journal,
     RESULT_DEFAULTS,
@@ -167,6 +167,17 @@ def _journal_result(result: TaskResult) -> dict:
     return data
 
 
+def _journal_spec_wire(spec: TaskSpec, raw: Optional[dict]) -> dict:
+    """Like :func:`_journal_spec`, but strips from the wire dict the
+    spec arrived as when one is in hand — the admission path already
+    holds it, so journalling costs no re-serialisation pass."""
+    if raw is None:
+        return _journal_spec(spec)
+    data = strip_defaults(raw, SPEC_DEFAULTS)
+    data.pop("task_id", None)
+    return data
+
+
 @dataclass
 class _LiveRecord:
     spec: TaskSpec
@@ -182,6 +193,13 @@ class _LiveRecord:
     dispatch_mode: str = ""
     #: Wire form of the trace context riding this attempt's WORK frame.
     trace_wire: Optional[dict] = None
+    #: The spec's wire dict, captured verbatim from the client's
+    #: SUBMIT payload (else built lazily on first dispatch), so a
+    #: WORK/piggyback frame never rebuilds it — the C JSON encoder
+    #: re-serialises the shared dict at frame speed.  (Pre-encoded
+    #: byte splicing was measured slower: many small Python-level
+    #: ops lose to one big C ``dumps``; see docs/PERFORMANCE.md.)
+    spec_dict: Optional[dict] = None
     timeline: TaskTimeline = field(default_factory=TaskTimeline)
     result: Optional[TaskResult] = None
     #: Whether the settled result's CLIENT_NOTIFY left this process
@@ -289,6 +307,8 @@ class LiveDispatcher:
         shard_id: Optional[str] = None,
         steal_batch_max: int = 32,
         steal_min_queue: int = 2,
+        io_threads: int = 1,
+        wire_binary: bool = True,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -454,11 +474,40 @@ class LiveDispatcher:
                 prune_settled=retain_settled is not None,
             )
 
-        self._server = socket.create_server((host, port))
-        self.host, self.port = self._server.getsockname()[:2]
+        if io_threads < 1:
+            raise ValueError("io_threads must be >= 1")
+        #: Selector threads serving this dispatcher's sockets.  With
+        #: more than one, inbound sessions are sharded across an
+        #: :class:`~repro.live.ioloop.IOLoopGroup` — via one
+        #: SO_REUSEPORT acceptor per loop where the platform has it,
+        #: round-robin handoff from a single acceptor otherwise.
+        self.io_threads = io_threads
+        #: Offer the wire v4 binary fast path to capable peers
+        #: (negotiated per session; JSON peers interoperate unchanged).
+        self.wire_binary = wire_binary
         self._closing = threading.Event()
-        self._loop = IOLoop(name=f"dispatcher-{self.port}").start()
-        self._loop.add_server(self._server, self._accept)
+        self._servers: list[socket.socket] = []
+        if io_threads > 1:
+            try:
+                self._servers = create_reuseport_servers(host, port, io_threads)
+            except OSError:
+                self._servers = []
+        if not self._servers:
+            self._servers = [socket.create_server((host, port))]
+        self.host, self.port = self._servers[0].getsockname()[:2]
+        self._loops = IOLoopGroup(
+            io_threads, name=f"dispatcher-{self.port}").start()
+        if len(self._servers) > 1:
+            # Kernel-sharded accepts: each acceptor lives on its own
+            # loop and pins its sessions there.
+            for loop, server in zip(self._loops.loops, self._servers):
+                loop.add_server(
+                    server,
+                    lambda sock, loop=loop: self._accept(sock, loop))
+        else:
+            self._loops.add_server(
+                self._servers[0],
+                lambda sock: self._accept(sock, self._loops.next_loop()))
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="dispatcher-monitor", daemon=True
         )
@@ -912,17 +961,18 @@ class LiveDispatcher:
         if self._http is not None:
             self._http.close()
         self.events.close()
-        try:
-            self._server.close()
-        except OSError:
-            pass
+        for server in self._servers:
+            try:
+                server.close()
+            except OSError:
+                pass
         with self._exec_lock:
             sessions = [e.conn for e in self._executors.values()]
         with self._client_lock:
             sessions += [c.conn for c in self._clients.values()]
         for conn in sessions:
             conn.close()
-        self._loop.stop()
+        self._loops.stop()
         if self.journal is not None:
             self.journal.close()
 
@@ -933,13 +983,15 @@ class LiveDispatcher:
         self.close()
 
     # -- accept / demux -------------------------------------------------------
-    def _accept(self, sock: socket.socket) -> None:
+    def _accept(self, sock: socket.socket, loop: "IOLoop") -> None:
         if self._closing.is_set():
             sock.close()
             return
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        # The session's role is unknown until its first message.
-        _Session(self, sock).start()
+        # The session's role is unknown until its first message; it is
+        # pinned to *loop* (its acceptor's loop, or the round-robin
+        # pick) for its whole lifetime.
+        _Session(self, sock, loop).start()
 
     # -- liveness monitor ------------------------------------------------------
     def _monitor_loop(self) -> None:
@@ -1066,9 +1118,16 @@ class LiveDispatcher:
         self.events.emit(ev.CLIENT_CONNECT, client_id, resumed=bool(requested))
         if stale_conn is not None:
             stale_conn.close()
+        ack_payload: dict = {"epr": client_id}
+        if self.wire_binary and "bin" in (msg.payload.get("caps") or ()):
+            # Binary framing negotiated: echo the capability and flip
+            # our send direction now — the client's reader accepts both
+            # framings, so the INSTANCE_CREATED itself may go binary.
+            session.conn.wire_v4 = True
+            ack_payload["caps"] = ["bin"]
         session.conn.send(
             Message(MessageType.INSTANCE_CREATED, sender="dispatcher",
-                    payload={"epr": client_id})
+                    payload=ack_payload)
         )
 
     def _on_submit(self, session: "_Session", msg: Message) -> None:
@@ -1077,7 +1136,8 @@ class LiveDispatcher:
             session.conn.send(Message(MessageType.ERROR, payload={"error": "not a client"}))
             return
         client_id = role[1]
-        tasks = [task_from_dict(t) for t in msg.payload.get("tasks", ())]
+        raw_specs = msg.payload.get("tasks", ())
+        tasks = [task_from_dict(t) for t in raw_specs]
         # Admission control: the whole bundle is accepted or refused
         # atomically — partial acceptance would force clients to diff
         # their bundles against an ack they cannot correlate.
@@ -1115,7 +1175,13 @@ class LiveDispatcher:
             with record.lock:
                 if record.result is not None:
                     settled_dupes.append(record.result)
-        if self.journal is not None and fresh:
+        # The wire dict each spec arrived as, kept verbatim: dispatch
+        # re-serialises this shared dict instead of rebuilding it, and
+        # the journal strips its defaults without a task_to_dict pass.
+        dict_by_id = {spec.task_id: raw for spec, raw in zip(tasks, raw_specs)
+                      if isinstance(raw, dict)}
+        journaled = self.journal is not None and bool(fresh)
+        if journaled:
             # Durable-before-accept: one group commit covers the bundle
             # and runs before any dispatcher state changes, so a
             # SUBMIT_ACK is a promise the tasks survive a crash.  Specs
@@ -1124,36 +1190,50 @@ class LiveDispatcher:
             # few dict keys per task, not a serialisation pass.
             self.journal.append_many([
                 {"k": "submit", "id": spec.task_id,
-                 "spec": _journal_spec(spec),
+                 "spec": _journal_spec_wire(spec, dict_by_id.get(spec.task_id)),
                  "client": client_id}
                 for spec in fresh
             ])
-            if not self.journal.commit():
-                # The journal cannot confirm durability (fsync failure
-                # or commit timeout): acking anyway would silently void
-                # the whole crash-safety promise.  Refuse the bundle —
-                # the client's capped-backoff resubmission converges if
-                # the stall was transient, and nothing was enqueued, so
-                # no state needs unwinding.
-                self._m_rejects.inc()
-                self.events.emit(ev.SUBMIT_REJECT, client_id,
-                                 bundle=bundle, reason="journal")
-                session.conn.send(
-                    Message(MessageType.SUBMIT_REJECT, sender="dispatcher",
-                            payload={"retry_after": self.reject_retry_after,
-                                     "reason": "journal"})
-                )
-                return
+            # Start the write+fsync NOW and overlap it with the record
+            # building below; the commit barrier then has little or
+            # nothing left to wait for.
+            self.journal.request_sync()
         new_records: list[_LiveRecord] = []
         for spec in fresh:
             record = _LiveRecord(spec=spec, client_id=client_id)
+            record.spec_dict = dict_by_id.get(spec.task_id)
             record.timeline.submitted = now
-            self.spans.begin(spec.task_id)
-            self.spans.record(spec.task_id, "submit", now,
-                              client=client_id, bundle=bundle)
-            self.spans.record(spec.task_id, "enqueue", now, attempt=1,
-                              reason="submit")
             new_records.append(record)
+        if journaled and not self.journal.commit():
+            # The journal cannot confirm durability (fsync failure
+            # or commit timeout): acking anyway would silently void
+            # the whole crash-safety promise.  Refuse the bundle —
+            # the client's capped-backoff resubmission converges if
+            # the stall was transient, and nothing was enqueued (the
+            # built records are discarded), so no state needs
+            # unwinding.
+            self._m_rejects.inc()
+            self.events.emit(ev.SUBMIT_REJECT, client_id,
+                             bundle=bundle, reason="journal")
+            session.conn.send(
+                Message(MessageType.SUBMIT_REJECT, sender="dispatcher",
+                        payload={"retry_after": self.reject_retry_after,
+                                 "reason": "journal"})
+            )
+            return
+        if new_records:
+            # Two collector-lock round trips per bundle, not three per
+            # task: open every trace, then append the submit/enqueue
+            # pairs in one batch.
+            self.spans.begin_many([r.spec.task_id for r in new_records])
+            submit_attrs = (("client", client_id), ("bundle", bundle))
+            enqueue_attrs = (("reason", "submit"),)
+            rows = []
+            for record in new_records:
+                task_id = record.spec.task_id
+                rows.append((task_id, "submit", now, None, 0, submit_attrs))
+                rows.append((task_id, "enqueue", now, None, 1, enqueue_attrs))
+            self.spans.record_many(rows)
         # Records must be resolvable before their queue entries are
         # poppable: claimers drop queue ids with no backing record.
         with self._records_lock:
@@ -1247,7 +1327,16 @@ class LiveDispatcher:
         # elsewhere; a mismatch means the task was already superseded —
         # the executor's resent result will be dropped as stale.
         self._adopt_inflight(executor, msg.payload.get("inflight") or ())
-        session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher"))
+        ack_payload: dict = {}
+        if self.wire_binary and "bin" in (msg.payload.get("caps") or ()):
+            # Wire v4 negotiated (same pattern as v3's "steal"): flip
+            # our send direction and echo the capability so the
+            # executor flips its own.  Readers on both ends accept both
+            # framings, so the directions may switch independently.
+            session.conn.wire_v4 = True
+            ack_payload["caps"] = ["bin"]
+        session.conn.send(Message(MessageType.REGISTER_ACK, sender="dispatcher",
+                                  payload=ack_payload))
         with self._queue_lock:
             notify = bool(self._queue)
         if notify:
@@ -1291,10 +1380,11 @@ class LiveDispatcher:
         """Our side of the depth gossip, as a HEARTBEAT frame."""
         with self._queue_lock:
             qlen = len(self._queue)
+        caps = ["steal", "bin"] if self.wire_binary else ["steal"]
         payload: dict = {
             "shard": {
                 "id": self.shard_id,
-                "caps": ["steal"],
+                "caps": caps,
                 "stats": {"queued": qlen},
             }
         }
@@ -1323,6 +1413,10 @@ class LiveDispatcher:
         self._ensure_peer_session(peer_id, session.conn)
         self._touch(PEER_PREFIX + peer_id)
         caps = [c for c in (shard.get("caps") or ()) if isinstance(c, str)]
+        if self.wire_binary and "bin" in caps:
+            # The peer decodes wire v4: flip this inbound link's send
+            # direction (STEAL_GRANT frames with spec blobs ride it).
+            session.conn.wire_v4 = True
         self._note_peer_depth(peer_id, shard.get("stats") or {}, caps)
         if msg.payload.get("rsvp"):
             session.conn.send(self._gossip_message(rsvp=False))
@@ -1403,8 +1497,7 @@ class LiveDispatcher:
         # An empty grant still goes out: it clears the thief's
         # outstanding-request flag so it can try another peer.
         session.conn.send(reply)
-        for record in granted:
-            self._mark_delivered(record, executor.executor_id)
+        self._mark_delivered_many(granted, executor.executor_id)
         if granted:
             self._m_steals_granted.inc()
             self._m_stolen_out.inc(len(granted))
@@ -1600,8 +1693,7 @@ class LiveDispatcher:
         work = Message(MessageType.WORK, sender="dispatcher", payload={})
         self._fill_task_payload(work, claimed, executor)
         session.conn.send(work)
-        for record in claimed:
-            self._mark_delivered(record, executor_id)
+        self._mark_delivered_many(claimed, executor_id)
 
     def _on_result(self, session: "_Session", msg: Message) -> None:
         role = session.role
@@ -1640,14 +1732,27 @@ class LiveDispatcher:
                 executor.notified = False
         notifies: list[tuple[str, TaskResult]] = []
         settled: list[_LiveRecord] = []
-        for result_payload, echoed_attempt, exec_info in entries:
-            result = result_from_dict(result_payload)
+        results = [result_from_dict(payload) for payload, _, _ in entries]
+        # One records-lock round trip for the whole batch: a pipelined
+        # RESULT frame carries dozens of completions.
+        with self._records_lock:
+            records = [self._records.get(result.task_id) for result in results]
+        # Deferred spans for the whole frame: exec/result pairs (plus
+        # any retry-enqueue rows _settle appends) flush through one
+        # record_many below.  Row order = append order = chain order,
+        # so per-task ordering is exactly what the per-task calls gave.
+        # WAL records batch identically (one buffer-lock round trip
+        # per frame; same flush window, so durability is unchanged).
+        span_rows: list[tuple] = []
+        journal_rows: Optional[list[dict]] = (
+            [] if self.journal is not None else None)
+        for (result_payload, echoed_attempt, exec_info), result, record in zip(
+            entries, results, records
+        ):
             if not (is_peer and result.executor_id):
                 # Peer-returned results keep the remote executor's
                 # identity when the thief filled it in.
                 result.executor_id = executor_id
-            with self._records_lock:
-                record = self._records.get(result.task_id)
             if record is None:
                 continue
             with record.lock:
@@ -1664,23 +1769,26 @@ class LiveDispatcher:
                 # collector clamps it to stay monotonic).
                 exec_seconds = float(exec_info.get("seconds", 0.0))
                 self._h_exec.observe(exec_seconds)
-                self.spans.record(
-                    result.task_id, "exec", now - exec_seconds, end=now,
-                    attempt=record.attempts, executor=executor_id,
-                    seconds=exec_seconds,
-                )
                 outcome = ("ok" if result.ok else
                            "fail" if record.attempts > self.max_retries
                            else "retry")
-                self.spans.record(
-                    result.task_id, "result", self._now(),
-                    attempt=record.attempts, executor=executor_id,
-                    outcome=outcome,
-                )
-                notify_payload = self._settle(record, result)
+                span_rows.append(
+                    (result.task_id, "exec", now - exec_seconds, now,
+                     record.attempts,
+                     (("executor", executor_id), ("seconds", exec_seconds))))
+                span_rows.append(
+                    (result.task_id, "result", self._now(), None,
+                     record.attempts,
+                     (("executor", executor_id), ("outcome", outcome))))
+                notify_payload = self._settle(record, result, span_rows,
+                                              journal_rows)
                 if notify_payload is not None:
                     notifies.append(notify_payload)
                     settled.append(record)
+        if span_rows:
+            self.spans.record_many(span_rows)
+        if journal_rows:
+            self.journal.append_many(journal_rows)
         # Piggy-back queued work on the acknowledgement {7}: one task
         # for legacy peers, up to the pipeline's remaining capacity for
         # peers that advertised a depth (§3.4 extended).  Never to a
@@ -1712,14 +1820,16 @@ class LiveDispatcher:
             # must still reach the client.
             ack_delivered = False
         else:
-            for record_next in claimed:
-                self._mark_delivered(record_next, executor_id)
-        for settled_record in settled:
-            self.spans.record(
-                settled_record.spec.task_id, "ack", self._now(),
-                attempt=settled_record.attempts, executor=executor_id,
-                delivered=ack_delivered,
-            )
+            self._mark_delivered_many(claimed, executor_id)
+        if settled:
+            ack_now = self._now()
+            ack_attrs = (("executor", executor_id),
+                         ("delivered", ack_delivered))
+            self.spans.record_many([
+                (settled_record.spec.task_id, "ack", ack_now, None,
+                 settled_record.attempts, ack_attrs)
+                for settled_record in settled
+            ])
         for idle_executor in wake:
             self._send_notify(idle_executor)
         self._notify_clients(notifies)
@@ -1748,32 +1858,89 @@ class LiveDispatcher:
         documented record→queue/record→session nestings inside helpers.
         """
         claimed: list[_LiveRecord] = []
+        # Deferred "notify" spans: one span-lock round trip per claim
+        # burst instead of per task (10 k individual record() calls per
+        # 5 k pipelined tasks was a top profile frame).  The dispatch
+        # WAL records defer the same way (same flush window either
+        # way — deferring within one handler changes no durability).
+        span_batch: list[tuple[_LiveRecord, tuple]] = []
+        journal_batch: Optional[list[dict]] = (
+            [] if self.journal is not None else None)
         while len(claimed) < limit:
+            # Batched pops: one queue-lock and one records-lock round
+            # trip per claim burst, not per task (the hot path claims
+            # a full pipeline depth at once).
+            want = limit - len(claimed)
             with self._queue_lock:
                 if not self._queue:
                     break
-                task_id = self._queue.popleft()
+                task_ids = [self._queue.popleft()
+                            for _ in range(min(want, len(self._queue)))]
             with self._records_lock:
-                record = self._records.get(task_id)
-            if record is None:
-                continue
-            with record.lock:
-                if record.state is not TaskState.QUEUED:
-                    continue  # a duplicate queue entry from a replay path
-                self._mark_dispatched(record, executor, mode=mode)
-            undo = False
-            with executor.lock:
-                if executor.dead:
-                    undo = True
-                else:
-                    executor.busy.add(task_id)
-            if undo:
-                # The executor was dropped between our state checks:
-                # the dispatch never happened, restore the task intact.
-                self._unclaim(record, executor.executor_id)
+                records = [self._records.get(task_id) for task_id in task_ids]
+            stop = False
+            for index, record in enumerate(records):
+                if record is None:
+                    continue
+                with record.lock:
+                    if record.state is not TaskState.QUEUED:
+                        continue  # a duplicate queue entry from a replay path
+                    self._mark_dispatched(record, executor, mode, span_batch,
+                                          journal_batch)
+                task_id = record.spec.task_id
+                undo = False
+                with executor.lock:
+                    if executor.dead:
+                        undo = True
+                    else:
+                        executor.busy.add(task_id)
+                if undo:
+                    # The executor was dropped between our state checks:
+                    # the dispatch never happened, restore the task
+                    # intact — along with the rest of this popped batch,
+                    # which no longer has a taker.  Flush first so the
+                    # undone record's notify span lands ahead of the
+                    # rollback's enqueue span (chain order).
+                    self._flush_notify_spans(span_batch)
+                    span_batch.clear()
+                    self._unclaim(record, executor.executor_id)
+                    rest = task_ids[index + 1:]
+                    if rest:
+                        with self._queue_lock:
+                            self._queue.extendleft(reversed(rest))
+                    stop = True
+                    break
+                claimed.append(record)
+            if stop:
                 break
-            claimed.append(record)
+        self._flush_notify_spans(span_batch)
+        if journal_batch:
+            self.journal.append_many(journal_batch)
         return claimed
+
+    def _flush_notify_spans(
+        self, batch: list[tuple["_LiveRecord", tuple]]
+    ) -> None:
+        """Record a claim burst's "notify" spans in one call and stamp
+        each record's wire trace context from the returned spans."""
+        if not batch:
+            return
+        contexts = self.spans.record_many([row for _, row in batch])
+        for (record, _row), ctx in zip(batch, contexts):
+            record.trace_wire = ctx.to_wire() if ctx is not None else None
+
+    @staticmethod
+    def _spec_dict(record: _LiveRecord) -> dict:
+        """The task spec's wire dict, built at most once per task.
+
+        Benign race: two threads may both build; the results are
+        interchangeable and assignment is atomic, so no lock is taken.
+        """
+        data = record.spec_dict
+        if data is None:
+            data = task_to_dict(record.spec)
+            record.spec_dict = data
+        return data
 
     def _fill_task_payload(
         self, message: Message, claimed: list[_LiveRecord], executor: _ExecutorSession
@@ -1783,16 +1950,17 @@ class LiveDispatcher:
         Legacy depth-1 peers get the v1 singular ``task``/``attempt``
         keys with the trace at top level; pipelined peers get a
         ``tasks`` list whose entries carry their own trace context.
+        Spec dicts are the cached wire dicts — never rebuilt per frame.
         """
         if executor.pipeline == 1:
             record = claimed[0]
-            message.payload["task"] = task_to_dict(record.spec)
+            message.payload["task"] = self._spec_dict(record)
             message.payload["attempt"] = record.attempts
             message.trace = record.trace_wire
             return
         message.payload["tasks"] = [
             {
-                "task": task_to_dict(record.spec),
+                "task": self._spec_dict(record),
                 "attempt": record.attempts,
                 "trace": record.trace_wire,
             }
@@ -1800,26 +1968,40 @@ class LiveDispatcher:
         ]
 
     def _mark_dispatched(
-        self, record: _LiveRecord, executor: _ExecutorSession, mode: str = "get-work"
+        self,
+        record: _LiveRecord,
+        executor: _ExecutorSession,
+        mode: str,
+        span_rows: list[tuple["_LiveRecord", tuple]],
+        journal_rows: Optional[list[dict]],
     ) -> None:
-        """Transition a QUEUED record to DISPATCHED (record lock held)."""
+        """Transition a QUEUED record to DISPATCHED (record lock held).
+
+        The "notify" span is deferred into *span_rows*; the caller
+        flushes the burst through :meth:`_flush_notify_spans`, which
+        also stamps ``record.trace_wire`` — before any frame is built
+        from it (``_fill_task_payload`` runs after the claim returns).
+        The dispatch WAL record defers into *journal_rows* the same
+        way (``None`` when no journal is attached): dispatch records
+        ride the flush window anyway, so a crash may lose the last
+        ~20 ms of transitions — recovery then replays those
+        dispatches (at-least-once).
+        """
         record.state = TaskState.DISPATCHED
         record.attempts += 1
         record.executor_id = executor.executor_id
         record.delivered = False
         record.dispatch_mode = mode
         record.timeline.dispatched = self._now()
-        ctx = self.spans.record(
-            record.spec.task_id, "notify", record.timeline.dispatched,
-            attempt=record.attempts, executor=executor.executor_id, mode=mode,
-        )
-        record.trace_wire = ctx.to_wire() if ctx is not None else None
-        # Asynchronous journal append: dispatch records ride the flush
-        # window.  A crash may lose the last ~20 ms of transitions —
-        # recovery then replays those dispatches (at-least-once).
-        self._journal_append("dispatch", record.spec.task_id,
-                             attempt=record.attempts,
-                             executor=executor.executor_id)
+        span_rows.append((record, (
+            record.spec.task_id, "notify", record.timeline.dispatched, None,
+            record.attempts,
+            (("executor", executor.executor_id), ("mode", mode)),
+        )))
+        if journal_rows is not None:
+            journal_rows.append({"k": "dispatch", "id": record.spec.task_id,
+                                 "attempt": record.attempts,
+                                 "executor": executor.executor_id})
 
     def _unclaim(self, record: _LiveRecord, executor_id: str) -> None:
         """Roll back a dispatch that never charged its executor."""
@@ -1839,26 +2021,43 @@ class LiveDispatcher:
                 with self._queue_lock:
                     self._queue.appendleft(record.spec.task_id)
 
-    def _mark_delivered(self, record: _LiveRecord, executor_id: str) -> None:
-        """The WORK/ack frame carrying *record* left this process."""
-        with record.lock:
-            if record.state is TaskState.DISPATCHED and record.executor_id == executor_id:
-                record.delivered = True
-                now = self._now()
-                self.spans.record(
-                    record.spec.task_id, "pull", now,
-                    attempt=record.attempts, executor=executor_id,
-                    mode=record.dispatch_mode,
-                )
-                self._h_dispatch.observe(now - record.timeline.submitted)
-                if self.events.enabled:
-                    self.events.emit(ev.TASK_DISPATCH, record.spec.task_id,
-                                     executor=executor_id,
-                                     attempt=record.attempts,
-                                     mode=record.dispatch_mode)
+    def _mark_delivered_many(
+        self, records: list[_LiveRecord], executor_id: str
+    ) -> None:
+        """The WORK/ack frame carrying *records* left this process.
+
+        The "pull" spans for the whole frame flush in one
+        ``record_many`` call — the per-record version cost one span
+        lock per task, twice per dispatch with "notify".
+        """
+        rows = []
+        for record in records:
+            with record.lock:
+                if record.state is TaskState.DISPATCHED and record.executor_id == executor_id:
+                    record.delivered = True
+                    now = self._now()
+                    rows.append((
+                        record.spec.task_id, "pull", now, None,
+                        record.attempts,
+                        (("executor", executor_id),
+                         ("mode", record.dispatch_mode)),
+                    ))
+                    self._h_dispatch.observe(now - record.timeline.submitted)
+                    if self.events.enabled:
+                        self.events.emit(ev.TASK_DISPATCH, record.spec.task_id,
+                                         executor=executor_id,
+                                         attempt=record.attempts,
+                                         mode=record.dispatch_mode)
+        if rows:
+            self.spans.record_many(rows)
         # Chaos hook: die right after a WORK/ack frame left — the task
-        # is on an executor but its result will never be processed here.
-        self._maybe_crash("after-dispatch")
+        # is on an executor but its result will never be processed
+        # here.  One draw per record keeps seeded crash schedules
+        # aligned with the historical per-record call pattern.
+        plan = self.fault_plan
+        if plan is not None and plan.crash_points:
+            for _ in records:
+                self._maybe_crash("after-dispatch")
 
     def _pick_idle_executors(self, limit: int) -> list[_ExecutorSession]:
         """Idle executors to NOTIFY, at most *limit*."""
@@ -1884,8 +2083,18 @@ class LiveDispatcher:
         except Exception:
             self._drop_executor(executor.executor_id, only_conn=executor.conn)
 
-    def _settle(self, record: _LiveRecord, result: TaskResult):
-        """Finalize or retry (record lock held).  Returns client-notify args."""
+    def _settle(self, record: _LiveRecord, result: TaskResult,
+                span_rows: Optional[list] = None,
+                journal_rows: Optional[list] = None):
+        """Finalize or retry (record lock held).  Returns client-notify args.
+
+        With *span_rows*, the retry path's "enqueue" span is appended
+        there for the caller's batched flush (safe: claims only happen
+        on the dispatcher loop thread, so nothing can dispatch the
+        requeued task before the caller flushes).  *journal_rows*
+        batches the result/dlq/requeue WAL records the same way; all
+        of them ride the async flush window either way.
+        """
         # A stolen task settles on its FIRST result, pass or fail: the
         # donor shard owns the retry budget and the DLQ (each task has
         # exactly one home), so retrying or quarantining here would
@@ -1912,11 +2121,16 @@ class LiveDispatcher:
                     outcome="ok" if result.ok else "fail",
                     attempts=record.attempts, executor=result.executor_id,
                 )
-            self._journal_append(
-                "result", record.spec.task_id,
-                outcome="ok" if result.ok else "fail",
-                result=_journal_result(result),
-            )
+            if self.journal is not None:
+                # Guarded block: _journal_result's stripping pass must
+                # cost nothing on journal-less dispatchers.
+                row = {"k": "result", "id": record.spec.task_id,
+                       "outcome": "ok" if result.ok else "fail",
+                       "result": _journal_result(result)}
+                if journal_rows is not None:
+                    journal_rows.append(row)
+                else:
+                    self.journal.append_many([row])
             if not result.ok and not stolen:
                 # Poison task: the retry budget is spent.  The client
                 # still sees the terminal failure (no hanging futures);
@@ -1925,8 +2139,12 @@ class LiveDispatcher:
                 with self._dlq_lock:
                     self._dlq[record.spec.task_id] = self._dlq_entry_from_record(record)
                 self._m_dlq.inc()
-                self._journal_append("dlq", record.spec.task_id,
-                                     error=result.error)
+                if journal_rows is not None:
+                    journal_rows.append({"k": "dlq", "id": record.spec.task_id,
+                                         "error": result.error})
+                else:
+                    self._journal_append("dlq", record.spec.task_id,
+                                         error=result.error)
                 self.events.emit(ev.TASK_DLQ, record.spec.task_id,
                                  attempts=record.attempts, error=result.error)
             return (record.client_id, result)
@@ -1938,14 +2156,24 @@ class LiveDispatcher:
         record.state = TaskState.QUEUED
         record.executor_id = ""
         record.delivered = False
-        self.spans.record(
-            record.spec.task_id, "enqueue", self._now(),
-            attempt=record.attempts + 1, reason="retry",
-        )
+        if span_rows is not None:
+            span_rows.append((
+                record.spec.task_id, "enqueue", self._now(), None,
+                record.attempts + 1, (("reason", "retry"),),
+            ))
+        else:
+            self.spans.record(
+                record.spec.task_id, "enqueue", self._now(),
+                attempt=record.attempts + 1, reason="retry",
+            )
         with self._queue_lock:
             self._queue.append(record.spec.task_id)
-        self._journal_append("requeue", record.spec.task_id,
-                             attempt=record.attempts)
+        if journal_rows is not None and self.journal is not None:
+            journal_rows.append({"k": "requeue", "id": record.spec.task_id,
+                                 "attempt": record.attempts})
+        else:
+            self._journal_append("requeue", record.spec.task_id,
+                                 attempt=record.attempts)
         return None
 
     def _requeue_dispatched(self, record: _LiveRecord, reason: str):
@@ -2052,16 +2280,17 @@ class LiveDispatcher:
             # client-side future dedupes any re-notify.)  One journal
             # record covers the whole frame — ``ids`` keeps the hot
             # path at one append per flush, not one per task.
-            for result in results:
-                with self._records_lock:
-                    record = self._records.get(result.task_id)
+            acked_ids = [result.task_id for result in results]
+            with self._records_lock:
+                acked_records = [self._records.get(task_id)
+                                 for task_id in acked_ids]
+            for record in acked_records:
                 if record is not None:
                     with record.lock:
                         record.acked = True
-            self._journal_append(
-                "acked", "", ids=[result.task_id for result in results]
-            )
-            self._evict_settled([result.task_id for result in results])
+            if self.journal is not None:
+                self._journal_append("acked", "", ids=acked_ids)
+            self._evict_settled(acked_ids)
 
     def _evict_settled(self, acked_ids: list[str]) -> None:
         """Enforce ``retain_settled``: drop the oldest acked, settled,
@@ -2203,10 +2432,13 @@ class _Session:
         MessageType.STEAL_REQUEST: LiveDispatcher._on_steal_request,
     }
 
-    def __init__(self, dispatcher: LiveDispatcher, sock: socket.socket) -> None:
+    def __init__(self, dispatcher: LiveDispatcher, sock: socket.socket,
+                 loop: Optional["IOLoop"] = None) -> None:
         self.dispatcher = dispatcher
         self.role: Optional[tuple[str, str]] = None
         name = f"session-{next(dispatcher._session_seq)}"
+        if loop is None:
+            loop = dispatcher._loops.next_loop()
         if dispatcher.fault_plan is not None:
             from repro.live.faults import FaultyConnection
 
@@ -2217,7 +2449,7 @@ class _Session:
                 key=dispatcher.key,
                 name=name,
                 plan=dispatcher.fault_plan,
-                loop=dispatcher._loop,
+                loop=loop,
             )
         else:
             self.conn = Connection(
@@ -2226,7 +2458,7 @@ class _Session:
                 on_close=lambda: dispatcher._session_closed(self),
                 key=dispatcher.key,
                 name=name,
-                loop=dispatcher._loop,
+                loop=loop,
             )
 
     def start(self) -> None:

@@ -10,14 +10,15 @@ takes.
 
 ``Endpoint`` deliberately iterates like the legacy 2-tuple, so it can
 be handed straight to ``socket.create_connection`` and to any code
-still unpacking ``host, port = address``.  Constructors that used to
-take tuples now accept either form through :func:`as_endpoint`; the
-bare-tuple spelling is deprecated (one-release shim) and warns.
+still unpacking ``host, port = address``.  Constructors take an
+:class:`Endpoint` or a URL/``host:port`` string through
+:func:`as_endpoint`; the bare-tuple spelling went through its
+one-release deprecation shim and is now rejected (``Endpoint.parse``
+keeps coercing tuples for data-shaped inputs like shard lists).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
@@ -111,30 +112,26 @@ class Endpoint:
         return self.url
 
 
-EndpointLike = Union[Endpoint, str, tuple, list]
+EndpointLike = Union[Endpoint, str]
 
 
 def as_endpoint(value: EndpointLike, owner: str = "this constructor") -> Endpoint:
     """Coerce an address argument to an :class:`Endpoint`.
 
-    Accepts an :class:`Endpoint`, a ``falkon://host:port`` /
-    ``host:port`` string, or the legacy ``(host, port)`` tuple.  The
-    tuple form is a one-release deprecation shim: it still works but
-    warns, so callers migrate before the tuple kwargs disappear.
+    Accepts an :class:`Endpoint` or a ``falkon://host:port`` /
+    ``host:port`` string.  The legacy ``(host, port)`` tuple spelling
+    completed its one-release deprecation and is rejected with a
+    pointed error so stragglers get a migration hint, not a confusing
+    parse failure.
     """
     if isinstance(value, Endpoint):
         return value
     if isinstance(value, str):
         return Endpoint.parse(value)
-    if isinstance(value, (tuple, list)) and len(value) == 2:
-        warnings.warn(
-            f"passing a (host, port) tuple to {owner} is deprecated; "
-            "pass an Endpoint or a 'falkon://host:port' string",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        host, port = value
-        return Endpoint(str(host), int(port))
+    if isinstance(value, (tuple, list)):
+        raise TypeError(
+            f"passing a (host, port) tuple to {owner} is no longer "
+            "supported; pass an Endpoint or a 'falkon://host:port' string")
     raise TypeError(
-        f"cannot use {value!r} as an endpoint (want Endpoint, "
-        "'falkon://host:port', or a legacy (host, port) tuple)")
+        f"cannot use {value!r} as an endpoint (want Endpoint or "
+        "'falkon://host:port')")

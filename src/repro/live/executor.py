@@ -44,6 +44,7 @@ import time
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.live.endpoint import EndpointLike, as_endpoint
+from repro.live.ioloop import IOLoopGroup
 from repro.live.protocol import Connection, result_to_dict, task_from_dict
 from repro.net.message import Message, MessageType
 from repro.obs import ExecutorStats, MetricsRegistry
@@ -86,6 +87,8 @@ class LiveExecutor:
         fault_plan: Optional["FaultPlan"] = None,
         pipeline: int = 1,
         heartbeat_stats: bool = True,
+        io_threads: int = 1,
+        wire_binary: bool = True,
     ) -> None:
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive when set")
@@ -97,9 +100,9 @@ class LiveExecutor:
             raise ValueError("need 0 < backoff_base <= backoff_cap")
         if pipeline < 1:
             raise ValueError("pipeline must be >= 1")
-        #: The dispatcher's address as an :class:`Endpoint`; a legacy
-        #: ``(host, port)`` tuple still works but warns (one-release
-        #: deprecation shim).
+        #: The dispatcher's address as an :class:`Endpoint` (accepts a
+        #: ``falkon://host:port`` / ``host:port`` string; the legacy
+        #: tuple spelling is gone).
         self.endpoint = as_endpoint(address, owner="LiveExecutor")
         self.address = self.endpoint.address
         self.key = key
@@ -119,6 +122,15 @@ class LiveExecutor:
         #: Piggy-back stats on HEARTBEAT frames (set False to emulate a
         #: v1 peer that sends bare heartbeats).
         self.heartbeat_stats = heartbeat_stats
+        #: Offer the wire v4 binary fast path on REGISTER (``caps:
+        #: ["bin"]``); False emulates a JSON-only v1-v3 peer.
+        self.wire_binary = wire_binary
+        if io_threads < 1:
+            raise ValueError("io_threads must be >= 1")
+        #: Private IOLoopGroup for this agent's sockets; 1 (default)
+        #: keeps the process-wide shared outbound loop.
+        self._io_loops = (IOLoopGroup(io_threads, name=self.executor_id)
+                          if io_threads > 1 else None)
         self.metrics = MetricsRegistry(prefix="executor")
         self._m_executed = self.metrics.counter(
             "tasks_executed", help="Tasks run to a result on this agent")
@@ -221,6 +233,7 @@ class LiveExecutor:
                 name=self.executor_id,
                 plan=self.fault_plan,
                 fault_role="executor",
+                loop=self._io_loops.next_loop() if self._io_loops else None,
             )
         else:
             conn = Connection(
@@ -229,6 +242,7 @@ class LiveExecutor:
                 on_close=on_close,
                 key=self.key,
                 name=self.executor_id,
+                loop=self._io_loops.next_loop() if self._io_loops else None,
             )
         return conn.start()
 
@@ -261,6 +275,12 @@ class LiveExecutor:
                     "executor_id": self.executor_id,
                     "reconnect": registered_once,
                 }
+                if self.wire_binary:
+                    # Offer the wire v4 binary fast path; the flip
+                    # waits for the dispatcher's capability echo on
+                    # REGISTER_ACK, so a JSON-only dispatcher keeps a
+                    # pure-JSON stream in both directions.
+                    register_payload["caps"] = ["bin"]
                 if self.pipeline > 1:
                     # Advertised only when used, so depth-1 agents stay
                     # byte-identical to v1 REGISTER frames.
@@ -321,6 +341,8 @@ class LiveExecutor:
                     except Exception:
                         pass
                 conn.close()
+            if self._io_loops is not None:
+                self._io_loops.stop()
 
     def _loop(self) -> str:
         """Serve one connection; returns why it ended:
@@ -338,6 +360,10 @@ class LiveExecutor:
                 return "closed"
             if msg.type is MessageType.REGISTER_ACK:
                 self._acked_this_conn = True
+                if self.wire_binary and "bin" in (msg.payload.get("caps") or ()):
+                    conn = self._conn
+                    if conn is not None:
+                        conn.wire_v4 = True  # negotiated: flip our sends
                 self._registered.set()
                 if self._unreported:
                     # The dispatcher has now adopted (or superseded) the

@@ -276,6 +276,14 @@ class PeerLink:
                 caps = tuple(c for c in (shard.get("caps") or ())
                              if isinstance(c, str))
                 self._caps = caps
+                # Wire-v4 negotiation, gossip edition: once the peer
+                # advertises "bin" (and we speak it), flip our sends on
+                # this link to binary framing.  Readers always accept
+                # both framings, so each direction flips independently.
+                conn = self._conn
+                if (conn is not None and not conn.wire_v4
+                        and self.dispatcher.wire_binary and "bin" in caps):
+                    conn.wire_v4 = True
                 self.dispatcher._note_peer_depth(
                     self.shard_id, shard.get("stats") or {}, list(caps))
         elif msg.type is MessageType.STEAL_GRANT:
@@ -322,6 +330,7 @@ class ShardRouter:
         max_reconnects: int = 2,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
+        io_threads: int = 1,
     ) -> None:
         self.endpoints = Endpoint.parse_list(endpoints)
         if len({e.url for e in self.endpoints}) != len(self.endpoints):
@@ -334,6 +343,9 @@ class ShardRouter:
             max_reconnects=max_reconnects,
             backoff_base=backoff_base,
             backoff_cap=backoff_cap,
+            # Each shard client shards its socket I/O across this many
+            # selector loops (see docs/PERFORMANCE.md, "Multi-core I/O").
+            io_threads=io_threads,
             # The router owns retarget policy: a SUBMIT_REJECT must
             # surface immediately so the bundle can move shards instead
             # of camping on a full queue.

@@ -21,6 +21,8 @@ import threading
 from typing import Optional
 
 from repro.errors import ProtocolError
+from repro.live.endpoint import Endpoint
+from repro.live.ioloop import IOLoopGroup
 from repro.live.protocol import Connection
 from repro.net.message import Message, MessageType
 
@@ -70,10 +72,18 @@ class LiveForwarder:
         host: str = "127.0.0.1",
         port: int = 0,
         key: Optional[bytes] = None,
+        io_threads: int = 1,
     ) -> None:
         if not dispatcher_addresses:
             raise ValueError("a forwarder needs at least one dispatcher")
+        if io_threads < 1:
+            raise ValueError("io_threads must be >= 1")
         self.key = key
+        #: Private selector loops for upstream sessions; 1 (default)
+        #: keeps the old shared-loop model (see docs/PERFORMANCE.md,
+        #: "Multi-core I/O").
+        self._io_loops = (IOLoopGroup(io_threads, name="forwarder")
+                          if io_threads > 1 else None)
         self._lock = threading.RLock()
         self._clients: dict[str, _UpstreamClient] = {}
         self._task_owner: dict[str, tuple[str, "_Downstream"]] = {}
@@ -92,6 +102,11 @@ class LiveForwarder:
     @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """This forwarder's address as a typed :class:`Endpoint`."""
+        return Endpoint(self.host, self.port)
 
     def per_dispatcher_counts(self) -> list[int]:
         """Cumulative tasks routed to each downstream dispatcher."""
@@ -112,6 +127,8 @@ class LiveForwarder:
             clients = list(self._clients.values())
         for client in clients:
             client.conn.close()
+        if self._io_loops is not None:
+            self._io_loops.stop()
 
     def __enter__(self) -> "LiveForwarder":
         return self
@@ -127,7 +144,9 @@ class LiveForwarder:
             except OSError:
                 return
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            session = _ForwarderSession(self, sock)
+            loop = (self._io_loops.next_loop()
+                    if self._io_loops is not None else None)
+            session = _ForwarderSession(self, sock, loop=loop)
             session.conn.start()
 
     def _on_create_instance(self, session: "_ForwarderSession") -> None:
@@ -210,7 +229,8 @@ class LiveForwarder:
 
 
 class _ForwarderSession:
-    def __init__(self, forwarder: LiveForwarder, sock: socket.socket) -> None:
+    def __init__(self, forwarder: LiveForwarder, sock: socket.socket,
+                 loop=None) -> None:
         self.forwarder = forwarder
         self.client_id: Optional[str] = None
         self.conn = Connection(
@@ -219,6 +239,7 @@ class _ForwarderSession:
             on_close=lambda: forwarder._session_closed(self),
             key=forwarder.key,
             name="fwd-session",
+            loop=loop,
         )
 
     def _handle(self, msg: Message) -> None:

@@ -104,6 +104,8 @@ class LocalFalkon:
         queue_limit: Optional[int] = None,
         journal_compact_every: int = 50_000,
         retain_settled: Optional[int] = None,
+        io_threads: int = 1,
+        wire_binary: bool = True,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
@@ -127,6 +129,8 @@ class LocalFalkon:
             queue_limit=queue_limit,
             journal_compact_every=journal_compact_every,
             retain_settled=retain_settled,
+            io_threads=io_threads,
+            wire_binary=wire_binary,
         )
         self.http = None
         self.python_registry = python_registry or {}
@@ -145,6 +149,7 @@ class LocalFalkon:
                     heartbeat_interval=heartbeat_interval,
                     pipeline=pipeline_depth,
                     heartbeat_stats=heartbeat_stats,
+                    wire_binary=wire_binary,
                     **kw,
                 ),
             ).start()
@@ -157,11 +162,13 @@ class LocalFalkon:
                     heartbeat_interval=heartbeat_interval,
                     pipeline=pipeline_depth,
                     heartbeat_stats=heartbeat_stats,
+                    wire_binary=wire_binary,
                 ).start()
                 self.executors.append(executor)
             for executor in self.executors:
                 executor.wait_registered()
-        self.client = LiveClient(self.dispatcher.endpoint, key=key, bundle_size=bundle_size)
+        self.client = LiveClient(self.dispatcher.endpoint, key=key,
+                                 bundle_size=bundle_size, wire_binary=wire_binary)
         if http_port is not None:
             # Started last: the registries closure re-reads the pool on
             # every scrape, so provisioned executors appear without

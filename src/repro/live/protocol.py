@@ -20,6 +20,7 @@ coalesced into a single syscall.
 
 from __future__ import annotations
 
+import json
 import math
 import socket
 import threading
@@ -29,7 +30,7 @@ from typing import Any, Callable, Mapping, Optional
 from repro.errors import ProtocolError
 from repro.live.ioloop import IOLoop, default_loop
 from repro.net.message import Message
-from repro.net.wire import FrameReader, encode_frame
+from repro.net.wire import FrameReader, encode_frame, encode_message_v4
 from repro.types import DataLocation, DataRef, TaskResult, TaskSpec
 
 __all__ = [
@@ -70,16 +71,46 @@ def task_to_dict(task: TaskSpec) -> dict[str, Any]:
 
 
 def task_from_dict(data: dict[str, Any]) -> TaskSpec:
-    """Parse a wire dict back into a :class:`TaskSpec`."""
+    """Parse a wire dict back into a :class:`TaskSpec`.
+
+    The empty-collection fast paths matter: this runs twice per task
+    (dispatcher admission, executor delivery) and the common spec has
+    no env/reads/writes — three generator round trips for nothing.
+    """
+    try:
+        # Dense fast path: our own task_to_dict always emits every key,
+        # and subscripting beats ten bound-method .get() calls on a
+        # path that runs twice per task.
+        env = data["env"]
+        reads = data["reads"]
+        writes = data["writes"]
+        return TaskSpec(
+            task_id=data["task_id"],
+            command=data["command"],
+            args=tuple(data["args"]),
+            working_dir=data["working_dir"],
+            env=tuple(tuple(pair) for pair in env) if env else (),
+            duration=data["duration"],
+            reads=tuple(_ref_from_dict(r) for r in reads) if reads else (),
+            writes=tuple(_ref_from_dict(r) for r in writes) if writes else (),
+            runtime_estimate=data["runtime_estimate"],
+            stage=data["stage"],
+        )
+    except KeyError:
+        pass
+    # Sparse peer dict (older/minimal encoders): tolerate missing keys.
+    env = data.get("env")
+    reads = data.get("reads")
+    writes = data.get("writes")
     return TaskSpec(
         task_id=data["task_id"],
         command=data.get("command", "sleep"),
         args=tuple(data.get("args", ())),
         working_dir=data.get("working_dir", "."),
-        env=tuple(tuple(pair) for pair in data.get("env", ())),
+        env=tuple(tuple(pair) for pair in env) if env else (),
         duration=data.get("duration", 0.0),
-        reads=tuple(_ref_from_dict(r) for r in data.get("reads", ())),
-        writes=tuple(_ref_from_dict(r) for r in data.get("writes", ())),
+        reads=tuple(_ref_from_dict(r) for r in reads) if reads else (),
+        writes=tuple(_ref_from_dict(r) for r in writes) if writes else (),
         runtime_estimate=data.get("runtime_estimate"),
         stage=data.get("stage", ""),
     )
@@ -100,6 +131,20 @@ def result_to_dict(result: TaskResult) -> dict[str, Any]:
 
 
 def result_from_dict(data: dict[str, Any]) -> TaskResult:
+    try:
+        # Dense fast path mirroring task_from_dict: result_to_dict
+        # always emits every key.
+        return TaskResult(
+            task_id=data["task_id"],
+            return_code=data["return_code"],
+            stdout=data["stdout"],
+            stderr=data["stderr"],
+            executor_id=data["executor_id"],
+            error=data["error"],
+            attempts=data["attempts"],
+        )
+    except KeyError:
+        pass
     return TaskResult(
         task_id=data["task_id"],
         return_code=data.get("return_code", 0),
@@ -169,6 +214,11 @@ class Connection:
         self.on_close = on_close
         self.key = key
         self.name = name
+        #: Send framing for this connection.  Starts False (JSON) and
+        #: flips to True after the wire-v4 ``"bin"`` capability is
+        #: negotiated for this direction; the reader always accepts
+        #: both framings, so each direction may flip independently.
+        self.wire_v4 = False
         self._loop = loop
         self._reader = FrameReader(key=key)
         self._out: deque[bytes] = deque()
@@ -189,8 +239,33 @@ class Connection:
     def closed(self) -> bool:
         return self._closed.is_set()
 
-    def send(self, message: Message) -> None:
-        """Frame, sign (if keyed) and transmit *message*."""
+    def send(self, message: Message, blobs: Optional[dict[str, Any]] = None) -> None:
+        """Frame, sign (if keyed) and transmit *message*.
+
+        *blobs* carries pre-encoded JSON payload values (see
+        :func:`repro.net.wire.encode_message_v4`).  On a binary
+        connection they are spliced into the frame verbatim; on a JSON
+        connection they are parsed back into the payload — correctness
+        is framing-independent, only the cost differs.
+
+        Measured on CPython (see docs/PERFORMANCE.md): the v4 win
+        comes from skipping ``to_dict``/``sort_keys`` on encode and —
+        decisively, when keyed — verifying a raw HMAC instead of
+        re-canonicalising the body, so v4 framing is used for every
+        frame once negotiated.
+        """
+        if self.wire_v4:
+            self.send_encoded(encode_message_v4(message, key=self.key, blobs=blobs))
+            return
+        if blobs:
+            payload = dict(message.payload)
+            for bkey, value in blobs.items():
+                if isinstance(value, (bytes, bytearray, memoryview)):
+                    payload[bkey] = json.loads(bytes(value))
+                else:
+                    payload[bkey] = [json.loads(bytes(v)) for v in value]
+            message = Message(message.type, message.sender, payload,
+                              message.msg_id, message.trace)
         self.send_encoded(encode_frame(message.to_dict(), key=self.key))
 
     def send_encoded(self, frame: bytes) -> None:
@@ -281,7 +356,10 @@ class Connection:
             return
         try:
             for payload in self._reader.feed(chunk):
-                self.handler(Message.from_dict(payload))
+                if payload.__class__ is Message:
+                    self.handler(payload)  # wire-v4 frames decode directly
+                else:
+                    self.handler(Message.from_dict(payload))
         except ProtocolError:
             self.close()  # tampered/garbled stream: drop the connection
         except Exception:

@@ -46,9 +46,9 @@ class LocalProvisioner:
             raise ValueError("timeouts must be positive")
         if max_reconnects < 0:
             raise ValueError("max_reconnects must be >= 0")
-        #: The dispatcher's address as an :class:`Endpoint`; a legacy
-        #: ``(host, port)`` tuple still works but warns (one-release
-        #: deprecation shim).
+        #: The dispatcher's address as an :class:`Endpoint` (accepts a
+        #: ``falkon://host:port`` / ``host:port`` string; the legacy
+        #: tuple spelling is gone).
         self.endpoint = as_endpoint(address, owner="LocalProvisioner")
         self.address = self.endpoint.address
         self.key = key

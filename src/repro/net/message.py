@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
 
-__all__ = ["PROTOCOL_VERSION", "MessageType", "Message"]
+__all__ = ["PROTOCOL_VERSION", "MessageType", "Message", "WIRE_CODES", "CODE_TO_TYPE"]
 
 #: Wire protocol version.  v2 adds the optional compact trace-context
 #: field (``trace: {tid, sid}``) that rides WORK / RESULT_ACK / RESULT
@@ -42,7 +42,18 @@ __all__ = ["PROTOCOL_VERSION", "MessageType", "Message"]
 #: HEARTBEAT (unregistered sessions cannot mint state), never replies
 #: with a capability, and therefore never sees a STEAL frame — v2
 #: peers interoperate untouched.
-PROTOCOL_VERSION = 3
+#:
+#: v4 adds a compact binary framing (``docs/PROTOCOL.md`` §wire-v4): a
+#: struct-packed fixed header (magic ``0xFB``, version, message-type
+#: code, flags, body length), a raw-bytes HMAC instead of the JSON
+#: signature envelope, and opaque pre-encoded payload blobs so the
+#: SUBMIT → WORK → RESULT → RESULT_ACK hot loop never re-serialises a
+#: task spec.  Binary framing is capability-negotiated per connection
+#: (``"bin"`` in REGISTER / CREATE_INSTANCE / shard-gossip caps, same
+#: pattern as v3's ``"steal"``); a v1–v3 JSON peer never advertises it
+#: and keeps speaking length-prefixed JSON on the same port — the
+#: first frame byte (``0xFB`` vs a length ≤ ``0x03``) disambiguates.
+PROTOCOL_VERSION = 4
 
 _msg_counter = itertools.count(1)
 
@@ -95,6 +106,42 @@ class MessageType(Enum):
     ERROR = "error"
 
 
+#: Stable numeric codes for the wire-v4 binary header.  Codes are part
+#: of the protocol: once assigned they are never renumbered, and new
+#: message kinds append at the end.  A v4 frame whose code is absent
+#: here is a :class:`repro.errors.ProtocolError` at the decoder.
+WIRE_CODES: dict[MessageType, int] = {
+    MessageType.CREATE_INSTANCE: 1,
+    MessageType.INSTANCE_CREATED: 2,
+    MessageType.DESTROY_INSTANCE: 3,
+    MessageType.SUBMIT: 4,
+    MessageType.SUBMIT_ACK: 5,
+    MessageType.SUBMIT_REJECT: 6,
+    MessageType.CLIENT_NOTIFY: 7,
+    MessageType.GET_RESULTS: 8,
+    MessageType.RESULTS: 9,
+    MessageType.REGISTER: 10,
+    MessageType.REGISTER_ACK: 11,
+    MessageType.DEREGISTER: 12,
+    MessageType.HEARTBEAT: 13,
+    MessageType.NOTIFY: 14,
+    MessageType.GET_WORK: 15,
+    MessageType.WORK: 16,
+    MessageType.NO_WORK: 17,
+    MessageType.RESULT: 18,
+    MessageType.RESULT_ACK: 19,
+    MessageType.STATUS: 20,
+    MessageType.STATUS_REPLY: 21,
+    MessageType.STEAL_REQUEST: 22,
+    MessageType.STEAL_GRANT: 23,
+    MessageType.SHUTDOWN: 24,
+    MessageType.ERROR: 25,
+}
+
+#: Inverse of :data:`WIRE_CODES` (decoder side).
+CODE_TO_TYPE: dict[int, MessageType] = {code: t for t, code in WIRE_CODES.items()}
+
+
 @dataclass
 class Message:
     """One protocol message.
@@ -110,6 +157,12 @@ class Message:
     #: Optional compact trace context ``{"tid": str, "sid": int}``
     #: (protocol v2); ``None`` on untraced frames and v1 peers.
     trace: Optional[dict[str, Any]] = None
+    #: Raw pre-encoded JSON bytes for payload values that arrived as
+    #: wire-v4 blobs: ``{key: bytes}`` or ``{key: [bytes, ...]}`` for
+    #: list-valued blobs.  Receivers use these to cache or re-splice a
+    #: value (e.g. a task spec) without ever re-serialising it; never
+    #: present on JSON-framed messages and excluded from ``to_dict``.
+    blobs: Optional[dict[str, Any]] = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
         """Serialise for the wire."""

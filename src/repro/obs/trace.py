@@ -111,13 +111,36 @@ class Span:
 
 
 class _Trace:
-    __slots__ = ("trace_id", "task_id", "spans", "last_span_id")
+    """Span rows are stored as plain tuples ``(span_id, parent_id,
+    name, attempt, start, end, attrs_items)`` and materialised into
+    :class:`Span` objects only on query — recording happens seven
+    times per task on the dispatch hot path, reading a handful of
+    times per run, so construction cost belongs on the read side."""
+
+    __slots__ = ("trace_id", "task_id", "rows", "last_span_id", "last_start")
 
     def __init__(self, trace_id: str, task_id: str) -> None:
         self.trace_id = trace_id
         self.task_id = task_id
-        self.spans: list[Span] = []
+        self.rows: list[tuple] = []
         self.last_span_id = 0
+        self.last_start = 0.0
+
+    def materialise(self) -> list[Span]:
+        return [
+            Span(
+                trace_id=self.trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                task_id=self.task_id,
+                attempt=attempt,
+                start=start,
+                end=end,
+                attrs=tuple(sorted(attrs)),
+            )
+            for span_id, parent_id, name, attempt, start, end, attrs in self.rows
+        ]
 
 
 class SpanCollector:
@@ -140,14 +163,23 @@ class SpanCollector:
     def begin(self, task_id: str) -> str:
         """Open (or reuse) the trace for *task_id*; returns its trace id."""
         with self._lock:
-            trace = self._traces.get(task_id)
-            if trace is None:
-                trace = _Trace(_new_trace_id(task_id), task_id)
-                self._traces[task_id] = trace
-                while len(self._traces) > self.capacity:
-                    self._traces.popitem(last=False)
-                    self.traces_evicted += 1
-            return trace.trace_id
+            return self._begin_locked(task_id)
+
+    def begin_many(self, task_ids: Iterable[str]) -> None:
+        """Open traces for a whole bundle under one lock round trip."""
+        with self._lock:
+            for task_id in task_ids:
+                self._begin_locked(task_id)
+
+    def _begin_locked(self, task_id: str) -> str:
+        trace = self._traces.get(task_id)
+        if trace is None:
+            trace = _Trace(_new_trace_id(task_id), task_id)
+            self._traces[task_id] = trace
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self.traces_evicted += 1
+        return trace.trace_id
 
     def record(
         self,
@@ -168,49 +200,76 @@ class SpanCollector:
         if name not in _SPAN_RANK:
             raise ValueError(f"unknown span name {name!r} (expected one of {SPAN_ORDER})")
         with self._lock:
-            trace = self._traces.get(task_id)
-            if trace is None:
-                return None
-            span_id = trace.last_span_id = trace.last_span_id + 1
-            parent = trace.spans[-1].span_id if trace.spans else None
-            if trace.spans:
-                # Chains are causal: a span anchored on another clock
-                # (the executor-measured exec window) must not rewind
-                # behind its predecessor.
-                floor = trace.spans[-1].start
-                if start < floor:
-                    if end is not None:
-                        end = max(end, floor)
-                    start = floor
-            span = Span(
-                trace_id=trace.trace_id,
-                span_id=span_id,
-                parent_id=parent,
-                name=name,
-                task_id=task_id,
-                attempt=attempt,
-                start=start,
-                end=start if end is None else end,
-                attrs=tuple(sorted(attrs.items())),
-            )
-            trace.spans.append(span)
-            self.spans_recorded += 1
-            return TraceContext(trace.trace_id, span_id)
+            return self._record_locked(task_id, name, start, end, attempt,
+                                       tuple(attrs.items()))
+
+    def record_many(
+        self,
+        rows: Iterable[tuple],
+    ) -> list[Optional[TraceContext]]:
+        """Append many spans under one lock round trip.
+
+        Each row is ``(task_id, name, start, end, attempt, attrs_items)``
+        with *attrs_items* a tuple of key/value pairs.  Rows append in
+        order (chain order = row order); the returned contexts line up
+        with the rows (``None`` for unknown tasks, as in :meth:`record`).
+        """
+        out: list[Optional[TraceContext]] = []
+        with self._lock:
+            for task_id, name, start, end, attempt, attrs_items in rows:
+                if name not in _SPAN_RANK:
+                    raise ValueError(
+                        f"unknown span name {name!r} (expected one of {SPAN_ORDER})")
+                out.append(self._record_locked(
+                    task_id, name, start, end, attempt, tuple(attrs_items)))
+        return out
+
+    def _record_locked(
+        self,
+        task_id: str,
+        name: str,
+        start: float,
+        end: Optional[float],
+        attempt: int,
+        attrs_items: tuple,
+    ) -> Optional[TraceContext]:
+        trace = self._traces.get(task_id)
+        if trace is None:
+            return None
+        span_id = trace.last_span_id = trace.last_span_id + 1
+        parent = span_id - 1 if span_id > 1 else None
+        if trace.rows:
+            # Chains are causal: a span anchored on another clock
+            # (the executor-measured exec window) must not rewind
+            # behind its predecessor.
+            floor = trace.last_start
+            if start < floor:
+                if end is not None:
+                    end = max(end, floor)
+                start = floor
+        trace.last_start = start
+        trace.rows.append((
+            span_id, parent, name, attempt,
+            start, start if end is None else end,
+            attrs_items,
+        ))
+        self.spans_recorded += 1
+        return TraceContext(trace.trace_id, span_id)
 
     # -- queries -------------------------------------------------------------
     def chain(self, task_id: str) -> list[Span]:
         """The ordered span chain for *task_id* (empty if unknown)."""
         with self._lock:
             trace = self._traces.get(task_id)
-            return list(trace.spans) if trace is not None else []
+            return trace.materialise() if trace is not None else []
 
     def context(self, task_id: str) -> Optional[TraceContext]:
         """Context of the most recent span of *task_id*."""
         with self._lock:
             trace = self._traces.get(task_id)
-            if trace is None or not trace.spans:
+            if trace is None or not trace.rows:
                 return None
-            return TraceContext(trace.trace_id, trace.spans[-1].span_id)
+            return TraceContext(trace.trace_id, trace.last_span_id)
 
     def task_ids(self) -> list[str]:
         with self._lock:
@@ -223,7 +282,8 @@ class SpanCollector:
     def all_spans(self) -> list[Span]:
         """Every buffered span, grouped by trace, chain-ordered."""
         with self._lock:
-            return [span for trace in self._traces.values() for span in trace.spans]
+            traces = list(self._traces.values())
+        return [span for trace in traces for span in trace.materialise()]
 
     # -- validation ----------------------------------------------------------
     def chain_complete(self, task_id: str) -> bool:

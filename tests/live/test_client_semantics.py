@@ -26,7 +26,7 @@ def spec(task_id):
 # ---------------------------------------------------------------- bundles
 def test_duplicate_within_bundle_registers_nothing():
     disp = LiveDispatcher()
-    client = LiveClient(disp.address)
+    client = LiveClient(disp.endpoint)
     try:
         with pytest.raises(ValueError, match="duplicate task id"):
             client.submit([spec("a"), spec("b"), spec("a")])
@@ -40,7 +40,7 @@ def test_duplicate_within_bundle_registers_nothing():
 
 def test_duplicate_against_prior_submission_rejected_atomically():
     disp = LiveDispatcher()
-    client = LiveClient(disp.address)
+    client = LiveClient(disp.endpoint)
     try:
         client.submit(spec("a"))
         with pytest.raises(ValueError, match="already submitted"):
@@ -56,7 +56,7 @@ def test_duplicate_against_prior_submission_rejected_atomically():
 
 def test_rejected_bundle_reaches_dispatcher_never():
     disp = LiveDispatcher()
-    client = LiveClient(disp.address)
+    client = LiveClient(disp.endpoint)
     try:
         with pytest.raises(ValueError):
             client.submit([spec("x"), spec("x")])

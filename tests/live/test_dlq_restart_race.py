@@ -33,10 +33,10 @@ def quarantine_one(journal_dir: str, healed: dict, task_id: str = "race-1"):
     """Run one flaky task into the DLQ; returns the closed dispatcher's
     port with the journal holding submit → failures → dlq."""
     disp = LiveDispatcher(journal_dir=journal_dir, max_retries=1)
-    executor = LiveExecutor(disp.address,
+    executor = LiveExecutor(disp.endpoint,
                             python_registry=flaky_registry(healed)).start()
     executor.wait_registered()
-    client = LiveClient(disp.address)
+    client = LiveClient(disp.endpoint)
     future = client.submit(TaskSpec(task_id=task_id, command="python:flaky"))
     result = future.result(timeout=30.0)
     assert not result.ok
@@ -77,7 +77,7 @@ def test_retry_journalled_then_crash_task_survives_once(tmp_path):
     assert not state.tasks["race-1"].in_dlq
 
     successor = LiveDispatcher(journal_dir=journal_dir)
-    executor = LiveExecutor(successor.address,
+    executor = LiveExecutor(successor.endpoint,
                             python_registry=flaky_registry(healed)).start()
     try:
         executor.wait_registered()
@@ -106,7 +106,7 @@ def test_crash_then_retry_over_http_completes_once(tmp_path):
     successor = LiveDispatcher(journal_dir=journal_dir)
     http = successor.serve_http(port=0)
     base = f"http://127.0.0.1:{http.port}"
-    executor = LiveExecutor(successor.address,
+    executor = LiveExecutor(successor.endpoint,
                             python_registry=flaky_registry(healed)).start()
     try:
         executor.wait_registered()
@@ -146,7 +146,7 @@ def test_crash_then_retry_via_cli(tmp_path, capsys):
     successor = LiveDispatcher(journal_dir=journal_dir)
     http = successor.serve_http(port=0)
     base = f"http://127.0.0.1:{http.port}"
-    executor = LiveExecutor(successor.address,
+    executor = LiveExecutor(successor.endpoint,
                             python_registry=flaky_registry(healed)).start()
     try:
         executor.wait_registered()

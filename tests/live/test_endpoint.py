@@ -54,17 +54,25 @@ class TestTupleCompatibility:
         assert len({a, b, Endpoint("a", 1)}) == 2
 
 
-class TestDeprecationShim:
-    def test_tuple_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            ep = as_endpoint(("h", 5), owner="TestOwner")
-        assert ep == Endpoint("h", 5)
+class TestTupleRemoval:
+    """The (host, port) shim served its one-release deprecation window
+    and is gone: constructor addresses must be Endpoints or URL
+    strings, and tuples are rejected with a migration hint."""
+
+    def test_tuple_raises_with_migration_hint(self):
+        with pytest.raises(TypeError, match="no longer supported"):
+            as_endpoint(("h", 5), owner="TestOwner")
 
     def test_endpoint_and_url_pass_silently(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert as_endpoint(Endpoint("h", 5)) == Endpoint("h", 5)
             assert as_endpoint("falkon://h:5") == Endpoint("h", 5)
+            assert as_endpoint("h:5") == Endpoint("h", 5)
+
+    def test_non_address_raises(self):
+        with pytest.raises(TypeError):
+            as_endpoint(42)
 
     def test_live_client_accepts_endpoint_without_warning(self):
         from repro.live import LiveDispatcher, LiveClient
@@ -78,13 +86,12 @@ class TestDeprecationShim:
         finally:
             disp.close()
 
-    def test_live_client_tuple_warns(self):
+    def test_live_client_rejects_tuple(self):
         from repro.live import LiveDispatcher, LiveClient
 
         disp = LiveDispatcher()
         try:
-            with pytest.warns(DeprecationWarning):
-                client = LiveClient(disp.address)
-            client.close()
+            with pytest.raises(TypeError, match="no longer supported"):
+                LiveClient(disp.address)
         finally:
             disp.close()

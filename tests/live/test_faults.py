@@ -151,12 +151,12 @@ def test_heartbeats_keep_slow_executor_alive():
         heartbeat_interval=0.1, heartbeat_miss_budget=3, monitor_interval=0.05
     )
     executor = LiveExecutor(
-        dispatcher.address, python_registry=registry, heartbeat_interval=0.1
+        dispatcher.endpoint, python_registry=registry, heartbeat_interval=0.1
     ).start()
     client = None
     try:
         assert executor.wait_registered()
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         # The task runs 0.8s — far past the 0.3s miss deadline; the
         # heartbeat side-thread is what distinguishes slow from dead.
         result = client.run([TaskSpec(task_id="slow-1", command="python:slow")], timeout=15)[0]
@@ -178,7 +178,7 @@ def test_executor_killed_mid_task_is_redispatched_and_completes():
     try:
         victim = RawPeer(dispatcher.address)
         victim.register("victim")
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit([TaskSpec.sleep(0.0, task_id="redispatch-1")])
         # Pull the task, then die without ever answering.
         victim.recv_until(MessageType.NOTIFY)
@@ -187,7 +187,7 @@ def test_executor_killed_mid_task_is_redispatched_and_completes():
         assert work.payload["task"]["task_id"] == "redispatch-1"
         victim.close()
         assert wait_until(lambda: dispatcher.stats().registered == 0, timeout=5.0)
-        backup = LiveExecutor(dispatcher.address).start()
+        backup = LiveExecutor(dispatcher.endpoint).start()
         result = futures[0].result(timeout=15)
         assert result.ok
         assert result.attempts == 2
@@ -226,7 +226,7 @@ def test_replay_timeout_redispatches_lost_work():
     try:
         lossy = RawPeer(dispatcher.address)
         lossy.register("lossy")
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit([TaskSpec.sleep(0.0, task_id="lost-work-1")])
         # Pull explicitly (the NOTIFY was dropped too): the dispatcher
         # marks the task dispatched, but the WORK frame never arrives.
@@ -234,7 +234,7 @@ def test_replay_timeout_redispatches_lost_work():
         assert wait_until(lambda: dispatcher.stats().retries >= 1, timeout=10.0)
         lossy.close()
         plan.drop_rate = 0.0  # the rescuer's frames get through
-        rescuer = LiveExecutor(dispatcher.address).start()
+        rescuer = LiveExecutor(dispatcher.endpoint).start()
         result = futures[0].result(timeout=20)
         assert result.ok
         assert dispatcher.stats().frames_dropped >= 1
@@ -250,7 +250,7 @@ def test_replay_timeout_redispatches_lost_work():
 def test_executor_reconnects_with_backoff_and_supersedes():
     dispatcher = LiveDispatcher()
     executor = LiveExecutor(
-        dispatcher.address, executor_id="phoenix", max_reconnects=5, backoff_base=0.02
+        dispatcher.endpoint, executor_id="phoenix", max_reconnects=5, backoff_base=0.02
     ).start()
     client = None
     try:
@@ -262,7 +262,7 @@ def test_executor_reconnects_with_backoff_and_supersedes():
             timeout=10.0,
         )
         assert dispatcher.stats().reconnects >= 1
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         result = client.run([TaskSpec.sleep(0.0, task_id="post-reconnect")], timeout=15)[0]
         assert result.ok
         assert result.executor_id == "phoenix"
@@ -275,7 +275,7 @@ def test_executor_reconnects_with_backoff_and_supersedes():
 
 def test_client_reconnects_resumes_instance_and_backfills():
     with LocalFalkon(executors=2) as falkon:
-        client = LiveClient(falkon.dispatcher.address, backoff_base=0.02)
+        client = LiveClient(falkon.dispatcher.endpoint, backoff_base=0.02)
         try:
             first = client.run([TaskSpec.sleep(0.0, task_id="pre-drop")], timeout=15)[0]
             assert first.ok
@@ -292,7 +292,7 @@ def test_client_reconnects_resumes_instance_and_backfills():
 
 def test_client_reconnect_exhaustion_fails_futures():
     dispatcher = LiveDispatcher()
-    client = LiveClient(dispatcher.address, max_reconnects=2, backoff_base=0.02)
+    client = LiveClient(dispatcher.endpoint, max_reconnects=2, backoff_base=0.02)
     # No executors: the future stays pending when the dispatcher dies.
     futures = client.submit([TaskSpec.sleep(0.0, task_id="orphaned")])
     dispatcher.close()
@@ -313,7 +313,7 @@ def test_ack_send_failure_does_not_charge_retry_or_attempt():
     try:
         worker = RawPeer(dispatcher.address)
         worker.register("fragile")
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit(
             [TaskSpec.sleep(0.0, task_id="done-task"), TaskSpec.sleep(0.0, task_id="piggy-task")]
         )
@@ -355,7 +355,7 @@ def test_ack_send_failure_does_not_charge_retry_or_attempt():
         stats = dispatcher.stats()
         assert stats.failed == 0
         assert stats.retries == 0
-        rescuer = LiveExecutor(dispatcher.address).start()
+        rescuer = LiveExecutor(dispatcher.endpoint).start()
         result = futures[1].result(timeout=15)
         assert result.ok
         assert result.attempts == 1

@@ -11,7 +11,7 @@ def build_tier(n_dispatchers, executors_each, key=None):
     for _ in range(n_dispatchers):
         dispatcher = LiveDispatcher(key=key)
         for _ in range(executors_each):
-            executor = LiveExecutor(dispatcher.address, key=key).start()
+            executor = LiveExecutor(dispatcher.endpoint, key=key).start()
             assert executor.wait_registered()
             executors.append(executor)
         dispatchers.append(dispatcher)
@@ -32,7 +32,7 @@ def teardown_tier(dispatchers, executors, forwarder=None, client=None):
 def test_forwarder_routes_and_relays_results():
     dispatchers, executors = build_tier(2, 2)
     forwarder = LiveForwarder([d.address for d in dispatchers])
-    client = LiveClient(forwarder.address)
+    client = LiveClient(forwarder.endpoint)
     try:
         tasks = [TaskSpec.sleep(0, task_id=f"fw{i:04d}") for i in range(60)]
         results = client.run(tasks, timeout=60)
@@ -48,7 +48,7 @@ def test_forwarder_routes_and_relays_results():
 def test_forwarder_balances_by_load():
     dispatchers, executors = build_tier(2, 1)
     forwarder = LiveForwarder([d.address for d in dispatchers])
-    client = LiveClient(forwarder.address)
+    client = LiveClient(forwarder.endpoint)
     try:
         tasks = [TaskSpec.sleep(0.05, task_id=f"bal{i:03d}") for i in range(20)]
         results = client.run(tasks, timeout=60)
@@ -63,7 +63,7 @@ def test_forwarder_balances_by_load():
 def test_forwarder_executor_ids_span_dispatchers():
     dispatchers, executors = build_tier(3, 1)
     forwarder = LiveForwarder([d.address for d in dispatchers])
-    client = LiveClient(forwarder.address)
+    client = LiveClient(forwarder.endpoint)
     try:
         tasks = [TaskSpec.sleep(0.02, task_id=f"sp{i:03d}") for i in range(30)]
         results = client.run(tasks, timeout=60)
@@ -77,7 +77,7 @@ def test_forwarder_with_signed_frames():
     key = b"tier-key"
     dispatchers, executors = build_tier(1, 1, key=key)
     forwarder = LiveForwarder([d.address for d in dispatchers], key=key)
-    client = LiveClient(forwarder.address, key=key)
+    client = LiveClient(forwarder.endpoint, key=key)
     try:
         results = client.run([TaskSpec.sleep(0, task_id="sec1")], timeout=30)
         assert results[0].ok

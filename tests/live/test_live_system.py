@@ -90,7 +90,7 @@ def test_secure_mode_round_trip():
 
 def test_unsigned_peer_rejected_by_secure_dispatcher():
     with LocalFalkon(executors=1, security=SecurityMode.GSI_SECURE_CONVERSATION) as falkon:
-        address = falkon.dispatcher.address
+        address = falkon.dispatcher.endpoint
         # A client without the key cannot create an instance.
         from repro.errors import ProtocolError
 
@@ -102,11 +102,11 @@ def test_unsigned_peer_rejected_by_secure_dispatcher():
 def test_executor_crash_replays_task():
     dispatcher = LiveDispatcher(max_retries=3)
     registry = {"slow": lambda: time.sleep(0.4)}
-    victim = LiveExecutor(dispatcher.address, python_registry=registry).start()
+    victim = LiveExecutor(dispatcher.endpoint, python_registry=registry).start()
     assert victim.wait_registered()
-    backup = LiveExecutor(dispatcher.address, python_registry=registry).start()
+    backup = LiveExecutor(dispatcher.endpoint, python_registry=registry).start()
     assert backup.wait_registered()
-    client = LiveClient(dispatcher.address)
+    client = LiveClient(dispatcher.endpoint)
     try:
         futures = client.submit(
             [TaskSpec(task_id=f"c{i}", command="python:slow") for i in range(4)]
@@ -127,7 +127,7 @@ def test_executor_crash_replays_task():
 
 def test_idle_timeout_releases_executor():
     dispatcher = LiveDispatcher()
-    executor = LiveExecutor(dispatcher.address, idle_timeout=0.3).start()
+    executor = LiveExecutor(dispatcher.endpoint, idle_timeout=0.3).start()
     assert executor.wait_registered()
     executor.join(timeout=5.0)
     assert not executor.running
@@ -158,9 +158,9 @@ def test_dispatcher_stats_shape():
 
 def test_duplicate_executor_id_rejected():
     dispatcher = LiveDispatcher()
-    a = LiveExecutor(dispatcher.address, executor_id="dup").start()
+    a = LiveExecutor(dispatcher.endpoint, executor_id="dup").start()
     assert a.wait_registered()
-    b = LiveExecutor(dispatcher.address, executor_id="dup").start()
+    b = LiveExecutor(dispatcher.endpoint, executor_id="dup").start()
     assert b.wait_rejected()
     assert dispatcher.stats().registered == 1
     a.stop()

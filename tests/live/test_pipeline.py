@@ -46,7 +46,7 @@ def test_pipelined_deployment_completes_with_full_traces():
 
 def test_pipelined_work_frame_carries_task_list():
     with LiveDispatcher() as dispatcher:
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit(_sleep_tasks(10, "wl"))
         peer = RawPeer(dispatcher.address)
         try:
@@ -68,7 +68,7 @@ def test_pipelined_work_frame_carries_task_list():
 
 def test_batched_result_settles_all_and_refills_ack():
     with LiveDispatcher() as dispatcher:
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit(_sleep_tasks(8, "br"))
         peer = RawPeer(dispatcher.address)
         try:
@@ -113,7 +113,7 @@ def test_batched_result_settles_all_and_refills_ack():
 
 def test_depth1_peer_keeps_v1_singular_wire_format():
     with LiveDispatcher() as dispatcher:
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit(_sleep_tasks(3, "v1"))
         peer = RawPeer(dispatcher.address)
         try:
@@ -132,7 +132,7 @@ def test_depth1_peer_keeps_v1_singular_wire_format():
 
 def test_advertised_depth_is_capped():
     with LiveDispatcher() as dispatcher:
-        client = LiveClient(dispatcher.address)
+        client = LiveClient(dispatcher.endpoint)
         futures = client.submit(_sleep_tasks(2 * MAX_PIPELINE_DEPTH, "cap"))
         peer = RawPeer(dispatcher.address)
         try:

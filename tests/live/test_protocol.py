@@ -193,7 +193,7 @@ def test_oversized_advertised_length_rejected():
 
 
 def _assert_dispatcher_still_serves(dispatcher: LiveDispatcher) -> None:
-    client = LiveClient(dispatcher.address)
+    client = LiveClient(dispatcher.endpoint)
     try:
         assert client.epr is not None
     finally:

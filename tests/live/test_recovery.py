@@ -43,7 +43,7 @@ def test_restart_recovers_queue_and_results(tmp_path):
     the unfinished tail and keeps finished results queryable."""
     journal_dir = str(tmp_path)
     disp = LiveDispatcher(journal_dir=journal_dir)
-    client = LiveClient(disp.address, max_reconnects=0)
+    client = LiveClient(disp.endpoint, max_reconnects=0)
     client.submit(specs(4, prefix="rq"))
     # No executor: everything is still queued when the dispatcher dies.
     client.close()
@@ -69,9 +69,9 @@ def test_seeded_crash_between_dispatch_and_result_ack(tmp_path):
     plan = FaultPlan(seed=20070607, crash_points={"before-result": 1})
     disp = LiveDispatcher(journal_dir=journal_dir, fault_plan=plan)
     port = disp.address[1]
-    executor = LiveExecutor(disp.address, max_reconnects=100, backoff_base=0.05).start()
+    executor = LiveExecutor(disp.endpoint, max_reconnects=100, backoff_base=0.05).start()
     executor.wait_registered()
-    client = LiveClient(disp.address, max_reconnects=100)
+    client = LiveClient(disp.endpoint, max_reconnects=100)
     disp2 = None
     try:
         futures = client.submit(specs(n, prefix="cr"))
@@ -118,7 +118,7 @@ def test_kill_dash_nine_survives_with_exactly_once_visibility(tmp_path):
     executor = client = None
     try:
         port = int(child.stdout.readline())
-        address = ("127.0.0.1", port)
+        address = f"127.0.0.1:{port}"
         executor = LiveExecutor(address, max_reconnects=200, backoff_base=0.05).start()
         executor.wait_registered()
         client = LiveClient(address, max_reconnects=200)
@@ -175,7 +175,7 @@ def test_submit_rejected_when_journal_cannot_commit(tmp_path):
     disp = LiveDispatcher(journal_dir=str(tmp_path))
     # Model a stalled/failed WAL: commit can no longer confirm.
     disp.journal.commit = lambda timeout=5.0: False
-    client = LiveClient(disp.address, max_submit_retries=0)
+    client = LiveClient(disp.endpoint, max_submit_retries=0)
     try:
         from repro.errors import ProtocolError
 
@@ -254,7 +254,7 @@ def test_executor_stash_resends_unreported_results(tmp_path):
     sent are stashed, echoed on REGISTER, and resent after the ack."""
     _seed_journal(str(tmp_path), "stash-1")
     disp = LiveDispatcher(journal_dir=str(tmp_path))
-    executor = LiveExecutor(disp.address, max_reconnects=10)
+    executor = LiveExecutor(disp.endpoint, max_reconnects=10)
     executor._unreported.append(
         {"result": {"task_id": "stash-1", "return_code": 0}, "attempt": 1,
          "exec": {"seconds": 0.0}}
@@ -337,7 +337,7 @@ def test_overflow_rejected_then_converges():
 
 def test_reject_carries_retry_after_hint():
     disp = LiveDispatcher(queue_limit=2, reject_retry_after=0.5)
-    client = LiveClient(disp.address, max_submit_retries=0, bundle_size=10)
+    client = LiveClient(disp.endpoint, max_submit_retries=0, bundle_size=10)
     try:
         client.submit(specs(2, prefix="fill"))  # fills the queue (no executors)
         from repro.errors import ProtocolError
@@ -354,7 +354,7 @@ def test_resubmission_is_idempotent_per_task_id():
     """A client retrying a SUBMIT whose ack was lost must not
     double-enqueue: the dispatcher dedupes by task id."""
     disp = LiveDispatcher()
-    peer_client = LiveClient(disp.address)
+    peer_client = LiveClient(disp.endpoint)
     try:
         peer_client.submit(specs(3, prefix="dup"))
         # Re-send the same bundle straight over the wire (the client
@@ -373,7 +373,7 @@ def test_duplicate_submit_of_settled_task_renotifies():
     with LocalFalkon(executors=1) as falkon:
         first = falkon.client.submit(specs(1, seconds=0.0, prefix="dup2")[0])
         assert first.result(timeout=10.0).ok
-        late = LiveClient(falkon.dispatcher.address)
+        late = LiveClient(falkon.dispatcher.endpoint)
         try:
             future = late.submit(specs(1, seconds=0.0, prefix="dup2")[0])
             assert future.result(timeout=10.0).ok
