@@ -60,6 +60,13 @@ python -m repro bench --quick --io-microbench --io-threads 4
 echo "== telemetry overhead gate =="
 python -m repro bench --quick --telemetry
 
+# Flight-recorder overhead gate: the recorder + stall watchdogs
+# stacked on the full telemetry plane must stay inside the same 5%
+# budget — no separate allowance.  Same interleaved A/B harness; the
+# measurement merges into BENCH_telemetry.json under "flight".
+echo "== flight recorder overhead gate =="
+python -m repro bench --quick --flight
+
 # Journal overhead gate: crash-safe journalling (docs/RELIABILITY.md)
 # must cost < 10% of sleep-0 throughput.  Paired interleaved rounds,
 # gated on the best adjacent pair; lands in BENCH_journal.json.

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro live --executors 4 --tasks 2000 [--pipeline 32]
     python -m repro live --http-port 8090 --events-out run.jsonl
     python -m repro top --http http://127.0.0.1:8090   # live cluster table
+    python -m repro top --shards http://h:8090    # fleet view via /fleet
+    python -m repro doctor /tmp/flight-dumps/     # post-mortem dump analysis
     python -m repro events replay run.jsonl       # timeline from an event log
     python -m repro bench --quick                 # regression-gated dispatch bench
     python -m repro bench --telemetry             # telemetry overhead budget gate
@@ -108,10 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("top", help="live cluster table polled from a dispatcher's /status")
     p.add_argument("--http", metavar="URL", default="http://127.0.0.1:8090",
                    help="base URL of a dispatcher started with --http-port")
+    p.add_argument("--shards", metavar="URLS", default=None,
+                   help="fleet view: one URL fetches the merged /fleet "
+                        "snapshot (federated runs, one round trip); a comma "
+                        "list polls each shard's /status instead")
     p.add_argument("--interval", type=float, default=1.0,
                    help="seconds between refreshes")
     p.add_argument("--iterations", type=int, default=0, metavar="N",
                    help="stop after N refreshes (0 = until interrupted)")
+
+    p = sub.add_parser(
+        "doctor",
+        help="analyze flight-recorder dumps: last-seconds timelines, gap "
+             "flagging, cross-shard task correlation",
+    )
+    p.add_argument("path",
+                   help="one flight dump JSON, or a directory of "
+                        "flight-*.json dumps from a federated run")
+    p.add_argument("--window", type=float, default=30.0, metavar="SECONDS",
+                   help="seconds of history before each dump to reconstruct")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw analysis report as JSON")
 
     p = sub.add_parser("events", help="work with structured event logs")
     events_sub = p.add_subparsers(dest="events_command", required=True)
@@ -154,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "plane (with --telemetry)")
     p.add_argument("--out", metavar="PATH", default="BENCH_telemetry.json",
                    help="where --telemetry records its measurement")
+    p.add_argument("--flight", action="store_true",
+                   help="measure the flight recorder + watchdogs' overhead "
+                        "on top of the telemetry plane (paired runs with the "
+                        "recorder off vs on) and gate the combined cost "
+                        "against --budget; merged into --out")
     p.add_argument("--journal", action="store_true",
                    help="measure the write-ahead journal's overhead (paired "
                         "runs with and without --journal-dir durability) and "
@@ -225,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(oracles fold per-shard stats; sim plane unchanged)")
     q.add_argument("--timeout", type=float, default=180.0,
                    help="live-plane completion deadline in seconds")
+    q.add_argument("--flight-out", metavar="DIR", default=None,
+                   help="flush every component's flight-recorder ring into "
+                        "this directory at the end of the live replay (and "
+                        "on oracle violation); analyze with `repro doctor`")
     q.add_argument("--json", action="store_true",
                    help="print the replay reports as JSON")
 
@@ -272,6 +300,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "live": _cmd_live,
         "dlq": _cmd_dlq,
         "top": _cmd_top,
+        "doctor": _cmd_doctor,
         "events": _cmd_events,
         "bench": _cmd_bench,
         "shard": _cmd_shard,
@@ -778,14 +807,101 @@ def _render_top(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_fleet(fleet: dict) -> str:
+    """One refresh of the ``repro top --shards`` fleet view."""
+    lines: list[str] = []
+    shards = fleet.get("shards", {})
+    alive = fleet.get("alive", sum(1 for s in shards.values() if s.get("alive", True)))
+    total = fleet.get("total", len(shards))
+    degraded = fleet.get("degraded_shards") or []
+    head = f"fleet: {alive}/{total} shards alive"
+    if degraded:
+        head += f"  DEGRADED: {', '.join(degraded)}"
+    lines.append(head)
+    agg = fleet.get("aggregate") or {}
+    if agg:
+        lines.append(
+            f"aggregate: executors {agg.get('registered', 0)}  "
+            f"queued {agg.get('queued', 0)}  "
+            f"done {agg.get('completed', 0)}/{agg.get('accepted', 0)}  "
+            f"retries {agg.get('retries', 0)}"
+        )
+    header = (f"{'SHARD':<12} {'WIRE':>4} {'EXEC':>4} {'BUSY':>4} "
+              f"{'QUEUED':>6} {'DONE':>8} {'ACC':>8} {'HEALTH':<24}")
+    lines.append(header)
+    for shard_id in sorted(shards):
+        status = shards[shard_id]
+        if not status.get("alive", True):
+            lines.append(f"{shard_id:<12} {'-':>4} {'-':>4} {'-':>4} "
+                         f"{'-':>6} {'-':>8} {'-':>8} DOWN")
+            continue
+        disp = status.get("dispatcher", {})
+        health = status.get("health") or {}
+        reasons = health.get("degraded") or []
+        health_cell = ("degraded: " + ",".join(reasons)) if reasons else \
+            health.get("status", "ok")
+        lines.append(
+            f"{shard_id:<12} {status.get('wire', '?'):>4} "
+            f"{disp.get('registered', 0):>4} {disp.get('busy', 0):>4} "
+            f"{disp.get('queued', 0):>6} {disp.get('completed', 0):>8} "
+            f"{disp.get('accepted', 0):>8} {health_cell:<24}"
+        )
+    steals = fleet.get("steals") or {}
+    flows = []
+    for shard_id in sorted(steals):
+        for peer in sorted(steals[shard_id]):
+            link = steals[shard_id][peer]
+            if link.get("requested") or link.get("received"):
+                flows.append(f"{shard_id}->{peer} "
+                             f"req={link.get('requested', 0)} "
+                             f"got={link.get('received', 0)}")
+    if flows:
+        lines.append("steals: " + "  ".join(flows))
+    return "\n".join(lines)
+
+
+def _fetch_fleet(shards_arg: str) -> dict:
+    """The fleet snapshot behind ``repro top --shards``.
+
+    One URL asks the federation's merged ``/fleet`` endpoint (a single
+    round trip); a comma list polls each shard's ``/status`` and folds
+    the answers into the same shape, marking unreachable shards DOWN
+    rather than failing the whole refresh.
+    """
+    import urllib.error
+
+    bases = [u.strip().rstrip("/") for u in shards_arg.split(",") if u.strip()]
+    if len(bases) == 1:
+        return _fetch_json(bases[0] + "/fleet")
+    shards: dict[str, dict] = {}
+    for base in bases:
+        try:
+            status = _fetch_json(base + "/status")
+        except (urllib.error.URLError, OSError, ValueError):
+            shards[base] = {"alive": False}
+            continue
+        status["alive"] = True
+        shards[status.get("shard_id") or base] = status
+    degraded = sorted(
+        shard_id for shard_id, s in shards.items()
+        if s.get("alive") and (s.get("health") or {}).get("degraded"))
+    return {"shards": shards,
+            "alive": sum(1 for s in shards.values() if s.get("alive")),
+            "total": len(bases), "degraded_shards": degraded}
+
+
 def _cmd_top(args) -> int:
     import urllib.error
 
-    url = args.http.rstrip("/") + "/status"
+    fleet_mode = args.shards is not None
+    url = args.shards if fleet_mode else args.http.rstrip("/") + "/status"
     refreshed = 0
     while True:
         try:
-            snapshot = _fetch_json(url)
+            if fleet_mode:
+                rendered = _render_fleet(_fetch_fleet(args.shards))
+            else:
+                rendered = _render_top(_fetch_json(url))
         except (urllib.error.URLError, OSError, ValueError) as exc:
             print(f"cannot poll {url}: {exc} "
                   f"(is a dispatcher running with --http-port?)", file=sys.stderr)
@@ -796,13 +912,32 @@ def _cmd_top(args) -> int:
             # invocations (--iterations 1) stay scriptable plain text.
             print("\x1b[H\x1b[J", end="")
         print(f"repro top — {url} (refresh {refreshed})")
-        print(_render_top(snapshot))
+        print(rendered)
         if args.iterations and refreshed >= args.iterations:
             return 0
         try:
             time.sleep(args.interval)
         except KeyboardInterrupt:
             return 0
+
+
+def _cmd_doctor(args) -> int:
+    """Analyze flight-recorder dumps (see docs/OBSERVABILITY.md)."""
+    import os
+
+    from repro.obs.doctor import doctor_main
+
+    if not os.path.exists(args.path):
+        print(f"no flight dump at {args.path} (produce dumps with "
+              f"`repro scenarios run --flight-out DIR`, POST /debug/dump, "
+              f"or a crash/SIGTERM of a live shard)", file=sys.stderr)
+        return 2
+    try:
+        print(doctor_main(args.path, window_s=args.window, as_json=args.json))
+    except ValueError as exc:
+        print(f"cannot analyze {args.path}: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_events(args) -> int:
@@ -889,6 +1024,8 @@ def _cmd_bench(args) -> int:
 
     if args.profile:
         return _bench_profile(args, n_tasks, one_round)
+    if args.flight:
+        return _bench_flight(args, n_tasks, one_round)
     if args.telemetry:
         return _bench_telemetry(args, n_tasks, one_round)
     if args.journal:
@@ -1190,6 +1327,31 @@ def _bench_ioloop(args) -> int:
     return 0
 
 
+def _merge_json_record(path: str, updates: dict) -> None:
+    """Read-modify-write a JSON record file.
+
+    The telemetry and flight benches share one artifact
+    (``BENCH_telemetry.json``); each must preserve the other's keys
+    rather than clobbering the file.  An unreadable existing file is
+    replaced — the measurements are reproducible, the artifact is not
+    precious.
+    """
+    import json
+
+    record: dict = {}
+    try:
+        with open(path) as fh:
+            loaded = json.load(fh)
+        if isinstance(loaded, dict):
+            record = loaded
+    except (OSError, ValueError):
+        pass
+    record.update(updates)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def _bench_telemetry(args, n_tasks: int, one_round) -> int:
     """Measure what the live telemetry plane costs, and gate it.
 
@@ -1202,8 +1364,6 @@ def _bench_telemetry(args, n_tasks: int, one_round) -> int:
     that decay to the telemetry plane and inflates the overhead by
     more than the plane itself costs.
     """
-    import json
-
     # The full telemetry plane as a user would turn it on: HTTP status
     # surface up, executors streaming heartbeat stats, the monitor
     # folding self-samples.  Event logging stays off — it is opt-in
@@ -1231,9 +1391,7 @@ def _bench_telemetry(args, n_tasks: int, one_round) -> int:
                              "events": False},
         "quick": args.quick,
     }
-    with open(args.out, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _merge_json_record(args.out, record)
     print(f"telemetry overhead bench ({n_tasks} sleep-0 tasks, "
           f"{args.executors} executors, pipeline depth {args.pipeline}, "
           f"{rounds} interleaved round pairs):")
@@ -1247,6 +1405,60 @@ def _bench_telemetry(args, n_tasks: int, one_round) -> int:
               f"({overhead:.1%} > {args.budget:.0%})", file=sys.stderr)
         return 1
     print("  OK: telemetry plane within budget")
+    return 0
+
+
+def _bench_flight(args, n_tasks: int, one_round) -> int:
+    """Measure the flight recorder + watchdogs' cost, and gate it.
+
+    Same interleaved A/B harness as the telemetry bench, with the
+    whole observability surface stacked on the variant side: base
+    rounds run with the recorder *off* and no telemetry plane, variant
+    rounds with the recorder ringing every frame/queue event *plus*
+    heartbeat stats and the HTTP surface.  The combined overhead must
+    stay inside the single ``--budget`` (5% by default) — the flight
+    recorder does not get its own budget on top of telemetry's.  The
+    measurement merges into ``--out`` under the ``"flight"`` key,
+    preserving the plain-telemetry record alongside it.
+    """
+    variant_kwargs = {"heartbeat_interval": 0.25, "http_port": 0,
+                      "flight": True}
+    rounds = 3
+    pairs: list[tuple[float, float]] = []
+    for i in range(rounds):
+        base_rate = one_round(2 * i, flight=False)["tasks_per_s"]
+        flight_rate = one_round(2 * i + 1, **variant_kwargs)["tasks_per_s"]
+        pairs.append((base_rate, flight_rate))
+    overhead = min(max(0.0, 1.0 - f / b) for b, f in pairs)
+    base_best = max(b for b, _ in pairs)
+    flight_best = max(f for _, f in pairs)
+    record = {
+        "base_tasks_per_s": base_best,
+        "flight_tasks_per_s": flight_best,
+        "overhead_fraction": overhead,
+        "budget_fraction": args.budget,
+        "n_tasks": n_tasks,
+        "executors": args.executors,
+        "pipeline": args.pipeline,
+        "rounds": rounds,
+        "variant_config": {"heartbeat_interval": 0.25, "http": True,
+                           "flight": True, "watchdogs": True},
+        "quick": args.quick,
+    }
+    _merge_json_record(args.out, {"flight": record})
+    print(f"flight recorder overhead bench ({n_tasks} sleep-0 tasks, "
+          f"{args.executors} executors, pipeline depth {args.pipeline}, "
+          f"{rounds} interleaved round pairs):")
+    print(f"  base            {base_best:,.0f} tasks/s (recorder off, no telemetry)")
+    print(f"  flight+telemetry {flight_best:,.0f} tasks/s "
+          f"(recorder + watchdogs + heartbeat stats + HTTP)")
+    print(f"  overhead  {overhead:.1%} best adjacent pair "
+          f"(budget {args.budget:.0%}) -> {args.out}")
+    if overhead > args.budget:
+        print(f"  flight recorder exceeds the combined observability budget "
+              f"({overhead:.1%} > {args.budget:.0%})", file=sys.stderr)
+        return 1
+    print("  OK: flight recorder + watchdogs within budget")
     return 0
 
 
@@ -1406,14 +1618,21 @@ def _cmd_scenarios(args) -> int:
           f"on {', '.join(planes)}{plane_note}")
     reports = []
     for plane in planes:
+        flight_dir = getattr(args, "flight_out", None)
         if plane == "sim":
             report = replay_sim(scenario)
         elif shards > 1:
             report = replay_live_federated(
-                scenario, shards=shards, timeout=args.timeout)
+                scenario, shards=shards, timeout=args.timeout,
+                flight_dir=flight_dir)
         else:
-            report = replay_live(scenario, timeout=args.timeout)
+            report = replay_live(scenario, timeout=args.timeout,
+                                 flight_dir=flight_dir)
         reports.append(report)
+        if plane != "sim" and flight_dir is not None:
+            n_dumps = len(report.extras.get("flight_dumps", []))
+            print(f"  {plane}: {n_dumps} flight dump(s) -> {flight_dir} "
+                  f"(analyze with `repro doctor {flight_dir}`)")
         status = "PASS" if report.ok else "FAIL"
         print(f"  {plane}: {status} — {report.completed} completed, "
               f"{report.failed} failed, {report.dlq} DLQ in "

@@ -32,6 +32,7 @@ from repro.live.endpoint import Endpoint, EndpointLike, as_endpoint
 from repro.live.ioloop import IOLoopGroup
 from repro.live.protocol import Connection, result_from_dict, task_to_dict
 from repro.net.message import Message, MessageType
+from repro.obs.flight import FRAME_RX, FRAME_TX, FlightRecorder
 from repro.types import Bundle, TaskResult, TaskSpec, TaskTimeline
 
 __all__ = ["TaskFuture", "LiveClient"]
@@ -195,6 +196,7 @@ class LiveClient:
         max_submit_retries: int = 1000,
         io_threads: int = 1,
         wire_binary: bool = True,
+        flight: bool = True,
     ) -> None:
         if bundle_size <= 0:
             raise ValueError("bundle_size must be positive")
@@ -251,6 +253,8 @@ class LiveClient:
         #: keeps the process-wide shared outbound loop.
         self._io_loops = (IOLoopGroup(io_threads, name="client")
                           if io_threads > 1 else None)
+        #: Bounded ring of structured wire events (see repro.obs.flight).
+        self.flight = FlightRecorder("client", enabled=flight)
         self._conn = self._connect()
 
     @classmethod
@@ -400,6 +404,7 @@ class LiveClient:
                 Message(MessageType.SUBMIT, sender=self.epr or "client",
                         payload={"tasks": specs})
             )
+            self.flight.record(FRAME_TX, "SUBMIT", tasks=len(specs))
             if not self._submit_ack.wait(30.0):
                 raise ProtocolError("dispatcher did not acknowledge SUBMIT")
             reply = self._submit_reply
@@ -470,6 +475,7 @@ class LiveClient:
 
     # -- inbound ---------------------------------------------------------------
     def _handle(self, msg: Message) -> None:
+        self.flight.record(FRAME_RX, msg.type.name)
         if msg.type is MessageType.INSTANCE_CREATED:
             self.epr = msg.payload.get("epr")
             # Record the negotiation outcome; _connect flips the new

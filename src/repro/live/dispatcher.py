@@ -91,6 +91,7 @@ budget and the DLQ, so each task has exactly one home.
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 import time
@@ -129,6 +130,9 @@ from repro.obs import (
     render_prometheus,
 )
 from repro.obs import events as ev
+from repro.obs import flight as fl
+from repro.obs.flight import FlightRecorder
+from repro.obs.watchdog import StallDetector, TimedLock, WatchdogPanel
 from repro.obs.timeseries import DISPATCHER_SOURCE, PROVISIONER_SOURCE
 from repro.types import TaskResult, TaskSpec, TaskState, TaskTimeline
 
@@ -149,6 +153,17 @@ PEER_PREFIX = "peer:"
 #: choosing a steal victim — a stale depth must not trigger a raid on
 #: a shard that already drained.
 PEER_DEPTH_TTL = 2.0
+
+#: Watchdog thresholds (seconds).  An IOLoop whose wakeup lag exceeds
+#: the first is being starved by a blocking handler; a journal flush
+#: slower than the second points at a dying disk; a leaf-lock convoy
+#: past the third means one subsystem is wedging another.
+IOLOOP_LAG_DEGRADED = 1.0
+JOURNAL_FLUSH_DEGRADED = 1.0
+LOCK_WAIT_DEGRADED = 1.0
+#: With buffered journal records and no completed flush for this many
+#: seconds, the flusher thread is presumed wedged.
+JOURNAL_STALE_DEGRADED = 5.0
 
 
 def _journal_spec(spec: TaskSpec) -> dict:
@@ -309,6 +324,9 @@ class LiveDispatcher:
         steal_min_queue: int = 2,
         io_threads: int = 1,
         wire_binary: bool = True,
+        flight: bool = True,
+        flight_dump_dir: Optional[str] = None,
+        stall_after: float = 5.0,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -362,9 +380,12 @@ class LiveDispatcher:
         self.monitor_interval = monitor_interval
 
         # Fine-grained locking (see the module docstring's lock map).
-        self._queue_lock = threading.Lock()
-        self._records_lock = threading.Lock()
-        self._exec_lock = threading.Lock()
+        # The three contended leaves are TimedLocks: uncontended
+        # acquisitions cost one extra try-acquire, contended ones feed
+        # the lock-wait watchdog gauge.
+        self._queue_lock = TimedLock()
+        self._records_lock = TimedLock()
+        self._exec_lock = TimedLock()
         self._client_lock = threading.Lock()
         self._queue: deque[str] = deque()  # task ids
         self._records: dict[str, _LiveRecord] = {}
@@ -459,6 +480,48 @@ class LiveDispatcher:
             "e2e_latency_seconds",
             help="Submit -> settle latency per task")
 
+        # The flight recorder: a bounded ring of structured events,
+        # flushed to a dump on crash/SIGTERM/oracle violation/POST
+        # /debug/dump.  Always constructed — a disabled recorder costs
+        # one attribute check per record() call — so hot-path hooks
+        # never branch on None.
+        self.flight = FlightRecorder(
+            "dispatcher", shard_id=shard_id, enabled=flight)
+        #: Where unsolicited dumps (crash, SIGTERM, debug) land;
+        #: ``None`` falls back to a per-process temp directory.
+        self.flight_dump_dir = flight_dump_dir
+        # Watchdog plane: evaluated by the monitor sweep, surfaced as
+        # gauges plus the ``degraded`` reasons list on /healthz.
+        self.stall_after = stall_after
+        self._stall = StallDetector(stall_after)
+        self._degraded: list[str] = []
+        self._watchdogs = WatchdogPanel()
+        self.metrics.gauge(
+            "ioloop_lag_seconds",
+            help="Latest IOLoop scheduled-vs-actual wakeup delta (worst loop)",
+            fn=lambda: max((lp.lag_s for lp in self._loops.loops), default=0.0))
+        self.metrics.gauge(
+            "queue_stall_seconds",
+            help="Seconds the queue has had depth>0, idle executors, and "
+                 "zero dispatches (0 = healthy)",
+            fn=lambda: self._stall.stalled_for)
+        self.metrics.gauge(
+            "journal_flush_seconds",
+            help="Duration of the journal's most recent write+fsync batch",
+            fn=lambda: (self.journal.last_flush_s
+                        if self.journal is not None else 0.0))
+        self.metrics.gauge(
+            "lock_wait_seconds",
+            help="Worst contended leaf-lock acquisition wait since the "
+                 "last sweep",
+            fn=lambda: max(self._queue_lock.max_wait_s,
+                           self._records_lock.max_wait_s,
+                           self._exec_lock.max_wait_s))
+        self.metrics.gauge(
+            "degraded",
+            help="1 while any watchdog reports a degraded reason",
+            fn=lambda: 1 if self._degraded else 0)
+
         # Poison-task quarantine: task id -> dead-letter entry dict.
         self._dlq: dict[str, dict] = {}
         self._dlq_lock = threading.Lock()
@@ -473,6 +536,8 @@ class LiveDispatcher:
                 compact_every=journal_compact_every,
                 prune_settled=retain_settled is not None,
             )
+            if flight:
+                self.journal.flight = self.flight
 
         if io_threads < 1:
             raise ValueError("io_threads must be >= 1")
@@ -496,7 +561,17 @@ class LiveDispatcher:
             self._servers = [socket.create_server((host, port))]
         self.host, self.port = self._servers[0].getsockname()[:2]
         self._loops = IOLoopGroup(
-            io_threads, name=f"dispatcher-{self.port}").start()
+            io_threads, name=f"dispatcher-{self.port}")
+        if flight:
+            for loop in self._loops.loops:
+                loop.flight = self.flight
+        self._loops.start()
+        # Watchdog checks over the subsystems just built (the queue
+        # stall check needs per-sweep inputs and runs separately in
+        # _watchdog_tick).
+        self._watchdogs.add("ioloop", self._check_ioloop_lag)
+        self._watchdogs.add("journal", self._check_journal)
+        self._watchdogs.add("locks", self._check_lock_waits)
         if len(self._servers) > 1:
             # Kernel-sharded accepts: each acceptor lives on its own
             # loop and pins its sessions there.
@@ -783,7 +858,19 @@ class LiveDispatcher:
     def simulate_crash(self) -> None:
         """Die like ``kill -9``: drop the journal's unflushed window,
         close every socket, send no goodbyes.  Recovery is exercised
-        by constructing a new dispatcher over the same journal dir."""
+        by constructing a new dispatcher over the same journal dir.
+
+        The one concession to forensics: the flight ring is flushed
+        first (a real deployment gets the same artifact from the
+        SIGTERM/SIGQUIT handler or an external ``POST /debug/dump``),
+        so post-mortem analysis sees the shard's final seconds and its
+        in-flight inventory at death.
+        """
+        if self.flight.enabled:
+            try:
+                self.dump_flight(reason="crash")
+            except OSError:
+                pass  # dying anyway; the dump is best-effort
         if self.journal is not None:
             self.journal.abandon()
         self.close()
@@ -840,6 +927,7 @@ class LiveDispatcher:
         host: str = "127.0.0.1",
         port: int = 0,
         registries_fn=None,
+        fleet_fn=None,
     ) -> StatusServer:
         """Start the scrape/status endpoint (``repro live --http-port``).
 
@@ -847,6 +935,8 @@ class LiveDispatcher:
         for ``/metrics`` (e.g. co-located executor/provisioner
         registries in :class:`~repro.live.local.LocalFalkon`); it is a
         callable so executors provisioned after startup still appear.
+        ``fleet_fn`` wires ``GET /fleet`` — federation hosts pass a
+        callable returning the merged multi-shard snapshot.
         """
         if self._http is not None:
             return self._http
@@ -877,6 +967,9 @@ class LiveDispatcher:
             dlq=self.dlq_list,
             dlq_entry=self.dlq_entry,
             dlq_retry=self.dlq_retry,
+            healthz=self.health_snapshot,
+            fleet=fleet_fn,
+            debug_dump=lambda reason: self.dump_flight(reason=reason),
         )
         return self._http
 
@@ -928,13 +1021,21 @@ class LiveDispatcher:
             "journal": self.journal.stats() if self.journal is not None else None,
             "dlq": self.dlq_list(),
             "uptime_s": now - self._started,
+            # Shard identity at top level: fleet aggregation and
+            # ``repro doctor`` attribute payloads without guessing
+            # from ports.
+            "shard_id": self.shard_id,
+            "wire": "v4" if self.wire_binary else "v3",
+            "io_threads": self.io_threads,
+            "health": self.health_snapshot(),
         }
         if self.shard_id is not None:
             with self._peer_lock:
                 peers = {
                     shard: {"queued": info["queued"],
                             "age_s": max(0.0, now - info["t"]),
-                            "caps": list(info.get("caps", ()))}
+                            "caps": list(info.get("caps", ())),
+                            "health": info.get("health")}
                     for shard, info in self._peer_depths.items()
                 }
             snapshot["federation"] = {
@@ -1047,6 +1148,7 @@ class LiveDispatcher:
         for executor in wake:
             self._send_notify(executor)
         self._notify_clients(overdue_notifies)
+        self._watchdog_tick(now, qlen, executors)
         if self.shard_id is not None:
             self._federation_tick(now, qlen)
         # Journal hygiene: fold a long tail into a snapshot off the hot
@@ -1057,6 +1159,122 @@ class LiveDispatcher:
         journal = self.journal
         if journal is not None and journal.should_compact():
             journal.compact()
+
+    # -- watchdogs -------------------------------------------------------------
+    def _check_ioloop_lag(self) -> Optional[str]:
+        worst = max(
+            (loop.drain_max_lag() for loop in self._loops.loops), default=0.0)
+        if worst > IOLOOP_LAG_DEGRADED:
+            return f"ioloop wakeup lag {worst:.2f}s (handler blocking the loop?)"
+        return None
+
+    def _check_journal(self) -> Optional[str]:
+        journal = self.journal
+        if journal is None:
+            return None
+        if journal.failed:
+            return "journal failed: writes are no longer durable"
+        if journal.last_flush_s > JOURNAL_FLUSH_DEGRADED:
+            return f"journal flush took {journal.last_flush_s:.2f}s"
+        stats = journal.stats()
+        stale = time.monotonic() - journal.last_flush_t
+        if stats["pending"] > 0 and stale > JOURNAL_STALE_DEGRADED:
+            return (f"journal flusher stalled: {stats['pending']} buffered "
+                    f"records, no flush for {stale:.1f}s")
+        return None
+
+    def _check_lock_waits(self) -> Optional[str]:
+        worst = max(self._queue_lock.drain(), self._records_lock.drain(),
+                    self._exec_lock.drain())
+        if worst > LOCK_WAIT_DEGRADED:
+            return f"leaf lock convoy: {worst:.2f}s contended wait"
+        return None
+
+    def _watchdog_tick(self, now: float, qlen: int,
+                       executors: list[_ExecutorSession]) -> None:
+        """Evaluate every watchdog into the ``degraded`` reasons list.
+
+        Runs on the monitor thread each sweep; transitions (a reason
+        appearing) land in the flight ring so a later dump shows when
+        degradation started, not just that it existed at dump time.
+        """
+        idle = 0
+        for executor in executors:
+            if executor.executor_id.startswith(PEER_PREFIX):
+                continue  # peer links have no local capacity
+            with executor.lock:
+                if not executor.dead and not executor.busy:
+                    idle += 1
+        reasons = []
+        stall = self._stall.observe(now, qlen, self._h_dispatch.count, idle)
+        if stall:
+            reasons.append(stall)
+        reasons.extend(self._watchdogs.reasons())
+        if self.flight.enabled:
+            known = set(self._degraded)
+            for reason in reasons:
+                if reason not in known:
+                    self.flight.record(fl.WATCHDOG, reason.split(":", 1)[0],
+                                       reason=reason)
+        self._degraded = reasons
+
+    def health_snapshot(self) -> dict:
+        """The ``/healthz`` payload: liveness plus shard identity and
+        the watchdogs' current degraded reasons."""
+        reasons = list(self._degraded)
+        return {
+            "status": "degraded" if reasons else "ok",
+            "degraded": reasons,
+            "shard_id": self.shard_id,
+            "wire": "v4" if self.wire_binary else "v3",
+            "io_threads": self.io_threads,
+            "uptime_s": time.monotonic() - self._started,
+        }
+
+    # -- flight dumps ----------------------------------------------------------
+    def _flight_extra(self) -> dict:
+        """Dump-time context: the exact open-task inventory, so the
+        doctor never has to reconstruct it from a (possibly wrapped)
+        event ring."""
+        with self._records_lock:
+            records = list(self._records.values())
+        inflight = []
+        for record in records:
+            with record.lock:
+                if record.state is TaskState.DISPATCHED:
+                    inflight.append(record.spec.task_id)
+        with self._queue_lock:
+            queued = list(self._queue)
+        return {
+            "inflight": inflight,
+            "queued": queued,
+            "degraded": list(self._degraded),
+        }
+
+    def flight_dump_directory(self) -> str:
+        """Where unsolicited dumps land: the configured
+        ``flight_dump_dir``, or a per-process temp directory."""
+        if self.flight_dump_dir is not None:
+            return self.flight_dump_dir
+        import tempfile
+
+        return os.path.join(tempfile.gettempdir(), f"repro-flight-{os.getpid()}")
+
+    def dump_flight(self, path: Optional[str] = None,
+                    reason: str = "manual",
+                    directory: Optional[str] = None) -> str:
+        """Flush the flight ring (plus open-task inventory) to a dump.
+
+        Without an explicit *path*, the dump lands in *directory*
+        (defaulting to :meth:`flight_dump_directory`) under a
+        collision-resistant name.
+        """
+        extra = self._flight_extra()
+        if path is not None:
+            return self.flight.dump(path, reason=reason, extra=extra)
+        if directory is None:
+            directory = self.flight_dump_directory()
+        return self.flight.dump_to_dir(directory, reason=reason, extra=extra)
 
     def _sample_self(self, now: float) -> None:
         """Fold the dispatcher's own gauges into the time-series store.
@@ -1243,6 +1461,9 @@ class LiveDispatcher:
             self._queue.extend(record.spec.task_id for record in new_records)
         if new_records:
             self._m_accepted.inc(len(new_records))
+            if self.flight.enabled:
+                for record in new_records:
+                    self.flight.record(fl.QUEUE_ENQUEUE, record.spec.task_id)
             if self.events.enabled:
                 # Guarded: per-task emission must cost nothing when no
                 # event log is attached (the common case).
@@ -1386,6 +1607,13 @@ class LiveDispatcher:
                 "id": self.shard_id,
                 "caps": caps,
                 "stats": {"queued": qlen},
+                # Fleet health rides the gossip leg: peers store the
+                # last observation, so /fleet can report a shard's
+                # degradation even after the shard itself dies.
+                "health": {
+                    "status": "degraded" if self._degraded else "ok",
+                    "degraded": list(self._degraded),
+                },
             }
         }
         if rsvp:
@@ -1417,7 +1645,9 @@ class LiveDispatcher:
             # The peer decodes wire v4: flip this inbound link's send
             # direction (STEAL_GRANT frames with spec blobs ride it).
             session.conn.wire_v4 = True
-        self._note_peer_depth(peer_id, shard.get("stats") or {}, caps)
+        self.flight.record(fl.GOSSIP, peer_id)
+        self._note_peer_depth(peer_id, shard.get("stats") or {}, caps,
+                              health=shard.get("health"))
         if msg.payload.get("rsvp"):
             session.conn.send(self._gossip_message(rsvp=False))
 
@@ -1438,9 +1668,12 @@ class LiveDispatcher:
             self._executors[executor_id] = executor
         return executor
 
-    def _note_peer_depth(self, peer_id: str, stats: dict, caps: list[str]) -> None:
+    def _note_peer_depth(self, peer_id: str, stats: dict, caps: list[str],
+                         health: Optional[dict] = None) -> None:
         """Record a peer's gossiped queue depth (thief-side input to
-        the steal decision; stale entries age out via PEER_DEPTH_TTL)."""
+        the steal decision; stale entries age out via PEER_DEPTH_TTL)
+        and its self-reported health (the fleet plane's peer-observed
+        view)."""
         try:
             queued = int(stats.get("queued", 0))
         except (TypeError, ValueError):
@@ -1449,6 +1682,7 @@ class LiveDispatcher:
             self._peer_depths[peer_id] = {
                 "queued": max(0, queued),
                 "caps": caps,
+                "health": health if isinstance(health, dict) else None,
                 "t": time.monotonic(),
             }
 
@@ -1468,6 +1702,7 @@ class LiveDispatcher:
             return
         peer_id = role[1]
         executor = self._ensure_peer_session(peer_id, session.conn)
+        self.flight.record(fl.STEAL_REQUEST, peer_id)
         try:
             want = int(msg.payload.get("want", 0))
         except (TypeError, ValueError):
@@ -1501,6 +1736,7 @@ class LiveDispatcher:
         if granted:
             self._m_steals_granted.inc()
             self._m_stolen_out.inc(len(granted))
+            self.flight.record(fl.STEAL_GRANT, peer_id, tasks=len(granted))
             self.events.emit(ev.STEAL_GRANT, peer_id, tasks=len(granted))
 
     def _ingest_stolen(self, donor_shard: str, entries: list) -> int:
@@ -1562,6 +1798,8 @@ class LiveDispatcher:
         if accepted:
             self._m_accepted.inc(len(accepted))
             self._m_stolen_in.inc(len(accepted))
+            self.flight.record(fl.STEAL_INGEST, donor_shard,
+                               tasks=len(accepted))
             self.events.emit(ev.STEAL_INGEST, donor_shard, tasks=len(accepted))
             for executor in self._pick_idle_executors(len(accepted)):
                 self._send_notify(executor)
@@ -1993,6 +2231,7 @@ class LiveDispatcher:
         record.delivered = False
         record.dispatch_mode = mode
         record.timeline.dispatched = self._now()
+        self.flight.record(fl.QUEUE_CLAIM, record.spec.task_id)
         span_rows.append((record, (
             record.spec.task_id, "notify", record.timeline.dispatched, None,
             record.attempts,
@@ -2050,6 +2289,8 @@ class LiveDispatcher:
                                          mode=record.dispatch_mode)
         if rows:
             self.spans.record_many(rows)
+            self.flight.record(fl.FRAME_TX, "WORK", tasks=len(rows),
+                               executor=executor_id)
         # Chaos hook: die right after a WORK/ack frame left — the task
         # is on an executor but its result will never be processed
         # here.  One draw per record keeps seeded crash schedules
@@ -2076,6 +2317,7 @@ class LiveDispatcher:
     def _send_notify(self, executor: _ExecutorSession) -> None:
         with executor.lock:
             executor.notified = True
+        self.flight.record(fl.FRAME_TX, "NOTIFY", executor=executor.executor_id)
         try:
             # Shared pre-encoded frame: NOTIFY is identical for every
             # executor, so broadcast costs zero re-encoding/re-signing.
@@ -2115,6 +2357,8 @@ class LiveDispatcher:
                 if stolen:
                     self._m_stolen_failed.inc()
             self._h_e2e.observe(record.timeline.completed - record.timeline.submitted)
+            self.flight.record(fl.TASK_SETTLE, record.spec.task_id,
+                               outcome="ok" if result.ok else "fail")
             if self.events.enabled:
                 self.events.emit(
                     ev.TASK_SETTLE, record.spec.task_id,
@@ -2150,6 +2394,7 @@ class LiveDispatcher:
             return (record.client_id, result)
         # retry
         self._m_retries.inc()
+        self.flight.record(fl.QUEUE_REQUEUE, record.spec.task_id)
         if self.events.enabled:
             self.events.emit(ev.TASK_RETRY, record.spec.task_id,
                              attempt=record.attempts, reason="failed-result")
@@ -2187,6 +2432,7 @@ class LiveDispatcher:
                 executor.notified = False
         if record.attempts <= self.max_retries:
             self._m_retries.inc()
+            self.flight.record(fl.QUEUE_REQUEUE, record.spec.task_id)
             if self.events.enabled:
                 self.events.emit(ev.TASK_RETRY, record.spec.task_id,
                                  attempt=record.attempts, reason=reason)
@@ -2273,6 +2519,8 @@ class LiveDispatcher:
                 )
             except Exception:
                 continue  # client went away; results remain queryable
+            self.flight.record(fl.FRAME_TX, "CLIENT_NOTIFY",
+                               results=len(payloads))
             # The notify left this process: journal the delivery so
             # recovery knows which results the client may have seen.
             # (Buffered send ≠ client receipt — the ``acked`` bit is a
@@ -2465,6 +2713,7 @@ class _Session:
         self.conn.start()
 
     def _handle(self, msg: Message) -> None:
+        self.dispatcher.flight.record(fl.FRAME_RX, msg.type.name)
         if self.role is not None and self.role[0] == "executor":
             # Any traffic proves liveness, not just heartbeats.
             self.dispatcher._touch(self.role[1])

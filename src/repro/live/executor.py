@@ -48,6 +48,7 @@ from repro.live.ioloop import IOLoopGroup
 from repro.live.protocol import Connection, result_to_dict, task_from_dict
 from repro.net.message import Message, MessageType
 from repro.obs import ExecutorStats, MetricsRegistry
+from repro.obs.flight import FRAME_RX, FRAME_TX, FlightRecorder
 from repro.types import TaskResult, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -89,6 +90,7 @@ class LiveExecutor:
         heartbeat_stats: bool = True,
         io_threads: int = 1,
         wire_binary: bool = True,
+        flight: bool = True,
     ) -> None:
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive when set")
@@ -132,6 +134,11 @@ class LiveExecutor:
         self._io_loops = (IOLoopGroup(io_threads, name=self.executor_id)
                           if io_threads > 1 else None)
         self.metrics = MetricsRegistry(prefix="executor")
+        # Agent-side flight recorder: frame rx/tx only (execution
+        # detail already rides spans); dumped by the harness on crash
+        # scenarios alongside the dispatcher's ring.
+        self.flight = FlightRecorder(
+            f"executor:{self.executor_id}", enabled=flight)
         self._m_executed = self.metrics.counter(
             "tasks_executed", help="Tasks run to a result on this agent")
         self._m_reconnects = self.metrics.counter(
@@ -354,6 +361,7 @@ class LiveExecutor:
                 msg = self._inbox.get(timeout=self.idle_timeout)
             except queue.Empty:
                 return "idle"  # distributed idle release
+            self.flight.record(FRAME_RX, msg.type.name)
             if msg.type is MessageType.SHUTDOWN:
                 if self._stop.is_set() or msg.payload.get("reason") != _CONN_CLOSED:
                     return "stop"
@@ -374,6 +382,7 @@ class LiveExecutor:
             elif msg.type is MessageType.NOTIFY:
                 try:
                     self._conn.send(Message(MessageType.GET_WORK, sender=self.executor_id))
+                    self.flight.record(FRAME_TX, "GET_WORK")
                 except Exception:
                     pass  # the close callback queues the shutdown marker
             elif msg.type in (MessageType.WORK, MessageType.RESULT_ACK):
@@ -463,6 +472,7 @@ class LiveExecutor:
                 Message(MessageType.RESULT, sender=self.executor_id,
                         payload=payload, trace=self._current_trace)
             )
+            self.flight.record(FRAME_TX, "RESULT", tasks=1)
         except Exception:
             # The work is done but the report never left: stash it for
             # the inflight echo + resend on the next session rather
@@ -525,6 +535,7 @@ class LiveExecutor:
                 Message(MessageType.RESULT, sender=self.executor_id,
                         payload={"results": batch})
             )
+            self.flight.record(FRAME_TX, "RESULT", tasks=len(batch))
             return True
         except Exception:
             # Stash instead of discard: the next REGISTER echoes these

@@ -74,6 +74,16 @@ class FaultPlan:
         Connection roles the plan applies to (``None`` = every
         connection).  Sessions are tagged by the dispatcher once their
         first message reveals whether they are a client or an executor.
+    drop_types:
+        Message-type names (``{"NOTIFY"}``) the random ``drop_rate``
+        draw is restricted to; frames of other types pass untouched
+        (no draw consumed, keeping per-type schedules stable).  Lets a
+        chaos run starve one protocol edge — e.g. drop every NOTIFY to
+        manufacture a genuine queue stall — without also severing
+        registration or heartbeats.  Matching sniffs the encoded
+        bytes, because cached broadcast frames never exist as
+        :class:`Message` objects on the send path; use JSON framing
+        (``wire_binary=False``) when exact per-type matching matters.
     """
 
     def __init__(
@@ -87,6 +97,7 @@ class FaultPlan:
         kill_at: Optional[dict[str, int]] = None,
         crash_points: Optional[dict[str, int]] = None,
         roles: Optional[tuple[str, ...]] = ("executor",),
+        drop_types: Optional[set[str]] = None,
     ) -> None:
         rates = (drop_rate, duplicate_rate, corrupt_rate, delay_rate)
         if any(r < 0 for r in rates) or sum(rates) > 1.0:
@@ -103,6 +114,14 @@ class FaultPlan:
         self.crash_points = dict(crash_points or {})
         self._crash_hits: dict[str, int] = {}
         self.roles = frozenset(roles) if roles is not None else None
+        self.drop_types = frozenset(drop_types) if drop_types else None
+        # JSON frames carry MessageType *values* — lowercase — while
+        # callers naturally write wire names ({"NOTIFY"}); sniff both
+        # spellings so either convention matches.
+        self._drop_tokens = tuple(
+            f'"{spelling}"'.encode("utf-8")
+            for t in self.drop_types or ()
+            for spelling in {t, t.lower()})
         self._rng = RngStreams(self.seed)
         self._lock = threading.Lock()
         self.counters = {
@@ -121,6 +140,18 @@ class FaultPlan:
         if self.roles is None:
             return True
         return getattr(conn, "fault_role", None) in self.roles
+
+    def drop_matches(self, frame: bytes) -> bool:
+        """Whether an encoded frame is eligible for type-scoped drops.
+
+        With no ``drop_types`` every frame is eligible.  Otherwise the
+        raw bytes are sniffed for the quoted type token (JSON frames
+        carry ``"type": "NOTIFY"`` literally); a miss means the frame
+        is exempt from the drop draw entirely.
+        """
+        if self.drop_types is None:
+            return True
+        return any(token in frame for token in self._drop_tokens)
 
     def decide(self, name: str, frame_index: int) -> tuple[FaultAction, float]:
         """The fate of frame *frame_index* on connection *name*.
@@ -265,6 +296,12 @@ class FaultyConnection(Connection):
         plan = self.plan
         if plan is None or not plan.applies_to(self):
             super().send_encoded(frame)
+            return
+        if not plan.drop_matches(frame):
+            # Type-scoped plan, frame out of scope: pass untouched
+            # without consuming a draw, so the in-scope schedule stays
+            # a pure function of (seed, name, in-scope frame index).
+            self._transmit(frame)
             return
         action, delay = plan.decide(self.name, next(self._frame_seq))
         plan.record(action)

@@ -36,7 +36,7 @@ import os
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.errors import ProtocolError, ReconnectError
@@ -285,7 +285,8 @@ class PeerLink:
                         and self.dispatcher.wire_binary and "bin" in caps):
                     conn.wire_v4 = True
                 self.dispatcher._note_peer_depth(
-                    self.shard_id, shard.get("stats") or {}, list(caps))
+                    self.shard_id, shard.get("stats") or {}, list(caps),
+                    health=shard.get("health"))
         elif msg.type is MessageType.STEAL_GRANT:
             with self._lock:
                 self._outstanding_t = None
@@ -672,6 +673,9 @@ class LocalFederation:
         heartbeat_stats: bool = True,
         http_port: Optional[int] = None,
         retain_settled: Optional[int] = None,
+        flight: bool = True,
+        flight_dir: Optional[str] = None,
+        stall_after: float = 5.0,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -679,6 +683,7 @@ class LocalFederation:
             raise ValueError("executors_per_shard must be >= 0")
         self.key = key
         self.python_registry = python_registry or {}
+        self.flight_dir = flight_dir
         self._kwargs = dict(
             max_retries=max_retries,
             heartbeat_interval=heartbeat_interval,
@@ -689,11 +694,15 @@ class LocalFederation:
             steal_batch_max=steal_batch_max,
             steal_min_queue=steal_min_queue,
             retain_settled=retain_settled,
+            flight=flight,
+            flight_dump_dir=flight_dir,
+            stall_after=stall_after,
         )
         self._executor_kwargs = dict(
             heartbeat_interval=heartbeat_interval,
             pipeline=pipeline_depth,
             heartbeat_stats=heartbeat_stats,
+            flight=flight,
         )
         self.journal_root = journal_root
         self.executors_per_shard = executors_per_shard
@@ -713,7 +722,8 @@ class LocalFederation:
         if http_port is not None:
             first = self.dispatchers[self.shard_ids[0]]
             self.http = first.serve_http(
-                port=http_port, registries_fn=self.metrics_registries)
+                port=http_port, registries_fn=self.metrics_registries,
+                fleet_fn=self.fleet_snapshot)
 
     # -- wiring ----------------------------------------------------------------
     def _journal_dir(self, shard_id: str) -> Optional[str]:
@@ -841,6 +851,74 @@ class LocalFederation:
             registries.extend(e.metrics for e in self.executors[shard_id])
         return registries
 
+    def fleet_snapshot(self) -> dict:
+        """The ``GET /fleet`` payload: every shard's status, health and
+        steal traffic merged into one document — fleet state in a
+        single round trip instead of N ``/status`` scrapes.
+
+        Dead shards appear with ``alive: false`` (their last state is
+        whatever peers observed via gossip); the steal matrix is the
+        thief-side view of every directed link.
+        """
+        shards: dict[str, dict] = {}
+        steals: dict[str, dict] = {}
+        for shard_id in self.shard_ids:
+            dispatcher = self.dispatchers[shard_id]
+            if dispatcher is None:
+                shards[shard_id] = {"alive": False}
+                continue
+            status = dispatcher.status_snapshot()
+            status["alive"] = True
+            shards[shard_id] = status
+            with dispatcher._peer_lock:
+                links = dict(dispatcher._peer_links)
+            steals[shard_id] = {
+                peer: {
+                    "requested": link.steals_requested,
+                    "received": link.steals_received,
+                    "connected": link.connected,
+                }
+                for peer, link in links.items()
+            }
+        alive = sum(1 for s in shards.values() if s.get("alive"))
+        degraded = sorted(
+            shard_id for shard_id, s in shards.items()
+            if s.get("alive") and (s.get("health") or {}).get("degraded")
+        )
+        return {
+            "shards": shards,
+            "aggregate": asdict(self.stats()),
+            "steals": steals,
+            "alive": alive,
+            "total": len(self.shard_ids),
+            "degraded_shards": degraded,
+        }
+
+    def dump_flight(self, directory: Optional[str] = None,
+                    reason: str = "manual") -> list[str]:
+        """Flush every live component's flight ring to *directory*
+        (default: the federation's ``flight_dir``); returns the paths.
+
+        A shard killed earlier already dumped at death (reason
+        ``crash``) into the same directory, so after a chaos run the
+        directory holds the full fleet story for ``repro doctor``.
+        """
+        paths: list[str] = []
+        for shard_id in self.shard_ids:
+            dispatcher = self.dispatchers[shard_id]
+            if dispatcher is not None and dispatcher.flight.enabled:
+                paths.append(dispatcher.dump_flight(
+                    reason=reason, directory=directory))
+            for executor in self.executors[shard_id]:
+                if executor.flight.enabled:
+                    target = directory
+                    if target is None and dispatcher is not None:
+                        target = dispatcher.flight_dump_directory()
+                    if target is not None:
+                        paths.append(executor.flight.dump_to_dir(
+                            target, reason=reason))
+        return paths
+
     # -- FalkonClient surface (delegated to the router) ------------------------
     def submit(self, tasks):
         return self.router.submit(tasks)
@@ -898,13 +976,35 @@ def shard_main(
 
     ``peers`` maps sibling shard ids to their endpoints; every shard
     process gets the full mesh map and dials its own links.
+
+    When run in a process's main thread, SIGTERM flushes the shard's
+    flight recorder (reason ``sigterm``) before shutting down, so an
+    orchestrator's polite kill still leaves post-mortem evidence.
     """
+    import signal
     import sys
 
     from repro.live.executor import LiveExecutor
 
     dispatcher = LiveDispatcher(port=port, key=key, shard_id=shard_id,
                                 **dispatcher_kwargs)
+
+    def _on_sigterm(signum, frame) -> None:
+        if dispatcher.flight.enabled:
+            try:
+                dispatcher.dump_flight(reason="sigterm")
+            except OSError:
+                pass
+        if stop_event is not None:
+            stop_event.set()
+        else:
+            raise SystemExit(143)  # finally-blocks run: clean teardown
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # embedded in a non-main thread: no signal plumbing
+
     pool = []
     try:
         for peer_id, endpoint in peers.items():

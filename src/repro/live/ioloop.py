@@ -33,6 +33,7 @@ import itertools
 import selectors
 import socket
 import threading
+import time
 from collections import deque
 from typing import Callable, Optional, TYPE_CHECKING
 
@@ -40,6 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.live.protocol import Connection
 
 __all__ = ["IOLoop", "IOLoopGroup", "create_reuseport_servers", "default_loop"]
+
+
+#: Lag-probe interval: the loop's ``select`` wakes at least this often
+#: so the scheduled-vs-actual wakeup delta can be measured even on an
+#: otherwise idle loop.  Coarse on purpose — two extra wakeups per
+#: second cost nothing and the probe only needs to notice *seconds*
+#: of starvation (a handler blocking the loop thread).
+LAG_PROBE_INTERVAL = 0.5
 
 
 class IOLoop:
@@ -56,6 +65,23 @@ class IOLoop:
         self._stopped = threading.Event()
         self._start_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        #: Latest scheduled-vs-actual wakeup delta (seconds).  Written
+        #: only by the loop thread; read by watchdog gauges.  A loop
+        #: thread starved by a blocking handler shows up here because
+        #: its timed ``select`` returns far later than requested.
+        self.lag_s = 0.0
+        #: Worst lag observed since the last :meth:`drain_max_lag`.
+        self.max_lag_s = 0.0
+        #: Loop iterations completed (GIL-atomic increments).
+        self.iterations = 0
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; when set,
+        #: timer wakeups record ``loop.iter`` events (~2/s, not per fd).
+        self.flight = None
+
+    def drain_max_lag(self) -> float:
+        """Return and reset the worst wakeup lag seen (watchdog sweep)."""
+        peak, self.max_lag_s = self.max_lag_s, 0.0
+        return peak
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "IOLoop":
@@ -197,7 +223,26 @@ class IOLoop:
                     pass
 
     def _run(self) -> None:
+        # The lag probe: every iteration schedules the next wakeup for
+        # at most LAG_PROBE_INTERVAL away (select gets a timeout), and
+        # the next iteration measures how far past that deadline it
+        # actually started.  A handler that blocks the loop thread for
+        # N seconds therefore shows up as ~N seconds of lag even though
+        # select itself returned promptly.
+        next_probe = time.monotonic() + LAG_PROBE_INTERVAL
         while not self._stopped.is_set():
+            now = time.monotonic()
+            if now > next_probe:
+                lag = now - next_probe
+                self.lag_s = lag
+                if lag > self.max_lag_s:
+                    self.max_lag_s = lag
+                flight = self.flight
+                if flight is not None:
+                    flight.record("loop.iter", self.name, lag_s=round(lag, 6))
+            else:
+                self.lag_s = 0.0
+            next_probe = now + LAG_PROBE_INTERVAL
             while self._ops:
                 op = self._ops.popleft()
                 try:
@@ -205,9 +250,10 @@ class IOLoop:
                 except Exception:
                     pass  # a bad op must never kill the loop
             try:
-                events = self._selector.select()
+                events = self._selector.select(LAG_PROBE_INTERVAL)
             except OSError:
                 continue
+            self.iterations += 1
             for key, mask in events:
                 kind, obj = key.data
                 if kind == "wake":

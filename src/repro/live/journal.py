@@ -50,6 +50,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Union
@@ -453,6 +454,15 @@ class Journal:
             "flushes": 0,
             "compactions": 0,
         }
+        # Flush-latency watchdog feed: last flush duration, worst
+        # since drain, and when the last flush finished (monotonic).
+        # Plain floats (GIL-atomic) read by the dispatcher's sweep.
+        self.last_flush_s = 0.0
+        self.max_flush_s = 0.0
+        self.last_flush_t = time.monotonic()
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; when set,
+        #: each flushed batch records a ``journal.commit`` event.
+        self.flight = None
         self._flusher = threading.Thread(
             target=self._flush_loop, name="journal-flusher", daemon=True
         )
@@ -555,6 +565,7 @@ class Journal:
                     self._cond.notify_all()
 
     def _write_batch(self, batch: list[dict]) -> None:
+        started = time.monotonic()
         with self._io_lock:
             try:
                 # One array line per window: a single json.dumps amortises
@@ -575,6 +586,15 @@ class Journal:
                     self._buffer.clear()
                     self._cond.notify_all()
                 return
+            took = time.monotonic() - started
+            self.last_flush_s = took
+            if took > self.max_flush_s:
+                self.max_flush_s = took
+            self.last_flush_t = time.monotonic()
+            flight = self.flight
+            if flight is not None:
+                flight.record("journal.commit", "",
+                              records=len(batch), seconds=round(took, 6))
             with self._cond:
                 self._flushed += len(batch)
                 self._tail_records += len(batch)
@@ -730,12 +750,13 @@ class Journal:
         with self._lock:
             return self._failed
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, Any]:
         with self._lock:
-            out = dict(self.counters)
+            out: dict[str, Any] = dict(self.counters)
             out["pending"] = len(self._buffer)
             out["tail_records"] = self._tail_records
             out["failed"] = int(self._failed)
+        out["last_flush_s"] = round(self.last_flush_s, 6)
         return out
 
     def __enter__(self) -> "Journal":

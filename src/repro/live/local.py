@@ -80,6 +80,17 @@ class LocalFalkon:
         memory and in journal snapshots; ``None`` (default) retains
         everything.  Endurance runs set a cap so RSS and compaction
         cost stay flat at millions of tasks.
+    flight:
+        Keep flight recorders (bounded in-memory event rings; see
+        :mod:`repro.obs.flight`) on every component.  On by default —
+        the ring is append-only and lock-free — but A/B overhead runs
+        (``repro bench --flight``) switch it off for the baseline.
+    flight_dump_dir:
+        Where crash/SIGTERM/manual flight dumps land; ``None`` falls
+        back to a per-PID directory under the system tempdir.
+    stall_after:
+        Seconds of "work queued, executors idle, nothing dispatched"
+        before the dispatcher's stall watchdog reports degraded.
     """
 
     def __init__(
@@ -106,6 +117,9 @@ class LocalFalkon:
         retain_settled: Optional[int] = None,
         io_threads: int = 1,
         wire_binary: bool = True,
+        flight: bool = True,
+        flight_dump_dir: Optional[str] = None,
+        stall_after: float = 5.0,
     ) -> None:
         if executors <= 0:
             raise ValueError("executors must be positive")
@@ -131,6 +145,9 @@ class LocalFalkon:
             retain_settled=retain_settled,
             io_threads=io_threads,
             wire_binary=wire_binary,
+            flight=flight,
+            flight_dump_dir=flight_dump_dir,
+            stall_after=stall_after,
         )
         self.http = None
         self.python_registry = python_registry or {}
@@ -150,6 +167,7 @@ class LocalFalkon:
                     pipeline=pipeline_depth,
                     heartbeat_stats=heartbeat_stats,
                     wire_binary=wire_binary,
+                    flight=flight,
                     **kw,
                 ),
             ).start()
@@ -163,12 +181,14 @@ class LocalFalkon:
                     pipeline=pipeline_depth,
                     heartbeat_stats=heartbeat_stats,
                     wire_binary=wire_binary,
+                    flight=flight,
                 ).start()
                 self.executors.append(executor)
             for executor in self.executors:
                 executor.wait_registered()
         self.client = LiveClient(self.dispatcher.endpoint, key=key,
-                                 bundle_size=bundle_size, wire_binary=wire_binary)
+                                 bundle_size=bundle_size, wire_binary=wire_binary,
+                                 flight=flight)
         if http_port is not None:
             # Started last: the registries closure re-reads the pool on
             # every scrape, so provisioned executors appear without
@@ -250,6 +270,28 @@ class LocalFalkon:
         return dump_observability(
             out_dir, self.metrics_registries(), self.dispatcher.spans
         )
+
+    def dump_flight(self, directory=None, reason: str = "manual") -> list[str]:
+        """Flush every component's flight recorder to *directory*.
+
+        One dump file per component (dispatcher, each executor, the
+        client); returns the written paths.  ``None`` uses the
+        dispatcher's configured (or default per-PID tempdir) dump
+        directory so every component's dump lands in one place.
+        Components with recording disabled are skipped.
+        """
+        if directory is None:
+            directory = self.dispatcher.flight_dump_directory()
+        paths = []
+        if self.dispatcher.flight.enabled:
+            paths.append(self.dispatcher.dump_flight(reason=reason,
+                                                     directory=directory))
+        for executor in self.executors:
+            if executor.flight.enabled:
+                paths.append(executor.flight.dump_to_dir(directory, reason=reason))
+        if self.client.flight.enabled:
+            paths.append(self.client.flight.dump_to_dir(directory, reason=reason))
+        return paths
 
     def close(self) -> None:
         if self.provisioner is not None:

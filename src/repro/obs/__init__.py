@@ -20,6 +20,13 @@ One layer shared by the simulation and live planes:
   --http-port`` and ``repro top``.
 * :mod:`repro.obs.events` — structured JSONL lifecycle event log with
   ``repro events replay`` timeline reconstruction.
+* :mod:`repro.obs.flight` — per-component flight recorders: bounded
+  lock-free event rings flushed to versioned JSON dumps on crash,
+  SIGTERM, oracle violation or ``POST /debug/dump``.
+* :mod:`repro.obs.watchdog` — stall detection, contended-lock timing
+  and the named-check panel behind ``/healthz``'s ``degraded`` field.
+* :mod:`repro.obs.doctor` — the ``repro doctor`` dump analyzer:
+  timelines, gap flagging, cross-shard task correlation.
 
 See ``docs/OBSERVABILITY.md`` for the span schema and metric names.
 """
@@ -57,6 +64,15 @@ from repro.obs.timeseries import (
 )
 from repro.obs.httpd import StatusServer, json_safe
 from repro.obs.events import Event, EventLog, read_events_jsonl, replay_summary
+from repro.obs.flight import (
+    FLIGHT_DUMP_VERSION,
+    FlightRecorder,
+    flight_dump_path,
+    load_flight_dumps,
+    read_flight_dump,
+)
+from repro.obs.watchdog import StallDetector, TimedLock, WatchdogPanel
+from repro.obs.doctor import analyze, render_report
 
 __all__ = [
     "Counter",
@@ -91,4 +107,14 @@ __all__ = [
     "EventLog",
     "read_events_jsonl",
     "replay_summary",
+    "FLIGHT_DUMP_VERSION",
+    "FlightRecorder",
+    "flight_dump_path",
+    "load_flight_dumps",
+    "read_flight_dump",
+    "StallDetector",
+    "TimedLock",
+    "WatchdogPanel",
+    "analyze",
+    "render_report",
 ]

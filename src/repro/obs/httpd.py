@@ -11,7 +11,11 @@ observed *while tasks flow* — no dependencies, no framework:
 ``GET /dlq``                the dead-letter queue (quarantined tasks)
 ``GET /dlq/<id>``           one quarantined task's entry
 ``POST /dlq/<id>/retry``    re-queue a quarantined task (``repro dlq retry``)
-``GET /healthz``            liveness probe (``ok``)
+``GET /healthz``            liveness + health: JSON with shard identity and
+                            ``degraded`` reasons when a health callable is
+                            wired; plain ``ok`` otherwise (legacy probes)
+``GET /fleet``              merged multi-shard status (federation router)
+``POST /debug/dump``        flush the flight recorder to a dump file
 ==========================  ================================================
 
 The server is deliberately decoupled from the dispatcher: it is built
@@ -64,6 +68,9 @@ class StatusServer:
         dlq: Optional[Callable[[], list[dict]]] = None,
         dlq_entry: Optional[Callable[[str], Optional[dict]]] = None,
         dlq_retry: Optional[Callable[[str], bool]] = None,
+        healthz: Optional[Callable[[], dict]] = None,
+        fleet: Optional[Callable[[], dict]] = None,
+        debug_dump: Optional[Callable[[str], str]] = None,
     ) -> None:
         self._metrics_text = metrics_text
         self._status = status
@@ -71,6 +78,9 @@ class StatusServer:
         self._dlq = dlq
         self._dlq_entry = dlq_entry
         self._dlq_retry = dlq_retry
+        self._healthz = healthz
+        self._fleet = fleet
+        self._debug_dump = debug_dump
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -152,6 +162,10 @@ class StatusServer:
             self._reply_json(handler, 200, json_safe(entry))
             return
         if path == "/healthz":
+            if self._healthz is not None:
+                self._reply_json(handler, 200, json_safe(self._healthz()))
+                return
+            # Legacy probes (no health callable wired): plain ok.
             body = b"ok\n"
             handler.send_response(200)
             handler.send_header("Content-Type", "text/plain; charset=utf-8")
@@ -159,11 +173,16 @@ class StatusServer:
             handler.end_headers()
             handler.wfile.write(body)
             return
+        if path == "/fleet" and self._fleet is not None:
+            self._reply_json(handler, 200, json_safe(self._fleet()))
+            return
+        endpoints = ["/metrics", "/status", "/tasks/<id>", "/dlq",
+                     "/dlq/<id>", "/healthz"]
+        if self._fleet is not None:
+            endpoints.append("/fleet")
         self._reply_json(
             handler, 404,
-            {"error": f"unknown path {path!r}",
-             "endpoints": ["/metrics", "/status", "/tasks/<id>", "/dlq",
-                           "/dlq/<id>", "/healthz"]},
+            {"error": f"unknown path {path!r}", "endpoints": endpoints},
         )
 
     def _route_post(self, handler: BaseHTTPRequestHandler) -> None:
@@ -178,10 +197,23 @@ class StatusServer:
                     handler, 404, {"error": f"task {task_id!r} is not in the DLQ"}
                 )
             return
+        if path == "/debug/dump" and self._debug_dump is not None:
+            # Query string may carry a reason tag: POST /debug/dump?reason=x
+            query = handler.path.split("?", 1)
+            reason = "debug"
+            if len(query) == 2:
+                for part in query[1].split("&"):
+                    if part.startswith("reason="):
+                        reason = part[len("reason="):] or "debug"
+            dump_path = self._debug_dump(reason)
+            self._reply_json(handler, 200, {"dumped": dump_path, "reason": reason})
+            return
+        endpoints = ["/dlq/<id>/retry"]
+        if self._debug_dump is not None:
+            endpoints.append("/debug/dump")
         self._reply_json(
             handler, 404,
-            {"error": f"unknown POST path {path!r}",
-             "endpoints": ["/dlq/<id>/retry"]},
+            {"error": f"unknown POST path {path!r}", "endpoints": endpoints},
         )
 
     @staticmethod

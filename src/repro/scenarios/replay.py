@@ -173,8 +173,15 @@ def replay_live(
     journal_dir: Optional[str] = None,
     time_scale: float = 1.0,
     timeout: float = 180.0,
+    flight_dir: Optional[str] = None,
 ) -> ReplayReport:
-    """Run *scenario* through a journaled live deployment with oracles."""
+    """Run *scenario* through a journaled live deployment with oracles.
+
+    With *flight_dir* set, every component's flight recorder dumps
+    there at scenario end (reason ``end``) and again — from the rings
+    as they stood at teardown — when any oracle fails (reason
+    ``oracle``), so a red run always leaves ``repro doctor`` evidence.
+    """
     import threading
 
     from repro.live.executor import LiveExecutor
@@ -209,6 +216,7 @@ def replay_live(
         journal_dir=jdir,
         queue_limit=spec.queue_limit or None,
         journal_compact_every=spec.journal_compact_every,
+        flight_dump_dir=flight_dir,
     )
     started = time.monotonic()
     futures: dict = {}
@@ -291,6 +299,13 @@ def replay_live(
             scenario.fault_plan() and falkon.dispatcher.fault_plan.snapshot()
         ) or {}
         reconnects = stats.reconnects
+        flight_paths: list[str] = []
+        oracle_dumper = None
+        if flight_dir is not None:
+            flight_paths = falkon.dump_flight(flight_dir, reason="end")
+            # Rings survive close(); hold one for a post-oracle dump.
+            oracle_dumper = (falkon.dispatcher.flight,
+                             falkon.dispatcher._flight_extra())
     finally:
         stop_churn.set()
         if churn_thread is not None:
@@ -327,6 +342,13 @@ def replay_live(
     )
     if own_journal:
         shutil.rmtree(jdir, ignore_errors=True)
+    if oracle_dumper is not None and not report.ok:
+        recorder, extra = oracle_dumper
+        try:
+            flight_paths.append(
+                recorder.dump_to_dir(flight_dir, reason="oracle", extra=extra))
+        except OSError:
+            pass
 
     completed = stats.completed
     return ReplayReport(
@@ -347,6 +369,7 @@ def replay_live(
             "journal_records": stats.journal_records,
             "fault_counters": fault_counters,
             "churn_events": len(scenario.churn),
+            **({"flight_dumps": flight_paths} if flight_dir else {}),
         },
     )
 
@@ -358,8 +381,15 @@ def replay_live_federated(
     time_scale: float = 1.0,
     timeout: float = 180.0,
     shard_crash: Optional[bool] = None,
+    flight_dir: Optional[str] = None,
 ) -> ReplayReport:
     """Run *scenario* through an N-shard :class:`LocalFederation`.
+
+    With *flight_dir* set, a killed shard dumps its flight ring at
+    death (reason ``crash``) and every surviving component dumps at
+    scenario end (reason ``end``) — plus an ``oracle`` dump per shard
+    when any oracle fails — all into one directory that
+    ``repro doctor`` cross-correlates by task id.
 
     Chaos here is *topological*: executor churn spread across shards
     plus — for chaotic scenarios (or ``shard_crash=True``) — one shard
@@ -414,6 +444,7 @@ def replay_live_federated(
         journal_root=jroot,
         queue_limit=spec.queue_limit or None,
         monitor_interval=0.05 if chaotic else None,
+        flight_dir=flight_dir,
     )
     # Endpoints survive a kill/restart cycle (same port), so capture
     # them up front for churn replacements during a shard's dead window.
@@ -546,6 +577,16 @@ def replay_live_federated(
             1 for f in futures.values()
             if f.done() and not f.cancelled() and f.result(0).ok)
         results_failed = len(futures) - len(stuck) - results_ok
+        flight_paths: list[str] = []
+        oracle_dumpers: list[tuple] = []
+        if flight_dir is not None:
+            flight_paths = fed.dump_flight(flight_dir, reason="end")
+            # Rings survive close(); hold them for post-oracle dumps.
+            oracle_dumpers = [
+                (d.flight, d._flight_extra())
+                for d in fed.dispatchers.values()
+                if d is not None and d.flight.enabled
+            ]
     finally:
         stop_chaos.set()
         settled.set()
@@ -590,6 +631,13 @@ def replay_live_federated(
         )
     if own_journal:
         shutil.rmtree(jroot, ignore_errors=True)
+    if not report.ok:
+        for recorder, extra in oracle_dumpers:
+            try:
+                flight_paths.append(recorder.dump_to_dir(
+                    flight_dir, reason="oracle", extra=extra))
+            except OSError:
+                pass
 
     return ReplayReport(
         plane=f"live-fed{shards}",
@@ -609,6 +657,7 @@ def replay_live_federated(
             "resubmits": resubmits,
             "stolen_tasks": agg.stolen_tasks,
             "churn_events": len(scenario.churn),
+            **({"flight_dumps": flight_paths} if flight_dir else {}),
         },
     )
 
@@ -619,11 +668,14 @@ def run_scenario(
     time_scale: float = 1.0,
     timeout: float = 180.0,
     shards: int = 1,
+    flight_dir: Optional[str] = None,
 ) -> list[ReplayReport]:
     """Generate *spec* once and replay it on the requested planes.
 
     ``shards > 1`` routes the live plane through
-    :func:`replay_live_federated` (the sim plane is unsharded).
+    :func:`replay_live_federated` (the sim plane is unsharded);
+    ``flight_dir`` collects flight-recorder dumps from the live plane
+    (``repro scenarios run --flight-out``).
     """
     scenario = generate(spec)
     reports = []
@@ -634,11 +686,12 @@ def run_scenario(
             if shards > 1:
                 reports.append(replay_live_federated(
                     scenario, shards=shards, time_scale=time_scale,
-                    timeout=timeout,
+                    timeout=timeout, flight_dir=flight_dir,
                 ))
             else:
                 reports.append(replay_live(
-                    scenario, time_scale=time_scale, timeout=timeout
+                    scenario, time_scale=time_scale, timeout=timeout,
+                    flight_dir=flight_dir,
                 ))
         else:
             raise ValueError(f"unknown plane {plane!r}")

@@ -1,0 +1,92 @@
+"""The flight-recorder acceptance path: kill -9 a federation shard,
+finish the run, and prove ``repro doctor`` can tell the story —
+which shard died, what it held, and who resolved those tasks after
+the restart — purely from the dumps on disk.
+"""
+
+import os
+
+from repro.live.federation import LocalFederation
+from repro.obs.doctor import analyze, render_report
+from repro.obs.flight import load_flight_dumps
+from repro.types import TaskSpec
+
+from tests.live.util import wait_until
+
+
+def specs(n, seconds=0.0, prefix="fl"):
+    return [TaskSpec.sleep(seconds, task_id=f"{prefix}-{i:04d}")
+            for i in range(n)]
+
+
+class TestKillNineForensics:
+    def test_doctor_reconstructs_a_shard_kill(self, tmp_path):
+        flight_dir = str(tmp_path / "flight")
+        with LocalFederation(shards=2, executors_per_shard=2,
+                             monitor_interval=0.05,
+                             journal_root=str(tmp_path / "journals"),
+                             flight_dir=flight_dir) as fed:
+            futures = fed.submit(specs(40, seconds=0.03, prefix="kill"))
+            assert wait_until(
+                lambda: sum(1 for f in futures if f.done()) >= 5,
+                timeout=20.0)
+            # kill -9: the shard flushes its ring (crash reason) and
+            # dies without goodbyes; the router retargets its tasks.
+            fed.kill_shard("s1")
+            assert wait_until(lambda: all(f.done() for f in futures),
+                              timeout=30.0)
+            assert all(f.result(0).ok for f in futures)
+            fed.restart_shard("s1")
+            after = fed.run(specs(10, prefix="after"), timeout=30)
+            assert all(r.ok for r in after)
+            # End-of-run dumps from every live component.
+            fed.dump_flight(reason="end")
+
+        dumps = load_flight_dumps(flight_dir)
+        assert dumps, "no flight dumps written"
+        # Every shard dumped: the killed one at crash, both at end.
+        dispatcher_shards = {d["shard_id"] for d in dumps
+                             if d["component"] == "dispatcher"}
+        assert dispatcher_shards == {"s0", "s1"}
+        crash_dumps = [d for d in dumps if d["reason"] == "crash"]
+        assert len(crash_dumps) == 1
+        assert crash_dumps[0]["shard_id"] == "s1"
+
+        report = analyze(flight_dir)
+        # 1. The doctor identifies the killed shard...
+        crashed = [c for c in report["crashed"] if c["reason"] == "crash"]
+        assert len(crashed) == 1
+        assert crashed[0]["shard_id"] == "s1"
+        # 2. ...the tasks it held at death (the crash fired mid-run
+        # with work outstanding, so the inventory cannot be empty)...
+        open_tasks = crashed[0]["open_tasks"]
+        assert open_tasks
+        assert all(state in ("dispatched", "queued")
+                   for state in open_tasks.values())
+        # 3. ...and where those tasks settled after the failover: the
+        # run finished ok, so every open task resolved in some other
+        # dump (the survivor's or the restarted shard's ring).
+        resolved = [r for r in report["resolutions"]
+                    if r["task_id"] in open_tasks and r.get("resolved_by")]
+        assert resolved, "no post-crash resolution correlated"
+        for r in resolved:
+            assert r["outcome"] == "ok"
+            assert r["after_crash_s"] >= 0.0
+
+        text = render_report(report)
+        assert "[dispatcher[s1]] crash" in text
+        assert "crashed components:" in text
+
+    def test_federation_dump_flight_covers_executors(self, tmp_path):
+        flight_dir = str(tmp_path / "flight")
+        with LocalFederation(shards=2, executors_per_shard=1,
+                             monitor_interval=0.05,
+                             flight_dir=flight_dir) as fed:
+            results = fed.run(specs(8, prefix="cov"), timeout=30)
+            assert all(r.ok for r in results)
+            paths = fed.dump_flight(reason="end")
+        assert len(paths) == 4  # 2 dispatchers + 2 executors
+        assert all(os.path.exists(p) for p in paths)
+        components = {d["component"].split(":")[0]
+                      for d in load_flight_dumps(flight_dir)}
+        assert components == {"dispatcher", "executor"}

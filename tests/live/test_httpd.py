@@ -26,6 +26,12 @@ def fetch(url: str, timeout: float = 5.0):
         return response.status, dict(response.headers), response.read()
 
 
+def post(url: str, timeout: float = 5.0):
+    request = urllib.request.Request(url, data=b"", method="POST")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
 class TestJsonSafe:
     def test_nan_and_inf_become_null_recursively(self):
         value = {"a": math.nan, "b": [1.0, math.inf], "c": {"d": -math.inf}}
@@ -91,6 +97,69 @@ class TestStatusServerUnit:
         server.close()
         server.close()
 
+    def test_post_handler_bug_answers_500_json_like_get(self):
+        """POST shares GET's 500 contract: a JSON error body, not a hang
+        or a bare HTML error page."""
+        def broken_retry(_task_id):
+            raise RuntimeError("kaboom")
+
+        with StatusServer(lambda: "", dict, lambda _tid: None,
+                          dlq_retry=broken_retry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(server.url("/dlq/t-1/retry"))
+            assert excinfo.value.code == 500
+            assert excinfo.value.headers["Content-Type"] == "application/json"
+            assert "kaboom" in json.load(excinfo.value)["error"]
+
+    def test_healthz_legacy_plain_text_without_callable(self):
+        with self.make_server() as server:
+            status, headers, body = fetch(server.url("/healthz"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert body == b"ok\n"
+
+    def test_healthz_json_when_callable_wired(self):
+        health = {"status": "degraded", "degraded": ["queue stalled"],
+                  "shard_id": "shard-0", "wire": "v4", "io_threads": 2}
+        with StatusServer(lambda: "", dict, lambda _tid: None,
+                          healthz=lambda: health) as server:
+            status, headers, body = fetch(server.url("/healthz"))
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == health
+
+    def test_fleet_endpoint_served_only_when_wired(self):
+        fleet = {"alive": 2, "total": 2, "shards": {"shard-0": {"alive": True}}}
+        with StatusServer(lambda: "", dict, lambda _tid: None,
+                          fleet=lambda: fleet) as server:
+            assert json.loads(fetch(server.url("/fleet"))[2]) == fleet
+        with self.make_server() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/fleet"))
+            assert excinfo.value.code == 404
+
+    def test_debug_dump_post_passes_reason_through(self):
+        seen = []
+
+        def dump(reason):
+            seen.append(reason)
+            return f"/tmp/flight-{reason}.json"
+
+        with StatusServer(lambda: "", dict, lambda _tid: None,
+                          debug_dump=dump) as server:
+            payload = json.loads(post(server.url("/debug/dump?reason=probe"))[2])
+            assert payload == {"dumped": "/tmp/flight-probe.json",
+                               "reason": "probe"}
+            payload = json.loads(post(server.url("/debug/dump"))[2])
+            assert payload["reason"] == "debug"
+        assert seen == ["probe", "debug"]
+
+    def test_debug_dump_404_when_not_wired(self):
+        with self.make_server() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(server.url("/debug/dump"))
+            assert excinfo.value.code == 404
+
 
 class TestLiveHttpSmoke:
     """Tier-1: the whole surface against a real deployment."""
@@ -136,8 +205,16 @@ class TestLiveHttpSmoke:
             assert names == ["submit", "enqueue", "notify", "pull",
                              "exec", "result", "ack"]
 
-            # /healthz for probes.
-            assert fetch(base + "/healthz")[2] == b"ok\n"
+            # /healthz for probes: JSON with shard identity and the
+            # watchdog-fed degraded list (empty on a healthy box).
+            status, headers, body = fetch(base + "/healthz")
+            assert status == 200
+            assert headers["Content-Type"] == "application/json"
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["degraded"] == []
+            assert health["wire"] in ("v3", "v4")
+            assert health["io_threads"] >= 1
 
     def test_repro_top_renders_against_a_live_surface(self, capsys):
         from repro.cli import main

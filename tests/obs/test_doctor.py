@@ -1,0 +1,178 @@
+"""``repro doctor`` analyzer tests on hand-built dump fixtures.
+
+The fixtures are authored JSON rather than recorder output so the
+monotonic stamps and wall offsets are exact: cross-dump correlation
+is all clock arithmetic, and approximate fixtures would hide
+off-by-an-epoch bugs.
+"""
+
+import json
+
+from repro.obs.doctor import analyze, doctor_main, render_report
+from repro.obs.flight import FLIGHT_DUMP_VERSION
+
+
+def write_dump(directory, name, *, component="dispatcher", shard_id=None,
+               reason="manual", t_mono=1000.0, t_wall=5000.0,
+               extra=None, events=()):
+    payload = {
+        "version": FLIGHT_DUMP_VERSION,
+        "component": component,
+        "shard_id": shard_id,
+        "reason": reason,
+        "t_mono": t_mono,
+        "t_wall": t_wall,
+        "wall_minus_mono": t_wall - t_mono,
+        "extra": extra or {},
+        "events": list(events),
+    }
+    path = directory / f"flight-{name}.json"
+    path.write_text(json.dumps(payload) + "\n")
+    return str(path)
+
+
+def crash_fixture(tmp_path):
+    """A killed shard plus its restarted successor, one task resolved."""
+    write_dump(
+        tmp_path, "dead", shard_id="shard-0", reason="crash",
+        t_mono=1000.0, t_wall=5000.0,
+        extra={"inflight": ["t-1"], "queued": ["t-2"]},
+        events=[
+            {"t": 998.0, "kind": "frame.rx", "subject": "HEARTBEAT"},
+            {"t": 998.5, "kind": "queue.enq", "subject": "t-1"},
+            {"t": 999.0, "kind": "queue.claim", "subject": "t-1"},
+            {"t": 999.5, "kind": "queue.enq", "subject": "t-2"},
+        ])
+    # The restart runs in a fresh process: different monotonic epoch,
+    # later wall clock.  It re-ran t-1 to completion 10s after the
+    # crash; t-2 never settled anywhere.
+    write_dump(
+        tmp_path, "reborn", shard_id="shard-0", reason="end",
+        t_mono=500.0, t_wall=5050.0,
+        events=[
+            {"t": 498.0, "kind": "frame.rx", "subject": "HEARTBEAT"},
+            {"t": 460.0, "kind": "task.settle", "subject": "t-1",
+             "outcome": "ok"},
+        ])
+
+
+class TestAnalyze:
+    def test_crashed_dump_lists_open_tasks_from_extra(self, tmp_path):
+        crash_fixture(tmp_path)
+        report = analyze(str(tmp_path))
+        assert len(report["crashed"]) == 1
+        crashed = report["crashed"][0]
+        assert crashed["shard_id"] == "shard-0"
+        assert crashed["reason"] == "crash"
+        assert crashed["open_tasks"] == {"t-1": "dispatched", "t-2": "queued"}
+
+    def test_resolution_correlates_across_monotonic_epochs(self, tmp_path):
+        crash_fixture(tmp_path)
+        report = analyze(str(tmp_path))
+        by_task = {r["task_id"]: r for r in report["resolutions"]}
+        resolved = by_task["t-1"]
+        assert resolved["outcome"] == "ok"
+        assert resolved["resolved_by"] == "dispatcher[shard-0]"
+        # settle at mono 460 in the reborn epoch = wall 5010, crash at
+        # wall 5000: the doctor aligns on wall time, not raw mono.
+        assert resolved["after_crash_s"] == 10.0
+        assert by_task["t-2"]["outcome"] == "unresolved"
+
+    def test_never_settled_task_flags_a_stuck_gap(self, tmp_path):
+        crash_fixture(tmp_path)
+        report = analyze(str(tmp_path))
+        stuck = [g for g in report["gaps"] if g["kind"] == "stuck-task"]
+        assert len(stuck) == 1
+        assert "t-2" in stuck[0]["detail"]
+
+    def test_open_tasks_fall_back_to_event_replay(self, tmp_path):
+        write_dump(
+            tmp_path, "noextra", reason="sigterm",
+            events=[
+                {"t": 999.0, "kind": "queue.enq", "subject": "t-9"},
+                {"t": 999.2, "kind": "queue.claim", "subject": "t-9"},
+                {"t": 999.4, "kind": "queue.enq", "subject": "t-10"},
+                {"t": 999.5, "kind": "queue.claim", "subject": "t-10"},
+                {"t": 999.6, "kind": "task.settle", "subject": "t-10",
+                 "outcome": "ok"},
+            ])
+        report = analyze(str(tmp_path))
+        assert report["crashed"][0]["open_tasks"] == {"t-9": "dispatched"}
+
+    def test_frame_silence_gap(self, tmp_path):
+        write_dump(
+            tmp_path, "quiet", t_mono=1000.0,
+            events=[{"t": 980.0, "kind": "frame.rx", "subject": "SUBMIT"},
+                    {"t": 999.0, "kind": "loop.iter", "subject": "io-0"}])
+        report = analyze(str(tmp_path))
+        gaps = [g for g in report["gaps"] if g["kind"] == "frame-silence"]
+        assert len(gaps) == 1
+        assert "20.0s before dump" in gaps[0]["detail"]
+
+    def test_heartbeat_silence_gap_on_dispatcher_dumps_only(self, tmp_path):
+        write_dump(
+            tmp_path, "nohb", t_mono=1000.0,
+            events=[{"t": 999.0, "kind": "frame.rx", "subject": "SUBMIT"}])
+        write_dump(
+            tmp_path, "exec", component="executor:x", t_mono=1000.0,
+            events=[{"t": 999.0, "kind": "frame.rx", "subject": "WORK"}])
+        report = analyze(str(tmp_path))
+        gaps = [g for g in report["gaps"] if g["kind"] == "heartbeat-silence"]
+        assert [g["label"] for g in gaps] == ["dispatcher"]
+
+    def test_window_excludes_old_events(self, tmp_path):
+        write_dump(
+            tmp_path, "old", t_mono=1000.0,
+            events=[{"t": 100.0, "kind": "frame.rx", "subject": "SUBMIT"},
+                    {"t": 999.0, "kind": "frame.rx", "subject": "HEARTBEAT"}])
+        report = analyze(str(tmp_path), window_s=30.0)
+        assert report["dumps"][0]["events_in_window"] == 1
+        assert report["dumps"][0]["kinds"] == {"frame.rx": 1}
+
+
+class TestRendering:
+    def test_render_report_covers_crash_and_resolutions(self, tmp_path):
+        crash_fixture(tmp_path)
+        text = render_report(analyze(str(tmp_path)))
+        assert "crashed components:" in text
+        assert "[dispatcher[shard-0]] crash with 2 task(s) in flight" in text
+        assert "t-1: dispatched at death -> ok by dispatcher[shard-0]" in text
+        assert "t-2: queued at death -> UNRESOLVED" in text
+
+    def test_render_healthy_run_says_so(self, tmp_path):
+        write_dump(tmp_path, "fine", reason="end",
+                   events=[{"t": 999.0, "kind": "frame.rx",
+                            "subject": "HEARTBEAT"}])
+        assert "no crashes or gaps detected" in render_report(
+            analyze(str(tmp_path)))
+
+    def test_doctor_main_json_mode_is_parseable(self, tmp_path):
+        crash_fixture(tmp_path)
+        report = json.loads(doctor_main(str(tmp_path), as_json=True))
+        assert report["crashed"][0]["shard_id"] == "shard-0"
+
+
+class TestDoctorCli:
+    def test_repro_doctor_renders_a_dump_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        crash_fixture(tmp_path)
+        assert main(["doctor", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro doctor" in out
+        assert "crashed components:" in out
+        assert "t-1" in out
+
+    def test_repro_doctor_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        crash_fixture(tmp_path)
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["crashed"][0]["reason"] == "crash"
+
+    def test_repro_doctor_missing_path_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["doctor", str(tmp_path / "nope")]) == 2
+        assert "--flight-out" in capsys.readouterr().err

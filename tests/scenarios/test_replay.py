@@ -59,3 +59,26 @@ def test_run_scenario_drives_both_planes():
 def test_run_scenario_rejects_unknown_plane():
     with pytest.raises(ValueError):
         run_scenario(preset("mixed", seed=0, tasks=10), planes=("warp",))
+
+
+def test_live_replay_flight_out_dumps_every_component(tmp_path):
+    import os
+
+    from repro.obs.doctor import analyze
+    from repro.obs.flight import load_flight_dumps
+
+    flight_dir = str(tmp_path / "flight")
+    spec = preset("mixed", seed=5, tasks=40, executors=2)
+    report = replay_live(generate(spec), timeout=60.0, flight_dir=flight_dir)
+    assert report.ok, report.oracles.summary()
+    paths = report.extras["flight_dumps"]
+    assert paths and all(os.path.exists(p) for p in paths)
+    dumps = load_flight_dumps(flight_dir)
+    components = {d["component"].split(":")[0] for d in dumps}
+    # dispatcher + both executors + the client all flushed their rings.
+    assert components == {"dispatcher", "executor", "client"}
+    assert all(d["reason"] == "end" for d in dumps)
+    # A clean run reads clean: no crash dumps, nothing unresolved.
+    doctor = analyze(flight_dir)
+    assert doctor["crashed"] == []
+    assert doctor["resolutions"] == []
